@@ -1,0 +1,406 @@
+package govdns
+
+// One benchmark per table and figure of the paper (see DESIGN.md § 3),
+// plus the ablation benches for the design choices the paper motivates:
+// the 7-day PDNS stability filter, the second measurement round, and the
+// mode-of-daily-counts yearly representative. Each bench regenerates its
+// experiment's rows from the shared study.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"govdns/internal/analysis"
+	"govdns/internal/dnswire"
+	"govdns/internal/measure"
+	"govdns/internal/pdns"
+	"govdns/internal/resolver"
+	"govdns/internal/stats"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+)
+
+// study returns the shared, fully scanned benchmark study.
+func study(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		s := New(Options{Seed: 42, Scale: 0.02, QueryTimeout: 10 * time.Millisecond, Concurrency: 128})
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		if err := s.RunActive(ctx); err != nil {
+			panic(err)
+		}
+		benchStudy = s
+	})
+	return benchStudy
+}
+
+func BenchmarkFig2PDNSGrowth(b *testing.B) {
+	// Call the analysis directly: the Study memoizes Fig2And3, and this
+	// bench must measure the computation, not the cache.
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		years := analysis.PDNSYearly(s.StableView, s.Mapper, s.StartYear(), s.EndYear())
+		if years[len(years)-1].Domains == 0 {
+			b.Fatal("empty final year")
+		}
+	}
+}
+
+func BenchmarkFig3NameserverGrowth(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Distinct nameserver hostnames per year, straight off the view.
+		for year := s.StartYear(); year <= s.EndYear(); year++ {
+			first, last := pdns.YearRange(year)
+			hosts := make(map[string]bool)
+			for _, rs := range s.StableView.Sets {
+				if rs.RRType == dnswire.TypeNS && rs.Overlaps(first, last) {
+					hosts[rs.RData] = true
+				}
+			}
+			if len(hosts) == 0 {
+				b.Fatalf("no nameservers in %d", year)
+			}
+		}
+	}
+}
+
+func BenchmarkFig4DomainsPerCountry(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Fig4()) == 0 {
+			b.Fatal("no countries")
+		}
+	}
+}
+
+func BenchmarkFig6SingleNSChurn(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churn := s.Fig6()
+		if len(churn) == 0 {
+			b.Fatal("no churn data")
+		}
+	}
+}
+
+func BenchmarkFig7PrivateDeployment(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, y := range analysis.PDNSYearly(s.StableView, s.Mapper, s.StartYear(), s.EndYear()) {
+			if y.PrivateSinglePct() < y.PrivateAllPct() {
+				b.Fatalf("%d: private singles (%.1f%%) below all-domain private (%.1f%%)",
+					y.Year, y.PrivateSinglePct(), y.PrivateAllPct())
+			}
+		}
+	}
+}
+
+func BenchmarkFig8StaleSingleNS(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar := analysis.ReplicationActive(s.Results, s.Mapper)
+		if len(ar.SingleStaleByCountry) == 0 {
+			b.Fatal("no per-country stale data")
+		}
+	}
+}
+
+func BenchmarkFig9ReplicationCDF(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar := analysis.ReplicationActive(s.Results, s.Mapper)
+		if last := ar.NSCountCDF[len(ar.NSCountCDF)-1]; last.Fraction != 1 {
+			b.Fatalf("CDF does not close: %v", last)
+		}
+	}
+}
+
+func BenchmarkTable1Diversity(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 11 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable2MajorProviders(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, year := range []int{s.StartYear(), s.EndYear()} {
+			if len(s.Table2(year)) != 8 {
+				b.Fatal("major provider rows != 8")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3TopProviders(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, year := range []int{s.StartYear(), s.EndYear()} {
+			if len(s.Table3(year, 11)) == 0 {
+				b.Fatal("no top providers")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10DefectiveDelegations(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.AnyDefect == 0 {
+			b.Fatal("no defects found")
+		}
+	}
+}
+
+func BenchmarkFig11HijackableDomains(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hr, err := s.Fig11And12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(hr.AvailableNSDomains) == 0 {
+			b.Fatal("no hijackable domains")
+		}
+	}
+}
+
+func BenchmarkFig12RegistrationCost(b *testing.B) {
+	s := study(b)
+	hr, err := s.Fig11And12()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prices := s.Active.Reg.Quote(hr.AvailableNSDomains)
+		if len(prices) != len(hr.AvailableNSDomains) {
+			b.Fatal("quote length mismatch")
+		}
+	}
+}
+
+func BenchmarkFig13Consistency(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := s.Fig13And14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cs.Responsive == 0 {
+			b.Fatal("no responsive domains")
+		}
+		if _, err := s.InconsistencyHijacks(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14DisagreementDistribution(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := s.Fig13And14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rates := make([]float64, 0, len(cs.DisagreementPerCountry))
+		for _, pct := range cs.DisagreementPerCountry {
+			rates = append(rates, pct)
+		}
+		if _, ok := stats.Percentile(rates, 90); !ok {
+			b.Fatal("no disagreement distribution")
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationStabilityFilter compares the PDNS analyses with and
+// without the 7-day stability filter; without it, transient records
+// inflate the population (§ III-C's motivation).
+func BenchmarkAblationStabilityFilter(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := analysis.PDNSYearly(s.RawView, s.Mapper, s.StartYear(), s.EndYear())
+		filtered := analysis.PDNSYearly(s.StableView, s.Mapper, s.StartYear(), s.EndYear())
+		last := len(raw) - 1
+		if raw[last].Domains < filtered[last].Domains {
+			b.Fatal("filter added domains")
+		}
+	}
+	raw := analysis.PDNSYearly(s.RawView, s.Mapper, s.StartYear(), s.EndYear())
+	filtered := analysis.PDNSYearly(s.StableView, s.Mapper, s.StartYear(), s.EndYear())
+	last := len(raw) - 1
+	b.ReportMetric(float64(raw[last].Domains-filtered[last].Domains), "transient-domains")
+}
+
+// BenchmarkAblationSecondRound measures the lame-delegation
+// overestimation when the second measurement round is disabled, over a
+// sample of domains (the paper re-ran queries to rule out transient
+// failures).
+func BenchmarkAblationSecondRound(b *testing.B) {
+	s := study(b)
+	sample := s.Active.QueryList
+	if len(sample) > 300 {
+		sample = sample[:300]
+	}
+	ctx := context.Background()
+	newScanner := func(secondRound bool) *measure.Scanner {
+		client := resolver.NewClient(s.Active.Net)
+		client.Timeout = 10 * time.Millisecond
+		client.Retries = 1
+		sc := measure.NewScanner(resolver.NewIterator(client, s.Active.Roots))
+		sc.Concurrency = 128
+		sc.SecondRound = secondRound
+		return sc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		withRetry := newScanner(true).Scan(ctx, sample)
+		withoutRetry := newScanner(false).Scan(ctx, sample)
+		full1, full2 := 0, 0
+		for j := range sample {
+			if withRetry[j].FullyDefective() {
+				full1++
+			}
+			if withoutRetry[j].FullyDefective() {
+				full2++
+			}
+		}
+		if full2 < full1 {
+			b.Fatal("second round increased defect count")
+		}
+	}
+}
+
+// BenchmarkAblationModeVsMax compares the paper's mode-of-daily-counts
+// yearly NS representative with a max-based alternative: max overcounts
+// replication whenever a domain briefly carried extra records.
+func BenchmarkAblationModeVsMax(b *testing.B) {
+	s := study(b)
+	year := s.EndYear()
+	byDomain := make(map[string][]pdns.RecordSet)
+	for _, rs := range s.StableView.Sets {
+		if rs.RRType == dnswire.TypeNS {
+			byDomain[string(rs.RRName)] = append(byDomain[string(rs.RRName)], rs)
+		}
+	}
+	b.ResetTimer()
+	var overcounted int
+	for i := 0; i < b.N; i++ {
+		overcounted = 0
+		for _, sets := range byDomain {
+			daily := analysis.NSDaily(sets, year)
+			if len(daily) == 0 {
+				continue
+			}
+			mode, _ := stats.Mode(daily)
+			maxVal := daily[0]
+			for _, v := range daily {
+				if v > maxVal {
+					maxVal = v
+				}
+			}
+			if maxVal < mode {
+				b.Fatal("max below mode")
+			}
+			// Domains whose replication a max-based representative
+			// would overcount: migration cache tails briefly double
+			// the visible NS set.
+			if maxVal > mode {
+				overcounted++
+			}
+		}
+	}
+	b.ReportMetric(float64(overcounted), "max-overcounted-domains")
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	query := dnswire.NewQuery(1, "city.gov.br.", dnswire.TypeNS)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := dnswire.Encode(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanDomain(b *testing.B) {
+	s := study(b)
+	client := resolver.NewClient(s.Active.Net)
+	client.Timeout = 10 * time.Millisecond
+	scanner := measure.NewScanner(resolver.NewIterator(client, s.Active.Roots))
+	// Pick a healthy domain so the bench measures the pipeline, not
+	// timeout waits.
+	var target = s.Active.QueryList[0]
+	for _, d := range s.World.Domains {
+		if d.Died == 0 && !d.SingleNS {
+			target = d.Name
+			break
+		}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := scanner.ScanDomain(ctx, target)
+		if !r.ParentResponded {
+			b.Fatalf("scan of %s failed: %s", target, r.Err)
+		}
+	}
+}
+
+func BenchmarkIterativeResolve(b *testing.B) {
+	s := study(b)
+	ctx := context.Background()
+	client := resolver.NewClient(s.Active.Net)
+	client.Timeout = 10 * time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh iterator each time: measures uncached full walks.
+		it := resolver.NewIterator(client, s.Active.Roots)
+		if _, err := it.Delegation(ctx, "gov.br."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

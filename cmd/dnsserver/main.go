@@ -1,0 +1,71 @@
+// Command dnsserver loads a zone file and serves it authoritatively over
+// real UDP — the standalone nameserver built on the same engine the
+// simulation uses. Query it with any stub resolver:
+//
+//	dnsserver -zone data/gov.br.zone -origin gov.br -listen 127.0.0.1:5353
+//	dig @127.0.0.1 -p 5353 www.gov.br A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"govdns/internal/authserver"
+	"govdns/internal/dnsname"
+	"govdns/internal/zone"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dnsserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	zonePath := flag.String("zone", "", "zone file to serve (required)")
+	origin := flag.String("origin", "", "zone origin (required)")
+	listen := flag.String("listen", "127.0.0.1:5353", "UDP listen address")
+	flag.Parse()
+
+	if *zonePath == "" || *origin == "" {
+		flag.Usage()
+		return fmt.Errorf("-zone and -origin are required")
+	}
+	originName, err := dnsname.Parse(*origin)
+	if err != nil {
+		return fmt.Errorf("bad origin: %w", err)
+	}
+	f, err := os.Open(*zonePath)
+	if err != nil {
+		return err
+	}
+	z, err := zone.ParseFile(f, originName)
+	closeErr := f.Close()
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", *zonePath, err)
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	for _, problem := range z.Validate() {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", problem)
+	}
+
+	server := authserver.New(originName.MustPrepend("ns1"))
+	server.AddZone(z)
+	udp, err := authserver.ListenUDP(*listen, server)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s (%d records) on %s\n", originName, z.Len(), udp.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return udp.Close()
+}

@@ -1,0 +1,212 @@
+// Command govscan is the standalone bulk delegation scanner — the
+// zdns-style tool the study's pipeline is built on. It reads a domain
+// list, runs the Fig. 1 measurement for each (parent discovery, per-
+// server NS queries, second round), and writes one JSON result per line.
+//
+// Two backends:
+//
+//	-sim        scan the synthetic world (default; domain list optional —
+//	            the world's own query list is used when no list is given)
+//	-real       scan the actual Internet over UDP from the real root
+//	            servers (requires network access; be mindful of rate)
+//
+// Examples:
+//
+//	govscan -sim -scale 0.02 -out scan.jsonl
+//	govscan -real -domains domains.txt -concurrency 16 -timeout 2s
+//	govscan -summarize scan.jsonl
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"govdns/internal/authserver"
+	"govdns/internal/dnsname"
+	"govdns/internal/measure"
+	"govdns/internal/resolver"
+	"govdns/internal/stats"
+	"govdns/internal/worldgen"
+)
+
+// realRoots are the IPv4 addresses of the root servers (a–m), the
+// starting hints for -real mode.
+var realRoots = []string{
+	"198.41.0.4", "170.247.170.2", "192.33.4.12", "199.7.91.13",
+	"192.203.230.10", "192.5.5.241", "192.112.36.4", "198.97.190.53",
+	"192.36.148.17", "192.58.128.30", "193.0.14.129", "199.7.83.42",
+	"202.12.27.33",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "govscan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sim := flag.Bool("sim", true, "scan the synthetic world")
+	real := flag.Bool("real", false, "scan the live Internet over UDP (overrides -sim)")
+	domainsPath := flag.String("domains", "", "file with one domain per line")
+	out := flag.String("out", "", "output JSONL path (default stdout)")
+	scale := flag.Float64("scale", 0.02, "synthetic world scale (-sim)")
+	seed := flag.Int64("seed", 42, "synthetic world seed (-sim)")
+	concurrency := flag.Int("concurrency", 64, "concurrent domains")
+	timeout := flag.Duration("timeout", 0, "per-query timeout (default 25ms sim, 2s real)")
+	qps := flag.Float64("qps", 0, "global query rate limit (0 = unlimited; recommended for -real)")
+	summarize := flag.String("summarize", "", "summarize an existing JSONL scan and exit")
+	flag.Parse()
+
+	if *summarize != "" {
+		return summarizeFile(*summarize)
+	}
+
+	var transport resolver.Transport
+	var roots []netip.Addr
+	var domains []dnsname.Name
+	var err error
+
+	switch {
+	case *real:
+		transport = &authserver.UDPTransport{}
+		for _, s := range realRoots {
+			roots = append(roots, netip.MustParseAddr(s))
+		}
+		if *timeout == 0 {
+			*timeout = 2 * time.Second
+		}
+		if *domainsPath == "" {
+			return fmt.Errorf("-real requires -domains")
+		}
+	case *sim:
+		world := worldgen.Generate(worldgen.Config{Seed: *seed, Scale: *scale})
+		active := worldgen.Build(world)
+		transport = active.Net
+		roots = active.Roots
+		if *timeout == 0 {
+			*timeout = 25 * time.Millisecond
+		}
+		if *domainsPath == "" {
+			domains = active.QueryList
+		}
+	default:
+		return fmt.Errorf("pick -sim or -real")
+	}
+
+	if *domainsPath != "" {
+		domains, err = readDomains(*domainsPath)
+		if err != nil {
+			return err
+		}
+	}
+	if len(domains) == 0 {
+		return fmt.Errorf("no domains to scan")
+	}
+
+	if *real && *qps == 0 {
+		*qps = 50 // § III-D courtesy: never hammer live infrastructure
+	}
+	transport = resolver.RateLimit(transport, *qps, 10)
+	client := resolver.NewClient(transport)
+	client.Timeout = *timeout
+	scanner := measure.NewScanner(resolver.NewIterator(client, roots))
+	scanner.Concurrency = *concurrency
+
+	fmt.Fprintf(os.Stderr, "scanning %d domains (timeout %v, concurrency %d)\n",
+		len(domains), *timeout, *concurrency)
+	start := time.Now()
+	results := scanner.Scan(context.Background(), domains)
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	dest := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "govscan: closing output: %v\n", cerr)
+			}
+		}()
+		dest = f
+	}
+	if err := measure.WriteJSONL(dest, results); err != nil {
+		return err
+	}
+	printSummary(results)
+	return nil
+}
+
+func readDomains(path string) ([]dnsname.Name, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	var out []dnsname.Name
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name, err := dnsname.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		out = append(out, name)
+	}
+	return out, sc.Err()
+}
+
+func summarizeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	results, err := measure.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	printSummary(results)
+	return nil
+}
+
+func printSummary(results []*measure.DomainResult) {
+	var parent, data, responsive, partial, full int
+	for _, r := range results {
+		if r.ParentResponded {
+			parent++
+		}
+		if r.HasData() {
+			data++
+		}
+		if r.Responsive() {
+			responsive++
+		}
+		if r.PartiallyDefective() {
+			partial++
+		}
+		if r.FullyDefective() {
+			full++
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"summary: %d scanned; parent %d (%.1f%%); data %d (%.1f%%); responsive %d (%.1f%%); partial-lame %d (%.1f%%); full-lame %d (%.1f%%)\n",
+		len(results),
+		parent, stats.Pct(parent, len(results)),
+		data, stats.Pct(data, len(results)),
+		responsive, stats.Pct(responsive, len(results)),
+		partial, stats.Pct(partial, data),
+		full, stats.Pct(full, data))
+}

@@ -1,0 +1,132 @@
+// Command pdnsq queries a passive-DNS dump (pdns.jsonl, as written by
+// cmd/worldgen) the way the study queried Farsight's DNSDB: left-hand
+// wildcard searches with optional type, year and stability filters, plus
+// a per-year counting mode.
+//
+// Examples:
+//
+//	pdnsq -db data/pdns.jsonl -search '*.gov.br' -type NS -year 2015
+//	pdnsq -db data/pdns.jsonl -search '*.gov.cn' -counts
+//	pdnsq -db data/pdns.jsonl -search 'minfin.gov.ua' -stable=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/pdns"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pdnsq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dbPath := flag.String("db", "", "pdns.jsonl dump (required)")
+	search := flag.String("search", "", "name or left-hand wildcard ('*.gov.br') to search (required)")
+	typeStr := flag.String("type", "", "record type filter (NS, A, ...)")
+	year := flag.Int("year", 0, "only records active in this year")
+	stable := flag.Bool("stable", true, "apply the 7-day stability filter")
+	counts := flag.Bool("counts", false, "print per-year distinct-name counts instead of records")
+	limit := flag.Int("limit", 50, "maximum records to print (0 = all)")
+	flag.Parse()
+
+	if *dbPath == "" || *search == "" {
+		flag.Usage()
+		return fmt.Errorf("-db and -search are required")
+	}
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	store, err := pdns.ReadJSONL(f)
+	closeErr := f.Close()
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", *dbPath, err)
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+
+	var rtype dnswire.Type
+	if *typeStr != "" {
+		t, ok := dnswire.ParseType(strings.ToUpper(*typeStr))
+		if !ok {
+			return fmt.Errorf("unknown record type %q", *typeStr)
+		}
+		rtype = t
+	}
+
+	// Wildcard vs exact search, DNSDB-style.
+	var sets []pdns.RecordSet
+	if suffix, ok := strings.CutPrefix(*search, "*."); ok {
+		name, err := dnsname.Parse(suffix)
+		if err != nil {
+			return fmt.Errorf("bad search suffix: %w", err)
+		}
+		sets = store.WildcardSearch(name, rtype)
+	} else {
+		name, err := dnsname.Parse(*search)
+		if err != nil {
+			return fmt.Errorf("bad search name: %w", err)
+		}
+		sets = store.Lookup(name, rtype)
+	}
+
+	view := pdns.NewView(sets)
+	if *stable {
+		view = view.Stable(pdns.StabilityFilterDays)
+	}
+	if *year != 0 {
+		from, to := pdns.YearRange(*year)
+		view = view.Between(from, to)
+	}
+
+	if *counts {
+		return printCounts(view)
+	}
+	printed := 0
+	for _, rs := range view.Sets {
+		if *limit > 0 && printed >= *limit {
+			fmt.Printf("... %d more (raise -limit)\n", len(view.Sets)-printed)
+			break
+		}
+		printed++
+		fmt.Printf("%s  %s  %-40s %s .. %s  (count %d)\n",
+			rs.RRName, rs.RRType, rs.RData, rs.FirstSeen, rs.LastSeen, rs.Count)
+	}
+	fmt.Fprintf(os.Stderr, "%d record sets matched\n", len(view.Sets))
+	return nil
+}
+
+// printCounts emits distinct-name counts per year over the view's whole
+// span.
+func printCounts(view *pdns.View) error {
+	if len(view.Sets) == 0 {
+		fmt.Println("no matches")
+		return nil
+	}
+	minYear, maxYear := view.Sets[0].FirstSeen.Year(), view.Sets[0].LastSeen.Year()
+	for _, rs := range view.Sets {
+		if y := rs.FirstSeen.Year(); y < minYear {
+			minYear = y
+		}
+		if y := rs.LastSeen.Year(); y > maxYear {
+			maxYear = y
+		}
+	}
+	for year := minYear; year <= maxYear; year++ {
+		from, to := pdns.YearRange(year)
+		names := view.Between(from, to).Names()
+		fmt.Printf("%d  %d names\n", year, len(names))
+	}
+	return nil
+}

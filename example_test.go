@@ -1,0 +1,43 @@
+package govdns_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"govdns"
+)
+
+// ExampleRun executes the full study at a tiny scale and reads one
+// headline number.
+func ExampleRun() {
+	study, err := govdns.Run(context.Background(), govdns.Options{
+		Seed:         1,
+		Scale:        0.003,
+		QueryTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	years := study.Fig2And3()
+	fmt.Println("study years:", len(years))
+	repl, err := study.Fig8And9()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("most domains replicated:", repl.AtLeastTwoPct > 90)
+	// Output:
+	// study years: 10
+	// most domains replicated: true
+}
+
+// ExampleNew prepares the passive side only — no scan — which is enough
+// for the longitudinal analyses.
+func ExampleNew() {
+	study := govdns.New(govdns.Options{Seed: 1, Scale: 0.003})
+	counts := study.Fig4()
+	fmt.Println("countries with 2020 data:", len(counts) > 50)
+	// Output:
+	// countries with 2020 data: true
+}

@@ -1,0 +1,91 @@
+// Lamehunt: audit one country's government namespace for defective
+// delegations and hijackable dangling records — the § IV-C workflow as a
+// standalone tool. It scans only the chosen country's domains and prints
+// each broken delegation with its failing nameservers, then the
+// registrable nameserver domains an attacker could buy.
+//
+//	go run ./examples/lamehunt -country tr
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"govdns/internal/analysis"
+	"govdns/internal/dnsname"
+	"govdns/internal/measure"
+	"govdns/internal/resolver"
+	"govdns/internal/worldgen"
+)
+
+func main() {
+	country := flag.String("country", "tr", "ISO country code to audit")
+	scale := flag.Float64("scale", 0.02, "world scale")
+	flag.Parse()
+
+	// Build the world directly — this example works below the Study
+	// facade to show the substrate APIs.
+	world := worldgen.Generate(worldgen.Config{Seed: 7, Scale: *scale})
+	active := worldgen.Build(world)
+
+	var countries []analysis.Country
+	var suffix dnsname.Name
+	for _, c := range world.Countries {
+		countries = append(countries, analysis.Country{
+			Code: c.Code, Name: c.Name, SubRegion: c.SubRegion, Suffix: c.Suffix,
+		})
+		if c.Code == *country {
+			suffix = c.Suffix
+		}
+	}
+	if suffix == "" {
+		log.Fatalf("unknown country code %q", *country)
+	}
+	mapper := analysis.NewMapper(countries)
+
+	// Scan just this country's slice of the query list.
+	var targets []dnsname.Name
+	for _, name := range active.QueryList {
+		if name.IsSubdomainOf(suffix) {
+			targets = append(targets, name)
+		}
+	}
+	fmt.Printf("auditing %d domains under %s\n", len(targets), suffix)
+
+	client := resolver.NewClient(active.Net)
+	client.Timeout = 25 * time.Millisecond
+	scanner := measure.NewScanner(resolver.NewIterator(client, active.Roots))
+	results := scanner.Scan(context.Background(), targets)
+
+	defects := 0
+	for _, r := range results {
+		if !r.HasDefect() {
+			continue
+		}
+		defects++
+		kind := "partial"
+		if r.FullyDefective() {
+			kind = "FULL"
+		}
+		if defects <= 15 {
+			fmt.Printf("  [%s] %s — dead nameservers: %v\n", kind, r.Domain, r.DefectiveServerHosts())
+		}
+	}
+	if defects > 15 {
+		fmt.Printf("  ... and %d more\n", defects-15)
+	}
+	fmt.Printf("%d of %d domains have defective delegations\n", defects, len(targets))
+
+	risk := analysis.HijackRisks(results, mapper, active.Reg)
+	if len(risk.AvailableNSDomains) == 0 {
+		fmt.Println("no registrable dangling nameserver domains found")
+		return
+	}
+	fmt.Printf("\nhijackable nameserver domains (%d affected government domains):\n", risk.AffectedDomains)
+	for _, nsDomain := range risk.AvailableNSDomains {
+		fmt.Printf("  %-40s available for %s\n", nsDomain, active.Reg.Price(nsDomain))
+	}
+}

@@ -1,0 +1,72 @@
+// Longitudinal: the passive-DNS side of the study on its own — ten years
+// of provider adoption and single-nameserver trends, no active scanning.
+// Shows how to work with the pdns.View API directly.
+//
+//	go run ./examples/longitudinal
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"govdns"
+	"govdns/internal/report"
+)
+
+func main() {
+	// New (without Run) prepares the world and passive views only.
+	study := govdns.New(govdns.Options{Seed: 7, Scale: 0.05})
+
+	years := study.Fig2And3()
+	fmt.Printf("PDNS 2011-2020: %d -> %d domains, %d -> %d countries with data\n\n",
+		years[0].Domains, years[len(years)-1].Domains,
+		years[0].Countries, years[len(years)-1].Countries)
+
+	// Cloud adoption over the decade (Table II trajectory).
+	table := report.NewTable("Cloud DNS adoption among government domains",
+		"year", "AWS DNS", "cloudflare.com", "Azure DNS", "domaincontrol.com")
+	for year := study.StartYear(); year <= study.EndYear(); year++ {
+		counts := map[string]int{}
+		for _, usage := range study.Table2(year) {
+			counts[usage.Label] = usage.Domains
+		}
+		table.AddRow(year, counts["AWS DNS"], counts["cloudflare.com"],
+			counts["Azure DNS"], counts["domaincontrol.com"])
+	}
+	if err := table.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The d_1NS churn story (Fig. 6).
+	churn := study.Fig6()
+	last := churn[len(churn)-1]
+	fmt.Printf("single-NS domains: %d in %d; only %.0f%% of the %d cohort remains (paper: 21%%)\n",
+		last.Total, last.Year, last.FromBasePct(), study.StartYear())
+
+	// Per-country provider concentration: the paper's gov.cn example.
+	fmt.Println("\ngov.cn provider shares in 2020 (paper: hichina 38%, xincache 19%, dns-diy 10.8%):")
+	shares := study.GovProviderShare(study.EndYear(), "cn")
+	for _, label := range []string{"hichina.com", "xincache.com", "dns-diy.com", "DNSPod"} {
+		fmt.Printf("  %-14s %5.1f%%\n", label, shares[label])
+	}
+
+	// Where the cloud's customers came from: the decade's migrations.
+	flows := study.ProviderFlows(study.StartYear(), study.EndYear())
+	fmt.Println("\nlargest hosting migrations 2011 -> 2020:")
+	for i, f := range flows {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %-18s -> %-18s %d domains\n", f.From, f.To, f.Domains)
+	}
+
+	// Top providers by reach, then and now (Table III).
+	for _, year := range []int{study.StartYear(), study.EndYear()} {
+		fmt.Printf("\ntop providers by countries served, %d:\n", year)
+		for i, usage := range study.Table3(year, 5) {
+			fmt.Printf("  %d. %-22s %3d countries, %d domains\n",
+				i+1, usage.Label, usage.Countries, usage.Domains)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: generate a small synthetic government-DNS world, run the
+// paper's active measurement over it, and print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"govdns"
+)
+
+func main() {
+	start := time.Now()
+	study, err := govdns.Run(context.Background(), govdns.Options{
+		Seed:  7,
+		Scale: 0.02, // ~4k domains: a few seconds on a laptop
+	})
+	if err != nil {
+		log.Fatalf("study failed: %v", err)
+	}
+
+	funnel, err := study.Funnel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scanned %d domains in %v; %d answered with NS data\n",
+		funnel.Queried, time.Since(start).Round(time.Millisecond), funnel.WithData)
+
+	repl, err := study.Fig8And9()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replication: %.1f%% of domains use >= 2 nameservers (paper: 98.4%%)\n",
+		repl.AtLeastTwoPct)
+	fmt.Printf("stale singles: %.1f%% of single-NS domains never answered (paper: 60.1%%)\n",
+		repl.SingleStalePct)
+
+	lame, err := study.Fig10()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("defective delegations: %.1f%% of domains (paper: 29.5%%)\n",
+		lame.AnyDefectPct())
+
+	cons, err := study.Fig13And14()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parent/child agreement: %.1f%% (paper: 76.8%%)\n", cons.EqualPct)
+
+	hijack, err := study.Fig11And12()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hijackable: %d registrable nameserver domains behind %d government domains in %d countries (median price %s)\n",
+		len(hijack.AvailableNSDomains), hijack.AffectedDomains, hijack.Countries, hijack.MedianPrice)
+}

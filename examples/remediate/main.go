@@ -1,0 +1,87 @@
+// Remediate: the paper's § V-B remedies in action. Scan the world,
+// propose a remediation plan (CSYNC synchronization, stale-delegation
+// removal, registry-lock advisories), apply the automatable part, and
+// re-scan to show the improvement in consistency and defective
+// delegations.
+//
+//	go run ./examples/remediate [-force]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"govdns/internal/analysis"
+	"govdns/internal/measure"
+	"govdns/internal/remedy"
+	"govdns/internal/resolver"
+	"govdns/internal/worldgen"
+)
+
+func main() {
+	force := flag.Bool("force", false, "apply syncs even without an immediate-flagged CSYNC (out-of-band confirmation)")
+	scale := flag.Float64("scale", 0.01, "world scale")
+	flag.Parse()
+
+	world := worldgen.Generate(worldgen.Config{Seed: 21, Scale: *scale})
+	active := worldgen.Build(world)
+	var countries []analysis.Country
+	for _, c := range world.Countries {
+		countries = append(countries, analysis.Country{
+			Code: c.Code, Name: c.Name, SubRegion: c.SubRegion, Suffix: c.Suffix,
+		})
+	}
+	mapper := analysis.NewMapper(countries)
+
+	scan := func() []*measure.DomainResult {
+		client := resolver.NewClient(active.Net)
+		client.Timeout = 15 * time.Millisecond
+		scanner := measure.NewScanner(resolver.NewIterator(client, active.Roots))
+		scanner.Concurrency = 128
+		return scanner.Scan(context.Background(), active.QueryList)
+	}
+
+	fmt.Printf("scanning %d domains...\n", len(active.QueryList))
+	before := scan()
+	consBefore := analysis.Consistency(before, mapper)
+	lameBefore := analysis.Delegations(before, mapper)
+	fmt.Printf("before: P=C %.1f%%, defective delegations %.1f%%\n",
+		consBefore.EqualPct, lameBefore.AnyDefectPct())
+
+	plan := remedy.Propose(before, mapper, active.Reg)
+	counts := plan.Counts()
+	fmt.Printf("\nproposed plan: %d sync-parent, %d remove-stale, %d registry-lock advisories\n",
+		counts[remedy.ActionSyncParent], counts[remedy.ActionRemoveStale], counts[remedy.ActionRegistryLock])
+	shown := 0
+	for _, a := range plan.Actions {
+		if a.Kind == remedy.ActionRegistryLock && shown < 5 {
+			shown++
+			fmt.Printf("  LOCK %s (registrable: %v)\n", a.Domain, a.NSDomains)
+		}
+	}
+
+	client := resolver.NewClient(active.Net)
+	client.Timeout = 15 * time.Millisecond
+	applier := &remedy.Applier{Active: active, Client: client, Force: *force}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	outcome, err := applier.Apply(ctx, plan)
+	if err != nil {
+		log.Fatalf("apply: %v", err)
+	}
+	fmt.Printf("\napplied %d, deferred %d (no immediate CSYNC), %d advisories, %d failed\n",
+		outcome.Applied, outcome.NeedsOutOfBand, outcome.Advisory, outcome.Failed)
+
+	after := scan()
+	consAfter := analysis.Consistency(after, mapper)
+	lameAfter := analysis.Delegations(after, mapper)
+	fmt.Printf("\nafter:  P=C %.1f%% (was %.1f%%), defective delegations %.1f%% (was %.1f%%)\n",
+		consAfter.EqualPct, consBefore.EqualPct,
+		lameAfter.AnyDefectPct(), lameBefore.AnyDefectPct())
+	if !*force {
+		fmt.Println("re-run with -force to model out-of-band confirmation of the deferred syncs")
+	}
+}

@@ -1,0 +1,3 @@
+module govdns
+
+go 1.22

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/geoip"
+	"govdns/internal/measure"
+	"govdns/internal/miniworld"
+	"govdns/internal/registrar"
+	"govdns/internal/resolver"
+)
+
+// scanMiniworld runs the scanner over the fixture and returns results
+// plus a GeoIP database covering the fixture's address plan.
+func scanMiniworld(t *testing.T) ([]*measure.DomainResult, *geoip.DB) {
+	t.Helper()
+	w := miniworld.Build()
+	c := resolver.NewClient(w.Net)
+	c.Timeout = 20 * time.Millisecond
+	c.Retries = 1
+	s := measure.NewScanner(resolver.NewIterator(c, w.Roots))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results := s.Scan(ctx, miniworld.Domains())
+	return results, fixtureGeoDB(t)
+}
+
+// fixtureGeoDB covers the fixture's hand-picked address plan: each /16
+// is its own AS.
+func fixtureGeoDB(t *testing.T) *geoip.DB {
+	t.Helper()
+	csv := `4.0.0.0,4.0.255.255,64500,"Gov BR City"
+4.1.0.0,4.1.255.255,64501,"Gov BR Lame"
+4.2.0.0,4.2.255.255,64502,"Gov BR Dead"
+4.3.0.0,4.3.255.255,64503,"Gov BR Single"
+4.4.0.0,4.4.255.255,64504,"Gov BR Inc"
+5.0.0.0,5.0.255.255,64510,"Provider"
+`
+	db, err := geoip.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("fixture GeoIP: %v", err)
+	}
+	return db
+}
+
+func miniMapper() *Mapper {
+	return NewMapper([]Country{{Code: "br", Name: "Brazil", SubRegion: "South America", Suffix: "gov.br."}})
+}
+
+func TestReplicationActiveOnFixture(t *testing.T) {
+	results, _ := scanMiniworld(t)
+	ar := ReplicationActive(results, miniMapper())
+	if ar.Queried != 7 {
+		t.Errorf("Queried = %d", ar.Queried)
+	}
+	if ar.ParentResponded != 7 {
+		t.Errorf("ParentResponded = %d", ar.ParentResponded)
+	}
+	if ar.WithData != 7 {
+		t.Errorf("WithData = %d", ar.WithData)
+	}
+	// Single-NS domains: single (responds), dead and dangling (both
+	// stale) — 2 of 3 have no authoritative response.
+	if ar.SingleStalePct < 66 || ar.SingleStalePct > 67 {
+		t.Errorf("SingleStalePct = %v, want 2/3", ar.SingleStalePct)
+	}
+	if len(ar.CountriesOver10PctSingle) != 1 || ar.CountriesOver10PctSingle[0] != "br" {
+		t.Errorf("CountriesOver10PctSingle = %v", ar.CountriesOver10PctSingle)
+	}
+	if len(ar.NSCountCDF) == 0 {
+		t.Fatal("empty CDF")
+	}
+	last := ar.NSCountCDF[len(ar.NSCountCDF)-1]
+	if last.Fraction != 1 {
+		t.Errorf("CDF does not reach 1: %v", last)
+	}
+}
+
+func TestDiversityOnFixture(t *testing.T) {
+	results, geo := scanMiniworld(t)
+	rows := Diversity(results, geo, miniMapper(), []string{"br"})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total := rows[0]
+	if total.Scope != "Total" || total.Domains == 0 {
+		t.Fatalf("total row = %+v", total)
+	}
+	// Fixture multi-NS responsive domains: city (2 IPs same AS block
+	// 4.0), lame (responsive, 2 IPs), hosted (provider, 2 IPs one AS),
+	// inconsistent (3 hosts across parent+child). All have >1 IP.
+	if total.MultiIPPct != 100 {
+		t.Errorf("MultiIPPct = %v", total.MultiIPPct)
+	}
+	if rows[1].Scope != "Brazil" || rows[1].Domains != total.Domains {
+		t.Errorf("country row = %+v", rows[1])
+	}
+}
+
+func TestLevelDistributionOnFixture(t *testing.T) {
+	results, _ := scanMiniworld(t)
+	dist := LevelDistribution(results)
+	if dist[3] != 100 {
+		t.Errorf("level distribution = %v (all fixture domains are level 3)", dist)
+	}
+}
+
+func TestDelegationsOnFixture(t *testing.T) {
+	results, _ := scanMiniworld(t)
+	ds := Delegations(results, miniMapper())
+	if ds.WithData != 7 {
+		t.Fatalf("WithData = %d", ds.WithData)
+	}
+	// lame = partial; dead + dangling = full.
+	if ds.Partial != 1 {
+		t.Errorf("Partial = %d, want 1", ds.Partial)
+	}
+	if ds.Full != 2 {
+		t.Errorf("Full = %d, want 2", ds.Full)
+	}
+	if ds.AnyDefect != 3 {
+		t.Errorf("AnyDefect = %d, want 3", ds.AnyDefect)
+	}
+	br := ds.PerCountry["br"]
+	if br.Domains != 7 || br.AnyDefect != 3 {
+		t.Errorf("per-country = %+v", br)
+	}
+}
+
+func TestHijackRisksOnFixture(t *testing.T) {
+	results, _ := scanMiniworld(t)
+	reg := registrar.New(dnsname.NewSuffixSet("gov.br"))
+	reg.MarkRegistered("provider.com.")
+	hr := HijackRisks(results, miniMapper(), reg)
+	// Only dangling.gov.br points at a registrable domain
+	// (gone-provider.com); dead.gov.br's host is in-government.
+	if len(hr.AvailableNSDomains) != 1 || hr.AvailableNSDomains[0] != "gone-provider.com." {
+		t.Fatalf("AvailableNSDomains = %v", hr.AvailableNSDomains)
+	}
+	if hr.AffectedDomains != 1 || hr.Countries != 1 {
+		t.Errorf("affected = %d, countries = %d", hr.AffectedDomains, hr.Countries)
+	}
+	if hr.FullyUnresponsiveAffected != 1 {
+		t.Errorf("FullyUnresponsiveAffected = %d", hr.FullyUnresponsiveAffected)
+	}
+	if len(hr.Prices) != 1 || hr.MedianPrice != hr.Prices[0] {
+		t.Errorf("prices = %v median %v", hr.Prices, hr.MedianPrice)
+	}
+}
+
+func TestConsistencyOnFixture(t *testing.T) {
+	results, _ := scanMiniworld(t)
+	cs := Consistency(results, miniMapper())
+	// Responsive domains: city, lame, single, hosted, inconsistent.
+	if cs.Responsive != 5 {
+		t.Fatalf("Responsive = %d", cs.Responsive)
+	}
+	if cs.Counts[ClassEqual] != 4 {
+		t.Errorf("ClassEqual = %d, want 4", cs.Counts[ClassEqual])
+	}
+	if cs.Counts[ClassIntersect] != 1 {
+		t.Errorf("ClassIntersect = %d, want 1 (inconsistent.gov.br)", cs.Counts[ClassIntersect])
+	}
+	if cs.EqualPct != 80 {
+		t.Errorf("EqualPct = %v", cs.EqualPct)
+	}
+	if v := cs.DisagreementPerCountry["br"]; v != 20 {
+		t.Errorf("DisagreementPerCountry = %v", v)
+	}
+}
+
+func TestClassifyTable(t *testing.T) {
+	mk := func(p, c []dnsname.Name) *measure.DomainResult {
+		r := &measure.DomainResult{Domain: "x.gov.br.", ParentResponded: true, ParentNS: p}
+		r.Servers = []measure.ServerResponse{{
+			Host: p[0], OK: true, Authoritative: true, NS: c,
+		}}
+		return r
+	}
+	a, b, c, d := dnsname.Name("a.x.gov.br."), dnsname.Name("b.x.gov.br."), dnsname.Name("c.x.gov.br."), dnsname.Name("d.x.gov.br.")
+	cases := []struct {
+		p, c []dnsname.Name
+		want ConsistencyClass
+	}{
+		{[]dnsname.Name{a, b}, []dnsname.Name{a, b}, ClassEqual},
+		{[]dnsname.Name{a, b, c}, []dnsname.Name{a, b}, ClassParentSuperset},
+		{[]dnsname.Name{a}, []dnsname.Name{a, b}, ClassChildSuperset},
+		{[]dnsname.Name{a, b}, []dnsname.Name{b, c}, ClassIntersect},
+		{[]dnsname.Name{a, b}, []dnsname.Name{c, d}, ClassDisjoint},
+	}
+	for _, tc := range cases {
+		if got := Classify(mk(tc.p, tc.c)); got != tc.want {
+			t.Errorf("Classify(P=%v, C=%v) = %v, want %v", tc.p, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyDisjointIPOverlap(t *testing.T) {
+	// Parent and child NS sets share no hostname, but the hosts resolve
+	// to the same address: the rename-only migration case.
+	shared := netip.MustParseAddr("203.0.113.9")
+	r := &measure.DomainResult{
+		Domain:          "x.gov.br.",
+		ParentResponded: true,
+		ParentNS:        []dnsname.Name{"old.x.gov.br."},
+		Addrs: map[dnsname.Name][]netip.Addr{
+			"old.x.gov.br.": {shared},
+			"new.x.gov.br.": {shared},
+		},
+	}
+	r.Servers = []measure.ServerResponse{{
+		Host: "old.x.gov.br.", Addr: shared, OK: true, Authoritative: true,
+		NS: []dnsname.Name{"new.x.gov.br."},
+	}}
+	if got := Classify(r); got != ClassDisjointIPOverlap {
+		t.Errorf("Classify = %v, want ClassDisjointIPOverlap", got)
+	}
+}
+
+func TestDiversityByLevelOnFixture(t *testing.T) {
+	results, geo := scanMiniworld(t)
+	byLevel := DiversityByLevel(results, geo)
+	// All fixture children are level 3.
+	if _, ok := byLevel[3]; !ok {
+		t.Fatalf("no level-3 entry: %v", byLevel)
+	}
+	if _, ok := byLevel[2]; ok {
+		t.Errorf("unexpected level-2 entry: %v", byLevel)
+	}
+	row := byLevel[3]
+	if row.Domains == 0 || row.MultiIPPct == 0 {
+		t.Errorf("level-3 row = %+v", row)
+	}
+}
+
+func TestAnalysesOnEmptyResults(t *testing.T) {
+	m := miniMapper()
+	if ar := ReplicationActive(nil, m); ar.Queried != 0 || len(ar.NSCountCDF) != 0 {
+		t.Errorf("empty ReplicationActive = %+v", ar)
+	}
+	if ds := Delegations(nil, m); ds.WithData != 0 {
+		t.Errorf("empty Delegations = %+v", ds)
+	}
+	if cs := Consistency(nil, m); cs.Responsive != 0 {
+		t.Errorf("empty Consistency = %+v", cs)
+	}
+	rows := Diversity(nil, fixtureGeoDB(t), m, []string{"br"})
+	if rows[0].Domains != 0 {
+		t.Errorf("empty Diversity = %+v", rows[0])
+	}
+	if dist := LevelDistribution(nil); len(dist) != 0 {
+		t.Errorf("empty LevelDistribution = %v", dist)
+	}
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"sort"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/measure"
+	"govdns/internal/registrar"
+	"govdns/internal/stats"
+)
+
+// ConsistencyClass is the Sommese et al. parent/child classification the
+// paper follows in § IV-D.
+type ConsistencyClass int
+
+// Consistency classes.
+const (
+	// ClassEqual: P == C.
+	ClassEqual ConsistencyClass = iota + 1
+	// ClassParentSuperset: P ⊃ C.
+	ClassParentSuperset
+	// ClassChildSuperset: C ⊃ P.
+	ClassChildSuperset
+	// ClassIntersect: the sets overlap but neither contains the other.
+	ClassIntersect
+	// ClassDisjointIPOverlap: P ∩ C = ∅ but their servers share
+	// addresses.
+	ClassDisjointIPOverlap
+	// ClassDisjoint: no overlap at all.
+	ClassDisjoint
+	// ClassUnresponsive: no child view could be obtained.
+	ClassUnresponsive
+)
+
+// String returns the class mnemonic.
+func (c ConsistencyClass) String() string {
+	switch c {
+	case ClassEqual:
+		return "P=C"
+	case ClassParentSuperset:
+		return "P>C"
+	case ClassChildSuperset:
+		return "C>P"
+	case ClassIntersect:
+		return "intersect"
+	case ClassDisjointIPOverlap:
+		return "disjoint-ip-overlap"
+	case ClassDisjoint:
+		return "disjoint"
+	case ClassUnresponsive:
+		return "unresponsive"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify determines the consistency class of one scan result.
+func Classify(r *measure.DomainResult) ConsistencyClass {
+	if !r.Responsive() {
+		return ClassUnresponsive
+	}
+	p := nameSet(r.ParentNS)
+	c := nameSet(r.ChildNS())
+	if len(c) == 0 {
+		return ClassUnresponsive
+	}
+	inter := 0
+	for host := range c {
+		if p[host] {
+			inter++
+		}
+	}
+	switch {
+	case inter == len(p) && inter == len(c):
+		return ClassEqual
+	case inter == len(c) && len(p) > len(c):
+		return ClassParentSuperset
+	case inter == len(p) && len(c) > len(p):
+		return ClassChildSuperset
+	case inter > 0:
+		return ClassIntersect
+	}
+	// Disjoint: compare the address sets of the two views.
+	pAddrs := make(map[string]bool)
+	for host := range p {
+		for _, a := range r.Addrs[host] {
+			pAddrs[a.String()] = true
+		}
+	}
+	for host := range c {
+		for _, a := range r.Addrs[host] {
+			if pAddrs[a.String()] {
+				return ClassDisjointIPOverlap
+			}
+		}
+	}
+	return ClassDisjoint
+}
+
+func nameSet(names []dnsname.Name) map[dnsname.Name]bool {
+	out := make(map[dnsname.Name]bool, len(names))
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+// ConsistencyStats summarizes Figs. 13 and 14.
+type ConsistencyStats struct {
+	// Responsive is the number of classified (responsive) domains.
+	Responsive int
+	// Counts tallies each class over responsive domains.
+	Counts map[ConsistencyClass]int
+	// EqualPct is the P=C share of responsive domains (76.8% in the
+	// paper).
+	EqualPct float64
+	// ByLevel maps DNS hierarchy level to its P=C share (93.5% at level
+	// 2 vs <=77% deeper).
+	ByLevel map[int]float64
+	// InconsistentWithDefectPct is the share of P≠C domains that also
+	// have a partially defective delegation (40.9%).
+	InconsistentWithDefectPct float64
+	// DisagreementPerCountry maps country code to its P≠C share of
+	// responsive domains (Fig. 14).
+	DisagreementPerCountry map[string]float64
+	// SingleLabelNS counts inconsistent domains exposing a non-FQDN
+	// (single-label) nameserver — the trailing-dot typo artifact.
+	SingleLabelNS int
+}
+
+// Consistency computes ConsistencyStats from scan results.
+func Consistency(results []*measure.DomainResult, m *Mapper) *ConsistencyStats {
+	cs := &ConsistencyStats{
+		Counts:                 make(map[ConsistencyClass]int),
+		ByLevel:                make(map[int]float64),
+		DisagreementPerCountry: make(map[string]float64),
+	}
+	levelTotals := make(map[int]int)
+	levelEqual := make(map[int]int)
+	countryTotals := make(map[string]int)
+	countryDisagree := make(map[string]int)
+	inconsistent, inconsistentDefect := 0, 0
+
+	for _, r := range results {
+		if !r.HasData() {
+			continue
+		}
+		class := Classify(r)
+		if class == ClassUnresponsive {
+			continue
+		}
+		cs.Responsive++
+		cs.Counts[class]++
+
+		level := r.Domain.Level()
+		levelTotals[level]++
+		code := ""
+		if c, ok := m.CountryOf(r.Domain); ok {
+			code = c.Code
+		}
+		countryTotals[code]++
+
+		if class == ClassEqual {
+			levelEqual[level]++
+			continue
+		}
+		countryDisagree[code]++
+		inconsistent++
+		if r.PartiallyDefective() {
+			inconsistentDefect++
+		}
+		for _, host := range append(append([]dnsname.Name{}, r.ParentNS...), r.ChildNS()...) {
+			if host.Level() == 1 {
+				cs.SingleLabelNS++
+				break
+			}
+		}
+	}
+
+	cs.EqualPct = stats.Pct(cs.Counts[ClassEqual], cs.Responsive)
+	for level, total := range levelTotals {
+		cs.ByLevel[level] = stats.Pct(levelEqual[level], total)
+	}
+	cs.InconsistentWithDefectPct = stats.Pct(inconsistentDefect, inconsistent)
+	for code, total := range countryTotals {
+		cs.DisagreementPerCountry[code] = stats.Pct(countryDisagree[code], total)
+	}
+	return cs
+}
+
+// InconsistencyHijack is § IV-D's second hijack probe: dangling records
+// reachable only through inconsistency — the parent (or child) points at
+// a nameserver domain that is registrable even though the delegation is
+// not defective (e.g. a parking service answers).
+type InconsistencyHijack struct {
+	// AvailableNSDomains are the registrable nameserver domains, sorted.
+	AvailableNSDomains []dnsname.Name
+	// AffectedDomains and Countries count the blast radius (26 domains
+	// in 7 countries in the paper).
+	AffectedDomains int
+	Countries       int
+	// MinPrice is the cheapest quote (300 USD in the paper).
+	MinPrice registrar.Cents
+	// Prices are all quotes, ascending.
+	Prices []registrar.Cents
+}
+
+// InconsistencyHijacks checks the non-defective inconsistent domains for
+// registrable nameserver domains among hosts not present in both views.
+func InconsistencyHijacks(results []*measure.DomainResult, m *Mapper, reg *registrar.Registry) *InconsistencyHijack {
+	ih := &InconsistencyHijack{}
+	nsDomains := make(map[dnsname.Name]bool)
+	countries := make(map[string]bool)
+
+	for _, r := range results {
+		if !r.HasData() || r.HasDefect() {
+			continue
+		}
+		class := Classify(r)
+		if class == ClassEqual || class == ClassUnresponsive {
+			continue
+		}
+		p := nameSet(r.ParentNS)
+		c := nameSet(r.ChildNS())
+		affected := false
+		for _, host := range append(append([]dnsname.Name{}, r.ParentNS...), r.ChildNS()...) {
+			if p[host] && c[host] {
+				continue // present in both views
+			}
+			if m.IsPrivateHost(r.Domain, host) {
+				continue
+			}
+			nsDomain := NSDomain(host)
+			if !reg.Available(nsDomain) {
+				continue
+			}
+			nsDomains[nsDomain] = true
+			affected = true
+		}
+		if affected {
+			ih.AffectedDomains++
+			if country, ok := m.CountryOf(r.Domain); ok {
+				countries[country.Code] = true
+			}
+		}
+	}
+
+	for nsDomain := range nsDomains {
+		ih.AvailableNSDomains = append(ih.AvailableNSDomains, nsDomain)
+	}
+	sort.Slice(ih.AvailableNSDomains, func(i, j int) bool {
+		return dnsname.Compare(ih.AvailableNSDomains[i], ih.AvailableNSDomains[j]) < 0
+	})
+	ih.Countries = len(countries)
+	ih.Prices = reg.Quote(ih.AvailableNSDomains)
+	if len(ih.Prices) > 0 {
+		ih.MinPrice = ih.Prices[0]
+	}
+	return ih
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"sort"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/pdns"
+	"govdns/internal/providers"
+)
+
+// The paper's § V-A leaves as future work the question of whether
+// hijacking attacks can be detected in historical PDNS data, noting that
+// legitimate infrastructure changes make verification hard. This
+// analysis implements a conservative forensic heuristic over the RAW
+// (unfiltered) passive-DNS view: a takeover candidate is a short-lived
+// NS record set whose nameserver domain is
+//
+//   - outside the victim's government suffix (not an internal move),
+//   - not a known provider from the catalog (not a managed-DNS trial),
+//   - and used by almost no other domain in the dataset (real hosters
+//     serve many customers; attacker infrastructure serves few).
+//
+// Legitimate short-lived records — DDoS-protection flips, provider
+// trials — fail the popularity or catalog test, which is what keeps the
+// false-positive rate workable.
+
+// SuspiciousTransition is one takeover candidate.
+type SuspiciousTransition struct {
+	// Domain is the possible victim.
+	Domain dnsname.Name
+	// NSDomain is the suspicious nameserver domain.
+	NSDomain dnsname.Name
+	// From and To bound the window the records were seen.
+	From, To pdns.Day
+	// DurationDays is the window length.
+	DurationDays int
+}
+
+// HijackForensicsConfig tunes the detector.
+type HijackForensicsConfig struct {
+	// MaxDurationDays is the longest window still considered transient
+	// (default 45).
+	MaxDurationDays int
+	// MaxNSDomainSpread is the largest number of distinct domains a
+	// nameserver domain may serve and still look like attacker
+	// infrastructure (default 3).
+	MaxNSDomainSpread int
+}
+
+func (c HijackForensicsConfig) withDefaults() HijackForensicsConfig {
+	if c.MaxDurationDays == 0 {
+		c.MaxDurationDays = 45
+	}
+	if c.MaxNSDomainSpread == 0 {
+		c.MaxNSDomainSpread = 3
+	}
+	return c
+}
+
+// SuspiciousTransitions hunts the raw PDNS view for takeover candidates.
+func SuspiciousTransitions(raw *pdns.View, m *Mapper, catalog *providers.Catalog, cfg HijackForensicsConfig) []SuspiciousTransition {
+	cfg = cfg.withDefaults()
+
+	// Pass 1: spread of each nameserver domain across owner domains.
+	spread := make(map[dnsname.Name]map[dnsname.Name]bool)
+	for _, rs := range raw.Sets {
+		if rs.RRType != dnswire.TypeNS {
+			continue
+		}
+		host, err := dnsname.Parse(rs.RData)
+		if err != nil {
+			continue
+		}
+		nsDomain := NSDomain(host)
+		if spread[nsDomain] == nil {
+			spread[nsDomain] = make(map[dnsname.Name]bool)
+		}
+		spread[nsDomain][rs.RRName] = true
+	}
+
+	// Pass 2: transient, out-of-pattern, unpopular NS records.
+	type key struct {
+		domain   dnsname.Name
+		nsDomain dnsname.Name
+	}
+	windows := make(map[key]*SuspiciousTransition)
+	for _, rs := range raw.Sets {
+		if rs.RRType != dnswire.TypeNS || rs.DurationDays() > cfg.MaxDurationDays {
+			continue
+		}
+		host, err := dnsname.Parse(rs.RData)
+		if err != nil {
+			continue
+		}
+		if m.IsPrivateHost(rs.RRName, host) {
+			continue // internal infrastructure move
+		}
+		if _, known := catalog.Identify(host); known {
+			continue // managed-DNS trial
+		}
+		nsDomain := NSDomain(host)
+		if len(spread[nsDomain]) > cfg.MaxNSDomainSpread {
+			continue // real hosters serve many domains
+		}
+		k := key{domain: rs.RRName, nsDomain: nsDomain}
+		if existing, ok := windows[k]; ok {
+			if rs.FirstSeen < existing.From {
+				existing.From = rs.FirstSeen
+			}
+			if rs.LastSeen > existing.To {
+				existing.To = rs.LastSeen
+			}
+			existing.DurationDays = int(existing.To-existing.From) + 1
+			continue
+		}
+		windows[k] = &SuspiciousTransition{
+			Domain:       rs.RRName,
+			NSDomain:     nsDomain,
+			From:         rs.FirstSeen,
+			To:           rs.LastSeen,
+			DurationDays: rs.DurationDays(),
+		}
+	}
+
+	out := make([]SuspiciousTransition, 0, len(windows))
+	for _, t := range windows {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domain != out[j].Domain {
+			return dnsname.Compare(out[i].Domain, out[j].Domain) < 0
+		}
+		return out[i].NSDomain < out[j].NSDomain
+	})
+	return out
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/pdns"
+	"govdns/internal/providers"
+	"govdns/internal/worldgen"
+)
+
+func TestSuspiciousTransitionsHandCrafted(t *testing.T) {
+	s := pdns.NewStore()
+	start := pdns.Date(2016, time.March, 1)
+	// Victim: stable private NS plus a 14-day attacker window.
+	s.ObserveRange("victim.gov.br.", dnswire.TypeNS, "ns1.victim.gov.br.",
+		pdns.Date(2012, 1, 1), pdns.Date(2020, 12, 31))
+	s.ObserveRange("victim.gov.br.", dnswire.TypeNS, "ns1.evil-infra.com.", start, start+14)
+
+	// Benign short-lived cases that must NOT be flagged:
+	// 1. internal rename (in-government host).
+	s.ObserveRange("mover.gov.br.", dnswire.TypeNS, "ns-new.mover.gov.br.", start, start+5)
+	// 2. a Cloudflare trial.
+	s.ObserveRange("trial.gov.br.", dnswire.TypeNS, "amy.ns.cloudflare.com.", start, start+10)
+	// 3. a popular DDoS-protection service used by several domains.
+	for _, d := range []dnsname.Name{"a.gov.br.", "b.gov.br.", "c.gov.br.", "d.gov.br."} {
+		s.ObserveRange(d, dnswire.TypeNS, "ns1.ddos-shield.net.", start, start+3)
+	}
+	// 4. a long-lived third-party record (a real hoster relationship).
+	s.ObserveRange("steady.gov.br.", dnswire.TypeNS, "ns1.smallhost.com.",
+		pdns.Date(2014, 1, 1), pdns.Date(2020, 12, 31))
+
+	got := SuspiciousTransitions(pdns.NewView(s.Snapshot()), testMapper(), providers.Default(),
+		HijackForensicsConfig{})
+	if len(got) != 1 {
+		t.Fatalf("transitions = %+v, want exactly the victim", got)
+	}
+	tr := got[0]
+	if tr.Domain != "victim.gov.br." || tr.NSDomain != "evil-infra.com." {
+		t.Errorf("transition = %+v", tr)
+	}
+	if tr.DurationDays != 15 {
+		t.Errorf("DurationDays = %d, want 15", tr.DurationDays)
+	}
+}
+
+func TestSuspiciousTransitionsRecallOnInjectedWorld(t *testing.T) {
+	w := worldgen.Generate(worldgen.Config{Seed: 5, Scale: 0.01, HijackEvents: 8})
+	if len(w.Hijacks) < 5 {
+		t.Fatalf("only %d hijacks injected", len(w.Hijacks))
+	}
+	var countries []Country
+	for _, c := range w.Countries {
+		countries = append(countries, Country{
+			Code: c.Code, Name: c.Name, SubRegion: c.SubRegion, Suffix: c.Suffix,
+		})
+	}
+	mapper := NewMapper(countries)
+
+	// Forensics must run on the RAW view: the stability filter would
+	// erase the evidence.
+	raw := pdns.NewView(w.PDNS.Snapshot())
+	found := SuspiciousTransitions(raw, mapper, providers.Default(), HijackForensicsConfig{})
+
+	flagged := make(map[string]bool)
+	for _, tr := range found {
+		flagged[string(tr.Domain)+"|"+string(tr.NSDomain)] = true
+	}
+	missed := 0
+	for _, ev := range w.Hijacks {
+		if !flagged[string(ev.Domain)+"|"+string(ev.AttackerDomain)] {
+			missed++
+			t.Logf("missed: %+v", ev)
+		}
+	}
+	if missed > 0 {
+		t.Errorf("detector missed %d of %d injected hijacks", missed, len(w.Hijacks))
+	}
+
+	// Precision: candidates are dominated by the injected events plus
+	// migration cache tails; attacker domains must be a recognizable
+	// fraction, and every injected attacker domain must surface.
+	if len(found) > len(w.Hijacks)*40 {
+		t.Errorf("detector drowned in noise: %d candidates for %d true events",
+			len(found), len(w.Hijacks))
+	}
+}
+
+func TestSuspiciousTransitionsFilterAblation(t *testing.T) {
+	// The same world through the 7-day stability filter loses short
+	// windows entirely — documenting why forensics needs the raw view.
+	w := worldgen.Generate(worldgen.Config{Seed: 5, Scale: 0.01, HijackEvents: 8})
+	var countries []Country
+	for _, c := range w.Countries {
+		countries = append(countries, Country{Code: c.Code, Name: c.Name, SubRegion: c.SubRegion, Suffix: c.Suffix})
+	}
+	mapper := NewMapper(countries)
+	raw := pdns.NewView(w.PDNS.Snapshot())
+	filtered := raw.Stable(pdns.StabilityFilterDays)
+	rawHits := SuspiciousTransitions(raw, mapper, providers.Default(), HijackForensicsConfig{})
+	filteredHits := SuspiciousTransitions(filtered, mapper, providers.Default(), HijackForensicsConfig{})
+	if len(filteredHits) >= len(rawHits) {
+		t.Errorf("stability filter did not reduce forensic visibility: %d -> %d",
+			len(rawHits), len(filteredHits))
+	}
+}

@@ -1,0 +1,141 @@
+// Package analysis implements every measurement analysis in the paper's
+// § IV: nameserver replication and its ten-year trends, deployment
+// privacy, topological diversity (Table I), third-party provider usage
+// (Tables II/III), defective delegations and hijacking risk
+// (Figs. 10-12), and parent/child consistency (Figs. 13-14).
+//
+// The analyses consume abstract inputs — a passive-DNS view, active scan
+// results, a GeoIP database, a provider catalog, and a registrar — so
+// they run identically against the synthetic world and against real
+// data with the same shapes.
+package analysis
+
+import (
+	"sort"
+
+	"govdns/internal/dnsname"
+)
+
+// Country identifies one studied government namespace.
+type Country struct {
+	// Code is the ISO 3166-1 alpha-2 code.
+	Code string
+	// Name is the short English name.
+	Name string
+	// SubRegion is the UN M49 sub-region used for grouping.
+	SubRegion string
+	// Suffix is the government suffix (d_gov).
+	Suffix dnsname.Name
+}
+
+// Mapper resolves domain names to their country.
+type Mapper struct {
+	countries []Country
+	suffixes  *dnsname.SuffixSet
+	bySuffix  map[dnsname.Name]int
+}
+
+// NewMapper builds a mapper over the study's countries.
+func NewMapper(countries []Country) *Mapper {
+	m := &Mapper{
+		countries: append([]Country(nil), countries...),
+		suffixes:  dnsname.NewSuffixSet(),
+		bySuffix:  make(map[dnsname.Name]int, len(countries)),
+	}
+	for i, c := range m.countries {
+		m.suffixes.Add(c.Suffix)
+		m.bySuffix[c.Suffix] = i
+	}
+	return m
+}
+
+// Countries returns the mapper's country list.
+func (m *Mapper) Countries() []Country { return m.countries }
+
+// GovSuffixes returns the set of government suffixes.
+func (m *Mapper) GovSuffixes() *dnsname.SuffixSet { return m.suffixes }
+
+// CountryOf maps a domain to its country by the longest matching
+// government suffix (the suffix itself also matches).
+func (m *Mapper) CountryOf(name dnsname.Name) (Country, bool) {
+	if idx, ok := m.bySuffix[name]; ok {
+		return m.countries[idx], true
+	}
+	suffix, ok := m.suffixes.LongestSuffix(name)
+	if !ok {
+		return Country{}, false
+	}
+	return m.countries[m.bySuffix[suffix]], true
+}
+
+// SuffixOf returns the d_gov a domain belongs to.
+func (m *Mapper) SuffixOf(name dnsname.Name) (dnsname.Name, bool) {
+	if _, ok := m.bySuffix[name]; ok {
+		return name, true
+	}
+	return m.suffixes.LongestSuffix(name)
+}
+
+// IsPrivateHost reports whether an NS hostname represents a private
+// (in-government) deployment for a domain: the hostname falls under the
+// same d_gov (§ IV-A's lower-bound definition).
+func (m *Mapper) IsPrivateHost(domain, host dnsname.Name) bool {
+	suffix, ok := m.SuffixOf(domain)
+	if !ok {
+		return false
+	}
+	return host.IsSubdomainOf(suffix)
+}
+
+// Groups assigns each country to its Table II/III group: the UN
+// sub-region, except the given top country codes, which become singleton
+// groups. Returns code → group label and the number of distinct groups.
+func (m *Mapper) Groups(topCodes []string) (map[string]string, int) {
+	top := make(map[string]bool, len(topCodes))
+	for _, code := range topCodes {
+		top[code] = true
+	}
+	out := make(map[string]string, len(m.countries))
+	distinct := make(map[string]bool)
+	for _, c := range m.countries {
+		label := c.SubRegion
+		if top[c.Code] {
+			label = c.Name
+		}
+		out[c.Code] = label
+		distinct[label] = true
+	}
+	return out, len(distinct)
+}
+
+// NSDomain returns the registrable domain of a nameserver hostname, used
+// for hijack-risk checks: the last two labels, or three when the second
+// label is a common second-level registry label.
+func NSDomain(host dnsname.Name) dnsname.Name {
+	labels := host.Labels()
+	n := 2
+	if len(labels) >= 3 {
+		switch labels[len(labels)-2] {
+		case "co", "com", "net", "org", "ac", "go", "gob", "gouv", "gov":
+			n = 3
+		}
+	}
+	if len(labels) <= n {
+		return host
+	}
+	out := labels[len(labels)-n]
+	for _, l := range labels[len(labels)-n+1:] {
+		out += "." + l
+	}
+	return dnsname.MustParse(out)
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"sort"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/pdns"
+	"govdns/internal/providers"
+	"govdns/internal/stats"
+)
+
+// ProviderUsage is one provider's footprint in one year (a Table II or
+// Table III row).
+type ProviderUsage struct {
+	// Label identifies the provider (display name or nameserver-domain
+	// group).
+	Label string
+	// Domains uses the provider for at least one nameserver.
+	Domains int
+	// DomainsPct is Domains over all domains active that year.
+	DomainsPct float64
+	// SingleProvider counts d_1P: domains relying on this provider for
+	// every nameserver.
+	SingleProvider int
+	// SingleProviderPct is SingleProvider over all domains that year.
+	SingleProviderPct float64
+	// SubRegions is the number of Table II groups with at least one
+	// using domain; SubRegionsPct is its share of all groups.
+	SubRegions    int
+	SubRegionsPct float64
+	// Countries is the number of countries with at least one using
+	// domain.
+	Countries int
+}
+
+// providerYear indexes one year of provider usage.
+type providerYear struct {
+	totalDomains int
+	totalGroups  int
+	// perLabel aggregates domains/d1P/groups/countries by label.
+	domains   map[string]int
+	d1p       map[string]int
+	groups    map[string]map[string]bool
+	countries map[string]map[string]bool
+}
+
+// ProviderAnalysis computes provider usage from PDNS data.
+type ProviderAnalysis struct {
+	catalog *providers.Catalog
+	mapper  *Mapper
+	grouper map[string]string
+	nGroups int
+}
+
+// NewProviderAnalysis builds the analysis with the paper's grouping (top
+// country codes become singleton groups).
+func NewProviderAnalysis(catalog *providers.Catalog, m *Mapper, topCodes []string) *ProviderAnalysis {
+	grouper, n := m.Groups(topCodes)
+	return &ProviderAnalysis{catalog: catalog, mapper: m, grouper: grouper, nGroups: n}
+}
+
+// yearUsage scans one year of the view and indexes usage per label. The
+// labeling function maps an NS hostname to a provider label ("" = not a
+// provider / skip).
+func (pa *ProviderAnalysis) yearUsage(view *pdns.View, year int, label func(dnsname.Name) string) *providerYear {
+	py := &providerYear{
+		totalGroups: pa.nGroups,
+		domains:     make(map[string]int),
+		d1p:         make(map[string]int),
+		groups:      make(map[string]map[string]bool),
+		countries:   make(map[string]map[string]bool),
+	}
+	idx := indexByDomain(view)
+	first, last := pdns.YearRange(year)
+	for _, name := range idx.names {
+		sets := idx.sets[name]
+		if _, ok := NSModeForYear(sets, year); !ok {
+			continue
+		}
+		py.totalDomains++
+		labels := make(map[string]bool)
+		all := 0
+		for i := range sets {
+			rs := &sets[i]
+			if rs.RRType != dnswire.TypeNS || !rs.Overlaps(first, last) {
+				continue
+			}
+			all++
+			host, err := dnsname.Parse(rs.RData)
+			if err != nil {
+				continue
+			}
+			if l := label(host); l != "" {
+				labels[l] = true
+			} else {
+				labels["\x00other"] = true
+			}
+		}
+		_ = all
+		code := ""
+		group := ""
+		if c, ok := pa.mapper.CountryOf(name); ok {
+			code = c.Code
+			group = pa.grouper[code]
+		}
+		single := len(labels) == 1
+		for l := range labels {
+			if l == "\x00other" {
+				continue
+			}
+			py.domains[l]++
+			if single {
+				py.d1p[l]++
+			}
+			if group != "" {
+				if py.groups[l] == nil {
+					py.groups[l] = make(map[string]bool)
+				}
+				py.groups[l][group] = true
+			}
+			if code != "" {
+				if py.countries[l] == nil {
+					py.countries[l] = make(map[string]bool)
+				}
+				py.countries[l][code] = true
+			}
+		}
+	}
+	return py
+}
+
+func (py *providerYear) usage(label string) ProviderUsage {
+	return ProviderUsage{
+		Label:             label,
+		Domains:           py.domains[label],
+		DomainsPct:        stats.Pct(py.domains[label], py.totalDomains),
+		SingleProvider:    py.d1p[label],
+		SingleProviderPct: stats.Pct(py.d1p[label], py.totalDomains),
+		SubRegions:        len(py.groups[label]),
+		SubRegionsPct:     stats.Pct(len(py.groups[label]), py.totalGroups),
+		Countries:         len(py.countries[label]),
+	}
+}
+
+// MajorProviders computes Table II: usage of the catalog's major
+// providers in the given year.
+func (pa *ProviderAnalysis) MajorProviders(view *pdns.View, year int) []ProviderUsage {
+	py := pa.yearUsage(view, year, func(host dnsname.Name) string {
+		if p, ok := pa.catalog.Identify(host); ok {
+			return p.Display
+		}
+		return ""
+	})
+	var out []ProviderUsage
+	for _, p := range pa.catalog.Major() {
+		out = append(out, py.usage(p.Display))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// TopProviders computes Table III: every nameserver-domain group ranked
+// by the number of countries served, top n.
+func (pa *ProviderAnalysis) TopProviders(view *pdns.View, year, n int) []ProviderUsage {
+	py := pa.yearUsage(view, year, func(host dnsname.Name) string {
+		label, _ := pa.catalog.GroupLabel(host)
+		return label
+	})
+	var out []ProviderUsage
+	for _, label := range sortedKeys(py.countries) {
+		out = append(out, py.usage(label))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Countries != out[j].Countries {
+			return out[i].Countries > out[j].Countries
+		}
+		return out[i].Domains > out[j].Domains
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// GovProviderShare returns, for one country, the share of that country's
+// responsive domains using each provider group (the paper's gov.cn
+// hichina 38% / xincache 19% / dns-diy 10.8% observation). Shares are
+// over the country's domains in the given year.
+func (pa *ProviderAnalysis) GovProviderShare(view *pdns.View, year int, code string) map[string]float64 {
+	idx := indexByDomain(view)
+	first, last := pdns.YearRange(year)
+	counts := make(map[string]int)
+	total := 0
+	for _, name := range idx.names {
+		c, ok := pa.mapper.CountryOf(name)
+		if !ok || c.Code != code {
+			continue
+		}
+		sets := idx.sets[name]
+		if _, ok := NSModeForYear(sets, year); !ok {
+			continue
+		}
+		total++
+		labels := make(map[string]bool)
+		for i := range sets {
+			rs := &sets[i]
+			if rs.RRType != dnswire.TypeNS || !rs.Overlaps(first, last) {
+				continue
+			}
+			host, err := dnsname.Parse(rs.RData)
+			if err != nil {
+				continue
+			}
+			if label, known := pa.catalog.GroupLabel(host); known {
+				labels[label] = true
+			}
+		}
+		for l := range labels {
+			counts[l]++
+		}
+	}
+	out := make(map[string]float64, len(counts))
+	for l, n := range counts {
+		out[l] = stats.Pct(n, total)
+	}
+	return out
+}

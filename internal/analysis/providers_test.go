@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"testing"
+
+	"govdns/internal/pdns"
+	"govdns/internal/providers"
+)
+
+func newProviderAnalysis() (*ProviderAnalysis, *pdns.View) {
+	pa := NewProviderAnalysis(providers.Default(), testMapper(), []string{"cn"})
+	view := pdns.NewView(buildTestPDNS().Snapshot())
+	return pa, view
+}
+
+func usageByLabel(rows []ProviderUsage) map[string]ProviderUsage {
+	out := make(map[string]ProviderUsage, len(rows))
+	for _, r := range rows {
+		out[r.Label] = r
+	}
+	return out
+}
+
+func TestMajorProviders2020(t *testing.T) {
+	pa, view := newProviderAnalysis()
+	rows := pa.MajorProviders(view, 2020)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 major providers", len(rows))
+	}
+	byLabel := usageByLabel(rows)
+	cf := byLabel["cloudflare.com"]
+	// d.gob.mx uses cloudflare exclusively in 2020.
+	if cf.Domains != 1 || cf.SingleProvider != 1 {
+		t.Errorf("cloudflare usage = %+v", cf)
+	}
+	if cf.Countries != 1 || cf.SubRegions != 1 {
+		t.Errorf("cloudflare reach = %+v", cf)
+	}
+	// 3 active domains in 2020.
+	if cf.DomainsPct < 33 || cf.DomainsPct > 34 {
+		t.Errorf("cloudflare DomainsPct = %v", cf.DomainsPct)
+	}
+	if amazon := byLabel["AWS DNS"]; amazon.Domains != 0 {
+		t.Errorf("AWS usage = %+v", amazon)
+	}
+}
+
+func TestMajorProviders2013NoCloudflare(t *testing.T) {
+	pa, view := newProviderAnalysis()
+	byLabel := usageByLabel(pa.MajorProviders(view, 2013))
+	if byLabel["cloudflare.com"].Domains != 0 {
+		t.Errorf("cloudflare in 2013 = %+v", byLabel["cloudflare.com"])
+	}
+}
+
+func TestTopProviders(t *testing.T) {
+	pa, view := newProviderAnalysis()
+	rows := pa.TopProviders(view, 2020, 10)
+	if len(rows) == 0 {
+		t.Fatal("no top providers")
+	}
+	// Expect cloudflare.com (mx) and hichina.com (cn) present; private
+	// nameserver domains also appear as labels by design (the paper
+	// ranks raw nameserver domains), but each serves one country.
+	byLabel := usageByLabel(rows)
+	if byLabel["cloudflare.com"].Domains != 1 {
+		t.Errorf("cloudflare row = %+v", byLabel["cloudflare.com"])
+	}
+	if byLabel["hichina.com"].Domains != 1 {
+		t.Errorf("hichina row = %+v", byLabel["hichina.com"])
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Countries > rows[i-1].Countries {
+			t.Fatalf("rows not sorted by countries: %+v before %+v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestTopProvidersEraShift(t *testing.T) {
+	pa, view := newProviderAnalysis()
+	rows2015 := usageByLabel(pa.TopProviders(view, 2015, 0))
+	rows2020 := usageByLabel(pa.TopProviders(view, 2020, 0))
+	// hostmx1.com serves d.gob.mx until 2017, then cloudflare takes
+	// over: the group labels must reflect the era.
+	if rows2015["hostmx1.com"].Domains != 1 {
+		t.Errorf("2015 hostmx1 = %+v", rows2015["hostmx1.com"])
+	}
+	if rows2015["cloudflare.com"].Domains != 0 {
+		t.Errorf("2015 cloudflare = %+v", rows2015["cloudflare.com"])
+	}
+	if rows2020["hostmx1.com"].Domains != 0 {
+		t.Errorf("2020 hostmx1 = %+v", rows2020["hostmx1.com"])
+	}
+}
+
+func TestGovProviderShare(t *testing.T) {
+	pa, view := newProviderAnalysis()
+	shares := pa.GovProviderShare(view, 2020, "cn")
+	if shares["hichina.com"] != 100 {
+		t.Errorf("hichina share of gov.cn = %v", shares["hichina.com"])
+	}
+	sharesBR := pa.GovProviderShare(view, 2020, "br")
+	if len(sharesBR) != 0 {
+		t.Errorf("br shares = %v (a.gov.br is private)", sharesBR)
+	}
+}
+
+func TestProviderUsageD1P(t *testing.T) {
+	// A domain mixing a provider with a private NS is not d_1P.
+	s := pdns.NewStore()
+	s.ObserveRange("mix.gov.br.", 2, "art.ns.cloudflare.com.", pdns.Date(2020, 1, 1), pdns.Date(2020, 12, 31))
+	s.ObserveRange("mix.gov.br.", 2, "ns1.mix.gov.br.", pdns.Date(2020, 1, 1), pdns.Date(2020, 12, 31))
+	pa := NewProviderAnalysis(providers.Default(), testMapper(), nil)
+	rows := usageByLabel(pa.MajorProviders(pdns.NewView(s.Snapshot()), 2020))
+	cf := rows["cloudflare.com"]
+	if cf.Domains != 1 || cf.SingleProvider != 0 {
+		t.Errorf("mixed domain usage = %+v", cf)
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"govdns/internal/dnsname"
+	"govdns/internal/measure"
+)
+
+// VantageDiff compares two scans of the same domain list from different
+// vantage points (§ V-A's future-work direction): which domains respond
+// from both, from only one side, or from neither. Results are matched by
+// domain name.
+type VantageDiff struct {
+	// Both counts domains responsive from both vantages.
+	Both int
+	// OnlyA and OnlyB count domains responsive from exactly one side —
+	// the geo-fencing signal.
+	OnlyA, OnlyB int
+	// Neither counts domains responsive from no vantage.
+	Neither int
+	// OnlyBDomains lists the domains visible only from vantage B
+	// (typically the domestic vantage), sorted.
+	OnlyBDomains []dnsname.Name
+}
+
+// CompareVantages computes the diff. Domains present in only one input
+// are ignored.
+func CompareVantages(a, b []*measure.DomainResult) *VantageDiff {
+	byName := make(map[dnsname.Name]*measure.DomainResult, len(a))
+	for _, r := range a {
+		byName[r.Domain] = r
+	}
+	diff := &VantageDiff{}
+	for _, rb := range b {
+		ra, ok := byName[rb.Domain]
+		if !ok {
+			continue
+		}
+		respA, respB := ra.Responsive(), rb.Responsive()
+		switch {
+		case respA && respB:
+			diff.Both++
+		case respA:
+			diff.OnlyA++
+		case respB:
+			diff.OnlyB++
+			diff.OnlyBDomains = append(diff.OnlyBDomains, rb.Domain)
+		default:
+			diff.Neither++
+		}
+	}
+	return diff
+}

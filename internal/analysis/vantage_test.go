@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"testing"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/measure"
+)
+
+func vantageResult(name dnsname.Name, responsive bool) *measure.DomainResult {
+	r := &measure.DomainResult{Domain: name, ParentResponded: true,
+		ParentNS: []dnsname.Name{"ns1." + name}}
+	if responsive {
+		r.Servers = []measure.ServerResponse{{
+			Host: "ns1." + name, OK: true, Authoritative: true,
+			NS: []dnsname.Name{"ns1." + name},
+		}}
+	}
+	return r
+}
+
+func TestCompareVantages(t *testing.T) {
+	a := []*measure.DomainResult{
+		vantageResult("both.gov.br.", true),
+		vantageResult("onlya.gov.br.", true),
+		vantageResult("onlyb.gov.br.", false),
+		vantageResult("neither.gov.br.", false),
+		vantageResult("unmatched.gov.br.", true),
+	}
+	b := []*measure.DomainResult{
+		vantageResult("both.gov.br.", true),
+		vantageResult("onlya.gov.br.", false),
+		vantageResult("onlyb.gov.br.", true),
+		vantageResult("neither.gov.br.", false),
+	}
+	diff := CompareVantages(a, b)
+	if diff.Both != 1 || diff.OnlyA != 1 || diff.OnlyB != 1 || diff.Neither != 1 {
+		t.Errorf("diff = %+v", diff)
+	}
+	if len(diff.OnlyBDomains) != 1 || diff.OnlyBDomains[0] != "onlyb.gov.br." {
+		t.Errorf("OnlyBDomains = %v", diff.OnlyBDomains)
+	}
+}
+
+func TestCompareVantagesEmpty(t *testing.T) {
+	diff := CompareVantages(nil, nil)
+	if diff.Both != 0 || len(diff.OnlyBDomains) != 0 {
+		t.Errorf("diff = %+v", diff)
+	}
+}

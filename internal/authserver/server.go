@@ -1,0 +1,275 @@
+// Package authserver implements an authoritative DNS nameserver over the
+// zone model. A server hosts any number of zones and answers wire-format
+// queries with RFC 1034 semantics: authoritative answers, referrals with
+// glue, NXDOMAIN/NODATA with SOA, and REFUSED for zones it does not host.
+//
+// Servers also model the failure behaviours the study measures in the
+// wild: unresponsive hosts (lame delegations), servers that return
+// SERVFAIL or REFUSED, servers still serving stale zone copies, and
+// parking services that answer every query with their own addresses.
+package authserver
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/zone"
+)
+
+// Behavior describes how a server treats queries.
+type Behavior int
+
+// Server behaviours observed (and injected) by the study.
+const (
+	// BehaviorHealthy answers normally from hosted zones.
+	BehaviorHealthy Behavior = iota + 1
+	// BehaviorUnresponsive drops every query (no response at all). This
+	// is the signature of a fully lame nameserver.
+	BehaviorUnresponsive
+	// BehaviorServFail returns SERVFAIL to every query, as seen from
+	// misconfigured or overloaded servers.
+	BehaviorServFail
+	// BehaviorRefused returns REFUSED to every query — a server that
+	// exists but no longer serves the zone (a partially lame delegation).
+	BehaviorRefused
+	// BehaviorParking answers *any* query authoritatively with the
+	// parking target address, the behaviour of expired-domain parking
+	// services that make dangling NS records exploitable.
+	BehaviorParking
+)
+
+// String returns a short mnemonic for b.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorHealthy:
+		return "healthy"
+	case BehaviorUnresponsive:
+		return "unresponsive"
+	case BehaviorServFail:
+		return "servfail"
+	case BehaviorRefused:
+		return "refused"
+	case BehaviorParking:
+		return "parking"
+	default:
+		return fmt.Sprintf("behavior(%d)", int(b))
+	}
+}
+
+// Server is one authoritative nameserver instance.
+type Server struct {
+	// Hostname is the NS-record name this server is known by, for
+	// diagnostics; routing happens by address in the simulated network.
+	Hostname dnsname.Name
+
+	mu          sync.RWMutex
+	behavior    Behavior
+	zones       map[dnsname.Name]*zone.Zone
+	parkingAddr netip.Addr
+}
+
+// New creates a healthy server with no zones.
+func New(hostname dnsname.Name) *Server {
+	return &Server{
+		Hostname: hostname,
+		behavior: BehaviorHealthy,
+		zones:    make(map[dnsname.Name]*zone.Zone),
+	}
+}
+
+// SetBehavior switches the server's failure behaviour.
+func (s *Server) SetBehavior(b Behavior) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.behavior = b
+}
+
+// Behavior returns the current behaviour.
+func (s *Server) Behavior() Behavior {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.behavior
+}
+
+// SetParkingTarget sets the address returned for every query under
+// BehaviorParking.
+func (s *Server) SetParkingTarget(addr netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.parkingAddr = addr
+}
+
+// AddZone makes the server authoritative for z. Adding a zone with an
+// origin already hosted replaces the previous copy (used to model zone
+// transfers and stale replicas).
+func (s *Server) AddZone(z *zone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin()] = z
+}
+
+// DropZone removes the zone rooted at origin, modelling a provider that
+// stopped serving a customer. The server then answers REFUSED for it.
+func (s *Server) DropZone(origin dnsname.Name) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, origin)
+}
+
+// ZoneByOrigin returns the hosted zone with exactly the given origin.
+func (s *Server) ZoneByOrigin(origin dnsname.Name) (*zone.Zone, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[origin]
+	return z, ok
+}
+
+// Zones returns the origins this server is authoritative for.
+func (s *Server) Zones() []dnsname.Name {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dnsname.Name, 0, len(s.zones))
+	for origin := range s.zones {
+		out = append(out, origin)
+	}
+	return out
+}
+
+// zoneFor returns the hosted zone with the deepest origin at or above
+// name. It walks the name's ancestors so the cost is O(labels), not
+// O(zones) — shared servers host thousands of zones.
+func (s *Server) zoneFor(name dnsname.Name) (*zone.Zone, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for cur := name; ; cur = cur.Parent() {
+		if z, ok := s.zones[cur]; ok {
+			return z, true
+		}
+		if cur.IsRoot() {
+			return nil, false
+		}
+	}
+}
+
+// Handle answers a decoded query. It returns nil when the server drops
+// the query (BehaviorUnresponsive), which the network layer turns into a
+// timeout.
+func (s *Server) Handle(query *dnswire.Message) *dnswire.Message {
+	s.mu.RLock()
+	behavior := s.behavior
+	parking := s.parkingAddr
+	s.mu.RUnlock()
+
+	switch behavior {
+	case BehaviorUnresponsive:
+		return nil
+	case BehaviorServFail:
+		resp := dnswire.NewResponse(query)
+		resp.Header.RCode = dnswire.RCodeServFail
+		return resp
+	case BehaviorRefused:
+		resp := dnswire.NewResponse(query)
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp
+	case BehaviorParking:
+		return s.parkingResponse(query, parking)
+	}
+
+	resp := dnswire.NewResponse(query)
+	if len(query.Questions) != 1 || query.Header.Opcode != dnswire.OpcodeQuery {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		return resp
+	}
+	q := query.Question()
+	if q.Class != dnswire.ClassIN {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		return resp
+	}
+	z, ok := s.zoneFor(q.Name)
+	if !ok {
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp
+	}
+
+	ans := z.Authoritative(q.Name, q.Type)
+	switch ans.Kind {
+	case zone.KindAnswer:
+		resp.Header.Authoritative = true
+		resp.Answers = ans.Records
+		resp.Additional = ans.Additional
+	case zone.KindReferral:
+		resp.Authority = ans.Authority
+		resp.Additional = ans.Additional
+	case zone.KindNoData:
+		resp.Header.Authoritative = true
+		resp.Authority = ans.Authority
+	case zone.KindNXDomain:
+		resp.Header.Authoritative = true
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		resp.Authority = ans.Authority
+	}
+	return resp
+}
+
+// parkingResponse fabricates an authoritative answer pointing every name
+// at the parking address. NS queries are answered with the parking
+// server's own hostname, which is how hijacked resolutions propagate.
+func (s *Server) parkingResponse(query *dnswire.Message, parking netip.Addr) *dnswire.Message {
+	resp := dnswire.NewResponse(query)
+	resp.Header.Authoritative = true
+	if len(query.Questions) != 1 {
+		return resp
+	}
+	q := query.Question()
+	switch q.Type {
+	case dnswire.TypeA:
+		if parking.IsValid() {
+			resp.Answers = []dnswire.RR{{
+				Name: q.Name, Class: dnswire.ClassIN, TTL: 300,
+				Data: dnswire.AData{Addr: parking},
+			}}
+		}
+	case dnswire.TypeNS:
+		resp.Answers = []dnswire.RR{{
+			Name: q.Name, Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.NSData{Host: s.Hostname},
+		}}
+	}
+	return resp
+}
+
+// HandleWire answers a wire-format query, exercising the full codec. A
+// nil return means the query was dropped. Undecodable queries produce a
+// FORMERR response when at least the 12-byte header was readable, and are
+// dropped otherwise.
+func (s *Server) HandleWire(wire []byte) []byte {
+	query, err := dnswire.Decode(wire)
+	if err != nil {
+		if len(wire) < 12 {
+			return nil
+		}
+		resp := &dnswire.Message{}
+		resp.Header.ID = uint16(wire[0])<<8 | uint16(wire[1])
+		resp.Header.Response = true
+		resp.Header.RCode = dnswire.RCodeFormErr
+		out, err := dnswire.Encode(resp)
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+	resp := s.Handle(query)
+	if resp == nil {
+		return nil
+	}
+	out, err := dnswire.EncodeUDP(resp)
+	if err != nil {
+		// Encoding our own response should never fail; drop the query
+		// rather than panic in a server loop.
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package authserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+)
+
+// UDPServer serves one authoritative Server over a real UDP socket. It is
+// used by cmd/dnsserver and the live-resolution example; the bulk study
+// runs over the in-memory network instead.
+type UDPServer struct {
+	server *Server
+	conn   net.PacketConn
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenUDP binds addr (e.g. "127.0.0.1:5353") and starts answering
+// queries with s until Close is called.
+func ListenUDP(addr string, s *Server) (*UDPServer, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("authserver: listen %s: %w", addr, err)
+	}
+	u := &UDPServer{server: s, conn: conn}
+	u.wg.Add(1)
+	go u.loop()
+	return u, nil
+}
+
+// Addr returns the bound address, useful when listening on port 0.
+func (u *UDPServer) Addr() net.Addr { return u.conn.LocalAddr() }
+
+// Close stops the server and waits for the read loop to exit.
+func (u *UDPServer) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}
+
+func (u *UDPServer) loop() {
+	defer u.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, peer, err := u.conn.ReadFrom(buf)
+		if err != nil {
+			u.mu.Lock()
+			closed := u.closed
+			u.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		query := make([]byte, n)
+		copy(query, buf[:n])
+		if resp := u.server.HandleWire(query); resp != nil {
+			// Best effort; a lost response is a normal UDP condition.
+			_, _ = u.conn.WriteTo(resp, peer)
+		}
+	}
+}
+
+// UDPTransport is a resolver transport that sends queries over real UDP
+// sockets. Queries go to port 53 unless the server's IP has an entry in
+// PortOverride; tests and examples run UDPServer instances on high ports.
+type UDPTransport struct {
+	// PortOverride maps a server IP to the UDP port serving it.
+	PortOverride map[netip.Addr]int
+}
+
+// Exchange implements the resolver transport over UDP.
+func (t *UDPTransport) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	port := 53
+	if p, ok := t.PortOverride[server]; ok {
+		port = p
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", net.JoinHostPort(server.String(), fmt.Sprint(port)))
+	if err != nil {
+		return nil, fmt.Errorf("authserver: dial %s: %w", server, err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("authserver: set deadline: %w", err)
+		}
+	}
+	if _, err := conn.Write(query); err != nil {
+		return nil, fmt.Errorf("authserver: send: %w", err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("authserver: receive: %w", err)
+	}
+	return buf[:n], nil
+}

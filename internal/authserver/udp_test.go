@@ -1,0 +1,79 @@
+package authserver
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"govdns/internal/dnswire"
+)
+
+func TestUDPServerEndToEnd(t *testing.T) {
+	s := New("ns1.gov.br.")
+	s.AddZone(testZone(t))
+	udp, err := ListenUDP("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer func() {
+		if err := udp.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	port := udp.Addr().(*net.UDPAddr).Port
+	transport := &UDPTransport{PortOverride: map[netip.Addr]int{
+		netip.MustParseAddr("127.0.0.1"): port,
+	}}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	wire, err := dnswire.Encode(dnswire.NewQuery(7, "www.gov.br.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire, err := transport.Exchange(ctx, netip.MustParseAddr("127.0.0.1"), wire)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	resp, err := dnswire.Decode(respWire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if resp.Header.ID != 7 || len(resp.Answers) != 1 {
+		t.Errorf("unexpected response: %s", resp)
+	}
+}
+
+func TestUDPServerCloseIsIdempotent(t *testing.T) {
+	s := New("ns1.example.")
+	udp, err := ListenUDP("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := udp.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := udp.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestUDPTransportTimeout(t *testing.T) {
+	// No server listening: Exchange must respect the context deadline.
+	transport := &UDPTransport{PortOverride: map[netip.Addr]int{
+		netip.MustParseAddr("127.0.0.1"): 1, // port 1: nothing there
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := transport.Exchange(ctx, netip.MustParseAddr("127.0.0.1"), []byte{0, 0})
+	if err == nil {
+		t.Fatal("Exchange succeeded against a dead port")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("Exchange took %v, deadline not honored", elapsed)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"govdns/internal/report"
+)
+
+// WriteCSVs exports every experiment's data as CSV files under dir (one
+// file per table/figure), for plotting with external tooling. The active
+// experiments require RunActive.
+func (s *Study) WriteCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, t *report.Table) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("core: writing %s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	// Figs. 2, 3, 7: yearly PDNS series.
+	years := s.Fig2And3()
+	yearly := report.NewTable("", "year", "domains", "countries", "nameservers",
+		"single_ns", "single_ns_private_pct", "all_private_pct")
+	for _, y := range years {
+		yearly.AddRow(y.Year, y.Domains, y.Countries, y.Nameservers,
+			y.SingleNS, y.PrivateSinglePct(), y.PrivateAllPct())
+	}
+	if err := write("fig2_3_7_pdns_yearly.csv", yearly); err != nil {
+		return err
+	}
+
+	// Fig. 4: per-country counts.
+	counts := s.Fig4()
+	f4 := report.NewTable("", "country", "domains")
+	for _, code := range sortedKeysByValue(counts) {
+		f4.AddRow(code, counts[code])
+	}
+	if err := write("fig4_domains_per_country.csv", f4); err != nil {
+		return err
+	}
+
+	// Fig. 6: churn.
+	f6 := report.NewTable("", "year", "single_ns", "new_pct", "from_base_pct", "base_gone_pct")
+	for _, c := range s.Fig6() {
+		f6.AddRow(c.Year, c.Total, c.NewPct(), c.FromBasePct(), c.BaseGonePct())
+	}
+	if err := write("fig6_single_ns_churn.csv", f6); err != nil {
+		return err
+	}
+
+	// Tables II and III per year.
+	for _, year := range []int{s.StartYear(), s.EndYear()} {
+		t2 := report.NewTable("", "provider", "domains", "domains_pct", "d1p", "d1p_pct", "groups", "groups_pct")
+		for _, r := range s.Table2(year) {
+			t2.AddRow(r.Label, r.Domains, r.DomainsPct, r.SingleProvider, r.SingleProviderPct, r.SubRegions, r.SubRegionsPct)
+		}
+		if err := write(fmt.Sprintf("table2_major_providers_%d.csv", year), t2); err != nil {
+			return err
+		}
+		t3 := report.NewTable("", "provider", "domains", "domains_pct", "groups", "countries")
+		for _, r := range s.Table3(year, 0) {
+			t3.AddRow(r.Label, r.Domains, r.DomainsPct, r.SubRegions, r.Countries)
+		}
+		if err := write(fmt.Sprintf("table3_top_providers_%d.csv", year), t3); err != nil {
+			return err
+		}
+	}
+
+	if s.Results == nil {
+		return nil // passive-only study: skip the scan-based exports
+	}
+
+	// Fig. 9 CDF.
+	ar, err := s.Fig8And9()
+	if err != nil {
+		return err
+	}
+	f9 := report.NewTable("", "ns_count", "cdf")
+	for _, p := range ar.NSCountCDF {
+		f9.AddRow(p.Value, fmt.Sprintf("%.6f", p.Fraction))
+	}
+	if err := write("fig9_replication_cdf.csv", f9); err != nil {
+		return err
+	}
+
+	// Fig. 8 per-country stale singles.
+	f8 := report.NewTable("", "country", "stale_single_pct")
+	for _, code := range sortedKeys(ar.SingleStaleByCountry) {
+		f8.AddRow(code, ar.SingleStaleByCountry[code])
+	}
+	if err := write("fig8_stale_singles.csv", f8); err != nil {
+		return err
+	}
+
+	// Table I.
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	t1 := report.NewTable("", "scope", "domains", "multi_ip_pct", "multi_24_pct", "multi_asn_pct")
+	for _, r := range rows {
+		t1.AddRow(r.Scope, r.Domains, r.MultiIPPct, r.Multi24Pct, r.MultiASNPct)
+	}
+	if err := write("table1_diversity.csv", t1); err != nil {
+		return err
+	}
+
+	// Fig. 10 per-country defects.
+	ds, err := s.Fig10()
+	if err != nil {
+		return err
+	}
+	f10 := report.NewTable("", "country", "domains", "any_defect", "partial", "full", "any_defect_pct")
+	for _, code := range sortedKeys(ds.PerCountry) {
+		e := ds.PerCountry[code]
+		f10.AddRow(code, e.Domains, e.AnyDefect, e.Partial, e.Full, e.AnyDefectPct())
+	}
+	if err := write("fig10_defective_delegations.csv", f10); err != nil {
+		return err
+	}
+
+	// Figs. 11 and 12.
+	hr, err := s.Fig11And12()
+	if err != nil {
+		return err
+	}
+	f11 := report.NewTable("", "country", "affected_domains", "available_ns_domains")
+	for _, code := range sortedKeys(hr.PerCountry) {
+		e := hr.PerCountry[code]
+		f11.AddRow(code, e.AffectedDomains, e.AvailableNSDomains)
+	}
+	if err := write("fig11_hijackable.csv", f11); err != nil {
+		return err
+	}
+	f12 := report.NewTable("", "ns_domain", "price_usd")
+	for _, nsDomain := range hr.AvailableNSDomains {
+		f12.AddRow(nsDomain.String(), fmt.Sprintf("%.2f", s.Active.Reg.Price(nsDomain).Dollars()))
+	}
+	if err := write("fig12_registration_costs.csv", f12); err != nil {
+		return err
+	}
+
+	// Figs. 13 and 14.
+	cs, err := s.Fig13And14()
+	if err != nil {
+		return err
+	}
+	f13 := report.NewTable("", "class", "domains")
+	classes := make([]string, 0, len(cs.Counts))
+	byName := map[string]int{}
+	for class, n := range cs.Counts {
+		classes = append(classes, class.String())
+		byName[class.String()] = n
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		f13.AddRow(class, byName[class])
+	}
+	if err := write("fig13_consistency.csv", f13); err != nil {
+		return err
+	}
+	f14 := report.NewTable("", "country", "disagreement_pct")
+	for _, code := range sortedKeys(cs.DisagreementPerCountry) {
+		f14.AddRow(code, cs.DisagreementPerCountry[code])
+	}
+	return write("fig14_disagreement.csv", f14)
+}
+
+// sortedKeys returns map keys sorted lexically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedKeysByValue returns keys sorted by descending value then key.
+func sortedKeysByValue(m map[string]int) []string {
+	keys := sortedKeys(m)
+	sort.SliceStable(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
+	return keys
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"govdns/internal/analysis"
+
+	"govdns/internal/report"
+	"govdns/internal/stats"
+)
+
+// PaperExpectations carries the paper's published numbers so reports can
+// print measured-vs-paper side by side. Only shape comparisons are
+// meaningful: the substrate is a calibrated simulator.
+var PaperExpectations = map[string]string{
+	"fig2.growth":         "113.5k (2011) -> 192.6k (2020), dip 2019->2020",
+	"fig6.base-overlap":   "21% of 2011 d_1NS still active in 2020; 14-23% new/yr; 16-26% gone/yr",
+	"fig7.private":        ">71% of d_1NS private; <34% of all domains private",
+	"fig8.stale-singles":  "60.1% of d_1NS with no authoritative response",
+	"fig9.replication":    "98.4% of domains with >=2 NS; 109 countries with no d_1NS; 15 countries >=10%",
+	"table1.diversity":    "Total: 89.8% multi-IP, 71.5% multi-/24, 32.9% multi-ASN",
+	"table2.cloud-growth": "Amazon 5 -> 5193 (2.7%), Cloudflare 12 -> 4136 (2.1%), Azure 0 -> 1574",
+	"table3.reach":        "max country reach 52 (websitewelcome 2011) -> 85 (cloudflare 2020): +60%",
+	"fig10.defective":     "29.5% any defect; 25.4% partial",
+	"fig11.hijack":        "805 available NS domains; 1,121 domains; 49 countries; 625 fully unresponsive; 2 multi-country",
+	"fig12.prices":        "0.01 - 20,000 USD, median 11.99",
+	"fig13.consistency":   "P=C for 76.8%; level 2: 93.5% vs <=77% deeper; 40.9% of P!=C partially defective",
+	"fig13.inc-hijack":    "13 available NS domains; 26 domains; 7 countries; min 300 USD",
+	"sect3.levels":        "<1% level 2, 85.4% level 3, 10.9% level 4",
+}
+
+// WriteReport renders every table and figure of the study to w. The
+// active experiments require RunActive to have completed.
+func (s *Study) WriteReport(w io.Writer) error {
+	for _, section := range []func(io.Writer) error{
+		s.writeFunnel,
+		s.writeFig2And3,
+		s.writeFig4,
+		s.writeFig6,
+		s.writeFig7,
+		s.writeFig8,
+		s.writeFig9,
+		s.writeTable1,
+		s.writeTable2,
+		s.writeTable3,
+		s.writeFig10,
+		s.writeFig11And12,
+		s.writeFig13And14,
+	} {
+		if err := section(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Study) writeFunnel(w io.Writer) error {
+	f, err := s.Funnel()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Data-collection funnel (paper § III-B: 147k queried, 115k parent response, 96k with data)",
+		"stage", "domains", "pct of queried")
+	t.AddRow("queried", f.Queried, 100.0)
+	t.AddRow("parent responded", f.ParentResponded, stats.Pct(f.ParentResponded, f.Queried))
+	t.AddRow("non-empty NS data", f.WithData, stats.Pct(f.WithData, f.Queried))
+	t.AddRow("responsive", f.Responsive, stats.Pct(f.Responsive, f.Queried))
+	return t.Write(w)
+}
+
+func (s *Study) writeFig2And3(w io.Writer) error {
+	years := s.Fig2And3()
+	t := report.NewTable(fmt.Sprintf("Fig. 2 & 3 — PDNS growth (paper: %s)", PaperExpectations["fig2.growth"]),
+		"year", "domains", "countries", "nameservers")
+	for _, y := range years {
+		t.AddRow(y.Year, y.Domains, y.Countries, y.Nameservers)
+	}
+	return t.Write(w)
+}
+
+func (s *Study) writeFig4(w io.Writer) error {
+	counts := s.Fig4()
+	type kv struct {
+		code string
+		n    int
+	}
+	var rows []kv
+	for code, n := range counts {
+		rows = append(rows, kv{code, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].code < rows[j].code
+	})
+	c := report.NewBarChart(fmt.Sprintf("Fig. 4 — domains per country, %d (top 20 of %d countries with data)",
+		s.EndYear(), len(rows)))
+	for i, row := range rows {
+		if i >= 20 {
+			break
+		}
+		c.Add(row.code, float64(row.n))
+	}
+	return c.Write(w)
+}
+
+func (s *Study) writeFig6(w io.Writer) error {
+	churn := s.Fig6()
+	t := report.NewTable(fmt.Sprintf("Fig. 6 — d_1NS churn vs %d (paper: %s)", s.StartYear(), PaperExpectations["fig6.base-overlap"]),
+		"year", "d_1NS", "new %", "from-base %", "base-gone %")
+	for _, c := range churn {
+		t.AddRow(c.Year, c.Total, c.NewPct(), c.FromBasePct(), c.BaseGonePct())
+	}
+	return t.Write(w)
+}
+
+func (s *Study) writeFig7(w io.Writer) error {
+	years := s.Fig2And3()
+	t := report.NewTable(fmt.Sprintf("Fig. 7 — private ADNS deployments (paper: %s)", PaperExpectations["fig7.private"]),
+		"year", "d_1NS private %", "all domains private %")
+	for _, y := range years {
+		t.AddRow(y.Year, y.PrivateSinglePct(), y.PrivateAllPct())
+	}
+	return t.Write(w)
+}
+
+func (s *Study) writeFig8(w io.Writer) error {
+	ar, err := s.Fig8And9()
+	if err != nil {
+		return err
+	}
+	type kv struct {
+		code string
+		pct  float64
+	}
+	var rows []kv
+	for code, pct := range ar.SingleStaleByCountry {
+		rows = append(rows, kv{code, pct})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].pct != rows[j].pct {
+			return rows[i].pct > rows[j].pct
+		}
+		return rows[i].code < rows[j].code
+	})
+	c := report.NewBarChart(fmt.Sprintf(
+		"Fig. 8 — %% of d_1NS with no authoritative response (overall %.1f%%; paper: %s)",
+		ar.SingleStalePct, PaperExpectations["fig8.stale-singles"]))
+	for i, row := range rows {
+		if i >= 15 {
+			break
+		}
+		c.Add(row.code, row.pct)
+	}
+	return c.Write(w)
+}
+
+func (s *Study) writeFig9(w io.Writer) error {
+	ar, err := s.Fig8And9()
+	if err != nil {
+		return err
+	}
+	if err := report.WriteCDF(w, fmt.Sprintf(
+		"Fig. 9 — CDF of ADNS per domain (>=2 NS: %.1f%%; paper: %s)",
+		ar.AtLeastTwoPct, PaperExpectations["fig9.replication"]), ar.NSCountCDF); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "countries with no d_1NS: %d; countries with >=10%% d_1NS: %d (%v)\n\n",
+		ar.CountriesNoSingle, len(ar.CountriesOver10PctSingle), ar.CountriesOver10PctSingle)
+	return err
+}
+
+func (s *Study) writeTable1(w io.Writer) error {
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Table I — nameserver diversity (paper: %s)", PaperExpectations["table1.diversity"]),
+		"scope", "domains", "|IP|>1 %", "|/24|>1 %", "|ASN|>1 %")
+	for _, r := range rows {
+		t.AddRow(r.Scope, r.Domains, r.MultiIPPct, r.Multi24Pct, r.MultiASNPct)
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	byLevel, err := s.DiversityByLevel()
+	if err != nil {
+		return err
+	}
+	dist, err := s.LevelDistribution()
+	if err != nil {
+		return err
+	}
+	lt := report.NewTable(fmt.Sprintf("By DNS level (paper: %s; multi-/24 87.1%% at level 2 vs <80%% deeper)",
+		PaperExpectations["sect3.levels"]),
+		"level", "% of domains", "|/24|>1 %")
+	var levels []int
+	for level := range dist {
+		levels = append(levels, level)
+	}
+	sort.Ints(levels)
+	for _, level := range levels {
+		lt.AddRow(level, dist[level], byLevel[level].Multi24Pct)
+	}
+	return lt.Write(w)
+}
+
+func (s *Study) writeTable2(w io.Writer) error {
+	for _, year := range []int{s.StartYear(), s.EndYear()} {
+		rows := s.Table2(year)
+		t := report.NewTable(fmt.Sprintf("Table II — major providers, %d (paper: %s)", year, PaperExpectations["table2.cloud-growth"]),
+			"provider", "domains", "%", "d_1P", "d_1P %", "groups", "groups %")
+		for _, r := range rows {
+			t.AddRow(r.Label, r.Domains, r.DomainsPct, r.SingleProvider, r.SingleProviderPct, r.SubRegions, r.SubRegionsPct)
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Study) writeTable3(w io.Writer) error {
+	for _, year := range []int{s.StartYear(), s.EndYear()} {
+		rows := s.Table3(year, 11)
+		t := report.NewTable(fmt.Sprintf("Table III — top providers by country reach, %d (paper: %s)", year, PaperExpectations["table3.reach"]),
+			"provider", "domains", "%", "groups", "countries")
+		for _, r := range rows {
+			t.AddRow(r.Label, r.Domains, r.DomainsPct, r.SubRegions, r.Countries)
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Study) writeFig10(w io.Writer) error {
+	ds, err := s.Fig10()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"Fig. 10 — defective delegations: any %.1f%%, partial %.1f%%, full %.1f%% of %d domains (paper: %s)\n",
+		ds.AnyDefectPct(), ds.PartialPct(), ds.FullPct(), ds.WithData, PaperExpectations["fig10.defective"]); err != nil {
+		return err
+	}
+	type kv struct {
+		code  string
+		entry float64
+		n     int
+	}
+	var rows []kv
+	for code, entry := range ds.PerCountry {
+		if entry.AnyDefect > 0 {
+			rows = append(rows, kv{code, entry.AnyDefectPct(), entry.AnyDefect})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].code < rows[j].code
+	})
+	c := report.NewBarChart("top 20 countries by defective delegations (% of country's domains)")
+	for i, row := range rows {
+		if i >= 20 {
+			break
+		}
+		c.Add(fmt.Sprintf("%s (n=%d)", row.code, row.n), row.entry)
+	}
+	return c.Write(w)
+}
+
+func (s *Study) writeFig11And12(w io.Writer) error {
+	hr, err := s.Fig11And12()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"Fig. 11 — hijackable: %d available NS domains; %d affected domains in %d countries; %d fully unresponsive; %d multi-country (paper: %s)\n",
+		len(hr.AvailableNSDomains), hr.AffectedDomains, hr.Countries,
+		hr.FullyUnresponsiveAffected, hr.MultiCountryNSDomains, PaperExpectations["fig11.hijack"]); err != nil {
+		return err
+	}
+	if len(hr.Prices) == 0 {
+		_, err := fmt.Fprintln(w, "Fig. 12 — no available NS domains to price")
+		return err
+	}
+	prices := make([]float64, len(hr.Prices))
+	for i, p := range hr.Prices {
+		prices[i] = p.Dollars()
+	}
+	minP, maxP := prices[0], prices[len(prices)-1]
+	_, err = fmt.Fprintf(w,
+		"Fig. 12 — registration cost: min %.2f, median %s, max %.2f USD over %d domains (paper: %s)\n\n",
+		minP, hr.MedianPrice, maxP, len(prices), PaperExpectations["fig12.prices"])
+	return err
+}
+
+func (s *Study) writeFig13And14(w io.Writer) error {
+	cs, err := s.Fig13And14()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Fig. 13 — parent/child consistency over %d responsive domains (paper: %s)",
+		cs.Responsive, PaperExpectations["fig13.consistency"]),
+		"class", "domains", "%")
+	for _, cls := range []analysis.ConsistencyClass{
+		analysis.ClassEqual, analysis.ClassParentSuperset, analysis.ClassChildSuperset,
+		analysis.ClassIntersect, analysis.ClassDisjointIPOverlap, analysis.ClassDisjoint,
+	} {
+		if n, ok := cs.Counts[cls]; ok {
+			t.AddRow(cls.String(), n, stats.Pct(n, cs.Responsive))
+		}
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "P!=C domains with a partial defect: %.1f%% (paper: 40.9%%)\n", cs.InconsistentWithDefectPct); err != nil {
+		return err
+	}
+	var levels []int
+	for level := range cs.ByLevel {
+		levels = append(levels, level)
+	}
+	sort.Ints(levels)
+	for _, level := range levels {
+		if _, err := fmt.Fprintf(w, "  level %d consistency: %.1f%%\n", level, cs.ByLevel[level]); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 14: distribution of per-country disagreement.
+	var rates []float64
+	for _, pct := range cs.DisagreementPerCountry {
+		rates = append(rates, pct)
+	}
+	sort.Float64s(rates)
+	med, _ := stats.Percentile(rates, 50)
+	p90, _ := stats.Percentile(rates, 90)
+	if _, err := fmt.Fprintf(w, "Fig. 14 — disagreement per country: median %.1f%%, p90 %.1f%% over %d countries\n",
+		med, p90, len(rates)); err != nil {
+		return err
+	}
+
+	ih, err := s.InconsistencyHijacks()
+	if err != nil {
+		return err
+	}
+	minPrice := "n/a"
+	if len(ih.Prices) > 0 {
+		minPrice = ih.MinPrice.String()
+	}
+	_, err = fmt.Fprintf(w,
+		"Inconsistency-only dangling: %d available NS domains; %d domains in %d countries; min price %s (paper: %s)\n\n",
+		len(ih.AvailableNSDomains), ih.AffectedDomains, ih.Countries, minPrice, PaperExpectations["fig13.inc-hijack"])
+	return err
+}

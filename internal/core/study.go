@@ -1,0 +1,401 @@
+// Package core orchestrates the full reproduction study: world
+// generation, passive-DNS preparation, the active scan, and every § IV
+// analysis, exposing one method per table and figure of the paper.
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"govdns/internal/analysis"
+	"govdns/internal/dnsname"
+	"govdns/internal/measure"
+	"govdns/internal/pdns"
+	"govdns/internal/providers"
+	"govdns/internal/remedy"
+	"govdns/internal/resolver"
+	"govdns/internal/worldgen"
+)
+
+// Config controls a study run.
+type Config struct {
+	// Seed drives world generation and network behaviour.
+	Seed int64
+	// Scale multiplies the paper's population sizes (default 0.1).
+	Scale float64
+	// Concurrency bounds the scanner's in-flight domains.
+	Concurrency int
+	// QueryTimeout bounds each DNS query attempt (default 25ms — the
+	// simulated network answers in microseconds, so this is purely the
+	// lameness-detection budget).
+	QueryTimeout time.Duration
+	// Retries is the per-query retry count (default 1).
+	Retries int
+	// SecondRound enables the paper's second measurement round.
+	SecondRound bool
+	// StabilityDays is the PDNS stability filter threshold (default 7;
+	// set negative to disable filtering — used by the ablation bench).
+	StabilityDays int
+	// HijackEvents injects that many historical takeover episodes into
+	// the PDNS record for the § V-A forensics analysis (0 = none).
+	HijackEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.1
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 25 * time.Millisecond
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = measure.DefaultConcurrency
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.StabilityDays == 0 {
+		c.StabilityDays = pdns.StabilityFilterDays
+	}
+	return c
+}
+
+// ErrNotScanned is returned by active analyses before RunActive.
+var ErrNotScanned = errors.New("core: active scan has not run")
+
+// Study holds the full reproduction state.
+type Study struct {
+	Cfg     Config
+	World   *worldgen.World
+	Active  *worldgen.Active
+	Mapper  *analysis.Mapper
+	Catalog *providers.Catalog
+	// StableView is the PDNS view after the stability filter.
+	StableView *pdns.View
+	// RawView is the unfiltered PDNS view (for the filter ablation).
+	RawView *pdns.View
+	// Results is the active scan output (nil before RunActive).
+	Results []*measure.DomainResult
+
+	top10 []string
+	pa    *analysis.ProviderAnalysis
+
+	mu         sync.Mutex
+	cacheYears []analysis.YearStats
+	cacheRepl  *analysis.ActiveReplication
+}
+
+// NewStudy generates the world and prepares the passive views. The
+// active scan is run separately (RunActive) because it dominates run
+// time.
+func NewStudy(cfg Config) *Study {
+	cfg = cfg.withDefaults()
+	w := worldgen.Generate(worldgen.Config{Seed: cfg.Seed, Scale: cfg.Scale, HijackEvents: cfg.HijackEvents})
+	s := &Study{
+		Cfg:     cfg,
+		World:   w,
+		Active:  worldgen.Build(w),
+		Catalog: providers.Default(),
+	}
+
+	countries := make([]analysis.Country, len(w.Countries))
+	for i, c := range w.Countries {
+		countries[i] = analysis.Country{
+			Code: c.Code, Name: c.Name, SubRegion: c.SubRegion, Suffix: c.Suffix,
+		}
+	}
+	s.Mapper = analysis.NewMapper(countries)
+
+	s.RawView = pdns.NewView(w.PDNS.Snapshot())
+	if cfg.StabilityDays > 0 {
+		s.StableView = s.RawView.Stable(cfg.StabilityDays)
+	} else {
+		s.StableView = s.RawView
+	}
+
+	// The paper's top-10 countries (by PDNS records) become singleton
+	// groups in Tables II/III.
+	for _, c := range worldgen.TopByWeight(w.Countries, 10) {
+		s.top10 = append(s.top10, c.Code)
+	}
+	s.pa = analysis.NewProviderAnalysis(s.Catalog, s.Mapper, s.top10)
+	return s
+}
+
+// StartYear and EndYear expose the study period.
+func (s *Study) StartYear() int { return s.World.Cfg.StartYear }
+
+// EndYear returns the final PDNS study year.
+func (s *Study) EndYear() int { return s.World.Cfg.EndYear }
+
+// Top10 returns the country codes treated as singleton groups.
+func (s *Study) Top10() []string { return append([]string(nil), s.top10...) }
+
+// RunActive executes the paper's Fig. 1 measurement over the query list.
+// Cached analysis results are invalidated.
+func (s *Study) RunActive(ctx context.Context) error {
+	s.mu.Lock()
+	s.cacheRepl = nil
+	s.mu.Unlock()
+	client := resolver.NewClient(s.Active.Net)
+	client.Timeout = s.Cfg.QueryTimeout
+	client.Retries = s.Cfg.Retries
+	it := resolver.NewIterator(client, s.Active.Roots)
+	scanner := measure.NewScanner(it)
+	scanner.Concurrency = s.Cfg.Concurrency
+	scanner.SecondRound = s.Cfg.SecondRound
+	s.Results = scanner.Scan(ctx, s.Active.QueryList)
+	return ctx.Err()
+}
+
+// --- Passive experiments (PDNS) ---
+
+// Fig2And3 returns the yearly PDNS statistics behind Figures 2 (domains
+// and countries) and 3 (nameservers), plus the Fig. 7 private-deployment
+// series.
+// The result is memoized: the full-scale computation takes seconds and
+// the report consumes it several times.
+func (s *Study) Fig2And3() []analysis.YearStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cacheYears == nil {
+		s.cacheYears = analysis.PDNSYearly(s.StableView, s.Mapper, s.StartYear(), s.EndYear())
+	}
+	return s.cacheYears
+}
+
+// Fig4 returns the per-country domain counts for the final year.
+func (s *Study) Fig4() map[string]int {
+	return analysis.DomainsPerCountry(s.StableView, s.Mapper, s.EndYear())
+}
+
+// Fig6 returns the d_1NS churn/overlap series.
+func (s *Study) Fig6() []analysis.ChurnStats {
+	return analysis.SingleNSChurn(s.StableView, s.StartYear(), s.EndYear())
+}
+
+// Table2 returns the major-provider usage rows for the given year.
+func (s *Study) Table2(year int) []analysis.ProviderUsage {
+	return s.pa.MajorProviders(s.StableView, year)
+}
+
+// Table3 returns the top providers by country reach for the given year.
+func (s *Study) Table3(year, n int) []analysis.ProviderUsage {
+	return s.pa.TopProviders(s.StableView, year, n)
+}
+
+// GovProviderShare exposes the per-country provider mix (the gov.cn
+// hichina/xincache/dns-diy observation).
+func (s *Study) GovProviderShare(year int, code string) map[string]float64 {
+	return s.pa.GovProviderShare(s.StableView, year, code)
+}
+
+// --- Active experiments (scan) ---
+
+func (s *Study) requireScan() error {
+	if s.Results == nil {
+		return ErrNotScanned
+	}
+	return nil
+}
+
+// Fig8And9 returns the active replication analysis (stale singles per
+// country and the NS-count CDF).
+// The result is memoized until the next RunActive.
+func (s *Study) Fig8And9() (*analysis.ActiveReplication, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cacheRepl == nil {
+		s.cacheRepl = analysis.ReplicationActive(s.Results, s.Mapper)
+	}
+	return s.cacheRepl, nil
+}
+
+// Table1 returns the diversity rows (Total + top-10 countries).
+func (s *Study) Table1() ([]analysis.DiversityRow, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	return analysis.Diversity(s.Results, s.Active.Geo, s.Mapper, s.top10), nil
+}
+
+// DiversityByLevel returns the per-hierarchy-level diversity comparison.
+func (s *Study) DiversityByLevel() (map[int]analysis.DiversityRow, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	return analysis.DiversityByLevel(s.Results, s.Active.Geo), nil
+}
+
+// LevelDistribution returns the share of scanned domains per DNS level.
+func (s *Study) LevelDistribution() (map[int]float64, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	return analysis.LevelDistribution(s.Results), nil
+}
+
+// Fig10 returns the defective-delegation statistics.
+func (s *Study) Fig10() (*analysis.DelegationStats, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	return analysis.Delegations(s.Results, s.Mapper), nil
+}
+
+// Fig11And12 returns the hijack-risk analysis (available nameserver
+// domains and registration costs).
+func (s *Study) Fig11And12() (*analysis.HijackRisk, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	return analysis.HijackRisks(s.Results, s.Mapper, s.Active.Reg), nil
+}
+
+// Fig13And14 returns the parent/child consistency analysis.
+func (s *Study) Fig13And14() (*analysis.ConsistencyStats, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	return analysis.Consistency(s.Results, s.Mapper), nil
+}
+
+// InconsistencyHijacks returns § IV-D's non-defective dangling analysis.
+func (s *Study) InconsistencyHijacks() (*analysis.InconsistencyHijack, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	return analysis.InconsistencyHijacks(s.Results, s.Mapper, s.Active.Reg), nil
+}
+
+// Funnel summarizes the § III-B data-collection funnel.
+type Funnel struct {
+	Queried, ParentResponded, WithData, Responsive int
+}
+
+// Funnel computes the scan funnel.
+func (s *Study) Funnel() (*Funnel, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	f := &Funnel{}
+	for _, r := range s.Results {
+		f.Queried++
+		if !r.ParentResponded {
+			continue
+		}
+		f.ParentResponded++
+		if !r.HasData() {
+			continue
+		}
+		f.WithData++
+		if r.Responsive() {
+			f.Responsive++
+		}
+	}
+	return f, nil
+}
+
+// ScanDomainNames lists the probed names (for examples).
+func (s *Study) ScanDomainNames() []dnsname.Name {
+	return append([]dnsname.Name(nil), s.Active.QueryList...)
+}
+
+// PctAtLeastTwoNS is a convenience accessor for the headline Fig. 9
+// number.
+func (s *Study) PctAtLeastTwoNS() (float64, error) {
+	ar, err := s.Fig8And9()
+	if err != nil {
+		return 0, err
+	}
+	return ar.AtLeastTwoPct, nil
+}
+
+// --- Remediation (§ V-B) ---
+
+// ProposeRemediation derives a § V-B remediation plan from the scan:
+// CSYNC-style parent synchronization for inconsistent delegations,
+// removal of stale delegations, and registry-lock advisories for
+// delegations involving registrable nameserver domains.
+func (s *Study) ProposeRemediation() (*remedy.Plan, error) {
+	if err := s.requireScan(); err != nil {
+		return nil, err
+	}
+	return remedy.Propose(s.Results, s.Mapper, s.Active.Reg), nil
+}
+
+// ApplyRemediation executes a plan against the world's parent zones.
+// With force false, synchronizations honour RFC 7477: they run only when
+// the child publishes an immediate-flagged CSYNC record. Re-run
+// RunActive afterwards to measure the improvement.
+func (s *Study) ApplyRemediation(ctx context.Context, plan *remedy.Plan, force bool) (*remedy.Outcome, error) {
+	client := resolver.NewClient(s.Active.Net)
+	client.Timeout = s.Cfg.QueryTimeout
+	client.Retries = s.Cfg.Retries
+	applier := &remedy.Applier{Active: s.Active, Client: client, Force: force}
+	return applier.Apply(ctx, plan)
+}
+
+// HijackForensics runs the § V-A historical-takeover detector over the
+// RAW passive-DNS view (the stability filter would erase the evidence)
+// and returns the candidates alongside the injected ground truth.
+func (s *Study) HijackForensics() ([]analysis.SuspiciousTransition, []worldgen.HijackEvent) {
+	found := analysis.SuspiciousTransitions(s.RawView, s.Mapper, s.Catalog, analysis.HijackForensicsConfig{})
+	return found, append([]worldgen.HijackEvent(nil), s.World.Hijacks...)
+}
+
+// ProviderFlows returns the hosting-migration matrix between two study
+// years (who the cloud providers' customers came from).
+func (s *Study) ProviderFlows(yearA, yearB int) []analysis.ProviderFlow {
+	return analysis.ProviderFlows(s.StableView, s.Mapper, s.Catalog, yearA, yearB)
+}
+
+// CompareVantage geo-fences the given country's government nameservers
+// and scans that country's domains twice — once from the study's default
+// vantage and once from a domestic one — returning the visibility diff
+// (§ V-A's multi-vantage future work). The geo-fence persists on the
+// world afterwards; use a dedicated Study when the main results must
+// stay untouched.
+func (s *Study) CompareVantage(ctx context.Context, code string, maxDomains int) (*analysis.VantageDiff, error) {
+	if err := s.Active.GeoFence(code); err != nil {
+		return nil, err
+	}
+	domestic, err := s.Active.DomesticVantage(code)
+	if err != nil {
+		return nil, err
+	}
+	var country analysis.Country
+	for _, c := range s.Mapper.Countries() {
+		if c.Code == code {
+			country = c
+			break
+		}
+	}
+	var targets []dnsname.Name
+	for _, name := range s.Active.QueryList {
+		if maxDomains > 0 && len(targets) >= maxDomains {
+			break
+		}
+		if name.IsSubdomainOf(country.Suffix) {
+			targets = append(targets, name)
+		}
+	}
+
+	scan := func(transport resolver.Transport) []*measure.DomainResult {
+		client := resolver.NewClient(transport)
+		client.Timeout = s.Cfg.QueryTimeout
+		client.Retries = s.Cfg.Retries
+		sc := measure.NewScanner(resolver.NewIterator(client, s.Active.Roots))
+		sc.Concurrency = s.Cfg.Concurrency
+		sc.SecondRound = false
+		return sc.Scan(ctx, targets)
+	}
+	outside := scan(s.Active.Net)
+	inside := scan(s.Active.Net.Vantage(domestic))
+	return analysis.CompareVantages(outside, inside), ctx.Err()
+}

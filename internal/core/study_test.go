@@ -1,0 +1,332 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testStudy runs the complete pipeline once per test binary at a small
+// scale; the study is deterministic so read-only sharing is safe.
+var _testStudy *Study
+
+func fullStudy(t *testing.T) *Study {
+	t.Helper()
+	if _testStudy != nil {
+		return _testStudy
+	}
+	s := NewStudy(Config{
+		Seed:         11,
+		Scale:        0.02,
+		QueryTimeout: 10 * time.Millisecond,
+		Concurrency:  128,
+		SecondRound:  true,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	if err := s.RunActive(ctx); err != nil {
+		t.Fatalf("RunActive: %v", err)
+	}
+	_testStudy = s
+	return s
+}
+
+func TestActiveAnalysesRequireScan(t *testing.T) {
+	s := NewStudy(Config{Seed: 1, Scale: 0.002})
+	if _, err := s.Table1(); !errors.Is(err, ErrNotScanned) {
+		t.Errorf("Table1 before scan: %v", err)
+	}
+	if _, err := s.Fig10(); !errors.Is(err, ErrNotScanned) {
+		t.Errorf("Fig10 before scan: %v", err)
+	}
+}
+
+func TestStudyFunnelShape(t *testing.T) {
+	s := fullStudy(t)
+	f, err := s.Funnel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Queried == 0 {
+		t.Fatal("nothing queried")
+	}
+	// Paper funnel: 147k -> 115k (78%) -> 96k (65%).
+	if f.ParentResponded >= f.Queried {
+		t.Errorf("funnel: parent %d !< queried %d (ghosts must fail)", f.ParentResponded, f.Queried)
+	}
+	if f.WithData >= f.ParentResponded {
+		t.Errorf("funnel: data %d !< parent %d (recently-dead answer empty)", f.WithData, f.ParentResponded)
+	}
+	if f.Responsive >= f.WithData {
+		t.Errorf("funnel: responsive %d !< data %d (stale delegations)", f.Responsive, f.WithData)
+	}
+}
+
+func TestStudyFig9Shape(t *testing.T) {
+	s := fullStudy(t)
+	ar, err := s.Fig8And9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 98.4% >= 2 NS. Shape: clearly above 90%.
+	if ar.AtLeastTwoPct < 90 {
+		t.Errorf("AtLeastTwoPct = %.1f, want > 90", ar.AtLeastTwoPct)
+	}
+	// Paper: 60.1% of singles stale. Shape: a majority.
+	if ar.SingleStalePct < 40 || ar.SingleStalePct > 85 {
+		t.Errorf("SingleStalePct = %.1f, want near 60", ar.SingleStalePct)
+	}
+	// Paper: over half the countries have no d_1NS.
+	if ar.CountriesNoSingle < 50 {
+		t.Errorf("CountriesNoSingle = %d", ar.CountriesNoSingle)
+	}
+}
+
+func TestStudyTable1Shape(t *testing.T) {
+	s := fullStudy(t)
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want Total + 10 countries", len(rows))
+	}
+	total := rows[0]
+	// Paper: 89.8 / 71.5 / 32.9. Shape bands:
+	if total.MultiIPPct < 80 || total.MultiIPPct > 97 {
+		t.Errorf("MultiIPPct = %.1f, want near 89.8", total.MultiIPPct)
+	}
+	if total.Multi24Pct < 60 || total.Multi24Pct > 85 {
+		t.Errorf("Multi24Pct = %.1f, want near 71.5", total.Multi24Pct)
+	}
+	if total.MultiASNPct < 20 || total.MultiASNPct > 48 {
+		t.Errorf("MultiASNPct = %.1f, want near 32.9", total.MultiASNPct)
+	}
+	// Ordering invariant everywhere.
+	for _, r := range rows {
+		if r.Domains == 0 {
+			continue
+		}
+		if r.MultiIPPct < r.Multi24Pct || r.Multi24Pct < r.MultiASNPct {
+			t.Errorf("%s: diversity not monotone: %+v", r.Scope, r)
+		}
+	}
+	// Country shapes: Thailand lowest multi-IP; Australia/India lowest
+	// multi-ASN among the top-10 (paper Table I).
+	byScope := map[string]int{}
+	for i, r := range rows {
+		byScope[r.Scope] = i
+	}
+	thailand := rows[byScope["Thailand"]]
+	if thailand.MultiIPPct > 50 {
+		t.Errorf("Thailand MultiIPPct = %.1f, want near 36", thailand.MultiIPPct)
+	}
+	china := rows[byScope["China"]]
+	if china.MultiASNPct < thailand.MultiASNPct {
+		t.Errorf("China multi-ASN (%.1f) should exceed Thailand's (%.1f)", china.MultiASNPct, thailand.MultiASNPct)
+	}
+}
+
+func TestStudyFig10Shape(t *testing.T) {
+	s := fullStudy(t)
+	ds, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 29.5% any defect, 25.4% partial. Shape band:
+	if pct := ds.AnyDefectPct(); pct < 15 || pct > 45 {
+		t.Errorf("AnyDefectPct = %.1f, want near 29.5", pct)
+	}
+	if ds.Partial <= ds.Full {
+		t.Errorf("partial (%d) should dominate full (%d)", ds.Partial, ds.Full)
+	}
+}
+
+func TestStudyFig13Shape(t *testing.T) {
+	s := fullStudy(t)
+	cs, err := s.Fig13And14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: P=C for 76.8% of responsive domains.
+	if cs.EqualPct < 60 || cs.EqualPct > 92 {
+		t.Errorf("EqualPct = %.1f, want near 76.8", cs.EqualPct)
+	}
+	// Level 2 (the d_gov apexes) must be more consistent than level 3.
+	if l2, ok := cs.ByLevel[2]; ok {
+		if l3, ok3 := cs.ByLevel[3]; ok3 && l2 < l3 {
+			t.Errorf("level-2 consistency (%.1f) below level-3 (%.1f)", l2, l3)
+		}
+	}
+}
+
+func TestStudyHijackShape(t *testing.T) {
+	s := fullStudy(t)
+	hr, err := s.Fig11And12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.AvailableNSDomains) == 0 {
+		t.Fatal("no available NS domains found")
+	}
+	if hr.AffectedDomains < len(hr.AvailableNSDomains) {
+		t.Errorf("affected domains (%d) < available NS domains (%d)",
+			hr.AffectedDomains, len(hr.AvailableNSDomains))
+	}
+	if hr.Countries == 0 {
+		t.Error("no countries affected")
+	}
+	if hr.MedianPrice <= 0 {
+		t.Errorf("median price = %v", hr.MedianPrice)
+	}
+}
+
+func TestStudyTable2CloudGrowth(t *testing.T) {
+	s := fullStudy(t)
+	first := map[string]int{}
+	for _, r := range s.Table2(s.StartYear()) {
+		first[r.Label] = r.Domains
+	}
+	last := map[string]int{}
+	for _, r := range s.Table2(s.EndYear()) {
+		last[r.Label] = r.Domains
+	}
+	for _, cloud := range []string{"AWS DNS", "cloudflare.com", "Azure DNS"} {
+		if last[cloud] <= first[cloud] {
+			t.Errorf("%s did not grow: %d -> %d", cloud, first[cloud], last[cloud])
+		}
+	}
+	if last["AWS DNS"] < 5*max(first["AWS DNS"], 1) {
+		t.Errorf("AWS growth not multiple-fold: %d -> %d", first["AWS DNS"], last["AWS DNS"])
+	}
+}
+
+func TestStudyTable3ReachGrowth(t *testing.T) {
+	s := fullStudy(t)
+	top2011 := s.Table3(s.StartYear(), 1)
+	top2020 := s.Table3(s.EndYear(), 1)
+	if len(top2011) == 0 || len(top2020) == 0 {
+		t.Fatal("empty Table III")
+	}
+	// Paper: max reach grows 60% (52 -> 85 countries).
+	if top2020[0].Countries <= top2011[0].Countries {
+		t.Errorf("top provider reach did not grow: %d -> %d",
+			top2011[0].Countries, top2020[0].Countries)
+	}
+}
+
+func TestStudyWriteReport(t *testing.T) {
+	s := fullStudy(t)
+	var buf bytes.Buffer
+	if err := s.WriteReport(&buf); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Fig. 2 & 3", "Fig. 4", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9",
+		"Table I", "Table II", "Table III", "Fig. 10", "Fig. 11", "Fig. 12",
+		"Fig. 13", "Fig. 14",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestStudyRemediationRoundTrip(t *testing.T) {
+	// A dedicated small study: remediation mutates the world.
+	s := NewStudy(Config{Seed: 23, Scale: 0.005, QueryTimeout: 10 * time.Millisecond, Concurrency: 128})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := s.RunActive(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Fig13And14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.ProposeRemediation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Actions) == 0 {
+		t.Fatal("empty remediation plan")
+	}
+	outcome, err := s.ApplyRemediation(ctx, plan, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Applied == 0 {
+		t.Fatalf("nothing applied: %+v", outcome)
+	}
+	if err := s.RunActive(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Fig13And14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.EqualPct <= before.EqualPct {
+		t.Errorf("consistency %.1f%% -> %.1f%%; remediation had no effect", before.EqualPct, after.EqualPct)
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	s := fullStudy(t)
+	dir := t.TempDir()
+	if err := s.WriteCSVs(dir); err != nil {
+		t.Fatalf("WriteCSVs: %v", err)
+	}
+	for _, want := range []string{
+		"fig2_3_7_pdns_yearly.csv", "fig4_domains_per_country.csv",
+		"fig6_single_ns_churn.csv", "fig8_stale_singles.csv",
+		"fig9_replication_cdf.csv", "table1_diversity.csv",
+		"table2_major_providers_2011.csv", "table2_major_providers_2020.csv",
+		"table3_top_providers_2020.csv", "fig10_defective_delegations.csv",
+		"fig11_hijackable.csv", "fig12_registration_costs.csv",
+		"fig13_consistency.csv", "fig14_disagreement.csv",
+	} {
+		info, err := os.Stat(filepath.Join(dir, want))
+		if err != nil {
+			t.Errorf("missing %s: %v", want, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", want)
+		}
+	}
+}
+
+func TestCompareVantage(t *testing.T) {
+	// A dedicated study: CompareVantage mutates the world's ACLs.
+	s := NewStudy(Config{Seed: 31, Scale: 0.005, QueryTimeout: 10 * time.Millisecond, Concurrency: 128})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	diff, err := s.CompareVantage(ctx, "ua", 40)
+	if err != nil {
+		t.Fatalf("CompareVantage: %v", err)
+	}
+	// Geo-fencing makes in-country-hosted domains visible only from the
+	// domestic vantage.
+	if diff.OnlyB == 0 {
+		t.Errorf("no domestically-visible domains: %+v", diff)
+	}
+	if diff.OnlyA != 0 {
+		t.Errorf("domains visible only from outside a geo-fence: %+v", diff)
+	}
+	if _, err := s.CompareVantage(ctx, "zz", 1); err == nil {
+		t.Error("CompareVantage accepted an unknown country")
+	}
+}

@@ -1,0 +1,229 @@
+// Package dnsname provides domain-name parsing, validation, and algebra
+// used throughout the measurement pipeline.
+//
+// Names are handled in canonical form: lowercase, fully qualified, with a
+// trailing dot (e.g. "www.gov.br."). The root is the single dot ".".
+package dnsname
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// RFC 1035 size limits.
+const (
+	// MaxNameLen is the maximum length of a domain name in presentation
+	// form, excluding the trailing dot.
+	MaxNameLen = 253
+	// MaxLabelLen is the maximum length of a single label.
+	MaxLabelLen = 63
+)
+
+var (
+	// ErrEmpty indicates an empty input where a domain name was required.
+	ErrEmpty = errors.New("dnsname: empty name")
+	// ErrTooLong indicates the name exceeds MaxNameLen.
+	ErrTooLong = errors.New("dnsname: name too long")
+	// ErrBadLabel indicates a label that is empty, too long, or contains
+	// forbidden characters.
+	ErrBadLabel = errors.New("dnsname: bad label")
+)
+
+// Name is a canonical, fully qualified, lowercase domain name with a
+// trailing dot. The zero value is invalid; use Parse or MustParse.
+type Name string
+
+// Root is the DNS root name.
+const Root Name = "."
+
+// Parse canonicalizes and validates s into a Name. It accepts names with
+// or without a trailing dot and is case-insensitive. The root may be given
+// as "." or "".
+func Parse(s string) (Name, error) {
+	if s == "" || s == "." {
+		return Root, nil
+	}
+	s = strings.ToLower(s)
+	trimmed := strings.TrimSuffix(s, ".")
+	if len(trimmed) > MaxNameLen {
+		return "", fmt.Errorf("%w: %q has %d bytes", ErrTooLong, s, len(trimmed))
+	}
+	for _, label := range strings.Split(trimmed, ".") {
+		if err := checkLabel(label); err != nil {
+			return "", fmt.Errorf("%w in %q", err, s)
+		}
+	}
+	return Name(trimmed + "."), nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// compile-time constant names in tests and generators.
+func MustParse(s string) Name {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// checkLabel validates a single label. Per measurement practice we accept
+// LDH labels plus underscore (seen in the wild for service records) and
+// the bare "*" wildcard label of RFC 1034 §4.3.3.
+func checkLabel(label string) error {
+	if label == "" {
+		return fmt.Errorf("%w: empty", ErrBadLabel)
+	}
+	if label == "*" {
+		return nil
+	}
+	if len(label) > MaxLabelLen {
+		return fmt.Errorf("%w: %q has %d bytes", ErrBadLabel, label, len(label))
+	}
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-' || c == '_':
+		default:
+			return fmt.Errorf("%w: %q contains %q", ErrBadLabel, label, c)
+		}
+	}
+	return nil
+}
+
+// String returns the canonical presentation form, including the trailing dot.
+func (n Name) String() string { return string(n) }
+
+// IsRoot reports whether n is the DNS root.
+func (n Name) IsRoot() bool { return n == Root }
+
+// Labels returns the labels of n from most to least specific. The root has
+// no labels.
+func (n Name) Labels() []string {
+	if n.IsRoot() || n == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(string(n), "."), ".")
+}
+
+// Level returns the number of labels in n. The root is level 0; "gov.br."
+// is level 2; "www.gov.br." is level 3. The paper classifies domains by
+// this DNS-hierarchy level.
+func (n Name) Level() int {
+	if n.IsRoot() || n == "" {
+		return 0
+	}
+	return strings.Count(string(n), ".")
+}
+
+// Parent returns the name with the leftmost label removed. The parent of a
+// top-level domain is the root; the parent of the root is the root.
+func (n Name) Parent() Name {
+	if n.IsRoot() || n == "" {
+		return Root
+	}
+	idx := strings.IndexByte(string(n), '.')
+	if idx == len(n)-1 {
+		return Root
+	}
+	return n[idx+1:]
+}
+
+// IsSubdomainOf reports whether n is equal to or below ancestor.
+// Every name is a subdomain of the root.
+func (n Name) IsSubdomainOf(ancestor Name) bool {
+	if ancestor.IsRoot() {
+		return true
+	}
+	if n == ancestor {
+		return true
+	}
+	return strings.HasSuffix(string(n), "."+string(ancestor))
+}
+
+// IsStrictSubdomainOf reports whether n is strictly below ancestor.
+func (n Name) IsStrictSubdomainOf(ancestor Name) bool {
+	return n != ancestor && n.IsSubdomainOf(ancestor)
+}
+
+// Prepend returns label + "." + n, validating the new label.
+func (n Name) Prepend(label string) (Name, error) {
+	if err := checkLabel(strings.ToLower(label)); err != nil {
+		return "", err
+	}
+	child := strings.ToLower(label) + "."
+	if !n.IsRoot() && n != "" {
+		child += string(n)
+	}
+	if len(child)-1 > MaxNameLen {
+		return "", fmt.Errorf("%w: %q", ErrTooLong, child)
+	}
+	return Name(child), nil
+}
+
+// MustPrepend is like Prepend but panics on error.
+func (n Name) MustPrepend(label string) Name {
+	c, err := n.Prepend(label)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// AncestorAtLevel returns the ancestor of n with exactly level labels.
+// It returns false if n has fewer labels than requested.
+func (n Name) AncestorAtLevel(level int) (Name, bool) {
+	cur := n.Level()
+	if cur < level {
+		return "", false
+	}
+	for cur > level {
+		n = n.Parent()
+		cur--
+	}
+	return n, true
+}
+
+// CommonAncestor returns the deepest name that is an ancestor of both a
+// and b (possibly the root).
+func CommonAncestor(a, b Name) Name {
+	al, bl := a.Labels(), b.Labels()
+	i, j := len(al)-1, len(bl)-1
+	n := 0
+	for i >= 0 && j >= 0 && al[i] == bl[j] {
+		n++
+		i--
+		j--
+	}
+	if n == 0 {
+		return Root
+	}
+	return Name(strings.Join(al[len(al)-n:], ".") + ".")
+}
+
+// Compare orders names by their reversed label sequence (DNSSEC canonical
+// ordering), which groups zones with their parents. It returns -1, 0, or 1.
+func Compare(a, b Name) int {
+	al, bl := a.Labels(), b.Labels()
+	i, j := len(al)-1, len(bl)-1
+	for i >= 0 && j >= 0 {
+		if al[i] != bl[j] {
+			if al[i] < bl[j] {
+				return -1
+			}
+			return 1
+		}
+		i--
+		j--
+	}
+	switch {
+	case i < 0 && j < 0:
+		return 0
+	case i < 0:
+		return -1
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,206 @@
+package dnsname
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCanonicalizes(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Name
+	}{
+		{"", Root},
+		{".", Root},
+		{"GOV.BR", "gov.br."},
+		{"gov.br.", "gov.br."},
+		{"WwW.Gov.Au.", "www.gov.au."},
+		{"xn--p1ai", "xn--p1ai."},
+		{"_dmarc.gov.uk", "_dmarc.gov.uk."},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		in      string
+		wantErr error
+	}{
+		{"bad..label", ErrBadLabel},
+		{".leading.dot", ErrBadLabel},
+		{"space in.label", ErrBadLabel},
+		{"exclaim!.com", ErrBadLabel},
+		{strings.Repeat("a", 64) + ".com", ErrBadLabel},
+		{strings.Repeat("abcd.", 60) + "com", ErrTooLong},
+	}
+	for _, tt := range tests {
+		if _, err := Parse(tt.in); !errors.Is(err, tt.wantErr) {
+			t.Errorf("Parse(%q) error = %v, want %v", tt.in, err, tt.wantErr)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on invalid input")
+		}
+	}()
+	MustParse("!!")
+}
+
+func TestLevelAndLabels(t *testing.T) {
+	tests := []struct {
+		name   Name
+		level  int
+		labels int
+	}{
+		{Root, 0, 0},
+		{"br.", 1, 1},
+		{"gov.br.", 2, 2},
+		{"www.prefeitura.gov.br.", 4, 4},
+	}
+	for _, tt := range tests {
+		if got := tt.name.Level(); got != tt.level {
+			t.Errorf("%q.Level() = %d, want %d", tt.name, got, tt.level)
+		}
+		if got := len(tt.name.Labels()); got != tt.labels {
+			t.Errorf("%q.Labels() has %d labels, want %d", tt.name, got, tt.labels)
+		}
+	}
+}
+
+func TestParent(t *testing.T) {
+	tests := []struct {
+		in, want Name
+	}{
+		{"www.gov.br.", "gov.br."},
+		{"gov.br.", "br."},
+		{"br.", Root},
+		{Root, Root},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Parent(); got != tt.want {
+			t.Errorf("%q.Parent() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	tests := []struct {
+		child, parent Name
+		want          bool
+	}{
+		{"www.gov.br.", "gov.br.", true},
+		{"gov.br.", "gov.br.", true},
+		{"gov.br.", "www.gov.br.", false},
+		{"notgov.br.", "gov.br.", false},
+		{"xgov.br.", "gov.br.", false}, // suffix match must be label-aligned
+		{"anything.example.", Root, true},
+	}
+	for _, tt := range tests {
+		if got := tt.child.IsSubdomainOf(tt.parent); got != tt.want {
+			t.Errorf("%q.IsSubdomainOf(%q) = %v, want %v", tt.child, tt.parent, got, tt.want)
+		}
+	}
+	if Name("gov.br.").IsStrictSubdomainOf("gov.br.") {
+		t.Error("a name must not be a strict subdomain of itself")
+	}
+}
+
+func TestPrepend(t *testing.T) {
+	n := MustParse("gov.br")
+	child, err := n.Prepend("WWW")
+	if err != nil {
+		t.Fatalf("Prepend: %v", err)
+	}
+	if child != "www.gov.br." {
+		t.Errorf("Prepend = %q", child)
+	}
+	if _, err := n.Prepend("bad label"); err == nil {
+		t.Error("Prepend accepted a label with a space")
+	}
+	if tld := Root.MustPrepend("br"); tld != "br." {
+		t.Errorf("Prepend on root = %q, want %q", tld, "br.")
+	}
+}
+
+func TestAncestorAtLevel(t *testing.T) {
+	n := MustParse("a.b.gov.cn")
+	got, ok := n.AncestorAtLevel(2)
+	if !ok || got != "gov.cn." {
+		t.Errorf("AncestorAtLevel(2) = %q, %v", got, ok)
+	}
+	if _, ok := n.AncestorAtLevel(5); ok {
+		t.Error("AncestorAtLevel(5) should fail for a 4-label name")
+	}
+	if got, _ := n.AncestorAtLevel(4); got != n {
+		t.Errorf("AncestorAtLevel(own level) = %q, want %q", got, n)
+	}
+}
+
+func TestCommonAncestor(t *testing.T) {
+	tests := []struct {
+		a, b, want Name
+	}{
+		{"x.gov.br.", "y.gov.br.", "gov.br."},
+		{"x.gov.br.", "x.gov.cn.", Root},
+		{"a.b.c.", "b.c.", "b.c."},
+	}
+	for _, tt := range tests {
+		if got := CommonAncestor(tt.a, tt.b); got != tt.want {
+			t.Errorf("CommonAncestor(%q, %q) = %q, want %q", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare("gov.br.", "gov.br.") != 0 {
+		t.Error("Compare of equal names != 0")
+	}
+	if Compare("br.", "a.br.") != -1 {
+		t.Error("parent should sort before child")
+	}
+	if Compare("a.br.", "a.cn.") != -1 {
+		t.Error("expected br subtree before cn subtree")
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x := Name(strings.Repeat("a", int(a%5)+1) + ".example.")
+		y := Name(strings.Repeat("b", int(b%5)+1) + ".example.")
+		return Compare(x, y) == -Compare(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	// Any parsed name re-parses to itself.
+	labels := []string{"gov", "www", "ns1", "example", "br", "cn", "x_y", "a-b"}
+	f := func(i, j, k uint8) bool {
+		s := labels[int(i)%len(labels)] + "." + labels[int(j)%len(labels)] + "." + labels[int(k)%len(labels)]
+		n1, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		n2, err := Parse(n1.String())
+		return err == nil && n1 == n2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package dnswire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TypeCSYNC is the Child-to-Parent Synchronization record (RFC 7477),
+// which the paper's § V-B discusses as a remedy for parent/child
+// inconsistency: a child zone publishes which of its records the parent
+// should copy.
+const TypeCSYNC Type = 62
+
+// CSYNC flag bits (RFC 7477 § 2.1.1).
+const (
+	// CSYNCImmediate allows the parent to act without out-of-band
+	// confirmation.
+	CSYNCImmediate uint16 = 1 << 0
+	// CSYNCSOAMinimum requires the child SOA serial to be at least the
+	// CSYNC SOA serial before processing.
+	CSYNCSOAMinimum uint16 = 1 << 1
+)
+
+// CSYNCData is the RDATA of a CSYNC record: the child's SOA serial at
+// publication, processing flags, and the set of record types the parent
+// should synchronize (typically NS, A, AAAA).
+type CSYNCData struct {
+	Serial uint32
+	Flags  uint16
+	// Types is the sorted list of types to synchronize.
+	Types []Type
+}
+
+// Type implements RData.
+func (CSYNCData) Type() Type { return TypeCSYNC }
+
+// Immediate reports whether the parent may synchronize without
+// out-of-band confirmation.
+func (d CSYNCData) Immediate() bool { return d.Flags&CSYNCImmediate != 0 }
+
+// Covers reports whether t is listed for synchronization.
+func (d CSYNCData) Covers(t Type) bool {
+	for _, listed := range d.Types {
+		if listed == t {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements RData.
+func (d CSYNCData) String() string {
+	parts := make([]string, 0, len(d.Types)+2)
+	parts = append(parts, fmt.Sprint(d.Serial), fmt.Sprint(d.Flags))
+	for _, t := range d.Types {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// equal compares the type lists as sets: the wire format stores them as
+// a bitmap, so order carries no meaning.
+func (d CSYNCData) equal(o RData) bool {
+	od, ok := o.(CSYNCData)
+	if !ok || od.Serial != d.Serial || od.Flags != d.Flags || len(od.Types) != len(d.Types) {
+		return false
+	}
+	set := make(map[Type]bool, len(d.Types))
+	for _, t := range d.Types {
+		set[t] = true
+	}
+	for _, t := range od.Types {
+		if !set[t] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ RData = CSYNCData{}
+
+// encodeCSYNC serialises the RDATA: serial, flags, then an RFC 4034
+// § 4.1.2-style type bitmap.
+func (e *encoder) encodeCSYNC(d CSYNCData) error {
+	e.uint32(d.Serial)
+	e.uint16(d.Flags)
+
+	// Group types by window (high byte).
+	types := append([]Type(nil), d.Types...)
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	byWindow := make(map[byte][]Type)
+	var windows []byte
+	for _, t := range types {
+		w := byte(uint16(t) >> 8)
+		if _, seen := byWindow[w]; !seen {
+			windows = append(windows, w)
+		}
+		byWindow[w] = append(byWindow[w], t)
+	}
+	for _, w := range windows {
+		var bitmap [32]byte
+		maxOctet := 0
+		for _, t := range byWindow[w] {
+			low := byte(uint16(t) & 0xFF)
+			octet := int(low / 8)
+			bitmap[octet] |= 0x80 >> (low % 8)
+			if octet+1 > maxOctet {
+				maxOctet = octet + 1
+			}
+		}
+		e.buf = append(e.buf, w, byte(maxOctet))
+		e.buf = append(e.buf, bitmap[:maxOctet]...)
+	}
+	return nil
+}
+
+// decodeCSYNC parses a CSYNC RDATA ending at end.
+func (d *decoder) decodeCSYNC(end int) (RData, error) {
+	serial, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	data := CSYNCData{Serial: serial, Flags: flags}
+	for d.pos < end {
+		if d.pos+2 > end {
+			return nil, fmt.Errorf("%w: CSYNC bitmap header", ErrTruncatedMessage)
+		}
+		window := d.buf[d.pos]
+		length := int(d.buf[d.pos+1])
+		d.pos += 2
+		if length == 0 || length > 32 || d.pos+length > end {
+			return nil, fmt.Errorf("%w: CSYNC bitmap window %d length %d", ErrTruncatedMessage, window, length)
+		}
+		for octet := 0; octet < length; octet++ {
+			b := d.buf[d.pos+octet]
+			for bit := 0; bit < 8; bit++ {
+				if b&(0x80>>bit) != 0 {
+					data.Types = append(data.Types,
+						Type(uint16(window)<<8|uint16(octet*8+bit)))
+				}
+			}
+		}
+		d.pos += length
+	}
+	return data, nil
+}

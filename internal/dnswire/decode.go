@@ -1,0 +1,297 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"govdns/internal/dnsname"
+)
+
+// Decoding errors.
+var (
+	// ErrTruncatedMessage indicates the buffer ended before a complete
+	// message was read.
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	// ErrBadPointer indicates a compression pointer that is forward,
+	// self-referential, or forms a loop.
+	ErrBadPointer = errors.New("dnswire: bad compression pointer")
+	// ErrBadName indicates a wire-format name that does not decode to a
+	// valid domain name.
+	ErrBadName = errors.New("dnswire: bad name")
+)
+
+// decoder walks a wire-format message.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+// Decode parses a wire-format DNS message.
+func Decode(wire []byte) (*Message, error) {
+	d := &decoder{buf: wire}
+	m := &Message{}
+
+	qd, an, ns, ar, err := d.header(&m.Header)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(qd); i++ {
+		q, err := d.question()
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []struct {
+		count int
+		dst   *[]RR
+		name  string
+	}{
+		{int(an), &m.Answers, "answer"},
+		{int(ns), &m.Authority, "authority"},
+		{int(ar), &m.Additional, "additional"},
+	}
+	for _, s := range sections {
+		for i := 0; i < s.count; i++ {
+			rr, err := d.record()
+			if err != nil {
+				return nil, fmt.Errorf("%s %d: %w", s.name, i, err)
+			}
+			*s.dst = append(*s.dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func (d *decoder) header(h *Header) (qd, an, ns, ar uint16, err error) {
+	if len(d.buf) < 12 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: %d-byte header", ErrTruncatedMessage, len(d.buf))
+	}
+	h.ID = binary.BigEndian.Uint16(d.buf[0:])
+	flags := binary.BigEndian.Uint16(d.buf[2:])
+	h.Response = flags&(1<<15) != 0
+	h.Opcode = Opcode(flags >> 11 & 0xF)
+	h.Authoritative = flags&(1<<10) != 0
+	h.Truncated = flags&(1<<9) != 0
+	h.RecursionDesired = flags&(1<<8) != 0
+	h.RecursionAvailable = flags&(1<<7) != 0
+	h.RCode = RCode(flags & 0xF)
+
+	qd = binary.BigEndian.Uint16(d.buf[4:])
+	an = binary.BigEndian.Uint16(d.buf[6:])
+	ns = binary.BigEndian.Uint16(d.buf[8:])
+	ar = binary.BigEndian.Uint16(d.buf[10:])
+	d.pos = 12
+	return qd, an, ns, ar, nil
+}
+
+func (d *decoder) question() (Question, error) {
+	name, err := d.name()
+	if err != nil {
+		return Question{}, err
+	}
+	t, err := d.uint16()
+	if err != nil {
+		return Question{}, err
+	}
+	c, err := d.uint16()
+	if err != nil {
+		return Question{}, err
+	}
+	return Question{Name: name, Type: Type(t), Class: Class(c)}, nil
+}
+
+func (d *decoder) record() (RR, error) {
+	name, err := d.name()
+	if err != nil {
+		return RR{}, err
+	}
+	t, err := d.uint16()
+	if err != nil {
+		return RR{}, err
+	}
+	c, err := d.uint16()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := d.uint32()
+	if err != nil {
+		return RR{}, err
+	}
+	rdlen, err := d.uint16()
+	if err != nil {
+		return RR{}, err
+	}
+	end := d.pos + int(rdlen)
+	if end > len(d.buf) {
+		return RR{}, fmt.Errorf("%w: RDATA of %d bytes at offset %d", ErrTruncatedMessage, rdlen, d.pos)
+	}
+	data, err := d.rdata(Type(t), end)
+	if err != nil {
+		return RR{}, err
+	}
+	if d.pos != end {
+		return RR{}, fmt.Errorf("%w: RDATA for %s under-read (%d of %d bytes)",
+			ErrTruncatedMessage, Type(t), d.pos-(end-int(rdlen)), rdlen)
+	}
+	return RR{Name: name, Class: Class(c), TTL: ttl, Data: data}, nil
+}
+
+func (d *decoder) rdata(t Type, end int) (RData, error) {
+	switch t {
+	case TypeNS:
+		host, err := d.name()
+		return NSData{Host: host}, err
+	case TypeCNAME:
+		target, err := d.name()
+		return CNAMEData{Target: target}, err
+	case TypePTR:
+		target, err := d.name()
+		return PTRData{Target: target}, err
+	case TypeA:
+		if end-d.pos != 4 {
+			return nil, fmt.Errorf("%w: A RDATA of %d bytes", ErrTruncatedMessage, end-d.pos)
+		}
+		var a4 [4]byte
+		copy(a4[:], d.buf[d.pos:])
+		d.pos += 4
+		return AData{Addr: netip.AddrFrom4(a4)}, nil
+	case TypeAAAA:
+		if end-d.pos != 16 {
+			return nil, fmt.Errorf("%w: AAAA RDATA of %d bytes", ErrTruncatedMessage, end-d.pos)
+		}
+		var a16 [16]byte
+		copy(a16[:], d.buf[d.pos:])
+		d.pos += 16
+		return AAAAData{Addr: netip.AddrFrom16(a16)}, nil
+	case TypeMX:
+		pref, err := d.uint16()
+		if err != nil {
+			return nil, err
+		}
+		exch, err := d.name()
+		return MXData{Preference: pref, Exchange: exch}, err
+	case TypeTXT:
+		var strs []string
+		for d.pos < end {
+			slen := int(d.buf[d.pos])
+			d.pos++
+			if d.pos+slen > end {
+				return nil, fmt.Errorf("%w: TXT string of %d bytes", ErrTruncatedMessage, slen)
+			}
+			strs = append(strs, string(d.buf[d.pos:d.pos+slen]))
+			d.pos += slen
+		}
+		return TXTData{Strings: strs}, nil
+	case TypeSOA:
+		mname, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		rname, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		var vals [5]uint32
+		for i := range vals {
+			vals[i], err = d.uint32()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return SOAData{
+			MName: mname, RName: rname,
+			Serial: vals[0], Refresh: vals[1], Retry: vals[2],
+			Expire: vals[3], Minimum: vals[4],
+		}, nil
+	case TypeCSYNC:
+		return d.decodeCSYNC(end)
+	default:
+		raw := make([]byte, end-d.pos)
+		copy(raw, d.buf[d.pos:end])
+		d.pos = end
+		return OpaqueData{RRType: t, Bytes: raw}, nil
+	}
+}
+
+// name decodes a possibly-compressed domain name starting at d.pos,
+// leaving d.pos just past the name's in-place bytes.
+func (d *decoder) name() (dnsname.Name, error) {
+	var labels []string
+	pos := d.pos
+	followed := false // whether we have jumped through a pointer yet
+	jumps := 0
+
+	for {
+		if pos >= len(d.buf) {
+			return "", fmt.Errorf("%w: name runs past buffer", ErrTruncatedMessage)
+		}
+		b := d.buf[pos]
+		switch {
+		case b == 0:
+			if !followed {
+				d.pos = pos + 1
+			}
+			return joinLabels(labels)
+		case b&0xC0 == 0xC0:
+			if pos+1 >= len(d.buf) {
+				return "", fmt.Errorf("%w: pointer at end of buffer", ErrTruncatedMessage)
+			}
+			target := int(binary.BigEndian.Uint16(d.buf[pos:]) & 0x3FFF)
+			if target >= pos {
+				return "", fmt.Errorf("%w: forward pointer %d at offset %d", ErrBadPointer, target, pos)
+			}
+			if jumps++; jumps > 32 {
+				return "", fmt.Errorf("%w: >32 jumps", ErrBadPointer)
+			}
+			if !followed {
+				d.pos = pos + 2
+				followed = true
+			}
+			pos = target
+		case b&0xC0 != 0:
+			return "", fmt.Errorf("%w: reserved label type %#x", ErrBadName, b&0xC0)
+		default:
+			if pos+1+int(b) > len(d.buf) {
+				return "", fmt.Errorf("%w: label of %d bytes", ErrTruncatedMessage, b)
+			}
+			labels = append(labels, string(d.buf[pos+1:pos+1+int(b)]))
+			if len(labels) > 127 {
+				return "", fmt.Errorf("%w: too many labels", ErrBadName)
+			}
+			pos += 1 + int(b)
+		}
+	}
+}
+
+func joinLabels(labels []string) (dnsname.Name, error) {
+	if len(labels) == 0 {
+		return dnsname.Root, nil
+	}
+	n, err := dnsname.Parse(strings.Join(labels, "."))
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadName, err)
+	}
+	return n, nil
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	if d.pos+2 > len(d.buf) {
+		return 0, fmt.Errorf("%w: reading uint16 at %d", ErrTruncatedMessage, d.pos)
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, fmt.Errorf("%w: reading uint32 at %d", ErrTruncatedMessage, d.pos)
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}

@@ -1,0 +1,231 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"govdns/internal/dnsname"
+)
+
+// Encoding errors.
+var (
+	// ErrMessageTooLarge indicates the encoded message would exceed the
+	// 64 KiB DNS message limit even before UDP truncation.
+	ErrMessageTooLarge = errors.New("dnswire: message exceeds 64KiB")
+	// ErrBadRecord indicates a record that cannot be encoded (e.g. nil
+	// payload).
+	ErrBadRecord = errors.New("dnswire: unencodable record")
+)
+
+// encoder serialises a message with RFC 1035 §4.1.4 name compression.
+type encoder struct {
+	buf []byte
+	// offsets maps a canonical name to the offset of its first occurrence,
+	// for compression-pointer targets. Only offsets < 0x3FFF are usable.
+	offsets map[dnsname.Name]int
+}
+
+// Encode serialises m into wire format. The result may exceed
+// MaxUDPPayload; callers sending over UDP should use EncodeUDP.
+func Encode(m *Message) ([]byte, error) {
+	e := &encoder{
+		buf:     make([]byte, 0, 512),
+		offsets: make(map[dnsname.Name]int, 8),
+	}
+	if err := e.message(m); err != nil {
+		return nil, err
+	}
+	if len(e.buf) > 0xFFFF {
+		return nil, ErrMessageTooLarge
+	}
+	return e.buf, nil
+}
+
+// EncodeUDP serialises m for a UDP datagram. If the full encoding exceeds
+// MaxUDPPayload, the answer/authority/additional sections are emptied and
+// the TC bit is set, as an RFC 1035 server would.
+func EncodeUDP(m *Message) ([]byte, error) {
+	wire, err := Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	if len(wire) <= MaxUDPPayload {
+		return wire, nil
+	}
+	truncated := &Message{Header: m.Header, Questions: m.Questions}
+	truncated.Header.Truncated = true
+	return Encode(truncated)
+}
+
+func (e *encoder) message(m *Message) error {
+	e.header(m)
+	for _, q := range m.Questions {
+		if err := e.question(q); err != nil {
+			return err
+		}
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if err := e.record(rr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *encoder) header(m *Message) {
+	var flags uint16
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+
+	e.uint16(m.Header.ID)
+	e.uint16(flags)
+	e.uint16(uint16(len(m.Questions)))
+	e.uint16(uint16(len(m.Answers)))
+	e.uint16(uint16(len(m.Authority)))
+	e.uint16(uint16(len(m.Additional)))
+}
+
+func (e *encoder) question(q Question) error {
+	if err := e.name(q.Name); err != nil {
+		return err
+	}
+	e.uint16(uint16(q.Type))
+	e.uint16(uint16(q.Class))
+	return nil
+}
+
+func (e *encoder) record(rr RR) error {
+	if rr.Data == nil {
+		return fmt.Errorf("%w: nil RDATA for %q", ErrBadRecord, rr.Name)
+	}
+	if err := e.name(rr.Name); err != nil {
+		return err
+	}
+	e.uint16(uint16(rr.Type()))
+	e.uint16(uint16(rr.Class))
+	e.uint32(rr.TTL)
+
+	// Reserve RDLENGTH, encode RDATA, then patch the length in.
+	lenAt := len(e.buf)
+	e.uint16(0)
+	start := len(e.buf)
+	if err := e.rdata(rr.Data); err != nil {
+		return err
+	}
+	rdlen := len(e.buf) - start
+	if rdlen > 0xFFFF {
+		return fmt.Errorf("%w: RDATA of %q is %d bytes", ErrBadRecord, rr.Name, rdlen)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:], uint16(rdlen))
+	return nil
+}
+
+func (e *encoder) rdata(data RData) error {
+	switch d := data.(type) {
+	case NSData:
+		return e.name(d.Host)
+	case CNAMEData:
+		return e.name(d.Target)
+	case PTRData:
+		return e.name(d.Target)
+	case AData:
+		if !d.Addr.Is4() {
+			return fmt.Errorf("%w: A record with non-IPv4 address %s", ErrBadRecord, d.Addr)
+		}
+		a4 := d.Addr.As4()
+		e.buf = append(e.buf, a4[:]...)
+		return nil
+	case AAAAData:
+		if !d.Addr.Is6() || d.Addr.Is4() {
+			return fmt.Errorf("%w: AAAA record with non-IPv6 address %s", ErrBadRecord, d.Addr)
+		}
+		a16 := d.Addr.As16()
+		e.buf = append(e.buf, a16[:]...)
+		return nil
+	case MXData:
+		e.uint16(d.Preference)
+		return e.name(d.Exchange)
+	case TXTData:
+		if len(d.Strings) == 0 {
+			return fmt.Errorf("%w: TXT record with no strings", ErrBadRecord)
+		}
+		for _, s := range d.Strings {
+			if len(s) > 255 {
+				return fmt.Errorf("%w: TXT string of %d bytes", ErrBadRecord, len(s))
+			}
+			e.buf = append(e.buf, byte(len(s)))
+			e.buf = append(e.buf, s...)
+		}
+		return nil
+	case SOAData:
+		if err := e.name(d.MName); err != nil {
+			return err
+		}
+		if err := e.name(d.RName); err != nil {
+			return err
+		}
+		e.uint32(d.Serial)
+		e.uint32(d.Refresh)
+		e.uint32(d.Retry)
+		e.uint32(d.Expire)
+		e.uint32(d.Minimum)
+		return nil
+	case CSYNCData:
+		return e.encodeCSYNC(d)
+	case OpaqueData:
+		e.buf = append(e.buf, d.Bytes...)
+		return nil
+	default:
+		return fmt.Errorf("%w: unsupported RDATA type %T", ErrBadRecord, data)
+	}
+}
+
+// name encodes a domain name with compression: the longest previously
+// emitted suffix is replaced by a two-byte pointer.
+func (e *encoder) name(n dnsname.Name) error {
+	if n == "" {
+		return fmt.Errorf("%w: empty name", ErrBadRecord)
+	}
+	for !n.IsRoot() {
+		if off, ok := e.offsets[n]; ok {
+			e.uint16(0xC000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x3FFF {
+			e.offsets[n] = len(e.buf)
+		}
+		label := string(n)[:strings.IndexByte(string(n), '.')]
+		e.buf = append(e.buf, byte(len(label)))
+		e.buf = append(e.buf, label...)
+		n = n.Parent()
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+func (e *encoder) uint16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+func (e *encoder) uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}

@@ -1,0 +1,93 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+
+	"govdns/internal/dnsname"
+)
+
+// FuzzDecode drives the wire decoder with arbitrary bytes. Without -fuzz
+// it runs the seed corpus as regular tests; with
+// `go test -fuzz=FuzzDecode ./internal/dnswire` it explores further. The
+// invariants: never panic, and anything that decodes must re-encode and
+// decode again to an equal message (up to compression differences).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a healthy response, a referral, and tricky inputs.
+	msg := sampleMessage()
+	wire, err := Encode(msg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+	f.Add([]byte{0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 12})
+	query, err := Encode(NewQuery(7, "x.gov.br.", TypeNS))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(query)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Re-encode what decoded. Encoding may legitimately fail for
+		// messages whose section counts exceed what the body carried
+		// opaquely, but must not panic.
+		rewire, err := Encode(m)
+		if err != nil {
+			return
+		}
+		m2, err := Decode(rewire)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m.Header != m2.Header {
+			t.Fatalf("headers differ after round trip: %+v vs %+v", m.Header, m2.Header)
+		}
+		if len(m.Answers) != len(m2.Answers) {
+			t.Fatalf("answer counts differ: %d vs %d", len(m.Answers), len(m2.Answers))
+		}
+		for i := range m.Answers {
+			if !m.Answers[i].Equal(m2.Answers[i]) {
+				t.Fatalf("answer %d differs", i)
+			}
+		}
+	})
+}
+
+// FuzzZoneFileRoundTrip is in package zone; this companion checks that
+// name compression in Encode never produces output Decode rejects for
+// messages built from decoded-then-valid names.
+func FuzzEncodeNames(f *testing.F) {
+	f.Add([]byte("www.gov.br"), []byte("ns1.city.gov.br"))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		// Only printable ASCII inputs form candidate names.
+		if bytes.ContainsFunc(a, func(r rune) bool { return r < '!' || r > '~' }) ||
+			bytes.ContainsFunc(b, func(r rune) bool { return r < '!' || r > '~' }) {
+			return
+		}
+		nameA, errA := dnsname.Parse(string(a))
+		nameB, errB := dnsname.Parse(string(b))
+		if errA != nil || errB != nil {
+			return
+		}
+		msg := NewQuery(1, nameA, TypeNS)
+		resp := NewResponse(msg)
+		resp.Answers = []RR{{Name: nameA, Class: ClassIN, TTL: 60, Data: NSData{Host: nameB}}}
+		wire, err := Encode(resp)
+		if err != nil {
+			t.Fatalf("Encode of valid names failed: %v", err)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("Decode of own encoding failed: %v", err)
+		}
+		if got.Answers[0].Name != nameA || got.Answers[0].Data.(NSData).Host != nameB {
+			t.Fatal("names corrupted in round trip")
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"govdns/internal/dnsname"
+)
+
+// RData is the type-specific payload of a resource record.
+type RData interface {
+	// Type returns the RR type this payload belongs to.
+	Type() Type
+	// String returns the zone-file presentation of the payload.
+	String() string
+	// equal reports deep equality with another payload of the same type.
+	equal(RData) bool
+}
+
+// RR is a DNS resource record.
+type RR struct {
+	Name  dnsname.Name
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the record's type, derived from its payload. Records with a
+// nil payload report type 0.
+func (rr RR) Type() Type {
+	if rr.Data == nil {
+		return 0
+	}
+	return rr.Data.Type()
+}
+
+// String renders the record in zone-file form.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", rr.Name, rr.TTL, rr.Class, rr.Type(), rr.Data)
+}
+
+// Equal reports whether two records have the same name, class, type and
+// payload. TTL is ignored, matching RRset semantics.
+func (rr RR) Equal(other RR) bool {
+	if rr.Name != other.Name || rr.Class != other.Class || rr.Type() != other.Type() {
+		return false
+	}
+	if rr.Data == nil || other.Data == nil {
+		return rr.Data == other.Data
+	}
+	return rr.Data.equal(other.Data)
+}
+
+// NSData is the payload of an NS record.
+type NSData struct {
+	Host dnsname.Name
+}
+
+// Type implements RData.
+func (NSData) Type() Type { return TypeNS }
+
+// String implements RData.
+func (d NSData) String() string { return d.Host.String() }
+
+func (d NSData) equal(o RData) bool {
+	od, ok := o.(NSData)
+	return ok && od.Host == d.Host
+}
+
+// AData is the payload of an A record.
+type AData struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (AData) Type() Type { return TypeA }
+
+// String implements RData.
+func (d AData) String() string { return d.Addr.String() }
+
+func (d AData) equal(o RData) bool {
+	od, ok := o.(AData)
+	return ok && od.Addr == d.Addr
+}
+
+// AAAAData is the payload of an AAAA record.
+type AAAAData struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (AAAAData) Type() Type { return TypeAAAA }
+
+// String implements RData.
+func (d AAAAData) String() string { return d.Addr.String() }
+
+func (d AAAAData) equal(o RData) bool {
+	od, ok := o.(AAAAData)
+	return ok && od.Addr == d.Addr
+}
+
+// CNAMEData is the payload of a CNAME record.
+type CNAMEData struct {
+	Target dnsname.Name
+}
+
+// Type implements RData.
+func (CNAMEData) Type() Type { return TypeCNAME }
+
+// String implements RData.
+func (d CNAMEData) String() string { return d.Target.String() }
+
+func (d CNAMEData) equal(o RData) bool {
+	od, ok := o.(CNAMEData)
+	return ok && od.Target == d.Target
+}
+
+// PTRData is the payload of a PTR record.
+type PTRData struct {
+	Target dnsname.Name
+}
+
+// Type implements RData.
+func (PTRData) Type() Type { return TypePTR }
+
+// String implements RData.
+func (d PTRData) String() string { return d.Target.String() }
+
+func (d PTRData) equal(o RData) bool {
+	od, ok := o.(PTRData)
+	return ok && od.Target == d.Target
+}
+
+// MXData is the payload of an MX record.
+type MXData struct {
+	Preference uint16
+	Exchange   dnsname.Name
+}
+
+// Type implements RData.
+func (MXData) Type() Type { return TypeMX }
+
+// String implements RData.
+func (d MXData) String() string { return fmt.Sprintf("%d %s", d.Preference, d.Exchange) }
+
+func (d MXData) equal(o RData) bool {
+	od, ok := o.(MXData)
+	return ok && od == d
+}
+
+// TXTData is the payload of a TXT record (one or more character strings).
+type TXTData struct {
+	Strings []string
+}
+
+// Type implements RData.
+func (TXTData) Type() Type { return TypeTXT }
+
+// String implements RData.
+func (d TXTData) String() string {
+	parts := make([]string, len(d.Strings))
+	for i, s := range d.Strings {
+		parts[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (d TXTData) equal(o RData) bool {
+	od, ok := o.(TXTData)
+	if !ok || len(od.Strings) != len(d.Strings) {
+		return false
+	}
+	for i := range d.Strings {
+		if d.Strings[i] != od.Strings[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SOAData is the payload of an SOA record. The study's provider
+// identification inspects MName and RName.
+type SOAData struct {
+	MName   dnsname.Name
+	RName   dnsname.Name
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Type implements RData.
+func (SOAData) Type() Type { return TypeSOA }
+
+// String implements RData.
+func (d SOAData) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		d.MName, d.RName, d.Serial, d.Refresh, d.Retry, d.Expire, d.Minimum)
+}
+
+func (d SOAData) equal(o RData) bool {
+	od, ok := o.(SOAData)
+	return ok && od == d
+}
+
+// OpaqueData carries RDATA of a type the codec does not interpret.
+type OpaqueData struct {
+	RRType Type
+	Bytes  []byte
+}
+
+// Type implements RData.
+func (d OpaqueData) Type() Type { return d.RRType }
+
+// String implements RData.
+func (d OpaqueData) String() string { return fmt.Sprintf("\\# %d %x", len(d.Bytes), d.Bytes) }
+
+func (d OpaqueData) equal(o RData) bool {
+	od, ok := o.(OpaqueData)
+	if !ok || od.RRType != d.RRType || len(od.Bytes) != len(d.Bytes) {
+		return false
+	}
+	for i := range d.Bytes {
+		if d.Bytes[i] != od.Bytes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Interface compliance checks.
+var (
+	_ RData = NSData{}
+	_ RData = AData{}
+	_ RData = AAAAData{}
+	_ RData = CNAMEData{}
+	_ RData = PTRData{}
+	_ RData = MXData{}
+	_ RData = TXTData{}
+	_ RData = SOAData{}
+	_ RData = OpaqueData{}
+)

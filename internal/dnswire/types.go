@@ -1,0 +1,150 @@
+// Package dnswire implements the DNS message wire format of RFC 1035:
+// header, question and resource-record encoding and decoding, including
+// domain-name compression. It supports the record types the measurement
+// study needs (A, NS, CNAME, SOA, PTR, MX, TXT, AAAA) and degrades
+// gracefully on unknown types by carrying their RDATA opaquely.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS RR type code.
+type Type uint16
+
+// Resource record types used by the study.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	// TypeANY is the QTYPE "*" (meta query type only).
+	TypeANY Type = 255
+)
+
+// String returns the standard mnemonic for t.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeCSYNC:
+		return "CSYNC"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// ParseType maps a mnemonic back to a Type. It reports false for unknown
+// mnemonics.
+func ParseType(s string) (Type, bool) {
+	switch s {
+	case "A":
+		return TypeA, true
+	case "NS":
+		return TypeNS, true
+	case "CNAME":
+		return TypeCNAME, true
+	case "SOA":
+		return TypeSOA, true
+	case "PTR":
+		return TypePTR, true
+	case "MX":
+		return TypeMX, true
+	case "TXT":
+		return TypeTXT, true
+	case "AAAA":
+		return TypeAAAA, true
+	case "CSYNC":
+		return TypeCSYNC, true
+	case "ANY":
+		return TypeANY, true
+	default:
+		return 0, false
+	}
+}
+
+// Class is a DNS class code. Only IN is used in practice.
+type Class uint16
+
+// Classes.
+const (
+	ClassIN  Class = 1
+	ClassANY Class = 255
+)
+
+// String returns the mnemonic for c.
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes (RFC 1035 §4.1.1).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String returns the mnemonic for rc.
+func (rc RCode) String() string {
+	switch rc {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(rc))
+	}
+}
+
+// Opcode is a DNS operation code.
+type Opcode uint8
+
+// Opcodes. Only standard queries appear in the study.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeStatus Opcode = 2
+)
+
+// MaxUDPPayload is the classic DNS-over-UDP payload limit. The codec
+// truncates answers beyond this and sets the TC bit, which the resolver
+// surfaces as an error (the study's lookups all fit comfortably).
+const MaxUDPPayload = 512

@@ -1,0 +1,145 @@
+package geoip
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"govdns/internal/nettopo"
+)
+
+func buildTestDB(t *testing.T) (*DB, *nettopo.Topology, map[uint32]netip.Addr) {
+	t.Helper()
+	topo := nettopo.NewTopology()
+	addrs := make(map[uint32]netip.Addr)
+	for asn := uint32(64500); asn < 64510; asn++ {
+		topo.AddAS(asn, "Test Org "+string(rune('A'+asn-64500)))
+		addr, err := topo.AllocIP(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[asn] = addr
+	}
+	return FromTopology(topo), topo, addrs
+}
+
+func TestLookupFindsAllocatedAddresses(t *testing.T) {
+	db, _, addrs := buildTestDB(t)
+	for asn, addr := range addrs {
+		rec, err := db.Lookup(addr)
+		if err != nil {
+			t.Errorf("Lookup(%v): %v", addr, err)
+			continue
+		}
+		if rec.ASN != asn {
+			t.Errorf("Lookup(%v).ASN = %d, want %d", addr, rec.ASN, asn)
+		}
+	}
+}
+
+func TestLookupMissReturnsErrNotFound(t *testing.T) {
+	db, _, _ := buildTestDB(t)
+	for _, s := range []string{"0.0.0.1", "223.255.255.1"} {
+		if _, err := db.Lookup(netip.MustParseAddr(s)); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Lookup(%s) error = %v, want ErrNotFound", s, err)
+		}
+	}
+	if _, err := db.Lookup(netip.MustParseAddr("2001:db8::1")); !errors.Is(err, ErrNotFound) {
+		t.Error("IPv6 lookup should be ErrNotFound")
+	}
+}
+
+func TestASNConvenience(t *testing.T) {
+	db, _, addrs := buildTestDB(t)
+	for asn, addr := range addrs {
+		got, ok := db.ASN(addr)
+		if !ok || got != asn {
+			t.Errorf("ASN(%v) = %d, %v; want %d, true", addr, got, ok, asn)
+		}
+		break
+	}
+	if _, ok := db.ASN(netip.MustParseAddr("0.0.0.1")); ok {
+		t.Error("ASN returned ok for unknown address")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db, _, addrs := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	db2, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v\ncsv:\n%s", err, buf.String())
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("round trip changed range count: %d -> %d", db.Len(), db2.Len())
+	}
+	for asn, addr := range addrs {
+		rec, err := db2.Lookup(addr)
+		if err != nil || rec.ASN != asn {
+			t.Errorf("reloaded Lookup(%v) = %+v, %v; want ASN %d", addr, rec, err, asn)
+		}
+	}
+}
+
+func TestCSVQuotedOrg(t *testing.T) {
+	topo := nettopo.NewTopology()
+	topo.AddAS(1, `Quote "Inc", comma`)
+	if _, err := topo.AllocIP(1); err != nil {
+		t.Fatal(err)
+	}
+	db := FromTopology(topo)
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	rec, err := db2.Lookup(nettopo.IPv4(0x01000001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Org != `Quote "Inc", comma` {
+		t.Errorf("Org = %q", rec.Org)
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"1.0.0.0,1.0.255.255,65001",                                // missing org
+		"nope,1.0.255.255,65001,\"x\"",                             // bad start
+		"1.0.0.0,nope,65001,\"x\"",                                 // bad end
+		"1.0.0.0,1.0.255.255,notanum,\"x\"",                        // bad asn
+		"1.0.0.0,1.0.255.255,65001,unquoted",                       // bad org quoting
+		"2.0.0.0,2.0.255.255,1,\"a\"\n1.0.0.0,1.0.255.255,2,\"b\"", // unsorted
+	}
+	for _, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("ReadCSV(%q) error = %v, want ErrBadFormat", input, err)
+		}
+	}
+}
+
+func TestLookupCoversWholeRange(t *testing.T) {
+	topo := nettopo.NewTopology()
+	topo.AddAS(7, "Org")
+	if _, err := topo.AllocIP(7); err != nil {
+		t.Fatal(err)
+	}
+	db := FromTopology(topo)
+	ranges := topo.Ranges()
+	for _, v := range []uint32{ranges[0].Start, ranges[0].Start + 1000, ranges[0].End} {
+		if _, err := db.Lookup(nettopo.IPv4(v)); err != nil {
+			t.Errorf("Lookup(%v): %v", nettopo.IPv4(v), err)
+		}
+	}
+	if _, err := db.Lookup(nettopo.IPv4(ranges[0].End + 1)); err == nil {
+		t.Error("Lookup just past the range succeeded")
+	}
+}

@@ -1,0 +1,181 @@
+// Package measure implements the paper's active measurement pipeline
+// (Fig. 1): for each domain, find the authoritative servers of its
+// parent zone, ask them for the domain's NS records (the parent view P),
+// resolve every delegated nameserver to its IPv4 addresses, and query
+// each address for the domain's NS records (the child views C). Domains
+// whose delegated servers all fail are retried in a second round.
+package measure
+
+import (
+	"net/netip"
+	"sort"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+)
+
+// ServerResponse is the outcome of querying one nameserver address for
+// the domain's NS records.
+type ServerResponse struct {
+	// Host is the NS hostname the address belongs to.
+	Host dnsname.Name
+	// Addr is the queried address.
+	Addr netip.Addr
+	// OK reports whether any response arrived.
+	OK bool
+	// RCode is the response code (when OK).
+	RCode dnswire.RCode
+	// Authoritative reports the AA bit (when OK).
+	Authoritative bool
+	// NS is the NS RRset for the domain in the response's answer
+	// section, sorted.
+	NS []dnsname.Name
+	// Err describes the failure (when !OK).
+	Err string
+}
+
+// Answered reports whether the server gave an authoritative, non-empty
+// NS answer for the domain — the test for a *working* delegation.
+func (sr *ServerResponse) Answered() bool {
+	return sr.OK && sr.Authoritative && sr.RCode == dnswire.RCodeNoError && len(sr.NS) > 0
+}
+
+// DomainResult is the complete measurement record for one domain.
+type DomainResult struct {
+	// Domain is the probed name.
+	Domain dnsname.Name
+	// ParentZone is the zone holding the delegation (when discovered).
+	ParentZone dnsname.Name
+	// ParentResponded reports whether any parent-zone server responded
+	// to the NS query at all (the 115k-of-147k line in § III-B).
+	ParentResponded bool
+	// ParentNS is the parent-side NS set P, sorted. Empty with
+	// ParentResponded=true means an empty response (NXDOMAIN/NODATA) —
+	// the domain is gone from the parent.
+	ParentNS []dnsname.Name
+	// ParentAuthoritative marks delegations learned from an
+	// authoritative answer rather than a referral (parent and child
+	// served by the same host).
+	ParentAuthoritative bool
+	// Addrs maps each nameserver hostname (from P and from child
+	// answers) to its resolved IPv4 addresses. Unresolvable hosts map
+	// to nil.
+	Addrs map[dnsname.Name][]netip.Addr
+	// Servers holds one entry per queried (host, address) pair.
+	Servers []ServerResponse
+	// Rounds is 1, or 2 when the second-round retry ran.
+	Rounds int
+	// Err records a walk failure (no parent response).
+	Err string
+}
+
+// HasData reports whether the parent returned a non-empty NS set (the
+// 96k-of-115k line).
+func (r *DomainResult) HasData() bool {
+	return r.ParentResponded && len(r.ParentNS) > 0
+}
+
+// ChildNS returns the union of NS sets returned by the domain's own
+// servers (the child view C), sorted.
+func (r *DomainResult) ChildNS() []dnsname.Name {
+	seen := make(map[dnsname.Name]bool)
+	var out []dnsname.Name
+	for i := range r.Servers {
+		if !r.Servers[i].Answered() {
+			continue
+		}
+		for _, host := range r.Servers[i].NS {
+			if !seen[host] {
+				seen[host] = true
+				out = append(out, host)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return dnsname.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Responsive reports whether at least one of the domain's authoritative
+// servers answered for the domain.
+func (r *DomainResult) Responsive() bool {
+	for i := range r.Servers {
+		if r.Servers[i].Answered() {
+			return true
+		}
+	}
+	return false
+}
+
+// FullyDefective reports whether the delegation exists but none of the
+// delegated servers answers for the zone (§ IV-C).
+func (r *DomainResult) FullyDefective() bool {
+	return r.HasData() && !r.Responsive()
+}
+
+// PartiallyDefective reports whether at least one delegated server fails
+// while at least one answers. Per the paper, fully defective delegations
+// are also counted as partially defective by the per-server test; this
+// predicate is the strict "some but not all" version.
+func (r *DomainResult) PartiallyDefective() bool {
+	if !r.HasData() {
+		return false
+	}
+	defective := r.DefectiveServerHosts()
+	return len(defective) > 0 && r.Responsive()
+}
+
+// HasDefect reports whether any delegated nameserver fails to answer
+// (partial or full).
+func (r *DomainResult) HasDefect() bool {
+	return r.HasData() && len(r.DefectiveServerHosts()) > 0
+}
+
+// DefectiveServerHosts returns the parent-listed hostnames that did not
+// produce a working answer from any address: unresolvable hosts and
+// hosts whose every address timed out, refused, or answered
+// non-authoritatively.
+func (r *DomainResult) DefectiveServerHosts() []dnsname.Name {
+	answered := make(map[dnsname.Name]bool)
+	for i := range r.Servers {
+		if r.Servers[i].Answered() {
+			answered[r.Servers[i].Host] = true
+		}
+	}
+	var out []dnsname.Name
+	for _, host := range r.ParentNS {
+		if !answered[host] {
+			out = append(out, host)
+		}
+	}
+	return out
+}
+
+// AllAddrs returns the distinct resolved addresses of the domain's
+// nameservers, sorted — the IP_ns set of Table I.
+func (r *DomainResult) AllAddrs() []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	var out []netip.Addr
+	for _, addrs := range r.Addrs {
+		for _, a := range addrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// NSCount is the number of distinct delegated nameservers (|P ∪ C|);
+// the paper's replication metric uses the combined set.
+func (r *DomainResult) NSCount() int {
+	seen := make(map[dnsname.Name]bool)
+	for _, h := range r.ParentNS {
+		seen[h] = true
+	}
+	for _, h := range r.ChildNS() {
+		seen[h] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,196 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/resolver"
+)
+
+// Scanner drives the bulk measurement.
+type Scanner struct {
+	// Iterator performs delegation walks and host resolution, with
+	// shared caching across the whole scan.
+	Iterator *resolver.Iterator
+	// Concurrency bounds the number of in-flight domains. Defaults to
+	// DefaultConcurrency.
+	Concurrency int
+	// SecondRound enables the paper's retry: when a delegation exists
+	// but no delegated server responded, the domain is probed again to
+	// rule out transient failures (§ III-B).
+	SecondRound bool
+}
+
+// DefaultConcurrency is the scanner's default worker count.
+const DefaultConcurrency = 64
+
+// NewScanner builds a scanner with the paper's configuration.
+func NewScanner(it *resolver.Iterator) *Scanner {
+	return &Scanner{Iterator: it, SecondRound: true}
+}
+
+// ScanDomain measures a single domain (one Fig. 1 pipeline run,
+// including the second round when enabled).
+func (s *Scanner) ScanDomain(ctx context.Context, domain dnsname.Name) *DomainResult {
+	r := s.scanOnce(ctx, domain)
+	if s.SecondRound && r.FullyDefective() {
+		retry := s.scanOnce(ctx, domain)
+		retry.Rounds = 2
+		return retry
+	}
+	return r
+}
+
+func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResult {
+	r := &DomainResult{
+		Domain: domain,
+		Addrs:  make(map[dnsname.Name][]netip.Addr),
+		Rounds: 1,
+	}
+
+	deleg, err := s.Iterator.Delegation(ctx, domain)
+	switch {
+	case err == nil:
+		r.ParentResponded = true
+		r.ParentZone = deleg.Parent.Zone
+		r.ParentNS = deleg.Hosts()
+		r.ParentAuthoritative = deleg.Authoritative
+	case errors.Is(err, resolver.ErrNXDomain), errors.Is(err, resolver.ErrNoAnswer):
+		// The parent answered: the domain is simply gone (empty
+		// response).
+		r.ParentResponded = true
+		r.Err = err.Error()
+		return r
+	default:
+		r.Err = err.Error()
+		return r
+	}
+
+	// Resolve every delegated nameserver. Glue from the referral is
+	// authoritative enough for the parent's own view; out-of-zone hosts
+	// go through full resolution (cached across the scan).
+	glue := make(map[dnsname.Name][]netip.Addr)
+	for _, rr := range deleg.Glue {
+		if a, ok := rr.Data.(dnswire.AData); ok {
+			glue[rr.Name] = append(glue[rr.Name], a.Addr)
+		}
+	}
+	for _, host := range r.ParentNS {
+		if addrs, ok := glue[host]; ok {
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+			r.Addrs[host] = addrs
+			continue
+		}
+		addrs, err := s.Iterator.ResolveHost(ctx, host)
+		if err != nil {
+			r.Addrs[host] = nil
+			continue
+		}
+		r.Addrs[host] = addrs
+	}
+
+	// Query every address of every delegated nameserver for the
+	// domain's NS records.
+	client := s.Iterator.Client()
+	for _, host := range r.ParentNS {
+		for _, addr := range r.Addrs[host] {
+			sr := ServerResponse{Host: host, Addr: addr}
+			resp, err := client.Query(ctx, addr, domain, dnswire.TypeNS)
+			if err != nil {
+				sr.Err = err.Error()
+			} else {
+				sr.OK = true
+				sr.RCode = resp.Header.RCode
+				sr.Authoritative = resp.Header.Authoritative
+				for _, rr := range resp.AnswersOfType(dnswire.TypeNS) {
+					if rr.Name != domain {
+						continue
+					}
+					sr.NS = append(sr.NS, rr.Data.(dnswire.NSData).Host)
+				}
+				sort.Slice(sr.NS, func(i, j int) bool { return dnsname.Compare(sr.NS[i], sr.NS[j]) < 0 })
+			}
+			r.Servers = append(r.Servers, sr)
+		}
+	}
+
+	// The child may know servers the parent does not (C ⊃ P): resolve
+	// and query those too, so NSCount and consistency see the full
+	// picture.
+	s.queryChildOnlyHosts(ctx, r)
+	return r
+}
+
+// queryChildOnlyHosts resolves nameservers that appear only in child
+// answers and records their addresses (used by the diversity analysis).
+func (s *Scanner) queryChildOnlyHosts(ctx context.Context, r *DomainResult) {
+	inParent := make(map[dnsname.Name]bool, len(r.ParentNS))
+	for _, h := range r.ParentNS {
+		inParent[h] = true
+	}
+	for _, host := range r.ChildNS() {
+		if inParent[host] {
+			continue
+		}
+		if _, done := r.Addrs[host]; done {
+			continue
+		}
+		addrs, err := s.Iterator.ResolveHost(ctx, host)
+		if err != nil {
+			r.Addrs[host] = nil
+			continue
+		}
+		r.Addrs[host] = addrs
+	}
+}
+
+// Scan measures every domain in the list concurrently and returns the
+// results in input order.
+func (s *Scanner) Scan(ctx context.Context, domains []dnsname.Name) []*DomainResult {
+	workers := s.Concurrency
+	if workers <= 0 {
+		workers = DefaultConcurrency
+	}
+	if workers > len(domains) {
+		workers = len(domains)
+	}
+	results := make([]*DomainResult, len(domains))
+	if workers == 0 {
+		return results
+	}
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = s.ScanDomain(ctx, domains[idx])
+			}
+		}()
+	}
+feed:
+	for idx := range domains {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Fill any unprocessed slots (cancelled scans) with error results.
+	for i, r := range results {
+		if r == nil {
+			results[i] = &DomainResult{Domain: domains[i], Err: "scan cancelled"}
+		}
+	}
+	return results
+}

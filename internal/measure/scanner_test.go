@@ -1,0 +1,258 @@
+package measure
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/miniworld"
+	"govdns/internal/resolver"
+)
+
+func newScanner(t *testing.T) (*miniworld.World, *Scanner) {
+	t.Helper()
+	w := miniworld.Build()
+	c := resolver.NewClient(w.Net)
+	c.Timeout = 20 * time.Millisecond
+	c.Retries = 1
+	return w, NewScanner(resolver.NewIterator(c, w.Roots))
+}
+
+func scanCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestScanHealthyDomain(t *testing.T) {
+	_, s := newScanner(t)
+	r := s.ScanDomain(scanCtx(t), "city.gov.br.")
+	if !r.ParentResponded || !r.HasData() {
+		t.Fatalf("result: %+v", r)
+	}
+	if r.ParentZone != "gov.br." {
+		t.Errorf("ParentZone = %q", r.ParentZone)
+	}
+	if len(r.ParentNS) != 2 {
+		t.Fatalf("ParentNS = %v", r.ParentNS)
+	}
+	if !r.Responsive() || r.HasDefect() {
+		t.Errorf("healthy domain flagged defective: %+v", r.Servers)
+	}
+	child := r.ChildNS()
+	if len(child) != 2 || child[0] != "ns1.city.gov.br." {
+		t.Errorf("ChildNS = %v", child)
+	}
+	if r.NSCount() != 2 {
+		t.Errorf("NSCount = %d", r.NSCount())
+	}
+	if got := len(r.AllAddrs()); got != 2 {
+		t.Errorf("AllAddrs = %d", got)
+	}
+	if r.Rounds != 1 {
+		t.Errorf("Rounds = %d", r.Rounds)
+	}
+}
+
+func TestScanPartiallyLame(t *testing.T) {
+	_, s := newScanner(t)
+	r := s.ScanDomain(scanCtx(t), "lame.gov.br.")
+	if !r.PartiallyDefective() {
+		t.Fatalf("lame.gov.br not partially defective: %+v", r.Servers)
+	}
+	if r.FullyDefective() {
+		t.Error("lame.gov.br flagged fully defective")
+	}
+	bad := r.DefectiveServerHosts()
+	if len(bad) != 1 || bad[0] != "ns2.lame.gov.br." {
+		t.Errorf("DefectiveServerHosts = %v", bad)
+	}
+}
+
+func TestScanFullyLameRunsSecondRound(t *testing.T) {
+	_, s := newScanner(t)
+	r := s.ScanDomain(scanCtx(t), "dead.gov.br.")
+	if !r.FullyDefective() {
+		t.Fatalf("dead.gov.br not fully defective: %+v", r)
+	}
+	if r.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2 (second-round retry)", r.Rounds)
+	}
+	if r.Responsive() {
+		t.Error("dead domain responsive")
+	}
+}
+
+func TestScanSecondRoundDisabled(t *testing.T) {
+	_, s := newScanner(t)
+	s.SecondRound = false
+	r := s.ScanDomain(scanCtx(t), "dead.gov.br.")
+	if r.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", r.Rounds)
+	}
+}
+
+func TestScanSingleNS(t *testing.T) {
+	_, s := newScanner(t)
+	r := s.ScanDomain(scanCtx(t), "single.gov.br.")
+	if r.NSCount() != 1 {
+		t.Errorf("NSCount = %d, want 1", r.NSCount())
+	}
+	if !r.Responsive() {
+		t.Error("single.gov.br not responsive")
+	}
+}
+
+func TestScanInconsistent(t *testing.T) {
+	_, s := newScanner(t)
+	r := s.ScanDomain(scanCtx(t), "inconsistent.gov.br.")
+	if !r.HasData() {
+		t.Fatalf("no data: %+v", r)
+	}
+	p, c := r.ParentNS, r.ChildNS()
+	if len(p) != 2 || len(c) != 2 {
+		t.Fatalf("P = %v, C = %v", p, c)
+	}
+	same := len(p) == len(c)
+	for i := range p {
+		if p[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("P and C should differ: P=%v C=%v", p, c)
+	}
+	// ns-count over the union: ns1, ns2 (parent), ns3 (child).
+	if r.NSCount() != 3 {
+		t.Errorf("NSCount = %d, want 3", r.NSCount())
+	}
+}
+
+func TestScanDanglingNS(t *testing.T) {
+	_, s := newScanner(t)
+	r := s.ScanDomain(scanCtx(t), "dangling.gov.br.")
+	if !r.HasData() {
+		t.Fatalf("no data: %+v", r)
+	}
+	if !r.FullyDefective() {
+		t.Error("dangling.gov.br should be fully defective")
+	}
+	if addrs := r.Addrs["ns.gone-provider.com."]; addrs != nil {
+		t.Errorf("dangling host resolved to %v", addrs)
+	}
+}
+
+func TestScanRemovedDomain(t *testing.T) {
+	_, s := newScanner(t)
+	r := s.ScanDomain(scanCtx(t), "neverexisted.gov.br.")
+	if !r.ParentResponded {
+		t.Error("parent servers answered NXDOMAIN; ParentResponded should be true")
+	}
+	if r.HasData() {
+		t.Error("NXDOMAIN produced data")
+	}
+}
+
+func TestScanParentDead(t *testing.T) {
+	w, s := newScanner(t)
+	w.Net.Blackhole(miniworld.GovNS1Addr)
+	w.Net.Blackhole(miniworld.GovNS2Addr)
+	r := s.ScanDomain(scanCtx(t), "city.gov.br.")
+	if r.ParentResponded {
+		t.Error("ParentResponded with a dead parent zone")
+	}
+	if r.Err == "" {
+		t.Error("no error recorded")
+	}
+}
+
+func TestScanBulk(t *testing.T) {
+	_, s := newScanner(t)
+	s.Concurrency = 4
+	domains := miniworld.Domains()
+	results := s.Scan(scanCtx(t), domains)
+	if len(results) != len(domains) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		if r.Domain != domains[i] {
+			t.Errorf("result %d out of order: %s", i, r.Domain)
+		}
+	}
+	// Spot-check aggregate counts over the fixture.
+	responsive := 0
+	for _, r := range results {
+		if r.Responsive() {
+			responsive++
+		}
+	}
+	// city, lame, single, hosted, inconsistent respond; dead and
+	// dangling do not.
+	if responsive != 5 {
+		t.Errorf("responsive = %d, want 5", responsive)
+	}
+}
+
+func TestScanCancelledContext(t *testing.T) {
+	_, s := newScanner(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := s.Scan(ctx, []dnsname.Name{"city.gov.br.", "lame.gov.br."})
+	for _, r := range results {
+		if r == nil {
+			t.Fatal("nil result after cancellation")
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	_, s := newScanner(t)
+	results := s.Scan(scanCtx(t), miniworld.Domains())
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, results); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	loaded, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(loaded) != len(results) {
+		t.Fatalf("round trip changed count: %d -> %d", len(results), len(loaded))
+	}
+	for i, orig := range results {
+		got := loaded[i]
+		if got.Domain != orig.Domain || got.ParentResponded != orig.ParentResponded {
+			t.Errorf("result %d basics differ", i)
+		}
+		// Every derived predicate must survive the round trip: the
+		// analyses run identically on archived scans.
+		if got.Responsive() != orig.Responsive() ||
+			got.FullyDefective() != orig.FullyDefective() ||
+			got.PartiallyDefective() != orig.PartiallyDefective() ||
+			got.NSCount() != orig.NSCount() {
+			t.Errorf("result %d predicates differ after round trip", i)
+		}
+		if len(got.AllAddrs()) != len(orig.AllAddrs()) {
+			t.Errorf("result %d addrs differ", i)
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewReader([]byte("{oops"))); err == nil {
+		t.Error("ReadJSONL accepted garbage")
+	}
+	if _, err := ReadJSONL(bytes.NewReader([]byte(`{"domain":"x.gov.br.","addrs":{"bad..name":["1.2.3.4"]}}`))); err == nil {
+		t.Error("ReadJSONL accepted a bad hostname")
+	}
+	if _, err := ReadJSONL(bytes.NewReader([]byte(`{"domain":"x.gov.br.","addrs":{"ns1.x.gov.br.":["zap"]}}`))); err == nil {
+		t.Error("ReadJSONL accepted a bad address")
+	}
+}

@@ -1,0 +1,144 @@
+package measure
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+)
+
+// The JSONL schema mirrors what bulk scanners like zdns emit: one domain
+// result per line, self-contained, so scans can be archived and analyses
+// re-run without re-measuring.
+
+// resultJSON is the serialization shape of DomainResult.
+type resultJSON struct {
+	Domain              dnsname.Name        `json:"domain"`
+	ParentZone          dnsname.Name        `json:"parent_zone,omitempty"`
+	ParentResponded     bool                `json:"parent_responded"`
+	ParentNS            []dnsname.Name      `json:"parent_ns,omitempty"`
+	ParentAuthoritative bool                `json:"parent_aa,omitempty"`
+	Addrs               map[string][]string `json:"addrs,omitempty"`
+	Servers             []serverJSON        `json:"servers,omitempty"`
+	Rounds              int                 `json:"rounds"`
+	Err                 string              `json:"error,omitempty"`
+}
+
+type serverJSON struct {
+	Host          dnsname.Name   `json:"host"`
+	Addr          string         `json:"addr"`
+	OK            bool           `json:"ok"`
+	RCode         uint8          `json:"rcode,omitempty"`
+	Authoritative bool           `json:"aa,omitempty"`
+	NS            []dnsname.Name `json:"ns,omitempty"`
+	Err           string         `json:"error,omitempty"`
+}
+
+// WriteJSONL streams results as JSON lines.
+func WriteJSONL(w io.Writer, results []*DomainResult) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		out := resultJSON{
+			Domain:              r.Domain,
+			ParentZone:          r.ParentZone,
+			ParentResponded:     r.ParentResponded,
+			ParentNS:            r.ParentNS,
+			ParentAuthoritative: r.ParentAuthoritative,
+			Rounds:              r.Rounds,
+			Err:                 r.Err,
+		}
+		if len(r.Addrs) > 0 {
+			out.Addrs = make(map[string][]string, len(r.Addrs))
+			for host, addrs := range r.Addrs {
+				strs := make([]string, len(addrs))
+				for j, a := range addrs {
+					strs[j] = a.String()
+				}
+				sort.Strings(strs)
+				out.Addrs[string(host)] = strs
+			}
+		}
+		for _, sr := range r.Servers {
+			sj := serverJSON{
+				Host: sr.Host, OK: sr.OK, RCode: uint8(sr.RCode),
+				Authoritative: sr.Authoritative, NS: sr.NS, Err: sr.Err,
+			}
+			if sr.Addr.IsValid() {
+				sj.Addr = sr.Addr.String()
+			}
+			out.Servers = append(out.Servers, sj)
+		}
+		if err := enc.Encode(&out); err != nil {
+			return fmt.Errorf("measure: encoding result %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads results written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]*DomainResult, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var results []*DomainResult
+	line := 0
+	for dec.More() {
+		line++
+		var in resultJSON
+		if err := dec.Decode(&in); err != nil {
+			return nil, fmt.Errorf("measure: decoding result %d: %w", line, err)
+		}
+		out := &DomainResult{
+			Domain:              in.Domain,
+			ParentZone:          in.ParentZone,
+			ParentResponded:     in.ParentResponded,
+			ParentNS:            in.ParentNS,
+			ParentAuthoritative: in.ParentAuthoritative,
+			Addrs:               make(map[dnsname.Name][]netip.Addr, len(in.Addrs)),
+			Rounds:              in.Rounds,
+			Err:                 in.Err,
+		}
+		for host, strs := range in.Addrs {
+			name, err := dnsname.Parse(host)
+			if err != nil {
+				return nil, fmt.Errorf("measure: result %d host %q: %w", line, host, err)
+			}
+			var addrs []netip.Addr
+			for _, s := range strs {
+				a, err := netip.ParseAddr(s)
+				if err != nil {
+					return nil, fmt.Errorf("measure: result %d addr %q: %w", line, s, err)
+				}
+				addrs = append(addrs, a)
+			}
+			out.Addrs[name] = addrs
+		}
+		for _, sj := range in.Servers {
+			sr := ServerResponse{
+				Host: sj.Host, OK: sj.OK, RCode: dnswireRCode(sj.RCode),
+				Authoritative: sj.Authoritative, NS: sj.NS, Err: sj.Err,
+			}
+			if sj.Addr != "" {
+				a, err := netip.ParseAddr(sj.Addr)
+				if err != nil {
+					return nil, fmt.Errorf("measure: result %d server addr %q: %w", line, sj.Addr, err)
+				}
+				sr.Addr = a
+			}
+			out.Servers = append(out.Servers, sr)
+		}
+		results = append(results, out)
+	}
+	return results, nil
+}
+
+// dnswireRCode converts the serialized rcode byte back to the typed
+// value.
+func dnswireRCode(v uint8) dnswire.RCode { return dnswire.RCode(v) }

@@ -1,0 +1,273 @@
+// Package miniworld builds a small, fully hand-crafted DNS universe used
+// by tests and examples: a root, two TLDs, a government zone with children
+// exhibiting each condition the study measures (healthy, partially lame,
+// fully lame, single-NS, third-party hosted, parent/child inconsistent,
+// and dangling delegations), and a third-party provider.
+//
+// The generated world (internal/worldgen) is statistical; this package is
+// deterministic down to each record, which makes it the right substrate
+// for behavioural tests.
+package miniworld
+
+import (
+	"fmt"
+	"net/netip"
+
+	"govdns/internal/authserver"
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/simnet"
+	"govdns/internal/zone"
+)
+
+// Addresses of the fixture's servers. Exported so tests can assert
+// against exact values.
+var (
+	RootAddr        = netip.MustParseAddr("1.0.0.1")
+	TLDBrAddr       = netip.MustParseAddr("2.0.0.1")
+	TLDComAddr      = netip.MustParseAddr("2.0.1.1")
+	GovNS1Addr      = netip.MustParseAddr("3.0.0.1")
+	GovNS2Addr      = netip.MustParseAddr("3.0.1.1")
+	CityNS1Addr     = netip.MustParseAddr("4.0.0.1")
+	CityNS2Addr     = netip.MustParseAddr("4.0.1.1")
+	LameOKAddr      = netip.MustParseAddr("4.1.0.1")
+	LameDeadAddr    = netip.MustParseAddr("4.1.1.1")
+	DeadAddr        = netip.MustParseAddr("4.2.0.1")
+	SingleAddr      = netip.MustParseAddr("4.3.0.1")
+	ProviderNS1Addr = netip.MustParseAddr("5.0.0.1")
+	ProviderNS2Addr = netip.MustParseAddr("5.0.1.1")
+	IncNS1Addr      = netip.MustParseAddr("4.4.0.1")
+	IncNS3Addr      = netip.MustParseAddr("4.4.1.1")
+)
+
+// World is the assembled fixture.
+type World struct {
+	Net   *simnet.Network
+	Roots []netip.Addr
+	// Servers indexes every authoritative server by hostname.
+	Servers map[dnsname.Name]*authserver.Server
+}
+
+// rr builds an IN-class record.
+func rr(name dnsname.Name, ttl uint32, data dnswire.RData) dnswire.RR {
+	return dnswire.RR{Name: name, Class: dnswire.ClassIN, TTL: ttl, Data: data}
+}
+
+func soa(origin, mname dnsname.Name) dnswire.RR {
+	return rr(origin, 3600, dnswire.SOAData{
+		MName: mname, RName: origin.MustPrepend("hostmaster"),
+		Serial: 2021040100, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+	})
+}
+
+func ns(owner, host dnsname.Name) dnswire.RR { return rr(owner, 3600, dnswire.NSData{Host: host}) }
+
+func a(owner dnsname.Name, addr netip.Addr) dnswire.RR {
+	return rr(owner, 3600, dnswire.AData{Addr: addr})
+}
+
+// Build assembles the fixture network with a loss-free, zero-latency
+// network.
+func Build() *World {
+	return BuildWithNetwork(simnet.Config{Seed: 1})
+}
+
+// BuildWithNetwork assembles the fixture over a network with the given
+// characteristics (used by failure-injection tests).
+func BuildWithNetwork(cfg simnet.Config) *World {
+	w := &World{
+		Net:     simnet.New(cfg),
+		Roots:   []netip.Addr{RootAddr},
+		Servers: make(map[dnsname.Name]*authserver.Server),
+	}
+
+	// --- Root zone ---
+	root := zone.New(dnsname.Root)
+	root.MustAdd(soa(dnsname.Root, "a.root-servers.net."))
+	root.MustAdd(ns(dnsname.Root, "a.root-servers.net."))
+	root.MustAdd(a("a.root-servers.net.", RootAddr))
+	root.MustAdd(ns("br.", "a.dns.br."))
+	root.MustAdd(a("a.dns.br.", TLDBrAddr))
+	root.MustAdd(ns("com.", "a.gtld-servers.com."))
+	root.MustAdd(a("a.gtld-servers.com.", TLDComAddr))
+	w.serve("a.root-servers.net.", RootAddr, root)
+
+	// --- br. TLD ---
+	br := zone.New("br.")
+	br.MustAdd(soa("br.", "a.dns.br."))
+	br.MustAdd(ns("br.", "a.dns.br."))
+	br.MustAdd(a("a.dns.br.", TLDBrAddr))
+	br.MustAdd(ns("gov.br.", "ns1.gov.br."))
+	br.MustAdd(ns("gov.br.", "ns2.gov.br."))
+	br.MustAdd(a("ns1.gov.br.", GovNS1Addr))
+	br.MustAdd(a("ns2.gov.br.", GovNS2Addr))
+	w.serve("a.dns.br.", TLDBrAddr, br)
+
+	// --- com. TLD ---
+	com := zone.New("com.")
+	com.MustAdd(soa("com.", "a.gtld-servers.com."))
+	com.MustAdd(ns("com.", "a.gtld-servers.com."))
+	com.MustAdd(a("a.gtld-servers.com.", TLDComAddr))
+	com.MustAdd(ns("provider.com.", "ns1.provider.com."))
+	com.MustAdd(ns("provider.com.", "ns2.provider.com."))
+	com.MustAdd(a("ns1.provider.com.", ProviderNS1Addr))
+	com.MustAdd(a("ns2.provider.com.", ProviderNS2Addr))
+	// gone-provider.com is NOT delegated: queries yield NXDOMAIN, so
+	// dangling.gov.br's delegation is hijackable.
+	w.serve("a.gtld-servers.com.", TLDComAddr, com)
+
+	// --- gov.br. parent zone ---
+	gov := zone.New("gov.br.")
+	gov.MustAdd(soa("gov.br.", "ns1.gov.br."))
+	gov.MustAdd(ns("gov.br.", "ns1.gov.br."))
+	gov.MustAdd(ns("gov.br.", "ns2.gov.br."))
+	gov.MustAdd(a("ns1.gov.br.", GovNS1Addr))
+	gov.MustAdd(a("ns2.gov.br.", GovNS2Addr))
+
+	// healthy child: city.gov.br
+	gov.MustAdd(ns("city.gov.br.", "ns1.city.gov.br."))
+	gov.MustAdd(ns("city.gov.br.", "ns2.city.gov.br."))
+	gov.MustAdd(a("ns1.city.gov.br.", CityNS1Addr))
+	gov.MustAdd(a("ns2.city.gov.br.", CityNS2Addr))
+
+	// partially lame child: lame.gov.br (ns2 dead)
+	gov.MustAdd(ns("lame.gov.br.", "ns1.lame.gov.br."))
+	gov.MustAdd(ns("lame.gov.br.", "ns2.lame.gov.br."))
+	gov.MustAdd(a("ns1.lame.gov.br.", LameOKAddr))
+	gov.MustAdd(a("ns2.lame.gov.br.", LameDeadAddr))
+
+	// fully lame child: dead.gov.br
+	gov.MustAdd(ns("dead.gov.br.", "ns1.dead.gov.br."))
+	gov.MustAdd(a("ns1.dead.gov.br.", DeadAddr))
+
+	// single-NS child: single.gov.br
+	gov.MustAdd(ns("single.gov.br.", "ns1.single.gov.br."))
+	gov.MustAdd(a("ns1.single.gov.br.", SingleAddr))
+
+	// third-party hosted child: hosted.gov.br
+	gov.MustAdd(ns("hosted.gov.br.", "ns1.provider.com."))
+	gov.MustAdd(ns("hosted.gov.br.", "ns2.provider.com."))
+
+	// inconsistent child: parent says ns1+ns2, child says ns1+ns3.
+	gov.MustAdd(ns("inconsistent.gov.br.", "ns1.inconsistent.gov.br."))
+	gov.MustAdd(ns("inconsistent.gov.br.", "ns2.inconsistent.gov.br."))
+	gov.MustAdd(a("ns1.inconsistent.gov.br.", IncNS1Addr))
+	gov.MustAdd(a("ns2.inconsistent.gov.br.", IncNS3Addr)) // ns2 resolves to ns3's host
+
+	// dangling child: NS host under a domain that no longer exists.
+	gov.MustAdd(ns("dangling.gov.br.", "ns.gone-provider.com."))
+
+	// A CNAME'd nameserver alias, for resolver CNAME-chase tests.
+	gov.MustAdd(rr("cname-ns.gov.br.", 3600, dnswire.CNAMEData{Target: "ns1.gov.br."}))
+
+	w.serve("ns1.gov.br.", GovNS1Addr, gov)
+	w.serve("ns2.gov.br.", GovNS2Addr, gov)
+
+	// --- children ---
+	city := childZone("city.gov.br.", map[dnsname.Name]netip.Addr{
+		"ns1.city.gov.br.": CityNS1Addr,
+		"ns2.city.gov.br.": CityNS2Addr,
+	})
+	w.serve("ns1.city.gov.br.", CityNS1Addr, city)
+	w.serve("ns2.city.gov.br.", CityNS2Addr, city)
+
+	lame := childZone("lame.gov.br.", map[dnsname.Name]netip.Addr{
+		"ns1.lame.gov.br.": LameOKAddr,
+		"ns2.lame.gov.br.": LameDeadAddr,
+	})
+	w.serve("ns1.lame.gov.br.", LameOKAddr, lame)
+	deadNS := w.serve("ns2.lame.gov.br.", LameDeadAddr, lame)
+	deadNS.SetBehavior(authserver.BehaviorUnresponsive)
+
+	dead := childZone("dead.gov.br.", map[dnsname.Name]netip.Addr{
+		"ns1.dead.gov.br.": DeadAddr,
+	})
+	deadSrv := w.serve("ns1.dead.gov.br.", DeadAddr, dead)
+	deadSrv.SetBehavior(authserver.BehaviorUnresponsive)
+
+	single := childZone("single.gov.br.", map[dnsname.Name]netip.Addr{
+		"ns1.single.gov.br.": SingleAddr,
+	})
+	w.serve("ns1.single.gov.br.", SingleAddr, single)
+
+	// hosted.gov.br lives on the provider's servers.
+	hosted := zone.New("hosted.gov.br.")
+	hosted.MustAdd(soa("hosted.gov.br.", "ns1.provider.com."))
+	hosted.MustAdd(ns("hosted.gov.br.", "ns1.provider.com."))
+	hosted.MustAdd(ns("hosted.gov.br.", "ns2.provider.com."))
+	hosted.MustAdd(a("www.hosted.gov.br.", netip.MustParseAddr("192.0.2.10")))
+
+	// provider.com zone plus the hosted customer zone on both servers.
+	provider := zone.New("provider.com.")
+	provider.MustAdd(soa("provider.com.", "ns1.provider.com."))
+	provider.MustAdd(ns("provider.com.", "ns1.provider.com."))
+	provider.MustAdd(ns("provider.com.", "ns2.provider.com."))
+	provider.MustAdd(a("ns1.provider.com.", ProviderNS1Addr))
+	provider.MustAdd(a("ns2.provider.com.", ProviderNS2Addr))
+	p1 := w.serve("ns1.provider.com.", ProviderNS1Addr, provider)
+	p1.AddZone(hosted)
+	p2 := w.serve("ns2.provider.com.", ProviderNS2Addr, provider)
+	p2.AddZone(hosted)
+
+	// inconsistent.gov.br: the child's own NS set differs from the
+	// parent's (ns1 + ns3 instead of ns1 + ns2).
+	inc := zone.New("inconsistent.gov.br.")
+	inc.MustAdd(soa("inconsistent.gov.br.", "ns1.inconsistent.gov.br."))
+	inc.MustAdd(ns("inconsistent.gov.br.", "ns1.inconsistent.gov.br."))
+	inc.MustAdd(ns("inconsistent.gov.br.", "ns3.inconsistent.gov.br."))
+	inc.MustAdd(a("ns1.inconsistent.gov.br.", IncNS1Addr))
+	inc.MustAdd(a("ns3.inconsistent.gov.br.", IncNS3Addr))
+	w.serve("ns1.inconsistent.gov.br.", IncNS1Addr, inc)
+	w.serve("ns3.inconsistent.gov.br.", IncNS3Addr, inc)
+
+	return w
+}
+
+// childZone builds a simple, healthy child zone with the given NS hosts.
+func childZone(origin dnsname.Name, hosts map[dnsname.Name]netip.Addr) *zone.Zone {
+	z := zone.New(origin)
+	var first dnsname.Name
+	for h := range hosts {
+		if first == "" || dnsname.Compare(h, first) < 0 {
+			first = h
+		}
+	}
+	z.MustAdd(soa(origin, first))
+	for host, addr := range hosts {
+		z.MustAdd(ns(origin, host))
+		z.MustAdd(a(host, addr))
+	}
+	z.MustAdd(a(origin.MustPrepend("www"), netip.MustParseAddr("192.0.2.1")))
+	return z
+}
+
+// serve creates a server, attaches it at addr, and registers it.
+func (w *World) serve(hostname dnsname.Name, addr netip.Addr, z *zone.Zone) *authserver.Server {
+	s, ok := w.Servers[hostname]
+	if !ok {
+		s = authserver.New(hostname)
+		w.Servers[hostname] = s
+	}
+	s.AddZone(z)
+	w.Net.Attach(addr, s)
+	return s
+}
+
+// Domains returns the fixture's government child domains.
+func Domains() []dnsname.Name {
+	return []dnsname.Name{
+		"city.gov.br.",
+		"lame.gov.br.",
+		"dead.gov.br.",
+		"single.gov.br.",
+		"hosted.gov.br.",
+		"inconsistent.gov.br.",
+		"dangling.gov.br.",
+	}
+}
+
+// String summarises the world for examples.
+func (w *World) String() string {
+	return fmt.Sprintf("miniworld: %d server addresses, %d domains under gov.br",
+		w.Net.NumServers(), len(Domains()))
+}

@@ -1,0 +1,321 @@
+// Package pdns implements the study's substitute for Farsight's DNSDB: a
+// passive-DNS store of record sets keyed by (rrname, rrtype, rdata) with
+// first-seen/last-seen timestamps, left-hand wildcard search, time-range
+// filtering, and the 7-day stability filter from § III-C of the paper.
+//
+// The store is populated by the longitudinal world evolver
+// (internal/worldgen) and queried by the passive analyses
+// (internal/analysis): domain/nameserver growth, single-NS trends, and
+// provider adoption over 2011–2020.
+package pdns
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+)
+
+// Day is a calendar day in UTC, the store's time granularity. Farsight
+// timestamps are second-granular, but every analysis in the paper works
+// on days.
+type Day int32
+
+// DayOf converts a time to its Day.
+func DayOf(t time.Time) Day {
+	return Day(t.UTC().Unix() / 86400)
+}
+
+// Date builds a Day from a calendar date.
+func Date(year int, month time.Month, day int) Day {
+	return DayOf(time.Date(year, month, day, 0, 0, 0, 0, time.UTC))
+}
+
+// Time returns the Day's midnight UTC.
+func (d Day) Time() time.Time {
+	return time.Unix(int64(d)*86400, 0).UTC()
+}
+
+// Year returns the calendar year containing d.
+func (d Day) Year() int { return d.Time().Year() }
+
+// String formats the day as YYYY-MM-DD.
+func (d Day) String() string { return d.Time().Format("2006-01-02") }
+
+// YearRange returns the first and last Day of a calendar year.
+func YearRange(year int) (Day, Day) {
+	return Date(year, time.January, 1), Date(year, time.December, 31)
+}
+
+// RecordSet is one passive-DNS aggregate: a unique (rrname, rrtype,
+// rdata) tuple and the window over which sensors observed it.
+type RecordSet struct {
+	RRName    dnsname.Name `json:"rrname"`
+	RRType    dnswire.Type `json:"rrtype"`
+	RData     string       `json:"rdata"`
+	FirstSeen Day          `json:"time_first"`
+	LastSeen  Day          `json:"time_last"`
+	Count     uint64       `json:"count"`
+}
+
+// ActiveOn reports whether the record was observed on or around day d
+// (within its first/last-seen window).
+func (rs *RecordSet) ActiveOn(d Day) bool {
+	return rs.FirstSeen <= d && d <= rs.LastSeen
+}
+
+// Overlaps reports whether the record's window intersects [from, to].
+func (rs *RecordSet) Overlaps(from, to Day) bool {
+	return rs.FirstSeen <= to && from <= rs.LastSeen
+}
+
+// DurationDays returns the number of days in the observation window
+// (inclusive; a record seen once has duration 1).
+func (rs *RecordSet) DurationDays() int {
+	return int(rs.LastSeen-rs.FirstSeen) + 1
+}
+
+// key identifies a record set.
+type key struct {
+	name  dnsname.Name
+	rtype dnswire.Type
+	rdata string
+}
+
+// Store is the passive-DNS database. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	sets map[key]*RecordSet
+	// byName groups record-set keys by owner name for wildcard search.
+	byName map[dnsname.Name][]key
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		sets:   make(map[key]*RecordSet),
+		byName: make(map[dnsname.Name][]key),
+	}
+}
+
+// Observe records that (name, rtype, rdata) was seen on day d, creating
+// or extending the record set, and increments its observation count.
+func (s *Store) Observe(name dnsname.Name, rtype dnswire.Type, rdata string, d Day) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key{name: name, rtype: rtype, rdata: rdata}
+	rs, ok := s.sets[k]
+	if !ok {
+		rs = &RecordSet{RRName: name, RRType: rtype, RData: rdata, FirstSeen: d, LastSeen: d}
+		s.sets[k] = rs
+		s.byName[name] = append(s.byName[name], k)
+	}
+	if d < rs.FirstSeen {
+		rs.FirstSeen = d
+	}
+	if d > rs.LastSeen {
+		rs.LastSeen = d
+	}
+	rs.Count++
+}
+
+// ObserveRange records an observation window [from, to] in one call,
+// counting one observation per day.
+func (s *Store) ObserveRange(name dnsname.Name, rtype dnswire.Type, rdata string, from, to Day) {
+	if to < from {
+		from, to = to, from
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key{name: name, rtype: rtype, rdata: rdata}
+	rs, ok := s.sets[k]
+	if !ok {
+		rs = &RecordSet{RRName: name, RRType: rtype, RData: rdata, FirstSeen: from, LastSeen: to}
+		s.sets[k] = rs
+		s.byName[name] = append(s.byName[name], k)
+	}
+	if from < rs.FirstSeen {
+		rs.FirstSeen = from
+	}
+	if to > rs.LastSeen {
+		rs.LastSeen = to
+	}
+	rs.Count += uint64(to-from) + 1
+}
+
+// Len returns the number of record sets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sets)
+}
+
+// Lookup returns the record sets for an exact owner name, optionally
+// filtered by type (pass 0 or dnswire.TypeANY for all types).
+func (s *Store) Lookup(name dnsname.Name, rtype dnswire.Type) []RecordSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []RecordSet
+	for _, k := range s.byName[name] {
+		if rtype != 0 && rtype != dnswire.TypeANY && k.rtype != rtype {
+			continue
+		}
+		out = append(out, *s.sets[k])
+	}
+	sortSets(out)
+	return out
+}
+
+// WildcardSearch returns every record set whose owner name is the suffix
+// itself or below it — the DNSDB "*.suffix" left-hand wildcard search the
+// paper used to expand seed domains. Pass rtype 0 for all types.
+func (s *Store) WildcardSearch(suffix dnsname.Name, rtype dnswire.Type) []RecordSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []RecordSet
+	for name, keys := range s.byName {
+		if !name.IsSubdomainOf(suffix) {
+			continue
+		}
+		for _, k := range keys {
+			if rtype != 0 && rtype != dnswire.TypeANY && k.rtype != rtype {
+				continue
+			}
+			out = append(out, *s.sets[k])
+		}
+	}
+	sortSets(out)
+	return out
+}
+
+// Snapshot returns a copy of every record set.
+func (s *Store) Snapshot() []RecordSet {
+	return s.WildcardSearch(dnsname.Root, 0)
+}
+
+func sortSets(sets []RecordSet) {
+	sort.Slice(sets, func(i, j int) bool {
+		if c := dnsname.Compare(sets[i].RRName, sets[j].RRName); c != 0 {
+			return c < 0
+		}
+		if sets[i].RRType != sets[j].RRType {
+			return sets[i].RRType < sets[j].RRType
+		}
+		return sets[i].RData < sets[j].RData
+	})
+}
+
+// View is an immutable filtered slice of a store, the unit the analyses
+// consume.
+type View struct {
+	Sets []RecordSet
+}
+
+// NewView wraps record sets in a View.
+func NewView(sets []RecordSet) *View {
+	return &View{Sets: sets}
+}
+
+// StabilityFilterDays is the paper's threshold for separating stable
+// records from transient ones: the largest default maximum cache TTL
+// among popular resolvers (7 days).
+const StabilityFilterDays = 7
+
+// Stable returns a View containing only record sets whose observation
+// window spans at least minDays days — § III-C's filter for removing
+// transient records (misconfigurations, DDoS-protection flips, expired
+// domains). Pass StabilityFilterDays for the paper's setting.
+func (v *View) Stable(minDays int) *View {
+	out := make([]RecordSet, 0, len(v.Sets))
+	for _, rs := range v.Sets {
+		if rs.DurationDays() >= minDays {
+			out = append(out, rs)
+		}
+	}
+	return &View{Sets: out}
+}
+
+// Between returns the record sets active at any point in [from, to].
+func (v *View) Between(from, to Day) *View {
+	out := make([]RecordSet, 0, len(v.Sets))
+	for _, rs := range v.Sets {
+		if rs.Overlaps(from, to) {
+			out = append(out, rs)
+		}
+	}
+	return &View{Sets: out}
+}
+
+// OfType returns the record sets of the given type.
+func (v *View) OfType(rtype dnswire.Type) *View {
+	out := make([]RecordSet, 0, len(v.Sets))
+	for _, rs := range v.Sets {
+		if rs.RRType == rtype {
+			out = append(out, rs)
+		}
+	}
+	return &View{Sets: out}
+}
+
+// Names returns the distinct owner names in the view, sorted.
+func (v *View) Names() []dnsname.Name {
+	seen := make(map[dnsname.Name]bool)
+	var out []dnsname.Name
+	for _, rs := range v.Sets {
+		if !seen[rs.RRName] {
+			seen[rs.RRName] = true
+			out = append(out, rs.RRName)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return dnsname.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// WriteJSONL streams the store as JSON lines (one record set per line),
+// in deterministic order.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	sets := s.Snapshot()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range sets {
+		if err := enc.Encode(&sets[i]); err != nil {
+			return fmt.Errorf("pdns: encoding record set %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a store written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Store, error) {
+	s := NewStore()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	line := 0
+	for dec.More() {
+		line++
+		var rs RecordSet
+		if err := dec.Decode(&rs); err != nil {
+			return nil, fmt.Errorf("pdns: decoding record set %d: %w", line, err)
+		}
+		k := key{name: rs.RRName, rtype: rs.RRType, rdata: rs.RData}
+		if existing, ok := s.sets[k]; ok {
+			if rs.FirstSeen < existing.FirstSeen {
+				existing.FirstSeen = rs.FirstSeen
+			}
+			if rs.LastSeen > existing.LastSeen {
+				existing.LastSeen = rs.LastSeen
+			}
+			existing.Count += rs.Count
+			continue
+		}
+		copied := rs
+		s.sets[k] = &copied
+		s.byName[rs.RRName] = append(s.byName[rs.RRName], k)
+	}
+	return s, nil
+}

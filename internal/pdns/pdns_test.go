@@ -1,0 +1,217 @@
+package pdns
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"govdns/internal/dnswire"
+)
+
+func TestDayConversions(t *testing.T) {
+	d := Date(2020, time.March, 15)
+	if d.Time() != time.Date(2020, time.March, 15, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("Time() = %v", d.Time())
+	}
+	if d.Year() != 2020 {
+		t.Errorf("Year() = %d", d.Year())
+	}
+	if d.String() != "2020-03-15" {
+		t.Errorf("String() = %q", d.String())
+	}
+	if DayOf(time.Date(2020, time.March, 15, 23, 59, 0, 0, time.UTC)) != d {
+		t.Error("DayOf ignores time-of-day incorrectly")
+	}
+}
+
+func TestYearRange(t *testing.T) {
+	from, to := YearRange(2020)
+	if from.String() != "2020-01-01" || to.String() != "2020-12-31" {
+		t.Errorf("YearRange(2020) = %s..%s", from, to)
+	}
+	// 2020 is a leap year: 366 days.
+	if int(to-from)+1 != 366 {
+		t.Errorf("2020 has %d days", int(to-from)+1)
+	}
+}
+
+func TestObserveCreatesAndExtends(t *testing.T) {
+	s := NewStore()
+	d1 := Date(2015, time.June, 1)
+	d2 := Date(2015, time.June, 20)
+	d0 := Date(2015, time.May, 20)
+	s.Observe("x.gov.br.", dnswire.TypeNS, "ns1.gov.br.", d1)
+	s.Observe("x.gov.br.", dnswire.TypeNS, "ns1.gov.br.", d2)
+	s.Observe("x.gov.br.", dnswire.TypeNS, "ns1.gov.br.", d0)
+
+	sets := s.Lookup("x.gov.br.", dnswire.TypeNS)
+	if len(sets) != 1 {
+		t.Fatalf("got %d record sets", len(sets))
+	}
+	rs := sets[0]
+	if rs.FirstSeen != d0 || rs.LastSeen != d2 || rs.Count != 3 {
+		t.Errorf("record set = %+v", rs)
+	}
+	if rs.DurationDays() != 32 {
+		t.Errorf("DurationDays = %d, want 32", rs.DurationDays())
+	}
+}
+
+func TestObserveRange(t *testing.T) {
+	s := NewStore()
+	from, to := Date(2012, time.January, 1), Date(2012, time.January, 10)
+	s.ObserveRange("y.gov.br.", dnswire.TypeNS, "ns1.y.gov.br.", from, to)
+	sets := s.Lookup("y.gov.br.", dnswire.TypeNS)
+	if len(sets) != 1 || sets[0].FirstSeen != from || sets[0].LastSeen != to {
+		t.Fatalf("sets = %+v", sets)
+	}
+	if sets[0].Count != 10 {
+		t.Errorf("Count = %d, want 10", sets[0].Count)
+	}
+	// Reversed arguments are normalised.
+	s.ObserveRange("y.gov.br.", dnswire.TypeNS, "ns1.y.gov.br.", to+5, from-5)
+	sets = s.Lookup("y.gov.br.", dnswire.TypeNS)
+	if sets[0].FirstSeen != from-5 || sets[0].LastSeen != to+5 {
+		t.Errorf("after reversed range: %+v", sets[0])
+	}
+}
+
+func TestLookupFiltersByType(t *testing.T) {
+	s := NewStore()
+	d := Date(2019, time.July, 1)
+	s.Observe("x.gov.br.", dnswire.TypeNS, "ns1.gov.br.", d)
+	s.Observe("x.gov.br.", dnswire.TypeA, "192.0.2.1", d)
+	if got := len(s.Lookup("x.gov.br.", dnswire.TypeNS)); got != 1 {
+		t.Errorf("NS lookup = %d sets", got)
+	}
+	if got := len(s.Lookup("x.gov.br.", 0)); got != 2 {
+		t.Errorf("all-type lookup = %d sets", got)
+	}
+}
+
+func TestWildcardSearch(t *testing.T) {
+	s := NewStore()
+	d := Date(2020, time.February, 2)
+	s.Observe("a.gov.br.", dnswire.TypeNS, "ns1.a.gov.br.", d)
+	s.Observe("b.a.gov.br.", dnswire.TypeNS, "ns1.b.a.gov.br.", d)
+	s.Observe("c.gov.cn.", dnswire.TypeNS, "ns1.c.gov.cn.", d)
+	s.Observe("gov.br.", dnswire.TypeNS, "ns1.gov.br.", d)
+
+	got := s.WildcardSearch("gov.br.", dnswire.TypeNS)
+	if len(got) != 3 {
+		t.Fatalf("WildcardSearch(gov.br.) = %d sets, want 3", len(got))
+	}
+	for _, rs := range got {
+		if !rs.RRName.IsSubdomainOf("gov.br.") {
+			t.Errorf("out-of-scope result %q", rs.RRName)
+		}
+	}
+	if len(s.Snapshot()) != 4 {
+		t.Errorf("Snapshot = %d sets", len(s.Snapshot()))
+	}
+}
+
+func TestStableFilter(t *testing.T) {
+	s := NewStore()
+	start := Date(2020, time.May, 1)
+	// 1-day transient record vs 10-day stable record.
+	s.Observe("flaky.gov.br.", dnswire.TypeNS, "ns.ddos-shield.com.", start)
+	s.ObserveRange("steady.gov.br.", dnswire.TypeNS, "ns1.gov.br.", start, start+9)
+
+	v := NewView(s.Snapshot())
+	stable := v.Stable(StabilityFilterDays)
+	if len(stable.Sets) != 1 || stable.Sets[0].RRName != "steady.gov.br." {
+		t.Errorf("Stable sets = %+v", stable.Sets)
+	}
+	// Threshold is inclusive: exactly 7 days passes.
+	s.ObserveRange("exact.gov.br.", dnswire.TypeNS, "ns1.gov.br.", start, start+6)
+	stable = NewView(s.Snapshot()).Stable(StabilityFilterDays)
+	if len(stable.Sets) != 2 {
+		t.Errorf("inclusive threshold: %d sets, want 2", len(stable.Sets))
+	}
+}
+
+func TestViewBetweenAndOfType(t *testing.T) {
+	s := NewStore()
+	s.ObserveRange("old.gov.br.", dnswire.TypeNS, "ns1.", Date(2011, 1, 1), Date(2012, 6, 30))
+	s.ObserveRange("new.gov.br.", dnswire.TypeNS, "ns2.", Date(2019, 1, 1), Date(2020, 6, 30))
+	s.ObserveRange("new.gov.br.", dnswire.TypeA, "192.0.2.1", Date(2019, 1, 1), Date(2020, 6, 30))
+
+	v := NewView(s.Snapshot())
+	y2012from, y2012to := YearRange(2012)
+	in2012 := v.Between(y2012from, y2012to)
+	if names := in2012.Names(); len(names) != 1 || names[0] != "old.gov.br." {
+		t.Errorf("2012 names = %v", names)
+	}
+	y2020from, y2020to := YearRange(2020)
+	in2020 := v.Between(y2020from, y2020to).OfType(dnswire.TypeNS)
+	if len(in2020.Sets) != 1 || in2020.Sets[0].RData != "ns2." {
+		t.Errorf("2020 NS sets = %+v", in2020.Sets)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.ObserveRange("a.gov.br.", dnswire.TypeNS, "ns1.a.gov.br.", Date(2011, 3, 1), Date(2015, 4, 1))
+	s.Observe("b.gov.cn.", dnswire.TypeNS, "ns1.hichina.com.", Date(2020, 7, 7))
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	s2, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("round trip changed Len: %d -> %d", s.Len(), s2.Len())
+	}
+	a, b := s.Snapshot(), s2.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("record %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Error("ReadJSONL accepted garbage")
+	}
+}
+
+func TestActiveOnOverlapsProperty(t *testing.T) {
+	f := func(first, length uint16, probe int16) bool {
+		rs := RecordSet{FirstSeen: Day(first), LastSeen: Day(first) + Day(length%400)}
+		d := Day(int32(first) + int32(probe%500))
+		want := d >= rs.FirstSeen && d <= rs.LastSeen
+		if rs.ActiveOn(d) != want {
+			return false
+		}
+		// A record always overlaps its own window.
+		return rs.Overlaps(rs.FirstSeen, rs.LastSeen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	s := NewStore()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				s.Observe("x.gov.br.", dnswire.TypeNS, "ns1.gov.br.", Date(2020, 1, 1)+Day(i%30))
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	sets := s.Lookup("x.gov.br.", dnswire.TypeNS)
+	if len(sets) != 1 || sets[0].Count != 1600 {
+		t.Errorf("after concurrent observes: %+v", sets)
+	}
+}

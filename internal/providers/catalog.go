@@ -1,0 +1,196 @@
+// Package providers identifies third-party DNS service providers from
+// nameserver hostnames and SOA records, as § IV-B of the paper does: a
+// regex for Amazon's generated nameserver names, suffix matching on
+// well-known provider domains, and string matching on SOA MNAME/RNAME.
+// It also implements the paper's grouping of related nameserver domains
+// (AWS DNS, Azure DNS, Hostgator) used in Tables II and III.
+package providers
+
+import (
+	"regexp"
+	"strings"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+)
+
+// Provider is one DNS service provider.
+type Provider struct {
+	// Key is the stable identifier used in analyses ("amazon").
+	Key string
+	// Display is the label used in reports ("AWS DNS").
+	Display string
+	// Major marks the providers in the paper's Table II (providers
+	// popular among the Alexa Top 1M).
+	Major bool
+	// domains are nameserver-domain suffixes owned by the provider.
+	domains []dnsname.Name
+	// pattern optionally matches full NS hostnames (Amazon's generated
+	// names span hundreds of domains and need a regex).
+	pattern *regexp.Regexp
+}
+
+// Matches reports whether the NS hostname belongs to this provider.
+func (p *Provider) Matches(host dnsname.Name) bool {
+	if p.pattern != nil && p.pattern.MatchString(string(host)) {
+		return true
+	}
+	for _, d := range p.domains {
+		if host.IsStrictSubdomainOf(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchesSOA reports whether the SOA's MNAME or RNAME points into the
+// provider's domains.
+func (p *Provider) MatchesSOA(soa dnswire.SOAData) bool {
+	return p.Matches(soa.MName) || p.Matches(soa.RName)
+}
+
+// Catalog is an ordered provider list; earlier entries win ties.
+type Catalog struct {
+	providers []*Provider
+	suffixes  *dnsname.SuffixSet
+}
+
+// amazonPattern matches Route 53's generated nameservers, e.g.
+// ns-123.awsdns-45.com / .net / .org / .co.uk.
+var amazonPattern = regexp.MustCompile(`^ns-\d+\.awsdns-\d+\.(com|net|org|co\.uk)\.$`)
+
+// azurePattern matches Azure DNS nameservers, e.g. ns1-07.azure-dns.com.
+var azurePattern = regexp.MustCompile(`^ns\d-\d+\.azure-dns\.(com|net|org|info)\.$`)
+
+func names(raw ...string) []dnsname.Name {
+	out := make([]dnsname.Name, len(raw))
+	for i, r := range raw {
+		out[i] = dnsname.MustParse(r)
+	}
+	return out
+}
+
+// Default returns the study's provider catalog: the major providers of
+// Table II, the additional top-by-country providers of Table III, and the
+// country-local providers called out in § IV-A (gov.cn's hichina,
+// xincache, dns-diy).
+func Default() *Catalog {
+	return &Catalog{
+		providers: []*Provider{
+			{Key: "amazon", Display: "AWS DNS", Major: true, pattern: amazonPattern,
+				domains: names("awsdns-hostmaster.amazon.com")},
+			{Key: "azure", Display: "Azure DNS", Major: true, pattern: azurePattern,
+				domains: names("azure-dns.com", "azure-dns.net", "azure-dns.org", "azure-dns.info")},
+			{Key: "cloudflare", Display: "cloudflare.com", Major: true,
+				domains: names("cloudflare.com")},
+			{Key: "dnspod", Display: "DNSPod", Major: true,
+				domains: names("dnspod.net", "dnspod.com")},
+			{Key: "dnsmadeeasy", Display: "DNSMadeEasy", Major: true,
+				domains: names("dnsmadeeasy.com")},
+			{Key: "dyn", Display: "Dyn", Major: true,
+				domains: names("dynect.net", "dyn.com")},
+			{Key: "godaddy", Display: "domaincontrol.com", Major: true,
+				domains: names("domaincontrol.com")},
+			{Key: "ultradns", Display: "UltraDNS", Major: true,
+				domains: names("ultradns.net", "ultradns.org", "ultradns.info", "ultradns.biz")},
+
+			{Key: "hostgator", Display: "Hostgator",
+				domains: names("hostgator.com", "hostgator.com.br", "hostgator.mx")},
+			{Key: "websitewelcome", Display: "websitewelcome.com",
+				domains: names("websitewelcome.com")},
+			{Key: "bluehost", Display: "bluehost.com", domains: names("bluehost.com")},
+			{Key: "dreamhost", Display: "dreamhost.com", domains: names("dreamhost.com")},
+			{Key: "zoneedit", Display: "zoneedit.com", domains: names("zoneedit.com")},
+			{Key: "ixwebhosting", Display: "ixwebhosting.com", domains: names("ixwebhosting.com")},
+			{Key: "hostmonster", Display: "hostmonster.com", domains: names("hostmonster.com")},
+			{Key: "everydns", Display: "everydns.net", domains: names("everydns.net")},
+			{Key: "pipedns", Display: "pipedns.com", domains: names("pipedns.com")},
+			{Key: "stabletransit", Display: "stabletransit.com", domains: names("stabletransit.com")},
+			{Key: "digitalocean", Display: "digitalocean.com", domains: names("digitalocean.com")},
+			{Key: "microsoftonline", Display: "microsoftonline.com", domains: names("microsoftonline.com")},
+			{Key: "wixdns", Display: "wixdns.net", domains: names("wixdns.net")},
+			{Key: "cloudns", Display: "cloudns.net", domains: names("cloudns.net")},
+
+			{Key: "hichina", Display: "hichina.com", domains: names("hichina.com")},
+			{Key: "xincache", Display: "xincache.com", domains: names("xincache.com", "xincache.cn")},
+			{Key: "dnsdiy", Display: "dns-diy.com", domains: names("dns-diy.com", "dns-diy.net")},
+
+			{Key: "ovh", Display: "ovh.net", domains: names("ovh.net")},
+			{Key: "gandi", Display: "gandi.net", domains: names("gandi.net")},
+			{Key: "he", Display: "he.net", domains: names("he.net")},
+			{Key: "nsone", Display: "nsone.net", domains: names("nsone.net")},
+			{Key: "akamai", Display: "akam.net", domains: names("akam.net")},
+			{Key: "worldnic", Display: "worldnic.com", domains: names("worldnic.com")},
+			{Key: "uidns", Display: "ui-dns.com", domains: names("ui-dns.com", "ui-dns.org")},
+		},
+		suffixes: dnsname.NewSuffixSet(
+			"com", "net", "org", "info", "biz",
+			"com.br", "net.br", "com.mx", "com.tr", "co.uk", "org.uk",
+			"com.au", "net.au", "co.in", "net.in", "com.cn", "net.cn",
+			"com.ua", "com.ar", "co.th", "in.th", "co.za", "com.sg",
+		),
+	}
+}
+
+// Providers returns the catalog's providers in order.
+func (c *Catalog) Providers() []*Provider {
+	return c.providers
+}
+
+// Major returns the Table II providers.
+func (c *Catalog) Major() []*Provider {
+	var out []*Provider
+	for _, p := range c.providers {
+		if p.Major {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByKey returns the provider with the given key.
+func (c *Catalog) ByKey(key string) (*Provider, bool) {
+	for _, p := range c.providers {
+		if p.Key == key {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Identify returns the provider owning the NS hostname, if known.
+func (c *Catalog) Identify(host dnsname.Name) (*Provider, bool) {
+	for _, p := range c.providers {
+		if p.Matches(host) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// IdentifySOA returns the provider indicated by an SOA's MNAME/RNAME —
+// the fallback signal the paper uses when the NS hostname itself is a
+// vanity name.
+func (c *Catalog) IdentifySOA(soa dnswire.SOAData) (*Provider, bool) {
+	for _, p := range c.providers {
+		if p.MatchesSOA(soa) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// GroupLabel returns the paper's Table III row label for a nameserver
+// hostname: known grouped providers (AWS, Azure, Hostgator) map to their
+// group label, other known providers to their display name, and unknown
+// hosts to the registered domain of the hostname. The final return value
+// reports whether the host matched a known provider.
+func (c *Catalog) GroupLabel(host dnsname.Name) (string, bool) {
+	if p, ok := c.Identify(host); ok {
+		return p.Display, true
+	}
+	if reg, ok := c.suffixes.RegisteredDomain(host); ok {
+		return strings.TrimSuffix(reg.String(), "."), false
+	}
+	return strings.TrimSuffix(host.String(), "."), false
+}

@@ -1,0 +1,186 @@
+package remedy
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"govdns/internal/analysis"
+	"govdns/internal/measure"
+	"govdns/internal/resolver"
+	"govdns/internal/worldgen"
+)
+
+// fixture builds a small world, scans it, and returns everything the
+// remediation workflow needs.
+type fixture struct {
+	world   *worldgen.World
+	active  *worldgen.Active
+	mapper  *analysis.Mapper
+	scanner *measure.Scanner
+	results []*measure.DomainResult
+}
+
+var _fixture *fixture
+
+func buildFixture(t *testing.T) *fixture {
+	t.Helper()
+	if _fixture != nil {
+		return _fixture
+	}
+	w := worldgen.Generate(worldgen.Config{Seed: 21, Scale: 0.01})
+	active := worldgen.Build(w)
+	var countries []analysis.Country
+	for _, c := range w.Countries {
+		countries = append(countries, analysis.Country{
+			Code: c.Code, Name: c.Name, SubRegion: c.SubRegion, Suffix: c.Suffix,
+		})
+	}
+	client := resolver.NewClient(active.Net)
+	client.Timeout = 10 * time.Millisecond
+	client.Retries = 1
+	scanner := measure.NewScanner(resolver.NewIterator(client, active.Roots))
+	scanner.Concurrency = 128
+	_fixture = &fixture{
+		world:   w,
+		active:  active,
+		mapper:  analysis.NewMapper(countries),
+		scanner: scanner,
+		results: scanner.Scan(context.Background(), active.QueryList),
+	}
+	return _fixture
+}
+
+func (f *fixture) rescan() []*measure.DomainResult {
+	client := resolver.NewClient(f.active.Net)
+	client.Timeout = 10 * time.Millisecond
+	client.Retries = 1
+	scanner := measure.NewScanner(resolver.NewIterator(client, f.active.Roots))
+	scanner.Concurrency = 128
+	return scanner.Scan(context.Background(), f.active.QueryList)
+}
+
+func TestProposeFindsAllActionKinds(t *testing.T) {
+	f := buildFixture(t)
+	plan := Propose(f.results, f.mapper, f.active.Reg)
+	counts := plan.Counts()
+	if counts[ActionSyncParent] == 0 {
+		t.Error("no sync-parent actions proposed")
+	}
+	if counts[ActionRemoveStale] == 0 {
+		t.Error("no remove-stale actions proposed")
+	}
+	if counts[ActionRegistryLock] == 0 {
+		t.Error("no registry-lock advisories proposed")
+	}
+	for _, a := range plan.Actions {
+		if a.Kind == ActionSyncParent && len(a.NewNS) == 0 {
+			t.Fatalf("sync action without NS set: %+v", a)
+		}
+		if a.Kind == ActionRegistryLock && len(a.NSDomains) == 0 {
+			t.Fatalf("lock advisory without NS domains: %+v", a)
+		}
+	}
+}
+
+func TestProposeNeverAutomatesHijackableDomains(t *testing.T) {
+	f := buildFixture(t)
+	plan := Propose(f.results, f.mapper, f.active.Reg)
+	// Domains flagged for registry lock must not also receive automated
+	// actions.
+	locked := make(map[string]bool)
+	for _, a := range plan.Actions {
+		if a.Kind == ActionRegistryLock {
+			locked[string(a.Domain)] = true
+		}
+	}
+	for _, a := range plan.Actions {
+		if a.Kind != ActionRegistryLock && locked[string(a.Domain)] {
+			t.Fatalf("automated %s proposed for hijack-risk domain %s", a.Kind, a.Domain)
+		}
+	}
+}
+
+func TestApplyImprovesConsistencyAndDefects(t *testing.T) {
+	f := buildFixture(t)
+	before := analysis.Consistency(f.results, f.mapper)
+	beforeDefects := analysis.Delegations(f.results, f.mapper)
+
+	plan := Propose(f.results, f.mapper, f.active.Reg)
+	client := resolver.NewClient(f.active.Net)
+	client.Timeout = 10 * time.Millisecond
+	applier := &Applier{Active: f.active, Client: client, Force: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	outcome, err := applier.Apply(ctx, plan)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if outcome.Applied == 0 {
+		t.Fatalf("nothing applied: %+v", outcome)
+	}
+
+	after := f.rescan()
+	afterCons := analysis.Consistency(after, f.mapper)
+	afterDefects := analysis.Delegations(after, f.mapper)
+
+	if afterCons.EqualPct <= before.EqualPct {
+		t.Errorf("consistency did not improve: %.1f%% -> %.1f%%", before.EqualPct, afterCons.EqualPct)
+	}
+	if afterDefects.AnyDefectPct() >= beforeDefects.AnyDefectPct() {
+		t.Errorf("defects did not drop: %.1f%% -> %.1f%%",
+			beforeDefects.AnyDefectPct(), afterDefects.AnyDefectPct())
+	}
+	// Forced remediation should push consistency well above 90%.
+	if afterCons.EqualPct < 90 {
+		t.Errorf("post-remediation consistency only %.1f%%", afterCons.EqualPct)
+	}
+}
+
+func TestApplyWithoutForceHonoursCSYNC(t *testing.T) {
+	// A fresh world so the previous test's mutations don't interfere.
+	w := worldgen.Generate(worldgen.Config{Seed: 33, Scale: 0.005})
+	active := worldgen.Build(w)
+	var countries []analysis.Country
+	for _, c := range w.Countries {
+		countries = append(countries, analysis.Country{
+			Code: c.Code, Name: c.Name, SubRegion: c.SubRegion, Suffix: c.Suffix,
+		})
+	}
+	mapper := analysis.NewMapper(countries)
+	client := resolver.NewClient(active.Net)
+	client.Timeout = 10 * time.Millisecond
+	client.Retries = 1
+	scanner := measure.NewScanner(resolver.NewIterator(client, active.Roots))
+	scanner.Concurrency = 128
+	results := scanner.Scan(context.Background(), active.QueryList)
+
+	plan := Propose(results, mapper, active.Reg)
+	applier := &Applier{Active: active, Client: client}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	outcome, err := applier.Apply(ctx, plan)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// Roughly a third of children publish no immediate CSYNC, and
+	// partial-shared inconsistencies have no CSYNC at all: some actions
+	// must be deferred to out-of-band handling.
+	if outcome.NeedsOutOfBand == 0 {
+		t.Errorf("expected some out-of-band deferrals: %+v", outcome)
+	}
+	if outcome.Applied == 0 {
+		t.Errorf("expected some CSYNC-immediate applications: %+v", outcome)
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	if ActionSyncParent.String() != "sync-parent" ||
+		ActionRemoveStale.String() != "remove-stale" ||
+		ActionRegistryLock.String() != "registry-lock" {
+		t.Error("action mnemonics wrong")
+	}
+	if ActionKind(99).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}

@@ -1,0 +1,191 @@
+// Package resolver implements the DNS query client used by the
+// measurement pipeline: single-server queries with retries and timeouts,
+// and full iterative resolution from root hints (referral chasing, glue
+// handling, out-of-bailiwick nameserver resolution with caching).
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+)
+
+// Transport carries wire-format DNS messages to a server address. It is
+// implemented by simnet.Network (in-memory) and authserver.UDPTransport
+// (real sockets).
+type Transport interface {
+	Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error)
+}
+
+// Client errors.
+var (
+	// ErrTimeout indicates no response was received after all retries.
+	// A server that times out for a zone is the defining signal of a
+	// defective (lame) delegation.
+	ErrTimeout = errors.New("resolver: query timed out")
+	// ErrMismatch indicates a response whose ID or question does not
+	// match the query.
+	ErrMismatch = errors.New("resolver: response mismatch")
+	// ErrTruncated indicates a response with the TC bit set. The study's
+	// NS lookups fit in 512 bytes, so truncation signals something wrong
+	// rather than a need for TCP fallback.
+	ErrTruncated = errors.New("resolver: response truncated")
+)
+
+// Defaults for Client fields left zero.
+const (
+	DefaultTimeout = 500 * time.Millisecond
+	DefaultRetries = 2
+)
+
+// Client sends DNS queries to explicit server addresses.
+type Client struct {
+	// Transport carries the messages. Required.
+	Transport Transport
+	// Timeout bounds each individual attempt. Defaults to
+	// DefaultTimeout.
+	Timeout time.Duration
+	// Retries is the number of additional attempts after the first
+	// times out. Defaults to DefaultRetries. Non-timeout errors
+	// (e.g. FORMERR responses) are returned immediately.
+	Retries int
+
+	nextID atomic.Uint32
+
+	// Load accounting (§ III-D: the paper tracked and limited the load
+	// its measurements placed on operators).
+	sent       atomic.Uint64
+	received   atomic.Uint64
+	timeouts   atomic.Uint64
+	mismatches atomic.Uint64
+}
+
+// Stats is a snapshot of the client's query-load counters.
+type Stats struct {
+	// Sent counts query attempts put on the wire (retries included).
+	Sent uint64
+	// Received counts validated responses.
+	Received uint64
+	// Timeouts counts attempts that got no answer.
+	Timeouts uint64
+	// Mismatches counts responses rejected by validation.
+	Mismatches uint64
+}
+
+// Stats returns the current counter snapshot.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Sent:       c.sent.Load(),
+		Received:   c.received.Load(),
+		Timeouts:   c.timeouts.Load(),
+		Mismatches: c.mismatches.Load(),
+	}
+}
+
+// NewClient returns a client over t with default timeout and retries.
+func NewClient(t Transport) *Client {
+	return &Client{Transport: t}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return DefaultRetries
+}
+
+// Query sends (name, qtype) to the server and returns the decoded,
+// validated response. Timeouts are retried up to c.Retries times; the
+// returned error wraps ErrTimeout when every attempt timed out.
+func (c *Client) Query(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	attempts := 1 + c.retries()
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := c.attempt(ctx, server, name, qtype)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// Only timeouts are worth retrying; anything else (a decoded
+		// but mismatched response, a transport failure that is not a
+		// deadline) is deterministic.
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTimeout) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: %s %s @%s after %d attempts: %v",
+		ErrTimeout, name, qtype, server, attempts, lastErr)
+}
+
+func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	id := uint16(c.nextID.Add(1))
+	query := dnswire.NewQuery(id, name, qtype)
+	wire, err := dnswire.Encode(query)
+	if err != nil {
+		return nil, fmt.Errorf("resolver: encoding query: %w", err)
+	}
+
+	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	c.sent.Add(1)
+	respWire, err := c.Transport.Exchange(attemptCtx, server, wire)
+	if err != nil {
+		c.timeouts.Add(1)
+		if attemptCtx.Err() != nil && ctx.Err() == nil {
+			return nil, fmt.Errorf("%w: attempt deadline: %v", context.DeadlineExceeded, err)
+		}
+		return nil, err
+	}
+	resp, err := dnswire.Decode(respWire)
+	if err != nil {
+		c.mismatches.Add(1)
+		return nil, fmt.Errorf("resolver: decoding response: %w", err)
+	}
+	if err := validate(query, resp); err != nil {
+		c.mismatches.Add(1)
+		return nil, err
+	}
+	if resp.Header.Truncated {
+		c.mismatches.Add(1)
+		return nil, fmt.Errorf("%w: %s %s @%s", ErrTruncated, name, qtype, server)
+	}
+	c.received.Add(1)
+	return resp, nil
+}
+
+// validate checks the response against its query per classic resolver
+// rules: matching ID, QR set, matching question.
+func validate(query, resp *dnswire.Message) error {
+	if resp.Header.ID != query.Header.ID {
+		return fmt.Errorf("%w: id %d != %d", ErrMismatch, resp.Header.ID, query.Header.ID)
+	}
+	if !resp.Header.Response {
+		return fmt.Errorf("%w: QR bit clear", ErrMismatch)
+	}
+	if len(resp.Questions) > 0 {
+		got, want := resp.Questions[0], query.Questions[0]
+		if got.Name != want.Name || got.Type != want.Type || got.Class != want.Class {
+			return fmt.Errorf("%w: question %v != %v", ErrMismatch, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+)
+
+// Iterator errors.
+var (
+	// ErrNXDomain indicates the name does not exist.
+	ErrNXDomain = errors.New("resolver: NXDOMAIN")
+	// ErrNoServers indicates resolution could not proceed because no
+	// nameserver address for the next zone could be obtained — every
+	// server lame, or glue missing and unresolvable.
+	ErrNoServers = errors.New("resolver: no reachable nameservers")
+	// ErrDepth indicates the referral or alias chain exceeded the
+	// iterator's depth limit (a cyclic dependency, usually).
+	ErrDepth = errors.New("resolver: resolution depth exceeded")
+	// ErrNoAnswer indicates resolution completed but yielded no usable
+	// records (e.g. NODATA).
+	ErrNoAnswer = errors.New("resolver: no answer")
+)
+
+const maxDepth = 12
+
+// ZoneServers describes the authoritative server set of one zone as
+// discovered during iteration.
+type ZoneServers struct {
+	// Zone is the apex of the zone.
+	Zone dnsname.Name
+	// Hosts are the NS hostnames, sorted.
+	Hosts []dnsname.Name
+	// Addrs maps each NS hostname to its IPv4 addresses (from glue or
+	// explicit resolution). Hosts that could not be resolved map to nil.
+	Addrs map[dnsname.Name][]netip.Addr
+}
+
+// AllAddrs returns the union of all server addresses, sorted.
+func (zs *ZoneServers) AllAddrs() []netip.Addr {
+	var out []netip.Addr
+	seen := make(map[netip.Addr]bool)
+	for _, addrs := range zs.Addrs {
+		for _, a := range addrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Delegation is the result of walking the delegation chain to a domain:
+// the parent zone's servers and the NS records they return for the
+// domain. This is steps (1)-(2) of the paper's Fig. 1 measurement.
+type Delegation struct {
+	// Parent describes the zone that holds the delegation.
+	Parent ZoneServers
+	// NSRecords are the domain's NS records as seen from the parent
+	// side (the paper's set P).
+	NSRecords []dnswire.RR
+	// Glue holds A records provided alongside the delegation.
+	Glue []dnswire.RR
+	// Authoritative is true when the parent-side server answered with
+	// the AA bit — it hosts the child zone too, so no referral occurs.
+	Authoritative bool
+}
+
+// Hosts returns the delegated NS hostnames, sorted and deduplicated.
+func (d *Delegation) Hosts() []dnsname.Name {
+	return nsHosts(d.NSRecords)
+}
+
+func nsHosts(records []dnswire.RR) []dnsname.Name {
+	seen := make(map[dnsname.Name]bool, len(records))
+	var out []dnsname.Name
+	for _, rr := range records {
+		ns, ok := rr.Data.(dnswire.NSData)
+		if !ok || seen[ns.Host] {
+			continue
+		}
+		seen[ns.Host] = true
+		out = append(out, ns.Host)
+	}
+	sort.Slice(out, func(i, j int) bool { return dnsname.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Iterator performs iterative resolution from root hints. It caches
+// discovered zone-server sets and host addresses, which is what makes
+// bulk scans over a hundred thousand domains tractable: provider
+// nameservers shared by thousands of domains are resolved once.
+type Iterator struct {
+	client *Client
+	roots  []netip.Addr
+
+	mu        sync.Mutex
+	hostCache map[dnsname.Name][]netip.Addr
+	zoneCache map[dnsname.Name]*ZoneServers
+}
+
+// NewIterator creates an iterator over client starting from the given
+// root server addresses.
+func NewIterator(client *Client, roots []netip.Addr) *Iterator {
+	it := &Iterator{
+		client:    client,
+		roots:     append([]netip.Addr(nil), roots...),
+		hostCache: make(map[dnsname.Name][]netip.Addr),
+		zoneCache: make(map[dnsname.Name]*ZoneServers),
+	}
+	rootZS := &ZoneServers{Zone: dnsname.Root, Addrs: map[dnsname.Name][]netip.Addr{}}
+	for i, addr := range it.roots {
+		host := dnsname.MustParse(fmt.Sprintf("%c.root-servers.net", 'a'+i))
+		rootZS.Hosts = append(rootZS.Hosts, host)
+		rootZS.Addrs[host] = []netip.Addr{addr}
+	}
+	it.zoneCache[dnsname.Root] = rootZS
+	return it
+}
+
+// Client returns the underlying query client.
+func (it *Iterator) Client() *Client { return it.client }
+
+// cachedZone returns the deepest cached zone at or above name.
+func (it *Iterator) cachedZone(name dnsname.Name) *ZoneServers {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	for cur := name; ; cur = cur.Parent() {
+		if zs, ok := it.zoneCache[cur]; ok {
+			return zs
+		}
+		if cur.IsRoot() {
+			// Root is always cached at construction.
+			return it.zoneCache[dnsname.Root]
+		}
+	}
+}
+
+func (it *Iterator) storeZone(zs *ZoneServers) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	it.zoneCache[zs.Zone] = zs
+}
+
+// Delegation walks the delegation chain from the root to name and returns
+// the parent-zone view of name's delegation. It fails with ErrNXDomain if
+// some ancestor denies the name's existence, and ErrNoServers if the
+// chain cannot be followed.
+func (it *Iterator) Delegation(ctx context.Context, name dnsname.Name) (*Delegation, error) {
+	return it.delegation(ctx, name, 0)
+}
+
+func (it *Iterator) delegation(ctx context.Context, name dnsname.Name, depth int) (*Delegation, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("%w: walking to %s", ErrDepth, name)
+	}
+	current := it.cachedZone(name)
+	if current.Zone == name {
+		// We need the *parent* view; restart one level up from cache.
+		current = it.cachedZone(name.Parent())
+		if current.Zone == name {
+			current = it.cachedZone(dnsname.Root)
+		}
+	}
+
+	for step := 0; step < maxDepth; step++ {
+		resp, _, err := it.queryAny(ctx, current, name, dnswire.TypeNS, depth)
+		if err != nil {
+			return nil, fmt.Errorf("querying servers of %q for %q: %w", current.Zone, name, err)
+		}
+		switch {
+		case resp.Header.RCode == dnswire.RCodeNXDomain:
+			return nil, fmt.Errorf("%w: %s (denied by %s)", ErrNXDomain, name, current.Zone)
+		case resp.Header.RCode != dnswire.RCodeNoError:
+			return nil, fmt.Errorf("%w: %s returned %s for %s", ErrNoServers, current.Zone, resp.Header.RCode, name)
+		}
+
+		// Authoritative NS answer: the queried server hosts a zone
+		// containing name (possibly name's own zone when parent and
+		// child share servers).
+		if ansNS := resp.AnswersOfType(dnswire.TypeNS); resp.Header.Authoritative && len(ansNS) > 0 {
+			return &Delegation{
+				Parent:        *current,
+				NSRecords:     ansNS,
+				Glue:          resp.AdditionalOfType(dnswire.TypeA),
+				Authoritative: true,
+			}, nil
+		}
+
+		if resp.IsReferral() {
+			authNS := resp.AuthorityOfType(dnswire.TypeNS)
+			owner := authNS[0].Name
+			if owner == name {
+				return &Delegation{
+					Parent:    *current,
+					NSRecords: authNS,
+					Glue:      resp.AdditionalOfType(dnswire.TypeA),
+				}, nil
+			}
+			// Intermediate zone cut: build its server set and descend.
+			next, err := it.zoneFromReferral(ctx, owner, authNS, resp.AdditionalOfType(dnswire.TypeA), depth)
+			if err != nil {
+				return nil, err
+			}
+			it.storeZone(next)
+			current = next
+			continue
+		}
+
+		// NODATA for NS at an intermediate server: name exists but has
+		// no delegation visible here. Give up with ErrNoAnswer so
+		// callers can distinguish it from lameness.
+		return nil, fmt.Errorf("%w: no NS for %s at %s", ErrNoAnswer, name, current.Zone)
+	}
+	return nil, fmt.Errorf("%w: referral chain too long for %s", ErrDepth, name)
+}
+
+// zoneFromReferral builds the server set of a zone from referral records,
+// resolving out-of-bailiwick hosts that lack glue.
+func (it *Iterator) zoneFromReferral(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
+	zs := &ZoneServers{
+		Zone:  zoneName,
+		Hosts: nsHosts(nsRecords),
+		Addrs: make(map[dnsname.Name][]netip.Addr, len(nsRecords)),
+	}
+	glueByHost := make(map[dnsname.Name][]netip.Addr)
+	for _, rr := range glue {
+		if a, ok := rr.Data.(dnswire.AData); ok {
+			glueByHost[rr.Name] = append(glueByHost[rr.Name], a.Addr)
+		}
+	}
+	anyAddr := false
+	for _, host := range zs.Hosts {
+		if addrs, ok := glueByHost[host]; ok {
+			zs.Addrs[host] = addrs
+			anyAddr = true
+			continue
+		}
+		addrs, err := it.resolveHost(ctx, host, depth+1)
+		if err != nil {
+			zs.Addrs[host] = nil
+			continue
+		}
+		zs.Addrs[host] = addrs
+		anyAddr = true
+	}
+	if !anyAddr {
+		return nil, fmt.Errorf("%w: zone %s has no resolvable nameservers", ErrNoServers, zoneName)
+	}
+	return zs, nil
+}
+
+// ResolveHost returns IPv4 addresses for host via full iterative
+// resolution, using the cache.
+func (it *Iterator) ResolveHost(ctx context.Context, host dnsname.Name) ([]netip.Addr, error) {
+	return it.resolveHost(ctx, host, 0)
+}
+
+func (it *Iterator) resolveHost(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
+	it.mu.Lock()
+	if addrs, ok := it.hostCache[host]; ok {
+		it.mu.Unlock()
+		if addrs == nil {
+			return nil, fmt.Errorf("%w: cached failure for %s", ErrNoServers, host)
+		}
+		return addrs, nil
+	}
+	it.mu.Unlock()
+
+	addrs, err := it.lookup(ctx, host, depth)
+	it.mu.Lock()
+	if err == nil {
+		it.hostCache[host] = addrs
+	} else {
+		// Negative-cache resolution failures: bulk scans would
+		// otherwise re-walk broken chains thousands of times.
+		it.hostCache[host] = nil
+	}
+	it.mu.Unlock()
+	return addrs, err
+}
+
+// lookup iteratively resolves host's A records.
+func (it *Iterator) lookup(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("%w: resolving %s", ErrDepth, host)
+	}
+	current := it.cachedZone(host)
+	for step := 0; step < maxDepth; step++ {
+		resp, _, err := it.queryAny(ctx, current, host, dnswire.TypeA, depth)
+		if err != nil {
+			return nil, fmt.Errorf("resolving %q via %q: %w", host, current.Zone, err)
+		}
+		switch {
+		case resp.Header.RCode == dnswire.RCodeNXDomain:
+			return nil, fmt.Errorf("%w: %s", ErrNXDomain, host)
+		case resp.Header.RCode != dnswire.RCodeNoError:
+			return nil, fmt.Errorf("%w: %s for %s", ErrNoServers, resp.Header.RCode, host)
+		}
+		if answers := resp.AnswersOfType(dnswire.TypeA); len(answers) > 0 {
+			addrs := make([]netip.Addr, 0, len(answers))
+			for _, rr := range answers {
+				if rr.Name != host {
+					continue
+				}
+				addrs = append(addrs, rr.Data.(dnswire.AData).Addr)
+			}
+			if len(addrs) > 0 {
+				sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+				return addrs, nil
+			}
+		}
+		// CNAME chase.
+		if cnames := resp.AnswersOfType(dnswire.TypeCNAME); len(cnames) > 0 {
+			target := cnames[0].Data.(dnswire.CNAMEData).Target
+			return it.resolveHost(ctx, target, depth+1)
+		}
+		if resp.IsReferral() {
+			authNS := resp.AuthorityOfType(dnswire.TypeNS)
+			next, err := it.zoneFromReferral(ctx, authNS[0].Name, authNS, resp.AdditionalOfType(dnswire.TypeA), depth)
+			if err != nil {
+				return nil, err
+			}
+			it.storeZone(next)
+			current = next
+			continue
+		}
+		return nil, fmt.Errorf("%w: %s has no A records", ErrNoAnswer, host)
+	}
+	return nil, fmt.Errorf("%w: referral chain too long for %s", ErrDepth, host)
+}
+
+// queryAny asks the zone's servers in order until one responds. Lame
+// servers are skipped; if all are lame the last error is returned.
+func (it *Iterator) queryAny(ctx context.Context, zs *ZoneServers, name dnsname.Name, qtype dnswire.Type, depth int) (*dnswire.Message, netip.Addr, error) {
+	var lastErr error
+	tried := false
+	for _, host := range zs.Hosts {
+		addrs := zs.Addrs[host]
+		if addrs == nil && !host.IsSubdomainOf(zs.Zone) {
+			// Out-of-bailiwick host that wasn't resolved when the zone
+			// was cached; try now (it may have been a transient miss).
+			var err error
+			addrs, err = it.resolveHost(ctx, host, depth+1)
+			if err != nil {
+				continue
+			}
+		}
+		for _, addr := range addrs {
+			tried = true
+			resp, err := it.client.Query(ctx, addr, name, qtype)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if resp.Header.RCode == dnswire.RCodeServFail || resp.Header.RCode == dnswire.RCodeRefused {
+				lastErr = fmt.Errorf("%w: %s from %s", ErrNoServers, resp.Header.RCode, addr)
+				continue
+			}
+			return resp, addr, nil
+		}
+	}
+	if !tried {
+		return nil, netip.Addr{}, fmt.Errorf("%w: zone %s", ErrNoServers, zs.Zone)
+	}
+	return nil, netip.Addr{}, lastErr
+}

@@ -1,0 +1,80 @@
+package resolver
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// RateLimit wraps a transport with a global token-bucket limiter, the
+// § III-D courtesy the paper applied to its measurements ("we also
+// limited the rate of our queries"). qps bounds the long-run query rate;
+// burst extra queries may pass back-to-back before pacing kicks in.
+// A qps of zero or less returns the transport unchanged.
+func RateLimit(t Transport, qps float64, burst int) Transport {
+	if qps <= 0 {
+		return t
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimited{
+		inner:    t,
+		interval: time.Duration(float64(time.Second) / qps),
+		tokens:   float64(burst),
+		burst:    float64(burst),
+		last:     time.Now(),
+	}
+}
+
+// rateLimited is a token bucket: tokens refill at 1/interval and each
+// exchange spends one, waiting when the bucket is empty.
+type rateLimited struct {
+	inner    Transport
+	interval time.Duration
+
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	last   time.Time
+}
+
+// Exchange implements Transport.
+func (r *rateLimited) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	if err := r.wait(ctx); err != nil {
+		return nil, err
+	}
+	return r.inner.Exchange(ctx, server, query)
+}
+
+func (r *rateLimited) wait(ctx context.Context) error {
+	r.mu.Lock()
+	now := time.Now()
+	r.tokens += float64(now.Sub(r.last)) / float64(r.interval)
+	if r.tokens > r.burst {
+		r.tokens = r.burst
+	}
+	r.last = now
+	if r.tokens >= 1 {
+		r.tokens--
+		r.mu.Unlock()
+		return nil
+	}
+	// Reserve the next token by going into debt, and sleep until the
+	// refill covers it; concurrent waiters queue up behind the debt.
+	r.tokens--
+	delay := time.Duration(-r.tokens * float64(r.interval))
+	r.mu.Unlock()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+var _ Transport = (*rateLimited)(nil)

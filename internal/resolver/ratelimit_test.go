@@ -1,0 +1,78 @@
+package resolver
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"govdns/internal/dnswire"
+	"govdns/internal/miniworld"
+)
+
+func TestRateLimitPacesQueries(t *testing.T) {
+	w := miniworld.Build()
+	limited := RateLimit(w.Net, 100, 1) // 100 qps, no burst headroom
+	c := NewClient(limited)
+	c.Timeout = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := c.Query(ctx, miniworld.GovNS1Addr, "gov.br.", dnswire.TypeNS); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 12 queries at 100 qps need >= ~110ms (first is free).
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("%d queries in %v; rate limit not applied", n, elapsed)
+	}
+}
+
+func TestRateLimitBurst(t *testing.T) {
+	w := miniworld.Build()
+	limited := RateLimit(w.Net, 10, 8) // slow rate but a burst allowance
+	c := NewClient(limited)
+	c.Timeout = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		if _, err := c.Query(ctx, miniworld.GovNS1Addr, "gov.br.", dnswire.TypeNS); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("burst of 8 took %v; burst allowance not honoured", elapsed)
+	}
+}
+
+func TestRateLimitZeroDisables(t *testing.T) {
+	w := miniworld.Build()
+	if got := RateLimit(w.Net, 0, 5); got != Transport(w.Net) {
+		t.Error("qps <= 0 should return the transport unchanged")
+	}
+}
+
+func TestRateLimitHonoursCancellation(t *testing.T) {
+	w := miniworld.Build()
+	limited := RateLimit(w.Net, 0.5, 1) // one query per 2s
+	c := NewClient(limited)
+	c.Timeout = 5 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+
+	// First query consumes the token; the second must give up on ctx.
+	_, _ = c.Query(ctx, miniworld.GovNS1Addr, "gov.br.", dnswire.TypeNS)
+	start := time.Now()
+	_, err := c.Query(ctx, miniworld.GovNS1Addr, "gov.br.", dnswire.TypeNS)
+	if err == nil {
+		t.Fatal("second query succeeded despite exhausted context")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled wait did not return promptly")
+	}
+}

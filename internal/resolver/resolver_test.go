@@ -1,0 +1,301 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/miniworld"
+	"govdns/internal/simnet"
+)
+
+func newFixture(t *testing.T) (*miniworld.World, *Client, *Iterator) {
+	t.Helper()
+	w := miniworld.Build()
+	c := NewClient(w.Net)
+	c.Timeout = 20 * time.Millisecond
+	c.Retries = 1
+	return w, c, NewIterator(c, w.Roots)
+}
+
+func ctxWithTimeout(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestClientQueryDirect(t *testing.T) {
+	_, c, _ := newFixture(t)
+	resp, err := c.Query(ctxWithTimeout(t), miniworld.GovNS1Addr, "gov.br.", dnswire.TypeNS)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !resp.Header.Authoritative || len(resp.Answers) != 2 {
+		t.Errorf("unexpected response: %s", resp)
+	}
+}
+
+func TestClientQueryTimeout(t *testing.T) {
+	_, c, _ := newFixture(t)
+	start := time.Now()
+	_, err := c.Query(ctxWithTimeout(t), miniworld.DeadAddr, "dead.gov.br.", dnswire.TypeNS)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error = %v, want ErrTimeout", err)
+	}
+	// Two attempts of ~20ms each.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("timed out after %v; retry did not happen", elapsed)
+	}
+}
+
+func TestDelegationHealthyDomain(t *testing.T) {
+	_, _, it := newFixture(t)
+	d, err := it.Delegation(ctxWithTimeout(t), "city.gov.br.")
+	if err != nil {
+		t.Fatalf("Delegation: %v", err)
+	}
+	if d.Parent.Zone != "gov.br." {
+		t.Errorf("parent zone = %q, want gov.br.", d.Parent.Zone)
+	}
+	hosts := d.Hosts()
+	if len(hosts) != 2 || hosts[0] != "ns1.city.gov.br." || hosts[1] != "ns2.city.gov.br." {
+		t.Errorf("hosts = %v", hosts)
+	}
+	if len(d.Glue) != 2 {
+		t.Errorf("glue count = %d, want 2", len(d.Glue))
+	}
+	if d.Authoritative {
+		t.Error("referral marked authoritative")
+	}
+}
+
+func TestDelegationThirdPartyHosted(t *testing.T) {
+	_, _, it := newFixture(t)
+	d, err := it.Delegation(ctxWithTimeout(t), "hosted.gov.br.")
+	if err != nil {
+		t.Fatalf("Delegation: %v", err)
+	}
+	hosts := d.Hosts()
+	if len(hosts) != 2 || hosts[0] != "ns1.provider.com." {
+		t.Errorf("hosts = %v", hosts)
+	}
+}
+
+func TestDelegationNXDomain(t *testing.T) {
+	_, _, it := newFixture(t)
+	_, err := it.Delegation(ctxWithTimeout(t), "nonexistent.gov.br.")
+	if !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("error = %v, want ErrNXDomain", err)
+	}
+}
+
+func TestResolveHostWithGlue(t *testing.T) {
+	_, _, it := newFixture(t)
+	addrs, err := it.ResolveHost(ctxWithTimeout(t), "ns1.city.gov.br.")
+	if err != nil {
+		t.Fatalf("ResolveHost: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != miniworld.CityNS1Addr {
+		t.Errorf("addrs = %v, want [%v]", addrs, miniworld.CityNS1Addr)
+	}
+}
+
+func TestResolveHostThirdParty(t *testing.T) {
+	_, _, it := newFixture(t)
+	addrs, err := it.ResolveHost(ctxWithTimeout(t), "ns2.provider.com.")
+	if err != nil {
+		t.Fatalf("ResolveHost: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != miniworld.ProviderNS2Addr {
+		t.Errorf("addrs = %v, want [%v]", addrs, miniworld.ProviderNS2Addr)
+	}
+}
+
+func TestResolveHostDanglingNXDomain(t *testing.T) {
+	_, _, it := newFixture(t)
+	_, err := it.ResolveHost(ctxWithTimeout(t), "ns.gone-provider.com.")
+	if !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("error = %v, want ErrNXDomain", err)
+	}
+}
+
+func TestResolveHostCaching(t *testing.T) {
+	w, c, it := newFixture(t)
+	ctx := ctxWithTimeout(t)
+	if _, err := it.ResolveHost(ctx, "ns1.provider.com."); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the entire com. infrastructure: cached entries must still
+	// resolve, proving no network round trip happens.
+	w.Net.Blackhole(miniworld.TLDComAddr)
+	w.Net.Blackhole(miniworld.ProviderNS1Addr)
+	addrs, err := it.ResolveHost(ctx, "ns1.provider.com.")
+	if err != nil || len(addrs) != 1 {
+		t.Fatalf("cached ResolveHost = %v, %v", addrs, err)
+	}
+	_ = c
+}
+
+func TestNegativeCaching(t *testing.T) {
+	_, _, it := newFixture(t)
+	ctx := ctxWithTimeout(t)
+	if _, err := it.ResolveHost(ctx, "ns.gone-provider.com."); err == nil {
+		t.Fatal("expected failure")
+	}
+	start := time.Now()
+	if _, err := it.ResolveHost(ctx, "ns.gone-provider.com."); err == nil {
+		t.Fatal("expected cached failure")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Millisecond {
+		t.Errorf("second failed resolution took %v; negative cache not used", elapsed)
+	}
+}
+
+func TestDelegationSkipsLameParentServer(t *testing.T) {
+	// Even with one gov.br server blackholed, delegation succeeds via
+	// the other.
+	w, _, it := newFixture(t)
+	w.Net.Blackhole(miniworld.GovNS1Addr)
+	d, err := it.Delegation(ctxWithTimeout(t), "city.gov.br.")
+	if err != nil {
+		t.Fatalf("Delegation with one lame parent server: %v", err)
+	}
+	if len(d.Hosts()) != 2 {
+		t.Errorf("hosts = %v", d.Hosts())
+	}
+}
+
+func TestDelegationFailsWhenAllParentsLame(t *testing.T) {
+	w, _, it := newFixture(t)
+	w.Net.Blackhole(miniworld.GovNS1Addr)
+	w.Net.Blackhole(miniworld.GovNS2Addr)
+	_, err := it.Delegation(ctxWithTimeout(t), "city.gov.br.")
+	if err == nil {
+		t.Fatal("Delegation succeeded with every parent server dead")
+	}
+}
+
+func TestZoneServersAllAddrs(t *testing.T) {
+	zs := &ZoneServers{
+		Zone:  "x.",
+		Hosts: []dnsname.Name{"a.x.", "b.x."},
+		Addrs: map[dnsname.Name][]netip.Addr{
+			"a.x.": {netip.MustParseAddr("10.0.0.2"), netip.MustParseAddr("10.0.0.1")},
+			"b.x.": {netip.MustParseAddr("10.0.0.1")}, // duplicate
+		},
+	}
+	addrs := zs.AllAddrs()
+	if len(addrs) != 2 || !addrs[0].Less(addrs[1]) {
+		t.Errorf("AllAddrs = %v", addrs)
+	}
+}
+
+func TestValidateRejectsWrongID(t *testing.T) {
+	q := dnswire.NewQuery(5, "x.example.", dnswire.TypeA)
+	r := dnswire.NewResponse(q)
+	r.Header.ID = 6
+	if err := validate(q, r); !errors.Is(err, ErrMismatch) {
+		t.Errorf("error = %v, want ErrMismatch", err)
+	}
+}
+
+func TestValidateRejectsNonResponse(t *testing.T) {
+	q := dnswire.NewQuery(5, "x.example.", dnswire.TypeA)
+	r := dnswire.NewResponse(q)
+	r.Header.Response = false
+	if err := validate(q, r); !errors.Is(err, ErrMismatch) {
+		t.Errorf("error = %v, want ErrMismatch", err)
+	}
+}
+
+func TestValidateRejectsWrongQuestion(t *testing.T) {
+	q := dnswire.NewQuery(5, "x.example.", dnswire.TypeA)
+	r := dnswire.NewResponse(q)
+	r.Questions[0].Name = "y.example."
+	if err := validate(q, r); !errors.Is(err, ErrMismatch) {
+		t.Errorf("error = %v, want ErrMismatch", err)
+	}
+}
+
+func TestResolveHostChasesCNAME(t *testing.T) {
+	_, _, it := newFixture(t)
+	addrs, err := it.ResolveHost(ctxWithTimeout(t), "cname-ns.gov.br.")
+	if err != nil {
+		t.Fatalf("ResolveHost via CNAME: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != miniworld.GovNS1Addr {
+		t.Errorf("addrs = %v, want [%v]", addrs, miniworld.GovNS1Addr)
+	}
+}
+
+func TestResolverUnderPacketLoss(t *testing.T) {
+	// With 20% loss, retries must still resolve healthy domains.
+	w := miniworld.BuildWithNetwork(simnet.Config{Seed: 9, LossRate: 0.2})
+	c := NewClient(w.Net)
+	c.Timeout = 15 * time.Millisecond
+	c.Retries = 4
+	it := NewIterator(c, w.Roots)
+	ctx := ctxWithTimeout(t)
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if _, err := it.Delegation(ctx, "city.gov.br."); err == nil {
+			ok++
+		}
+		// Fresh iterator so the walk is not served from cache.
+		it = NewIterator(c, w.Roots)
+	}
+	if ok < 8 {
+		t.Errorf("only %d/10 walks succeeded under 20%% loss with retries", ok)
+	}
+}
+
+func TestClientStats(t *testing.T) {
+	_, c, _ := newFixture(t)
+	ctx := ctxWithTimeout(t)
+	if _, err := c.Query(ctx, miniworld.GovNS1Addr, "gov.br.", dnswire.TypeNS); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = c.Query(ctx, miniworld.DeadAddr, "dead.gov.br.", dnswire.TypeNS)
+	s := c.Stats()
+	if s.Received != 1 {
+		t.Errorf("Received = %d, want 1", s.Received)
+	}
+	// One success + (1 + Retries) timed-out attempts.
+	if s.Sent != 1+uint64(1+c.Retries) {
+		t.Errorf("Sent = %d, want %d", s.Sent, 1+1+c.Retries)
+	}
+	if s.Timeouts != uint64(1+c.Retries) {
+		t.Errorf("Timeouts = %d, want %d", s.Timeouts, 1+c.Retries)
+	}
+}
+
+func TestClientRejectsTruncatedResponse(t *testing.T) {
+	// A transport that always answers with the TC bit set.
+	tc := transportFunc(func(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+		q, err := dnswire.Decode(query)
+		if err != nil {
+			return nil, err
+		}
+		resp := dnswire.NewResponse(q)
+		resp.Header.Truncated = true
+		return dnswire.Encode(resp)
+	})
+	c := NewClient(tc)
+	c.Timeout = 20 * time.Millisecond
+	_, err := c.Query(context.Background(), netip.MustParseAddr("192.0.2.1"), "x.gov.br.", dnswire.TypeNS)
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("error = %v, want ErrTruncated", err)
+	}
+}
+
+// transportFunc adapts a function to the Transport interface.
+type transportFunc func(context.Context, netip.Addr, []byte) ([]byte, error)
+
+func (f transportFunc) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	return f(ctx, server, query)
+}

@@ -1,0 +1,187 @@
+// Package simnet provides the in-memory network that carries DNS queries
+// between the measurement client and the synthetic authoritative servers.
+// Messages cross the network in wire format, so the full codec is
+// exercised exactly as it would be over UDP. The network models latency,
+// random packet loss, and blackholed (unresponsive) addresses — the raw
+// material of lame delegations.
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"govdns/internal/authserver"
+)
+
+// Network errors.
+var (
+	// ErrNoRoute indicates no server is attached at the address. The
+	// resolver treats it like a timeout (an address that never answers),
+	// but keeping it distinct helps the world generator's own tests.
+	ErrNoRoute = errors.New("simnet: no server at address")
+	// ErrDropped indicates the query or response was lost (packet loss,
+	// blackhole, or a server that drops queries).
+	ErrDropped = errors.New("simnet: packet dropped")
+)
+
+// Config tunes network behaviour.
+type Config struct {
+	// Latency is the one-way base delay applied to each exchange. Zero
+	// (the default) keeps large simulations fast.
+	Latency time.Duration
+	// Jitter adds up to this much random extra delay per exchange.
+	Jitter time.Duration
+	// LossRate is the probability in [0,1) that an exchange is lost.
+	LossRate float64
+	// Seed makes loss and jitter deterministic.
+	Seed int64
+}
+
+// Network is the simulated Internet. It is safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	servers map[netip.Addr]*authserver.Server
+	blackh  map[netip.Addr]bool
+	acls    map[netip.Addr]ACL
+	rng     *rand.Rand
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:     cfg,
+		servers: make(map[netip.Addr]*authserver.Server),
+		blackh:  make(map[netip.Addr]bool),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Attach binds a server to an address. One server may be reachable at
+// several addresses (anycast-style), and re-attaching replaces the
+// previous binding.
+func (n *Network) Attach(addr netip.Addr, s *authserver.Server) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers[addr] = s
+}
+
+// Detach removes whatever is bound at addr.
+func (n *Network) Detach(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.servers, addr)
+}
+
+// ServerAt returns the server bound at addr.
+func (n *Network) ServerAt(addr netip.Addr) (*authserver.Server, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.servers[addr]
+	return s, ok
+}
+
+// NumServers returns the number of bound addresses.
+func (n *Network) NumServers() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.servers)
+}
+
+// Blackhole makes addr drop all traffic regardless of what is attached,
+// modelling a dead host or unreachable network.
+func (n *Network) Blackhole(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blackh[addr] = true
+}
+
+// Unblackhole restores traffic to addr.
+func (n *Network) Unblackhole(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blackh, addr)
+}
+
+// IsBlackholed reports whether addr currently drops traffic.
+func (n *Network) IsBlackholed(addr netip.Addr) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.blackh[addr]
+}
+
+// draw returns a loss decision and a jitter duration from the seeded rng.
+func (n *Network) draw() (lost bool, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.LossRate > 0 {
+		lost = n.rng.Float64() < n.cfg.LossRate
+	}
+	if n.cfg.Jitter > 0 {
+		jitter = time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	return lost, jitter
+}
+
+// sleep waits for d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// waitForTimeout blocks until the context expires, modelling a query that
+// will never be answered.
+func waitForTimeout(ctx context.Context) error {
+	<-ctx.Done()
+	return fmt.Errorf("%w: %v", ErrDropped, ctx.Err())
+}
+
+// Exchange implements the resolver transport: it sends a wire-format
+// query to the server at addr and returns the wire-format response.
+// Unanswerable queries (blackholes, loss, unresponsive servers, empty
+// addresses, ACL-filtered sources) block until ctx expires, as UDP
+// timeouts do. Queries originate from DefaultVantage; use Vantage for
+// other source addresses.
+func (n *Network) Exchange(ctx context.Context, addr netip.Addr, query []byte) ([]byte, error) {
+	return n.exchangeFrom(ctx, DefaultVantage, addr, query)
+}
+
+func (n *Network) exchangeFrom(ctx context.Context, src, addr netip.Addr, query []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lost, jitter := n.draw()
+	if err := sleep(ctx, n.cfg.Latency+jitter); err != nil {
+		return nil, err
+	}
+	if lost || n.IsBlackholed(addr) || !n.aclAllows(addr, src) {
+		return nil, waitForTimeout(ctx)
+	}
+	server, ok := n.ServerAt(addr)
+	if !ok {
+		return nil, waitForTimeout(ctx)
+	}
+	resp := server.HandleWire(query)
+	if resp == nil {
+		return nil, waitForTimeout(ctx)
+	}
+	if err := sleep(ctx, n.cfg.Latency); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,192 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"govdns/internal/authserver"
+	"govdns/internal/dnswire"
+	"govdns/internal/zone"
+)
+
+var (
+	testAddr  = netip.MustParseAddr("9.0.0.1")
+	otherAddr = netip.MustParseAddr("9.0.0.2")
+)
+
+func newTestServer(t *testing.T) *authserver.Server {
+	t.Helper()
+	z := zone.New("example.")
+	z.MustAdd(dnswire.RR{Name: "example.", Class: dnswire.ClassIN, TTL: 60,
+		Data: dnswire.SOAData{MName: "ns.example.", RName: "h.example."}})
+	z.MustAdd(dnswire.RR{Name: "example.", Class: dnswire.ClassIN, TTL: 60,
+		Data: dnswire.NSData{Host: "ns.example."}})
+	z.MustAdd(dnswire.RR{Name: "www.example.", Class: dnswire.ClassIN, TTL: 60,
+		Data: dnswire.AData{Addr: netip.MustParseAddr("192.0.2.1")}})
+	s := authserver.New("ns.example.")
+	s.AddZone(z)
+	return s
+}
+
+func wireQuery(t *testing.T) []byte {
+	t.Helper()
+	w, err := dnswire.Encode(dnswire.NewQuery(1, "www.example.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func shortCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestExchangeDelivers(t *testing.T) {
+	n := New(Config{})
+	n.Attach(testAddr, newTestServer(t))
+	respWire, err := n.Exchange(shortCtx(t), testAddr, wireQuery(t))
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	resp, err := dnswire.Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Errorf("answers = %d, want 1", len(resp.Answers))
+	}
+}
+
+func TestExchangeNoRouteTimesOut(t *testing.T) {
+	n := New(Config{})
+	start := time.Now()
+	_, err := n.Exchange(shortCtx(t), otherAddr, wireQuery(t))
+	if err == nil {
+		t.Fatal("Exchange to empty address succeeded")
+	}
+	if !errors.Is(err, ErrDropped) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("Exchange returned before the deadline; should block like a UDP timeout")
+	}
+}
+
+func TestBlackhole(t *testing.T) {
+	n := New(Config{})
+	n.Attach(testAddr, newTestServer(t))
+	n.Blackhole(testAddr)
+	if !n.IsBlackholed(testAddr) {
+		t.Fatal("IsBlackholed = false after Blackhole")
+	}
+	if _, err := n.Exchange(shortCtx(t), testAddr, wireQuery(t)); err == nil {
+		t.Fatal("blackholed exchange succeeded")
+	}
+	n.Unblackhole(testAddr)
+	if _, err := n.Exchange(shortCtx(t), testAddr, wireQuery(t)); err != nil {
+		t.Fatalf("Exchange after Unblackhole: %v", err)
+	}
+}
+
+func TestUnresponsiveServerTimesOut(t *testing.T) {
+	n := New(Config{})
+	s := newTestServer(t)
+	s.SetBehavior(authserver.BehaviorUnresponsive)
+	n.Attach(testAddr, s)
+	if _, err := n.Exchange(shortCtx(t), testAddr, wireQuery(t)); err == nil {
+		t.Fatal("unresponsive server produced a response")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	n := New(Config{})
+	n.Attach(testAddr, newTestServer(t))
+	if n.NumServers() != 1 {
+		t.Fatalf("NumServers = %d", n.NumServers())
+	}
+	n.Detach(testAddr)
+	if n.NumServers() != 0 {
+		t.Fatalf("NumServers after Detach = %d", n.NumServers())
+	}
+	if _, ok := n.ServerAt(testAddr); ok {
+		t.Error("ServerAt found a detached server")
+	}
+}
+
+func TestLossRateDeterministicWithSeed(t *testing.T) {
+	run := func() []bool {
+		n := New(Config{LossRate: 0.5, Seed: 42})
+		n.Attach(testAddr, newTestServer(t))
+		var outcomes []bool
+		for i := 0; i < 20; i++ {
+			_, err := n.Exchange(shortCtx(t), testAddr, wireQuery(t))
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	successes := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loss pattern differs at %d with identical seeds", i)
+		}
+		if a[i] {
+			successes++
+		}
+	}
+	if successes == 0 || successes == len(a) {
+		t.Errorf("LossRate 0.5 produced %d/%d successes; expected a mix", successes, len(a))
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	n := New(Config{Latency: 10 * time.Millisecond})
+	n.Attach(testAddr, newTestServer(t))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := n.Exchange(ctx, testAddr, wireQuery(t)); err != nil {
+		t.Fatal(err)
+	}
+	// One-way latency applies twice (query + response).
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("Exchange took %v, want >= 20ms", elapsed)
+	}
+}
+
+func TestExchangeHonorsCancelledContext(t *testing.T) {
+	n := New(Config{})
+	n.Attach(testAddr, newTestServer(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Exchange(ctx, testAddr, wireQuery(t)); !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestACLFiltersBySource(t *testing.T) {
+	n := New(Config{})
+	n.Attach(testAddr, newTestServer(t))
+	domestic := netip.MustParseAddr("10.1.0.5")
+	n.SetACL(testAddr, AllowPrefix(netip.MustParsePrefix("10.1.0.0/16")))
+
+	// Default vantage (outside the prefix) is dropped.
+	if _, err := n.Exchange(shortCtx(t), testAddr, wireQuery(t)); err == nil {
+		t.Fatal("ACL did not filter the default vantage")
+	}
+	// Domestic vantage succeeds.
+	if _, err := n.Vantage(domestic).Exchange(shortCtx(t), testAddr, wireQuery(t)); err != nil {
+		t.Fatalf("domestic vantage filtered: %v", err)
+	}
+	// Removing the ACL restores default access.
+	n.SetACL(testAddr, nil)
+	if _, err := n.Exchange(shortCtx(t), testAddr, wireQuery(t)); err != nil {
+		t.Fatalf("Exchange after ACL removal: %v", err)
+	}
+}

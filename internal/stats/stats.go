@@ -1,0 +1,98 @@
+// Package stats provides the small statistical helpers the analyses use:
+// mode (the paper's per-year NS-count representative), CDFs, percentiles,
+// and rate helpers.
+package stats
+
+import "sort"
+
+// Mode returns the most frequent value in vals; ties break toward the
+// smaller value so results are deterministic. ok is false for an empty
+// input.
+func Mode(vals []int) (mode int, ok bool) {
+	if len(vals) == 0 {
+		return 0, false
+	}
+	counts := make(map[int]int, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	best, bestCount := 0, -1
+	for v, c := range counts {
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
+		}
+	}
+	return best, true
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // P(X <= Value)
+}
+
+// CDF computes the empirical CDF of vals (input is not modified).
+func CDF(vals []float64) []CDFPoint {
+	if len(vals) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CDFPoint{Value: sorted[i], Fraction: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// IntCDF computes the CDF of integer values.
+func IntCDF(vals []int) []CDFPoint {
+	f := make([]float64, len(vals))
+	for i, v := range vals {
+		f[i] = float64(v)
+	}
+	return CDF(f)
+}
+
+// Percentile returns the p-th percentile (0..100) of vals using
+// nearest-rank on a sorted copy. ok is false for empty input.
+func Percentile(vals []float64, p float64) (float64, bool) {
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0], true
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1], true
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank], true
+}
+
+// Rate returns num/den as a fraction, or 0 when den is 0.
+func Rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Pct returns num/den as a percentage, or 0 when den is 0.
+func Pct(num, den int) float64 {
+	return Rate(num, den) * 100
+}

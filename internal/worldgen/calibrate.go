@@ -1,0 +1,247 @@
+package worldgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"govdns/internal/dnsname"
+)
+
+// calibrateProviders walks the study years and migrates domains between
+// local hosters and global catalog providers so that each provider's
+// share of the population tracks its adoption curve. This is what turns
+// the raw population into the Table II/III trajectories: Amazon and
+// Cloudflare rise by orders of magnitude while everydns and
+// ixwebhosting fade.
+func (w *World) calibrateProviders() {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x70c0ffee))
+	table := adoptionTable()
+	cnIdx := w.countryIndex("cn")
+
+	for y := w.Cfg.StartYear; y <= w.Cfg.EndYear; y++ {
+		alive, aliveCN := w.aliveMultiNS(y)
+		total := len(alive) + len(aliveCN) + 1 // avoid div-zero at tiny scales
+
+		// Current holders per provider.
+		holders := make(map[string][]*Domain)
+		for _, d := range alive {
+			if a := d.assignmentIn(y); a.Kind == HostGlobal {
+				holders[a.Provider] = append(holders[a.Provider], d)
+			}
+		}
+		for _, d := range aliveCN {
+			if a := d.assignmentIn(y); a.Kind == HostGlobal {
+				holders[a.Provider] = append(holders[a.Provider], d)
+			}
+		}
+
+		// Flex pool: provider-eligible, locally-hosted domains.
+		var flex, flexCN []*Domain
+		for _, d := range alive {
+			if d.ProviderEligible && d.assignmentIn(y).Kind == HostLocal {
+				flex = append(flex, d)
+			}
+		}
+		for _, d := range aliveCN {
+			if d.ProviderEligible && d.assignmentIn(y).Kind == HostLocal {
+				flexCN = append(flexCN, d)
+			}
+		}
+		rng.Shuffle(len(flex), func(i, j int) { flex[i], flex[j] = flex[j], flex[i] })
+		rng.Shuffle(len(flexCN), func(i, j int) { flexCN[i], flexCN[j] = flexCN[j], flexCN[i] })
+
+		t := w.t01(y)
+		for _, a := range table {
+			pool := &flex
+			if a.cnOnly {
+				if cnIdx < 0 {
+					continue
+				}
+				pool = &flexCN
+			}
+			markets := w.providerMarkets(a, t)
+			// Shares (including the CN-only trio's) are expressed
+			// against the global population, as in Table II.
+			target := int(a.share(t) / 100 * float64(total))
+			current := holders[a.key]
+			switch {
+			case len(current) < target:
+				need := target - len(current)
+				// Recruit only from the provider's markets: adoption is
+				// country-clustered (Table III's country counts), not
+				// uniform across the world.
+				for i := len(*pool) - 1; i >= 0 && need > 0; i-- {
+					d := (*pool)[i]
+					if !a.cnOnly && !markets[d.CountryIdx] {
+						continue
+					}
+					(*pool)[i] = (*pool)[len(*pool)-1]
+					*pool = (*pool)[:len(*pool)-1]
+					w.migrate(d, y, a, rng)
+					need--
+				}
+			case len(current) > target:
+				// Provider is shrinking: move surplus back to a local
+				// hoster (customer left / provider shut down).
+				surplus := len(current) - target
+				rng.Shuffle(len(current), func(i, j int) { current[i], current[j] = current[j], current[i] })
+				for i := 0; i < surplus; i++ {
+					w.migrateToLocal(current[i], y, rng)
+				}
+			}
+		}
+	}
+}
+
+// providerMarkets returns the set of country indices where the provider
+// operates at study progress t01, growing from markets2011 to
+// markets2020. Country order is a deterministic provider-specific
+// shuffle biased toward larger countries, so small market sets still
+// contain enough eligible domains.
+func (w *World) providerMarkets(a adoption, t01 float64) map[int]bool {
+	n := int(float64(a.markets2011) + (float64(a.markets2020)-float64(a.markets2011))*t01 + 0.5)
+	if n <= 0 {
+		return map[int]bool{}
+	}
+	order := w.marketOrder(a.key)
+	if n > len(order) {
+		n = len(order)
+	}
+	out := make(map[int]bool, n)
+	for _, idx := range order[:n] {
+		out[idx] = true
+	}
+	return out
+}
+
+// marketOrder ranks countries for a provider: a deterministic hash
+// shuffle scaled down by country size, so big markets come first without
+// every provider sharing the same list.
+func (w *World) marketOrder(key string) []int {
+	w.marketMu.Lock()
+	defer w.marketMu.Unlock()
+	if w.marketCache == nil {
+		w.marketCache = make(map[string][]int)
+	}
+	if order, ok := w.marketCache[key]; ok {
+		return order
+	}
+	type ranked struct {
+		idx   int
+		score float64
+	}
+	rs := make([]ranked, len(w.Countries))
+	for i, c := range w.Countries {
+		h := float64(nameHash(dnsname.Name(key+"|"+c.Code))%100000) / 100000
+		rs[i] = ranked{idx: i, score: h / float64(c.Weight)}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].score < rs[j].score })
+	order := make([]int, len(rs))
+	for i, r := range rs {
+		order[i] = r.idx
+	}
+	w.marketCache[key] = order
+	return order
+}
+
+// aliveMultiNS partitions the alive multi-NS domains into non-Chinese
+// and Chinese sets (the DNSPod/hichina/xincache trio only serves CN).
+func (w *World) aliveMultiNS(y int) (rest, cn []*Domain) {
+	cnIdx := w.countryIndex("cn")
+	for _, d := range w.Domains {
+		if !d.AliveIn(y) || d.SingleNS || d.Level <= d.suffixLevel(w) {
+			continue
+		}
+		if d.CountryIdx == cnIdx {
+			cn = append(cn, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	return rest, cn
+}
+
+// suffixLevel returns the level of the domain's country suffix, so the
+// apex domains are skipped during provider calibration.
+func (d *Domain) suffixLevel(w *World) int {
+	return w.Countries[d.CountryIdx].Suffix.Level()
+}
+
+// assignmentIn returns the domain's assignment during year y.
+func (d *Domain) assignmentIn(y int) Assignment {
+	for i := range d.Spans {
+		if d.Spans[i].FromYear <= y && y <= d.Spans[i].ToYear {
+			return d.Spans[i].A
+		}
+	}
+	return d.Spans[len(d.Spans)-1].A
+}
+
+// migrate switches a domain to provider a starting in year y.
+func (w *World) migrate(d *Domain, y int, a adoption, rng *rand.Rand) {
+	ns := a.nsSetFor(rng.Intn(1 << 20))
+	assignment := Assignment{Kind: HostGlobal, Provider: a.key, NS: ns}
+	profile := w.Profiles[d.CountryIdx]
+	if rng.Float64() < profile.MixedHosting {
+		assignment.Mixed = true
+		assignment.NS = append(append([]dnsname.Name(nil), ns...), d.Name.MustPrepend("ns1"))
+	}
+	d.pushSpan(y, assignment)
+	// Provider-hosted diversity: one AS, several prefixes — unless the
+	// domain keeps a private NS (mixed), which spans ASes.
+	if assignment.Mixed {
+		d.Div = DivMultiASN
+	} else {
+		d.Div = DivMulti24
+	}
+}
+
+// migrateToLocal moves a domain back to a country-local hoster in year
+// y, restoring its originally drawn diversity class.
+func (w *World) migrateToLocal(d *Domain, y int, rng *rand.Rand) {
+	hosters := w.Hosters[d.CountryIdx]
+	h := hosters[rng.Intn(len(hosters))]
+	d.pushSpan(y, Assignment{Kind: HostLocal, Provider: h.domain.String(), NS: h.ns})
+	if d.DrawnDiv != 0 {
+		d.Div = d.DrawnDiv
+	}
+}
+
+// pushSpan terminates the current span at y-1 and starts a new one at y.
+// A same-year replacement overwrites the current span's assignment.
+func (d *Domain) pushSpan(y int, a Assignment) {
+	last := &d.Spans[len(d.Spans)-1]
+	if last.FromYear >= y {
+		last.A = a
+		return
+	}
+	endYear := last.ToYear
+	last.ToYear = y - 1
+	if endYear < y {
+		endYear = y
+	}
+	d.Spans = append(d.Spans, Span{FromYear: y, ToYear: endYear, A: a})
+}
+
+// countryIndex finds a country by code.
+func (w *World) countryIndex(code string) int {
+	for i, c := range w.Countries {
+		if c.Code == code {
+			return i
+		}
+	}
+	return -1
+}
+
+// DomainsOfCountry returns the histories for one country, sorted by
+// name for determinism.
+func (w *World) DomainsOfCountry(idx int) []*Domain {
+	var out []*Domain
+	for _, d := range w.Domains {
+		if d.CountryIdx == idx {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,180 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"govdns/internal/dnsname"
+)
+
+// assignConditions draws each country's scan-time misconfiguration
+// states. It runs after provider calibration so conditions can depend on
+// the final hosting assignment.
+func (w *World) assignConditions(idx int, rng *rand.Rand) {
+	profile := w.Profiles[idx]
+	country := w.Countries[idx]
+
+	// Hijack-risk exposure is country-clustered: the paper found
+	// registrable dangling records in only 49 countries. Countries with
+	// dedicated profiles keep their configured exposure; of the rest,
+	// roughly half run operations tight enough that dead delegations
+	// never point at expired third-party domains.
+	if country.ProfileName == "" {
+		if nameHash(country.Suffix)%100 >= 50 {
+			profile.Dangling = 0
+			profile.TypoNS = 0
+		} else {
+			profile.Dangling *= 1.6
+		}
+	}
+
+	// Per-country expired hoster domains shared by clusters of dangling
+	// domains — the "dozens or even hundreds in the same d_gov" cases.
+	sharedPool := []dnsname.Name{
+		dnsname.MustParse(fmt.Sprintf("oldhost%s1.com", country.Code)),
+		dnsname.MustParse(fmt.Sprintf("deaddns%s.net", country.Code)),
+	}
+	w.SharedDangling[idx] = sharedPool
+
+	for _, d := range w.Domains {
+		if d.CountryIdx != idx {
+			continue
+		}
+		if d.Name == country.Suffix {
+			continue // the apex stays healthy
+		}
+		switch {
+		case d.Died != 0:
+			// Domains that died early in the period were removed from
+			// the parent zone; nothing to scan.
+			if d.Died < w.Cfg.EndYear-2 {
+				continue
+			}
+			// Domains that died near the end of the period may leave a
+			// stale delegation behind.
+			if rng.Float64() < 0.3 {
+				d.Cond = CondStaleDelegation
+				w.maybeDangle(d, profile, 4, sharedPool, rng)
+				w.GhostNames = append(w.GhostNames, d.Name.MustPrepend("www"))
+			}
+		case d.SingleNS:
+			if rng.Float64() < profile.SingleNSStale {
+				d.Cond = CondStaleDelegation
+				w.maybeDangle(d, profile, 4, sharedPool, rng)
+			}
+		default:
+			w.assignMultiCondition(d, profile, sharedPool, rng)
+		}
+	}
+}
+
+// assignMultiCondition draws the condition for an alive multi-NS domain.
+func (w *World) assignMultiCondition(d *Domain, profile Profile, sharedPool []dnsname.Name, rng *rand.Rand) {
+	r := rng.Float64()
+	switch {
+	case r < profile.Stale:
+		d.Cond = CondStaleDelegation
+		w.maybeDangle(d, profile, 4, sharedPool, rng)
+	case r < profile.Stale+profile.PartialLame:
+		// Partially defective delegation.
+		if rng.Float64() < profile.TypoNS {
+			d.Cond = CondTypo
+			d.DanglingDomain = typoDomain(d.Final().NS, rng)
+			return
+		}
+		if rng.Float64() < profile.SharedLameBias && sharesServers(d.Final()) {
+			d.Cond = CondPartialLameShared
+		} else {
+			d.Cond = CondPartialLameOwn
+		}
+		w.maybeDangle(d, profile, 1, sharedPool, rng)
+	case r < profile.Stale+profile.PartialLame+profile.Inconsistent:
+		// Pure inconsistency (all servers respond).
+		roll := rng.Float64()
+		switch {
+		case roll < 0.45:
+			d.Cond = CondInconsistentExtraParent
+		case roll < 0.75:
+			d.Cond = CondInconsistentExtraChild
+		default:
+			d.Cond = CondInconsistentDisjoint
+		}
+	case r < profile.Stale+profile.PartialLame+profile.Inconsistent+profile.Parked:
+		d.Cond = CondParked
+		d.DanglingDomain = dnsname.MustParse(
+			fmt.Sprintf("parked-dns-%s%d.com", w.Countries[d.CountryIdx].Code, rng.Intn(4)+1))
+	default:
+		d.Cond = CondHealthy
+	}
+}
+
+// maybeDangle marks the domain's dead nameserver as living under an
+// expired, registrable domain. factor scales the profile rate: stale
+// (fully dead) domains dangle far more often — their operators stopped
+// paying attention long ago — which concentrates the hijackable
+// population among unresponsive domains as the paper observed (625 of
+// 1,121).
+func (w *World) maybeDangle(d *Domain, profile Profile, factor float64, sharedPool []dnsname.Name, rng *rand.Rand) {
+	a := d.Final()
+	// Only third-party nameservers can dangle this way; in-government
+	// hostnames are not registrable (the paper found most defective
+	// delegations harmless for exactly this reason).
+	if a.Kind != HostLocal && a.Kind != HostGlobal {
+		return
+	}
+	if a.Kind == HostGlobal {
+		// Catalog providers do not let their domains expire.
+		return
+	}
+	if rng.Float64() >= profile.Dangling*factor {
+		return
+	}
+	if rng.Float64() < 0.35 {
+		d.DanglingDomain = sharedPool[rng.Intn(len(sharedPool))]
+	} else {
+		d.DanglingDomain = dnsname.MustParse(
+			fmt.Sprintf("ns-%s.com", randomToken(rng)))
+	}
+}
+
+// sharesServers reports whether the assignment rides shared
+// infrastructure (central or hosted), where one dead server breaks many
+// domains.
+func sharesServers(a Assignment) bool {
+	return a.Kind == HostCentral || a.Kind == HostLocal || a.Kind == HostGlobal
+}
+
+// typoDomain fabricates a registrable domain produced by a missing-dot
+// typo of one of the real nameservers — the pns12cloudns.net pattern
+// from the paper.
+func typoDomain(ns []dnsname.Name, rng *rand.Rand) dnsname.Name {
+	if len(ns) == 0 {
+		return dnsname.MustParse(fmt.Sprintf("typo-%s.com", randomToken(rng)))
+	}
+	host := ns[rng.Intn(len(ns))]
+	labels := host.Labels()
+	if len(labels) < 3 {
+		return dnsname.MustParse(fmt.Sprintf("typo-%s.com", randomToken(rng)))
+	}
+	// Fuse the first two labels: ns1.cloudns.net -> ns1cloudns.net.
+	fused := labels[0] + labels[1]
+	rest := labels[2:]
+	out := fused
+	for _, l := range rest {
+		out += "." + l
+	}
+	n, err := dnsname.Parse(out)
+	if err != nil {
+		return dnsname.MustParse(fmt.Sprintf("typo-%s.com", randomToken(rng)))
+	}
+	return n
+}
+
+func randomToken(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

@@ -1,0 +1,162 @@
+package worldgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/pdns"
+)
+
+// emitPDNS writes every domain history into the passive-DNS store as NS
+// record sets with realistic first/last-seen windows, plus a sprinkling
+// of transient records for the 7-day stability filter to remove.
+func (w *World) emitPDNS() {
+	for _, d := range w.Domains {
+		rng := rand.New(rand.NewSource(w.Cfg.Seed ^ int64(nameHash(d.Name))))
+		bornDay := dayInYear(d.Born, rng)
+		var diedDay pdns.Day
+		if d.Died != 0 {
+			diedDay = dayInYear(d.Died, rng)
+		}
+
+		// Assignment changes happen on a migration day inside the new
+		// span's first year, and the old records linger for a short
+		// cache tail beyond it — so around each migration the daily NS
+		// count briefly doubles, exactly the artifact the paper's
+		// mode-of-daily-counts representative is robust against.
+		migDays := make([]pdns.Day, len(d.Spans))
+		for i := 1; i < len(d.Spans); i++ {
+			migDays[i] = dayInYear(d.Spans[i].FromYear, rng)
+		}
+		for i, span := range d.Spans {
+			from := pdns.Date(span.FromYear, time.January, 1)
+			if span.FromYear == d.Born {
+				from = bornDay
+			}
+			if i > 0 {
+				from = migDays[i]
+			}
+			to := pdns.Date(span.ToYear, time.December, 31)
+			if i+1 < len(d.Spans) {
+				// Cache tail: the old set is still seen for a few days
+				// after the migration.
+				to = migDays[i+1] + pdns.Day(rng.Intn(10))
+			}
+			if d.Died != 0 && span.ToYear >= d.Died {
+				to = diedDay
+			}
+			if to < from {
+				to = from
+			}
+			for _, host := range span.A.NS {
+				w.PDNS.ObserveRange(d.Name, dnswire.TypeNS, host.String(), from, to)
+			}
+		}
+
+		// Stale delegations remain visible to sensors for a while after
+		// "death" because the parent keeps answering with their NS
+		// records; sightings tail off as nobody queries the dead
+		// domain any more (roughly a year of decaying cache refreshes).
+		if d.Cond == CondStaleDelegation && d.Died != 0 {
+			final := d.Final()
+			endDay := pdns.Date(w.Cfg.EndYear, time.December, 31)
+			if tail := diedDay + 365; tail < endDay {
+				endDay = tail
+			}
+			for _, host := range final.NS {
+				w.PDNS.ObserveRange(d.Name, dnswire.TypeNS, host.String(), diedDay, endDay)
+			}
+		}
+
+		// Transient record: a short-lived NS flip (DDoS protection
+		// trial, misconfiguration) that the stability filter removes.
+		if rng.Float64() < 0.03 {
+			year := d.Born
+			if d.Died != 0 && d.Died > d.Born {
+				year = d.Born + rng.Intn(d.Died-d.Born)
+			} else if w.Cfg.EndYear > d.Born {
+				year = d.Born + rng.Intn(w.Cfg.EndYear-d.Born+1)
+			}
+			start := dayInYear(year, rng)
+			w.PDNS.ObserveRange(d.Name, dnswire.TypeNS,
+				"ns"+string(rune('1'+rng.Intn(3)))+".ddos-shield.net.",
+				start, start+pdns.Day(rng.Intn(3)))
+		}
+	}
+
+	// Ghost names: children of stale delegations, briefly observed by
+	// sensors in the final year. Their short windows fall to the 7-day
+	// stability filter (the paper's "disposable domain" cleanup), but
+	// they still enter the active query list — where their dead parent
+	// zones never answer, reproducing the paper's queried-vs-responsive
+	// gap.
+	for _, ghost := range w.GhostNames {
+		rng := rand.New(rand.NewSource(w.Cfg.Seed ^ int64(nameHash(ghost))))
+		start := dayInYear(w.Cfg.EndYear, rng)
+		w.PDNS.ObserveRange(ghost, dnswire.TypeNS, ghost.Parent().MustPrepend("ns1").String(),
+			start, start+pdns.Day(rng.Intn(4)))
+	}
+
+	w.injectHijacks()
+}
+
+// injectHijacks plants Cfg.HijackEvents historical takeover episodes:
+// for 10-30 days a victim domain's NS records point at attacker
+// nameservers under a fresh domain, then revert. Sensors record the
+// attacker records exactly like any others — only forensic analysis of
+// the PDNS (short-lived, unpopular, out-of-pattern NS domains) can
+// surface them afterwards, which is the § V-A challenge.
+func (w *World) injectHijacks() {
+	if w.Cfg.HijackEvents <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x41747461)) // "Atta"
+	var victims []*Domain
+	for _, d := range w.Domains {
+		if d.SingleNS || d.Born >= w.Cfg.EndYear-1 {
+			continue
+		}
+		if d.Died != 0 && d.Died-d.Born < 3 {
+			continue
+		}
+		victims = append(victims, d)
+	}
+	if len(victims) == 0 {
+		return
+	}
+	for i := 0; i < w.Cfg.HijackEvents; i++ {
+		d := victims[rng.Intn(len(victims))]
+		lastYear := w.Cfg.EndYear - 1
+		if d.Died != 0 && d.Died-1 < lastYear {
+			lastYear = d.Died - 1
+		}
+		if lastYear <= d.Born {
+			continue
+		}
+		year := d.Born + 1 + rng.Intn(lastYear-d.Born)
+		start := dayInYear(year, rng)
+		end := start + pdns.Day(10+rng.Intn(21))
+		attacker := dnsname.MustParse(fmt.Sprintf("ns-takeover-%02d.com", i))
+		w.PDNS.ObserveRange(d.Name, dnswire.TypeNS, attacker.MustPrepend("ns1").String(), start, end)
+		w.PDNS.ObserveRange(d.Name, dnswire.TypeNS, attacker.MustPrepend("ns2").String(), start, end)
+		w.Hijacks = append(w.Hijacks, HijackEvent{
+			Domain: d.Name, AttackerDomain: attacker, From: start, To: end,
+		})
+	}
+}
+
+// dayInYear picks a deterministic day within the year.
+func dayInYear(year int, rng *rand.Rand) pdns.Day {
+	first, last := pdns.YearRange(year)
+	return first + pdns.Day(rng.Intn(int(last-first)+1))
+}
+
+func nameHash(n dnsname.Name) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(n))
+	return h.Sum32()
+}

@@ -1,0 +1,86 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"govdns/internal/dnsname"
+)
+
+// namer generates unique, plausible-looking government domain labels for
+// one country: ministries and agencies at level 3, regional subdivisions
+// at level 4, and offices within regions at level 5.
+type namer struct {
+	country Country
+	rng     *rand.Rand
+	used    map[dnsname.Name]bool
+	regions []dnsname.Name
+	seq     int
+}
+
+// Label fragments combined into agency-like names.
+var (
+	_namerPrefixes = []string{
+		"min", "sec", "dep", "dir", "inst", "serv", "com", "ag", "sup", "reg",
+	}
+	_namerStems = []string{
+		"fin", "edu", "sal", "jus", "agri", "san", "def", "trab", "cul",
+		"amb", "tur", "plan", "port", "tec", "transp", "energ", "urb",
+		"pesc", "migr", "aduan", "estat", "elec", "forest", "aqua", "metro",
+	}
+	_namerRegionStems = []string{
+		"norte", "sur", "este", "oeste", "centro", "alto", "bajo", "nuevo",
+		"villa", "puerto", "monte", "rio", "lago", "costa", "sierra", "valle",
+	}
+)
+
+func newNamer(country Country, rng *rand.Rand) *namer {
+	n := &namer{
+		country: country,
+		rng:     rng,
+		used:    map[dnsname.Name]bool{country.Suffix: true},
+	}
+	// Pre-build the regional layer used by level-4/5 names.
+	regionCount := 8 + rng.Intn(20)
+	for i := 0; i < regionCount; i++ {
+		stem := _namerRegionStems[rng.Intn(len(_namerRegionStems))]
+		label := fmt.Sprintf("%s%d", stem, i+1)
+		n.regions = append(n.regions, country.Suffix.MustPrepend(label))
+	}
+	return n
+}
+
+// next returns a fresh domain name and its DNS-hierarchy level.
+func (n *namer) next(profile Profile) (dnsname.Name, int) {
+	parent := n.country.Suffix
+	r := n.rng.Float64()
+	switch {
+	case r < profile.Level5Share:
+		region := n.regions[n.rng.Intn(len(n.regions))]
+		sub := region.MustPrepend(fmt.Sprintf("d%d", n.rng.Intn(30)+1))
+		parent = sub
+	case r < profile.Level5Share+profile.Level4Share:
+		parent = n.regions[n.rng.Intn(len(n.regions))]
+	}
+	for attempt := 0; ; attempt++ {
+		label := n.agencyLabel()
+		if attempt > 4 {
+			n.seq++
+			label = fmt.Sprintf("%s%d", label, n.seq)
+		}
+		name := parent.MustPrepend(label)
+		if !n.used[name] {
+			n.used[name] = true
+			return name, name.Level()
+		}
+	}
+}
+
+func (n *namer) agencyLabel() string {
+	label := _namerPrefixes[n.rng.Intn(len(_namerPrefixes))] +
+		_namerStems[n.rng.Intn(len(_namerStems))]
+	if n.rng.Float64() < 0.3 {
+		label = fmt.Sprintf("%s%d", label, n.rng.Intn(90)+1)
+	}
+	return label
+}

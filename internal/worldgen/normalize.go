@@ -1,0 +1,106 @@
+package worldgen
+
+import (
+	"fmt"
+
+	"govdns/internal/dnsname"
+)
+
+// normalizeInfra rewrites shared-infrastructure nameserver hostnames so
+// that a domain's diversity class (Table I) is realized by the pair it
+// actually uses. Countries and local hosters operate several typed
+// nameserver pairs:
+//
+//	ns1/ns2 — addresses in distinct /24s, one AS
+//	ns3/ns4 — both names resolve to one address (the Thailand pattern)
+//	ns5/ns6 — two addresses in one /24
+//	ns7/ns8 — addresses in two autonomous systems
+//	nsb1/nsb2 (and per-class b-pairs) — a pair whose second server is
+//	   dead, shared by every partially-lame domain on that
+//	   infrastructure (the Turkey/Brazil/Mexico cluster pattern)
+//
+// It runs after condition assignment and before PDNS emission so the
+// passive and active views stay coherent.
+func (w *World) normalizeInfra() {
+	for _, d := range w.Domains {
+		country := w.Countries[d.CountryIdx]
+		if d.Name == country.Suffix {
+			continue // the apex keeps the primary pair
+		}
+		broken := d.Cond == CondPartialLameShared
+		for i := range d.Spans {
+			a := &d.Spans[i].A
+			final := i == len(d.Spans)-1
+			switch a.Kind {
+			case HostCentral:
+				if d.SingleNS {
+					a.NS = []dnsname.Name{centralPair(country.Suffix, DivMulti24, false)[0]}
+					continue
+				}
+				a.NS = centralPair(country.Suffix, d.Div, broken && final)
+			case HostLocal:
+				if d.SingleNS {
+					continue
+				}
+				a.NS = w.hosterPair(d.CountryIdx, a.Provider, d.Div, broken && final)
+			}
+		}
+	}
+}
+
+// pairBase maps a diversity class to its pair's first index.
+func pairBase(class DiversityClass) int {
+	switch class {
+	case DivSameIP:
+		return 3
+	case DivSame24:
+		return 5
+	case DivMultiASN:
+		return 7
+	default: // DivMulti24 and unset
+		return 1
+	}
+}
+
+// centralPair returns the country's shared pair for a class.
+func centralPair(suffix dnsname.Name, class DiversityClass, broken bool) []dnsname.Name {
+	base := pairBase(class)
+	prefix := "ns"
+	if broken {
+		prefix = "nsb"
+	}
+	return []dnsname.Name{
+		suffix.MustPrepend(fmt.Sprintf("%s%d", prefix, base)),
+		suffix.MustPrepend(fmt.Sprintf("%s%d", prefix, base+1)),
+	}
+}
+
+// hosterPair returns a local hoster's typed pair. Multi-AS pairs span
+// two hosters (distinct ASes); other classes stay within one hoster.
+func (w *World) hosterPair(countryIdx int, hosterDomain string, class DiversityClass, broken bool) []dnsname.Name {
+	hosters := w.Hosters[countryIdx]
+	idx := 0
+	for i, h := range hosters {
+		if h.domain.String() == hosterDomain {
+			idx = i
+			break
+		}
+	}
+	h := hosters[idx]
+	if class == DivMultiASN && len(hosters) > 1 && !broken {
+		other := hosters[(idx+1)%len(hosters)]
+		return []dnsname.Name{
+			h.domain.MustPrepend("ns1"),
+			other.domain.MustPrepend("ns1"),
+		}
+	}
+	base := pairBase(class)
+	prefix := "ns"
+	if broken {
+		prefix = "nsb"
+	}
+	return []dnsname.Name{
+		h.domain.MustPrepend(fmt.Sprintf("%s%d", prefix, base)),
+		h.domain.MustPrepend(fmt.Sprintf("%s%d", prefix, base+1)),
+	}
+}

@@ -1,0 +1,319 @@
+package worldgen
+
+// Profile holds the per-country deployment and misconfiguration rates the
+// generator draws from. Rates for the ten largest countries are derived
+// from the paper's per-country results (Table I, Figs. 8/10/14); the
+// remaining countries use tier defaults calibrated so global aggregates
+// land near the paper's totals.
+type Profile struct {
+	// --- replication (active world, § IV-A) ---
+
+	// SingleNS is P(domain is delegated with exactly one NS).
+	SingleNS float64
+	// SingleNSPrivate is P(the NS is in-government | single NS). The
+	// paper reports >71% each year (Fig. 7).
+	SingleNSPrivate float64
+	// SingleNSStale is P(no authoritative response | single NS) — the
+	// stale-record signal of Fig. 8 (60.1% overall).
+	SingleNSStale float64
+
+	// PrivateMulti is P(private deployment | multi-NS domain).
+	PrivateMulti float64
+	// CentralShare is P(NS are the shared central government servers |
+	// private): the pattern behind Thailand's same-IP pairs.
+	CentralShare float64
+
+	// --- diversity (Table I, conditioned on multi-NS) ---
+
+	// MultiIP is P(|IP_ns| > 1).
+	MultiIP float64
+	// Multi24GivenIP is P(|24_ns| > 1 given |IP_ns| > 1).
+	Multi24GivenIP float64
+	// MultiASNGiven24 is P(|ASN_ns| > 1 given |24_ns| > 1).
+	MultiASNGiven24 float64
+
+	// --- third-party hosting (§ IV-B) ---
+
+	// GlobalProviderShare is P(domain uses the global provider mix |
+	// third-party hosted); the remainder use country-local hosters.
+	GlobalProviderShare float64
+	// MixedHosting is P(domain keeps an extra nameserver outside its
+	// main provider | provider hosted) — these domains are not d_1P.
+	MixedHosting float64
+
+	// --- misconfiguration (active world, § IV-C/D) ---
+
+	// Stale is P(domain is dead but still delegated in the parent) —
+	// fully defective delegations from stale records.
+	Stale float64
+	// PartialLame is P(>=1 unresponsive/refusing NS | alive multi-NS).
+	PartialLame float64
+	// SharedLameBias is P(the lame server is a shared one | partial
+	// lame), producing the few-servers-break-many-domains pattern the
+	// paper observed for Turkey/Brazil/Mexico.
+	SharedLameBias float64
+	// Inconsistent is P(child NS set differs from parent | alive,
+	// responsive) beyond what stale parent entries already cause.
+	Inconsistent float64
+	// TypoNS is P(a parent-side NS hostname is a typo | partial lame).
+	TypoNS float64
+	// Dangling is P(a lame NS host lies under an expired, registrable
+	// domain | domain has a dead third-party NS).
+	Dangling float64
+	// Parked is P(domain's parent still lists an expired provider whose
+	// parking service answers queries) — the § IV-D no-lameness
+	// hijacking case. Kept very small (13 nameserver domains total).
+	Parked float64
+
+	// --- structure ---
+
+	// Level4Share and Level5Share set where children sit in the DNS
+	// hierarchy (remainder at level 3 relative to a 2-label suffix).
+	Level4Share float64
+	Level5Share float64
+
+	// --- longitudinal (PDNS, 2011-2020) ---
+
+	// Growth maps year index (0 = 2011) to the fraction of Weight
+	// present that year. Must have one entry per study year.
+	Growth []float64
+	// ChurnDeath is the yearly probability that a multi-NS domain
+	// disappears; single-NS domains use SingleChurnDeath.
+	ChurnDeath float64
+	// SingleChurnDeath is the yearly death rate of single-NS domains
+	// (the paper's Fig. 6 churn: 16-26% of d_1NS vanish per year).
+	SingleChurnDeath float64
+	// SingleNSHist is the historical (PDNS) single-NS rate, higher than
+	// the active-world rate because stale singles accumulate.
+	SingleNSHist float64
+}
+
+// growthDefault is the global PDNS growth shape: 113.5k of 192.6k in 2011
+// rising to the 2020 peak.
+var growthDefault = []float64{0.59, 0.63, 0.68, 0.73, 0.78, 0.83, 0.88, 0.94, 1.00, 1.00}
+
+// growthChina adds the 2019→2020 consolidation dip the paper attributes
+// to Chinese government domain restructuring.
+var growthChina = []float64{0.45, 0.52, 0.60, 0.68, 0.76, 0.84, 0.94, 1.12, 1.45, 1.00}
+
+// growthLate models countries whose e-government footprint appears later
+// in the decade; the initial zero keeps them out of the earliest PDNS
+// snapshots entirely, so the number of countries with data grows.
+var growthLate = []float64{0, 0.08, 0.18, 0.30, 0.44, 0.58, 0.72, 0.84, 0.94, 1.00}
+
+// baseProfile is the tier default every preset is derived from.
+func baseProfile() Profile {
+	return Profile{
+		SingleNS:        0.035,
+		SingleNSPrivate: 0.78,
+		SingleNSStale:   0.60,
+		PrivateMulti:    0.33,
+		CentralShare:    0.35,
+
+		MultiIP:         0.93,
+		Multi24GivenIP:  0.78,
+		MultiASNGiven24: 0.45,
+
+		GlobalProviderShare: 0.30,
+		MixedHosting:        0.15,
+
+		Stale:          0.025,
+		PartialLame:    0.19,
+		SharedLameBias: 0.45,
+		Inconsistent:   0.13,
+		TypoNS:         0.025,
+		Dangling:       0.02,
+		Parked:         0,
+
+		Level4Share: 0.08,
+		Level5Share: 0.02,
+
+		Growth:           growthDefault,
+		ChurnDeath:       0.05,
+		SingleChurnDeath: 0.21,
+		SingleNSHist:     0.042,
+	}
+}
+
+// with applies f to a copy of the base profile.
+func with(f func(*Profile)) Profile {
+	p := baseProfile()
+	f(&p)
+	return p
+}
+
+// presets returns the named profile table. Diversity dials follow
+// Table I; misconfiguration dials follow the per-country patterns of
+// Figs. 8, 10 and 14.
+func presets() map[string]Profile {
+	return map[string]Profile{
+		"default": baseProfile(),
+
+		// China: near-universal replication and prefix diversity, the
+		// highest AS diversity, heavy use of local commercial DNS
+		// (hichina/xincache/dns-diy), 2019→2020 consolidation dip.
+		"china": with(func(p *Profile) {
+			p.SingleNS = 0.012
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.973, 0.984, 0.548
+			p.PrivateMulti = 0.20
+			p.GlobalProviderShare = 0.92 // almost all third-party is the CN provider trio
+			p.MixedHosting = 0.40        // provider + in-house NS: the multi-AS pattern
+			p.PartialLame = 0.15
+			p.Stale = 0.02
+			p.Growth = growthChina
+			p.Level4Share, p.Level5Share = 0.04, 0.01
+		}),
+
+		// Thailand: dominated by shared central pairs resolving to one
+		// IP (|IP|>1 for only 36.1% of multi-NS domains).
+		"thailand": with(func(p *Profile) {
+			p.SingleNS = 0.02
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.361, 0.878, 0.429
+			p.PrivateMulti = 0.75
+			p.CentralShare = 0.85
+			p.GlobalProviderShare = 0.25
+			p.PartialLame = 0.34
+			p.SharedLameBias = 0.75
+			p.Stale = 0.03
+		}),
+
+		// Brazil: high IP diversity but mostly a single AS (13.7%);
+		// deep hierarchy (city.state.gov.br); many stale shared-lame
+		// delegations.
+		"brazil": with(func(p *Profile) {
+			p.Parked = 0.0002
+			p.SingleNS = 0.02
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.957, 0.568, 0.252
+			p.PrivateMulti = 0.45
+			p.CentralShare = 0.30
+			p.GlobalProviderShare = 0.22 // long tail of local hosters (max 6% per provider)
+			p.PartialLame = 0.46
+			p.SharedLameBias = 0.70
+			p.Stale = 0.05
+			p.Dangling = 0.04
+			p.Level4Share, p.Level5Share = 0.78, 0.05
+		}),
+
+		// Mexico: over 10% single-NS domains, most of them stale.
+		"mexico": with(func(p *Profile) {
+			p.Parked = 0.0002
+			p.SingleNS = 0.11
+			p.SingleNSStale = 0.62
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.90, 0.749, 0.381
+			p.PrivateMulti = 0.40
+			p.PartialLame = 0.42
+			p.SharedLameBias = 0.65
+			p.Stale = 0.06
+			p.Dangling = 0.04
+		}),
+
+		// UK: excellent replication and prefix diversity, modest AS
+		// diversity, few misconfigurations.
+		"uk": with(func(p *Profile) {
+			p.SingleNS = 0.004
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.997, 0.964, 0.265
+			p.PrivateMulti = 0.25
+			p.GlobalProviderShare = 0.55
+			p.PartialLame = 0.07
+			p.Stale = 0.02
+			p.Dangling = 0.02
+		}),
+
+		// Turkey: the most defective delegations; high AS diversity.
+		"turkey": with(func(p *Profile) {
+			p.Parked = 0.0002
+			p.SingleNS = 0.03
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.911, 0.797, 0.580
+			p.PrivateMulti = 0.40
+			p.PartialLame = 0.52
+			p.SharedLameBias = 0.72
+			p.Stale = 0.06
+			p.Dangling = 0.05
+			p.TypoNS = 0.04
+		}),
+
+		// India: strong prefix diversity, almost everything in NIC's
+		// single AS (10.6% multi-AS).
+		"india": with(func(p *Profile) {
+			p.Parked = 0.0002
+			p.SingleNS = 0.015
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.934, 0.900, 0.126
+			p.PrivateMulti = 0.70
+			p.CentralShare = 0.70
+			p.PartialLame = 0.22
+			p.SharedLameBias = 0.55
+			p.Stale = 0.04
+		}),
+
+		// Australia: highly replicated, lowest AS diversity (9.0%).
+		"australia": with(func(p *Profile) {
+			p.SingleNS = 0.005
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.992, 0.924, 0.098
+			p.PrivateMulti = 0.30
+			p.GlobalProviderShare = 0.50
+			p.PartialLame = 0.08
+			p.Stale = 0.02
+		}),
+
+		// Ukraine: diverse IPs, half of multi-/24 domains span ASes.
+		"ukraine": with(func(p *Profile) {
+			p.SingleNS = 0.04
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.990, 0.629, 0.724
+			p.PrivateMulti = 0.35
+			p.PartialLame = 0.18
+			p.Stale = 0.05
+			p.Parked = 0.0017 // the district-government cluster of § IV-D
+		}),
+
+		// Argentina.
+		"argentina": with(func(p *Profile) {
+			p.SingleNS = 0.03
+			p.MultiIP, p.Multi24GivenIP, p.MultiASNGiven24 = 0.976, 0.736, 0.425
+			p.PrivateMulti = 0.40
+			p.PartialLame = 0.24
+			p.Stale = 0.05
+			p.Dangling = 0.07
+		}),
+
+		// stale-heavy: Indonesia/Kyrgyzstan-style — over 10% single-NS,
+		// over half with no responding server.
+		"stale-heavy": with(func(p *Profile) {
+			p.SingleNS = 0.13
+			p.SingleNSStale = 0.70
+			p.SingleNSHist = 0.15
+			p.Stale = 0.10
+			p.PartialLame = 0.25
+			p.Growth = growthLate
+		}),
+
+		// sparse: countries with under ten responsive domains, a few
+		// of them single-NS (Bolivia, Bulgaria, Burkina Faso, UAE).
+		"sparse": with(func(p *Profile) {
+			p.SingleNS = 0.30
+			p.SingleNSStale = 0.40
+			p.SingleNSHist = 0.30
+			p.Growth = growthLate
+		}),
+	}
+}
+
+// profileFor resolves a country's profile: its named preset, or the tier
+// default.
+func profileFor(country Country) Profile {
+	table := presets()
+	if country.ProfileName != "" {
+		if p, ok := table[country.ProfileName]; ok {
+			return p
+		}
+	}
+	p := table["default"]
+	// Small countries start later and churn more, which produces the
+	// growing number of countries with data (Fig. 2) and keeps micro
+	// states from looking like large deployments.
+	if country.Weight <= weightTiny {
+		p.Growth = growthLate
+		p.SingleNS = 0.06
+		p.SingleNSHist = 0.07
+	}
+	return p
+}

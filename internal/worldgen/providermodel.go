@@ -1,0 +1,234 @@
+package worldgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"govdns/internal/dnsname"
+)
+
+// adoption describes one provider's share of all PDNS domains over the
+// study period. Shares are percentages of the global domain population,
+// taken from the paper's Tables II and III for 2011 and 2020; years in
+// between are interpolated per the curve kind.
+type adoption struct {
+	key        string  // catalog key
+	share2011  float64 // % of all domains, 2011
+	share2020  float64 // % of all domains, 2020
+	curve      curveKind
+	cnOnly     bool // provider only serves Chinese domains (DNSPod trio)
+	nsPerSet   int  // nameservers per customer delegation
+	nameScheme string
+	// markets2011 and markets2020 bound how many countries the provider
+	// operates in (the paper's Table III "Countries" column); adoption is
+	// country-clustered, not uniform.
+	markets2011, markets2020 int
+}
+
+type curveKind int
+
+const (
+	curveLinear curveKind = iota + 1
+	// curveCloud stays near zero until mid-decade then accelerates —
+	// the Amazon/Cloudflare/Azure "multiple orders of magnitude" rise.
+	curveCloud
+	// curveDecay shrinks from an early peak (everydns, ixwebhosting).
+	curveDecay
+)
+
+// share returns the provider's target share (percent) for year index
+// t01 in [0,1] (0 = 2011, 1 = 2020).
+func (a adoption) share(t01 float64) float64 {
+	switch a.curve {
+	case curveCloud:
+		return a.share2011 + (a.share2020-a.share2011)*math.Pow(t01, 3)
+	case curveDecay:
+		return a.share2011 + (a.share2020-a.share2011)*math.Sqrt(t01)
+	default:
+		return a.share2011 + (a.share2020-a.share2011)*t01
+	}
+}
+
+// adoptionTable is the calibration input for Tables II and III.
+func adoptionTable() []adoption {
+	return []adoption{
+		{key: "amazon", share2011: 0.004, share2020: 2.70, curve: curveCloud, nsPerSet: 4, nameScheme: "amazon", markets2011: 3, markets2020: 67},
+		{key: "cloudflare", share2011: 0.011, share2020: 2.15, curve: curveCloud, nsPerSet: 2, nameScheme: "cloudflare", markets2011: 6, markets2020: 85},
+		{key: "azure", share2011: 0, share2020: 0.82, curve: curveCloud, nsPerSet: 4, nameScheme: "azure", markets2011: 0, markets2020: 37},
+		{key: "godaddy", share2011: 0.25, share2020: 0.82, curve: curveLinear, nsPerSet: 2, nameScheme: "godaddy", markets2011: 47, markets2020: 63},
+		{key: "dnspod", share2011: 0.33, share2020: 0.36, curve: curveLinear, cnOnly: true, nsPerSet: 2, nameScheme: "dnspod", markets2011: 1, markets2020: 1},
+		{key: "dnsmadeeasy", share2011: 0.08, share2020: 0.13, curve: curveLinear, nsPerSet: 3, nameScheme: "pool", markets2011: 20, markets2020: 25},
+		{key: "dyn", share2011: 0.006, share2020: 0.088, curve: curveLinear, nsPerSet: 2, nameScheme: "dyn", markets2011: 3, markets2020: 20},
+		{key: "ultradns", share2011: 0.013, share2020: 0.034, curve: curveLinear, nsPerSet: 2, nameScheme: "pool", markets2011: 4, markets2020: 8},
+
+		{key: "websitewelcome", share2011: 0.37, share2020: 0.39, curve: curveLinear, nsPerSet: 2, nameScheme: "pool", markets2011: 52, markets2020: 50},
+		{key: "hostgator", share2011: 0.16, share2020: 0.80, curve: curveLinear, nsPerSet: 2, nameScheme: "pool", markets2011: 29, markets2020: 55},
+		{key: "bluehost", share2011: 0.12, share2020: 0.22, curve: curveLinear, nsPerSet: 2, nameScheme: "pool", markets2011: 29, markets2020: 58},
+		{key: "dreamhost", share2011: 0.21, share2020: 0.10, curve: curveDecay, nsPerSet: 2, nameScheme: "pool", markets2011: 29, markets2020: 20},
+		{key: "zoneedit", share2011: 0.16, share2020: 0.05, curve: curveDecay, nsPerSet: 2, nameScheme: "pool", markets2011: 32, markets2020: 15},
+		{key: "ixwebhosting", share2011: 0.09, share2020: 0.02, curve: curveDecay, nsPerSet: 2, nameScheme: "pool", markets2011: 28, markets2020: 10},
+		{key: "hostmonster", share2011: 0.09, share2020: 0.04, curve: curveDecay, nsPerSet: 2, nameScheme: "pool", markets2011: 27, markets2020: 12},
+		{key: "everydns", share2011: 0.23, share2020: 0.01, curve: curveDecay, nsPerSet: 2, nameScheme: "pool", markets2011: 26, markets2020: 5},
+		{key: "pipedns", share2011: 0.04, share2020: 0.01, curve: curveDecay, nsPerSet: 2, nameScheme: "pool", markets2011: 24, markets2020: 4},
+		{key: "stabletransit", share2011: 0.05, share2020: 0.02, curve: curveDecay, nsPerSet: 2, nameScheme: "pool", markets2011: 22, markets2020: 8},
+		{key: "digitalocean", share2011: 0, share2020: 0.22, curve: curveCloud, nsPerSet: 3, nameScheme: "digitalocean", markets2011: 0, markets2020: 45},
+		{key: "microsoftonline", share2011: 0, share2020: 0.07, curve: curveCloud, nsPerSet: 2, nameScheme: "pool", markets2011: 0, markets2020: 41},
+		{key: "wixdns", share2011: 0, share2020: 0.17, curve: curveCloud, nsPerSet: 2, nameScheme: "pool", markets2011: 0, markets2020: 36},
+		{key: "cloudns", share2011: 0.01, share2020: 0.12, curve: curveLinear, nsPerSet: 2, nameScheme: "cloudns", markets2011: 10, markets2020: 36},
+
+		{key: "hichina", share2011: 5.70, share2020: 7.30, curve: curveLinear, cnOnly: true, nsPerSet: 2, nameScheme: "hichina", markets2011: 1, markets2020: 1},
+		{key: "xincache", share2011: 2.30, share2020: 3.60, curve: curveLinear, cnOnly: true, nsPerSet: 2, nameScheme: "pool", markets2011: 1, markets2020: 1},
+		{key: "dnsdiy", share2011: 1.30, share2020: 2.10, curve: curveLinear, cnOnly: true, nsPerSet: 2, nameScheme: "dnsdiy", markets2011: 1, markets2020: 1},
+	}
+}
+
+// nsSetFor generates the NS hostname set a provider hands to customer
+// slot: realistic naming per provider, quantized into a bounded pool so
+// servers are shared by many customers (pool index = slot % poolSize).
+func (a adoption) nsSetFor(slot int) []dnsname.Name {
+	pool := slot % 64
+	switch a.nameScheme {
+	case "amazon":
+		// Route 53 style: one server per TLD, numbered.
+		tlds := []string{"com", "net", "org", "co.uk"}
+		out := make([]dnsname.Name, 0, 4)
+		for i, tld := range tlds {
+			out = append(out, dnsname.MustParse(
+				fmt.Sprintf("ns-%d.awsdns-%02d.%s", pool*16+i, pool, tld)))
+		}
+		return out
+	case "azure":
+		tlds := []string{"com", "net", "org", "info"}
+		out := make([]dnsname.Name, 0, 4)
+		for i, tld := range tlds {
+			out = append(out, dnsname.MustParse(
+				fmt.Sprintf("ns%d-%02d.azure-dns.%s", i+1, pool, tld)))
+		}
+		return out
+	case "cloudflare":
+		males := []string{"art", "bob", "cruz", "dan", "ed", "gene", "hank", "ivan"}
+		females := []string{"amy", "beth", "cora", "dina", "eva", "gail", "hana", "iris"}
+		return []dnsname.Name{
+			dnsname.MustParse(males[pool%len(males)] + ".ns.cloudflare.com"),
+			dnsname.MustParse(females[pool%len(females)] + ".ns.cloudflare.com"),
+		}
+	case "godaddy":
+		base := (pool % 40) * 2
+		return []dnsname.Name{
+			dnsname.MustParse(fmt.Sprintf("ns%02d.domaincontrol.com", base+1)),
+			dnsname.MustParse(fmt.Sprintf("ns%02d.domaincontrol.com", base+2)),
+		}
+	case "dnspod":
+		g := pool%6 + 1
+		return []dnsname.Name{
+			dnsname.MustParse(fmt.Sprintf("f1g%dns1.dnspod.net", g)),
+			dnsname.MustParse(fmt.Sprintf("f1g%dns2.dnspod.net", g)),
+		}
+	case "dyn":
+		p := pool%10 + 1
+		return []dnsname.Name{
+			dnsname.MustParse(fmt.Sprintf("ns1.p%02d.dynect.net", p)),
+			dnsname.MustParse(fmt.Sprintf("ns2.p%02d.dynect.net", p)),
+		}
+	case "digitalocean":
+		return []dnsname.Name{
+			dnsname.MustParse("ns1.digitalocean.com"),
+			dnsname.MustParse("ns2.digitalocean.com"),
+			dnsname.MustParse("ns3.digitalocean.com"),
+		}
+	case "cloudns":
+		base := pool%4 + 1
+		return []dnsname.Name{
+			dnsname.MustParse(fmt.Sprintf("pns%d.cloudns.net", base)),
+			dnsname.MustParse(fmt.Sprintf("pns%d.cloudns.net", base+4)),
+		}
+	case "hichina":
+		d := pool%30 + 1
+		return []dnsname.Name{
+			dnsname.MustParse(fmt.Sprintf("dns%d.hichina.com", d)),
+			dnsname.MustParse(fmt.Sprintf("dns%d.hichina.com", d+1)),
+		}
+	case "dnsdiy":
+		return []dnsname.Name{
+			dnsname.MustParse(fmt.Sprintf("ns%d.dns-diy.com", pool%5+1)),
+			dnsname.MustParse(fmt.Sprintf("ns%d.dns-diy.net", pool%5+1)),
+		}
+	default: // "pool"
+		domain := providerDomainFor(a.key)
+		n := a.nsPerSet
+		if n < 2 {
+			n = 2
+		}
+		out := make([]dnsname.Name, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, dnsname.MustParse(
+				fmt.Sprintf("ns%d.%s", pool%20*n+i+1, domain)))
+		}
+		return out
+	}
+}
+
+// providerDomainFor maps a catalog key to its primary nameserver domain
+// for the generic pool naming scheme.
+func providerDomainFor(key string) string {
+	domains := map[string]string{
+		"dnsmadeeasy":     "dnsmadeeasy.com",
+		"ultradns":        "ultradns.net",
+		"websitewelcome":  "websitewelcome.com",
+		"hostgator":       "hostgator.com",
+		"bluehost":        "bluehost.com",
+		"dreamhost":       "dreamhost.com",
+		"zoneedit":        "zoneedit.com",
+		"ixwebhosting":    "ixwebhosting.com",
+		"hostmonster":     "hostmonster.com",
+		"everydns":        "everydns.net",
+		"pipedns":         "pipedns.com",
+		"stabletransit":   "stabletransit.com",
+		"microsoftonline": "microsoftonline.com",
+		"wixdns":          "wixdns.net",
+		"xincache":        "xincache.com",
+	}
+	if d, ok := domains[key]; ok {
+		return d
+	}
+	return key + ".com"
+}
+
+// localHoster is a country-local web hoster outside the provider catalog;
+// the long tail that keeps the government DNS ecosystem heterogeneous.
+type localHoster struct {
+	domain dnsname.Name
+	ns     []dnsname.Name
+}
+
+// localHostersFor fabricates a country's local hosting companies. Count
+// scales with the country's size so no single local provider dominates
+// large countries (the paper: at most 6% per provider in gov.br).
+func localHostersFor(country Country, rng *rand.Rand) []localHoster {
+	n := 3
+	switch {
+	case country.Weight >= 5000:
+		n = 18
+	case country.Weight >= weightLarge:
+		n = 10
+	case country.Weight >= weightMid:
+		n = 6
+	case country.Weight >= weightSmall:
+		n = 4
+	}
+	styles := []string{"host%s%d.com", "dns%s%d.net", "web%s%d.com", "%shosting%d.com", "serv%s%d.net"}
+	out := make([]localHoster, 0, n)
+	for i := 0; i < n; i++ {
+		style := styles[rng.Intn(len(styles))]
+		domain := dnsname.MustParse(fmt.Sprintf(style, country.Code, i+1))
+		out = append(out, localHoster{
+			domain: domain,
+			ns: []dnsname.Name{
+				domain.MustPrepend("ns1"),
+				domain.MustPrepend("ns2"),
+			},
+		})
+	}
+	return out
+}

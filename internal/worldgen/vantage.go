@@ -1,0 +1,69 @@
+package worldgen
+
+import (
+	"fmt"
+	"net/netip"
+
+	"govdns/internal/nettopo"
+	"govdns/internal/simnet"
+)
+
+// GeoFence restricts every in-suffix government nameserver of a country
+// to domestic sources (its government and telecom ASes) — the § V-A
+// scenario where results depend on the measurement vantage. The study's
+// default vantage will see those domains as unresponsive; a domestic
+// vantage (DomesticVantage) sees them normally.
+func (a *Active) GeoFence(code string) error {
+	idx := a.World.countryIndex(code)
+	if idx < 0 {
+		return fmt.Errorf("worldgen: unknown country %q", code)
+	}
+	country := a.World.Countries[idx]
+	allow := a.domesticACL(idx)
+
+	for host, addrs := range a.addrs {
+		if !host.IsSubdomainOf(country.Suffix) {
+			continue
+		}
+		for _, addr := range addrs {
+			a.Net.SetACL(addr, allow)
+		}
+	}
+	return nil
+}
+
+// domesticACL admits sources inside the country's government and
+// telecom AS ranges.
+func (a *Active) domesticACL(idx int) simnet.ACL {
+	govASN := uint32(asCountry + 2*idx)
+	var prefixes []netip.Prefix
+	for _, r := range a.Topo.Ranges() {
+		if r.ASN == govASN || r.ASN == govASN+1 {
+			prefixes = append(prefixes, netip.PrefixFrom(nettopo.IPv4(r.Start), 16))
+		}
+	}
+	return func(src netip.Addr) bool {
+		for _, p := range prefixes {
+			if p.Contains(src) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// DomesticVantage allocates a measurement source address inside the
+// country's telecom AS, for scanning geo-fenced infrastructure from the
+// inside.
+func (a *Active) DomesticVantage(code string) (netip.Addr, error) {
+	idx := a.World.countryIndex(code)
+	if idx < 0 {
+		return netip.Addr{}, fmt.Errorf("worldgen: unknown country %q", code)
+	}
+	telecomASN := uint32(asCountry + 2*idx + 1)
+	addr, err := a.Topo.AllocIP(telecomASN)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("worldgen: allocating vantage: %w", err)
+	}
+	return addr, nil
+}

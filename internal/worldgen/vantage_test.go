@@ -1,0 +1,119 @@
+package worldgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"govdns/internal/analysis"
+	"govdns/internal/dnsname"
+	"govdns/internal/measure"
+	"govdns/internal/resolver"
+	"govdns/internal/simnet"
+)
+
+// TestGeoFenceMultiVantage exercises the § V-A extension: a geo-fenced
+// country's domains look dead from the default vantage but healthy from
+// a domestic one.
+func TestGeoFenceMultiVantage(t *testing.T) {
+	w := Generate(Config{Seed: 17, Scale: 0.01})
+	active := Build(w)
+
+	const code = "ua"
+	if err := active.GeoFence(code); err != nil {
+		t.Fatalf("GeoFence: %v", err)
+	}
+	domestic, err := active.DomesticVantage(code)
+	if err != nil {
+		t.Fatalf("DomesticVantage: %v", err)
+	}
+
+	// Collect a handful of healthy in-country, privately-hosted domains
+	// (third-party-hosted ones are not geo-fenced).
+	idx := w.countryIndex(code)
+	var targets []dnsname.Name
+	for _, d := range w.DomainsOfCountry(idx) {
+		if len(targets) >= 10 {
+			break
+		}
+		if d.Died != 0 || d.Cond != CondHealthy || d.SingleNS {
+			continue
+		}
+		if k := d.Final().Kind; k != HostPrivate && k != HostCentral {
+			continue
+		}
+		if d.Name == w.Countries[idx].Suffix {
+			continue
+		}
+		targets = append(targets, d.Name)
+	}
+	if len(targets) < 3 {
+		t.Skipf("only %d suitable domains at this scale", len(targets))
+	}
+
+	scan := func(transport resolver.Transport) []*measure.DomainResult {
+		client := resolver.NewClient(transport)
+		client.Timeout = 10 * time.Millisecond
+		client.Retries = 0
+		s := measure.NewScanner(resolver.NewIterator(client, active.Roots))
+		s.SecondRound = false
+		return s.Scan(context.Background(), targets)
+	}
+
+	outside := scan(active.Net) // DefaultVantage
+	inside := scan(active.Net.Vantage(domestic))
+
+	diff := analysis.CompareVantages(outside, inside)
+	if diff.OnlyB != len(targets) {
+		t.Errorf("diff = %+v; want all %d domains visible only domestically", diff, len(targets))
+	}
+	for _, r := range outside {
+		if r.Responsive() {
+			t.Errorf("%s responsive from outside a geo-fence", r.Domain)
+		}
+	}
+	for _, r := range inside {
+		if !r.Responsive() {
+			t.Errorf("%s not responsive from the domestic vantage", r.Domain)
+		}
+	}
+
+	// Other countries are unaffected from the default vantage.
+	var other dnsname.Name
+	for _, d := range w.Domains {
+		if d.Died == 0 && d.Cond == CondHealthy && !d.SingleNS &&
+			w.Countries[d.CountryIdx].Code == "uk" && d.Name != w.Countries[d.CountryIdx].Suffix {
+			other = d.Name
+			break
+		}
+	}
+	if other != "" {
+		res := scanOne(t, active, other)
+		if !res.Responsive() {
+			t.Errorf("unfenced domain %s became unresponsive", other)
+		}
+	}
+}
+
+func scanOne(t *testing.T, active *Active, name dnsname.Name) *measure.DomainResult {
+	t.Helper()
+	client := resolver.NewClient(active.Net)
+	client.Timeout = 10 * time.Millisecond
+	s := measure.NewScanner(resolver.NewIterator(client, active.Roots))
+	return s.ScanDomain(context.Background(), name)
+}
+
+func TestVantageSourceAndACL(t *testing.T) {
+	w := Generate(Config{Seed: 17, Scale: 0.002})
+	active := Build(w)
+	v := active.Net.Vantage(simnet.DefaultVantage)
+	if v.Source() != simnet.DefaultVantage {
+		t.Errorf("Source = %v", v.Source())
+	}
+	if err := active.GeoFence("zz"); err == nil {
+		t.Error("GeoFence accepted an unknown country")
+	}
+	if _, err := active.DomesticVantage("zz"); err == nil {
+		t.Error("DomesticVantage accepted an unknown country")
+	}
+}
