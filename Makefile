@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scanner and resolver are deliberately concurrent (worker pool ×
+# per-domain fan-out × singleflight); the race detector is part of the
+# tier-1 verify, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) run ./cmd/benchreport -bench . -benchtime 1s
+
+# check is the tier-1 verify: everything a PR must keep green.
+check: build vet test race

@@ -10,6 +10,7 @@ package govdns
 
 import (
 	"context"
+	"net/netip"
 	"sync"
 	"testing"
 	"time"
@@ -348,6 +349,90 @@ func BenchmarkAblationModeVsMax(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(overcounted), "max-overcounted-domains")
+}
+
+// benchLatencyTransport models a realistic per-query round-trip on top of
+// the zero-latency simnet. Real scans are wait-dominated — RTTs of
+// milliseconds to tens of milliseconds, and multi-attempt timeout windows
+// on every defective domain — and that waiting is exactly what the scan
+// concurrency exists to overlap, so the pipeline benchmark must include
+// it to measure anything real.
+type benchLatencyTransport struct {
+	inner resolver.Transport
+	delay time.Duration
+}
+
+func (l *benchLatencyTransport) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	t := time.NewTimer(l.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return l.inner.Exchange(ctx, server, query)
+}
+
+// BenchmarkScanPipeline measures the full bulk-scan hot path over the
+// study's query list at Scale=0.02 under a 5ms-RTT latency model with the
+// default 25ms lameness-detection timeout. Each iteration uses a fresh
+// iterator so cache warm-up, singleflight coalescing, and the per-domain
+// probe pipeline are all measured, exactly as a real scan pays for them.
+//
+// Sub-benchmarks:
+//   - serial: the pre-fan-out pipeline exactly as previously shipped —
+//     64 workers, per-domain serial probing, no resolution coalescing,
+//     fixed server order, serial zone builds.
+//   - serial-c128: the same serial pipeline pushed to 128 workers, to
+//     separate what plain worker scaling buys from what the per-domain
+//     fan-out buys.
+//   - parallel: the current defaults — 128 workers × fan-out 8, with
+//     coalescing, adaptive server ordering, and concurrent zone builds.
+//
+// The serial→parallel delta is the shipped-configuration improvement this
+// refactor delivers; serial-c128→parallel isolates the intra-domain
+// fan-out itself, whose ceiling is set by the population (defective
+// domains with a single nameserver have nothing to overlap — their full
+// timeout window is the pipeline's Amdahl floor).
+func BenchmarkScanPipeline(b *testing.B) {
+	s := study(b)
+	ctx := context.Background()
+	run := func(b *testing.B, workers, fanout int, seedBaseline bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			client := resolver.NewClient(&benchLatencyTransport{s.Active.Net, 5 * time.Millisecond})
+			client.Timeout = 25 * time.Millisecond
+			client.Retries = 1
+			it := resolver.NewIterator(client, s.Active.Roots)
+			if seedBaseline {
+				it.Coalesce = false
+				it.AdaptiveOrder = false
+				it.BuildFanout = 1
+			}
+			sc := measure.NewScanner(it)
+			sc.Concurrency = workers
+			sc.PerDomainParallelism = fanout
+			results := sc.Scan(ctx, s.Active.QueryList)
+			if len(results) != len(s.Active.QueryList) {
+				b.Fatalf("got %d results for %d domains", len(results), len(s.Active.QueryList))
+			}
+			responsive := 0
+			for _, r := range results {
+				if r.Responsive() {
+					responsive++
+				}
+			}
+			if responsive == 0 {
+				b.Fatal("no responsive domains")
+			}
+		}
+		b.ReportMetric(float64(len(s.Active.QueryList)), "domains/op")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 64, 1, true) })
+	b.Run("serial-c128", func(b *testing.B) { run(b, 128, 1, true) })
+	b.Run("parallel", func(b *testing.B) {
+		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false)
+	})
 }
 
 // --- Substrate micro-benchmarks ---

@@ -2,17 +2,26 @@
 // and prints them alongside the paper's published values, one experiment
 // per section. It is the harness behind EXPERIMENTS.md.
 //
+// With -bench it instead runs the repo's Go benchmarks (go test -bench
+// -benchmem) and emits the parsed results as JSON, so perf numbers can be
+// committed (BENCH_*.json) and compared across PRs.
+//
 // Usage:
 //
 //	benchreport [-scale 0.1] [-seed 42] [-experiment fig9] [-csv]
+//	benchreport -bench . [-benchtime 1x] [-benchout BENCH_1.json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,7 +42,14 @@ func run() error {
 	experiment := flag.String("experiment", "", "run one experiment (fig2 fig4 fig6 fig7 fig8 fig9 table1 table2 table3 fig10 fig11 fig13); empty = all")
 	csvDir := flag.String("csvdir", "", "also export every experiment as CSV files into this directory")
 	listExpectations := flag.Bool("expectations", false, "print the paper's expected values and exit")
+	bench := flag.String("bench", "", "run Go benchmarks matching this regexp and emit JSON instead of the report")
+	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test when -bench is set")
+	benchout := flag.String("benchout", "", "write the -bench JSON to this file (default stdout)")
 	flag.Parse()
+
+	if *bench != "" {
+		return runBench(*bench, *benchtime, *benchout)
+	}
 
 	if *listExpectations {
 		keys := make([]string, 0, len(core.PaperExpectations))
@@ -147,6 +163,90 @@ func writeOne(study *govdns.Study, id string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
+	return nil
+}
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchReport is the JSON document -bench emits.
+type benchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Command    string        `json:"command"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runBench shells out to go test, parses the standard benchmark output
+// format, and writes it as JSON.
+func runBench(pattern, benchtime, out string) error {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem", "-benchtime", benchtime, "."}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, raw)
+	}
+
+	report := benchReport{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Command:   "go " + strings.Join(args, " "),
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := benchResult{
+			Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		report.Benchmarks = append(report.Benchmarks, r)
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in go test output")
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchmark report written to %s (%d benchmarks)\n", out, len(report.Benchmarks))
 	return nil
 }
 

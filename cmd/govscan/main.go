@@ -57,7 +57,10 @@ func run() error {
 	out := flag.String("out", "", "output JSONL path (default stdout)")
 	scale := flag.Float64("scale", 0.02, "synthetic world scale (-sim)")
 	seed := flag.Int64("seed", 42, "synthetic world seed (-sim)")
-	concurrency := flag.Int("concurrency", 64, "concurrent domains")
+	concurrency := flag.Int("concurrency", measure.DefaultConcurrency, "concurrent domains")
+	fanout := flag.Int("fanout", measure.DefaultPerDomainParallelism,
+		"per-domain parallelism: concurrent NS-host resolutions and per-address probes within one domain (1 = serial)")
+	showStats := flag.Bool("stats", false, "print resolver cache/coalescing statistics after the scan")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (default 25ms sim, 2s real)")
 	qps := flag.Float64("qps", 0, "global query rate limit (0 = unlimited; recommended for -real)")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL scan and exit")
@@ -115,14 +118,28 @@ func run() error {
 	transport = resolver.RateLimit(transport, *qps, 10)
 	client := resolver.NewClient(transport)
 	client.Timeout = *timeout
-	scanner := measure.NewScanner(resolver.NewIterator(client, roots))
+	it := resolver.NewIterator(client, roots)
+	scanner := measure.NewScanner(it)
 	scanner.Concurrency = *concurrency
+	if *fanout <= 0 {
+		*fanout = measure.DefaultPerDomainParallelism
+	}
+	scanner.PerDomainParallelism = *fanout
 
-	fmt.Fprintf(os.Stderr, "scanning %d domains (timeout %v, concurrency %d)\n",
-		len(domains), *timeout, *concurrency)
+	fmt.Fprintf(os.Stderr, "scanning %d domains (timeout %v, concurrency %d, fanout %d)\n",
+		len(domains), *timeout, *concurrency, *fanout)
 	start := time.Now()
 	results := scanner.Scan(context.Background(), domains)
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	if *showStats {
+		st := it.Stats()
+		fmt.Fprintf(os.Stderr,
+			"resolver: sent=%d received=%d timeouts=%d; host cache %d hit / %d miss; zone cache %d hit / %d miss; negative hits=%d; coalesced=%d\n",
+			st.Sent, st.Received, st.Timeouts,
+			st.HostCacheHits, st.HostCacheMisses,
+			st.ZoneCacheHits, st.ZoneCacheMisses,
+			st.NegativeHits, st.CoalescedWaits)
+	}
 
 	dest := os.Stdout
 	if *out != "" {

@@ -36,6 +36,9 @@ type Options struct {
 	Scale float64
 	// Concurrency bounds in-flight scan queries (default 64).
 	Concurrency int
+	// PerDomainParallelism bounds the scanner's intra-domain fan-out
+	// (default 8; 1 = serial per-domain behaviour).
+	PerDomainParallelism int
 	// QueryTimeout bounds each query attempt (default 25ms against the
 	// in-memory network).
 	QueryTimeout time.Duration
@@ -61,14 +64,15 @@ type Config = core.Config
 // core.ErrNotScanned until RunActive).
 func New(opts Options) *Study {
 	return core.NewStudy(core.Config{
-		Seed:          opts.Seed,
-		Scale:         opts.Scale,
-		Concurrency:   opts.Concurrency,
-		QueryTimeout:  opts.QueryTimeout,
-		Retries:       0,
-		SecondRound:   !opts.DisableSecondRound,
-		StabilityDays: opts.StabilityDays,
-		HijackEvents:  opts.HijackEvents,
+		Seed:                 opts.Seed,
+		Scale:                opts.Scale,
+		Concurrency:          opts.Concurrency,
+		PerDomainParallelism: opts.PerDomainParallelism,
+		QueryTimeout:         opts.QueryTimeout,
+		Retries:              0,
+		SecondRound:          !opts.DisableSecondRound,
+		StabilityDays:        opts.StabilityDays,
+		HijackEvents:         opts.HijackEvents,
 	})
 }
 

@@ -27,6 +27,10 @@ type Config struct {
 	Scale float64
 	// Concurrency bounds the scanner's in-flight domains.
 	Concurrency int
+	// PerDomainParallelism bounds the scanner's intra-domain fan-out
+	// (NS-host resolutions and per-address probes per domain). Default
+	// measure.DefaultPerDomainParallelism; 1 means serial.
+	PerDomainParallelism int
 	// QueryTimeout bounds each DNS query attempt (default 25ms — the
 	// simulated network answers in microseconds, so this is purely the
 	// lameness-detection budget).
@@ -52,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Concurrency == 0 {
 		c.Concurrency = measure.DefaultConcurrency
+	}
+	if c.PerDomainParallelism == 0 {
+		c.PerDomainParallelism = measure.DefaultPerDomainParallelism
 	}
 	if c.Retries == 0 {
 		c.Retries = 1
@@ -145,6 +152,7 @@ func (s *Study) RunActive(ctx context.Context) error {
 	it := resolver.NewIterator(client, s.Active.Roots)
 	scanner := measure.NewScanner(it)
 	scanner.Concurrency = s.Cfg.Concurrency
+	scanner.PerDomainParallelism = s.Cfg.PerDomainParallelism
 	scanner.SecondRound = s.Cfg.SecondRound
 	s.Results = scanner.Scan(ctx, s.Active.QueryList)
 	return ctx.Err()
@@ -392,6 +400,7 @@ func (s *Study) CompareVantage(ctx context.Context, code string, maxDomains int)
 		client.Retries = s.Cfg.Retries
 		sc := measure.NewScanner(resolver.NewIterator(client, s.Active.Roots))
 		sc.Concurrency = s.Cfg.Concurrency
+		sc.PerDomainParallelism = s.Cfg.PerDomainParallelism
 		sc.SecondRound = false
 		return sc.Scan(ctx, targets)
 	}

@@ -3,6 +3,7 @@ package measure
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/netip"
 	"sort"
 	"sync"
@@ -20,14 +21,66 @@ type Scanner struct {
 	// Concurrency bounds the number of in-flight domains. Defaults to
 	// DefaultConcurrency.
 	Concurrency int
+	// PerDomainParallelism bounds the fan-out *within* one domain: how
+	// many NS-host resolutions and per-address NS probes run at once.
+	// Most of a defective domain's scan time is spent waiting out query
+	// timeouts on dead servers; overlapping those waits is where the
+	// wall-clock win comes from. 0 means DefaultPerDomainParallelism;
+	// 1 restores fully serial per-domain behaviour.
+	PerDomainParallelism int
 	// SecondRound enables the paper's retry: when a delegation exists
 	// but no delegated server responded, the domain is probed again to
 	// rule out transient failures (§ III-B).
 	SecondRound bool
 }
 
-// DefaultConcurrency is the scanner's default worker count.
-const DefaultConcurrency = 64
+// DefaultConcurrency is the scanner's default worker count. Scans are
+// wait-dominated (timeouts on defective domains), so workers are cheap;
+// the bound used to be 64 because without resolution coalescing more
+// workers meant proportionally more stampede duplication, which the
+// iterator's singleflight layer has since eliminated.
+const DefaultConcurrency = 128
+
+// DefaultPerDomainParallelism is the default intra-domain fan-out width.
+const DefaultPerDomainParallelism = 8
+
+func (s *Scanner) fanout() int {
+	if s.PerDomainParallelism > 0 {
+		return s.PerDomainParallelism
+	}
+	return DefaultPerDomainParallelism
+}
+
+// fanEach runs fn(i) for every i in [0,n), using up to p concurrent
+// goroutines. Results must be written by index so ordering stays
+// deterministic regardless of completion order.
+func fanEach(n, p int, fn func(int)) {
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
 
 // NewScanner builds a scanner with the paper's configuration.
 func NewScanner(it *resolver.Iterator) *Scanner {
@@ -71,34 +124,34 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 		return r
 	}
 
-	// Resolve every delegated nameserver. Glue from the referral is
+	// Resolve and probe every delegated nameserver. Each host is one
+	// pipelined unit — resolve its addresses (glue from the referral is
 	// authoritative enough for the parent's own view; out-of-zone hosts
-	// go through full resolution (cached across the scan).
+	// go through full resolution, cached and coalesced across the scan),
+	// then immediately probe each address for the domain's NS records.
+	// Units fan out across hosts, so a host stuck waiting out timeouts
+	// on an unresolvable name overlaps its siblings' probes instead of
+	// gating them. Results land in pre-sized per-host slices by index,
+	// so the fan-out changes nothing about result ordering.
 	glue := make(map[dnsname.Name][]netip.Addr)
 	for _, rr := range deleg.Glue {
 		if a, ok := rr.Data.(dnswire.AData); ok {
 			glue[rr.Name] = append(glue[rr.Name], a.Addr)
 		}
 	}
-	for _, host := range r.ParentNS {
-		if addrs, ok := glue[host]; ok {
-			sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
-			r.Addrs[host] = addrs
-			continue
-		}
-		addrs, err := s.Iterator.ResolveHost(ctx, host)
-		if err != nil {
-			r.Addrs[host] = nil
-			continue
-		}
-		r.Addrs[host] = addrs
-	}
-
-	// Query every address of every delegated nameserver for the
-	// domain's NS records.
 	client := s.Iterator.Client()
-	for _, host := range r.ParentNS {
-		for _, addr := range r.Addrs[host] {
+	resolved := make([][]netip.Addr, len(r.ParentNS))
+	perHost := make([][]ServerResponse, len(r.ParentNS))
+	fanEach(len(r.ParentNS), s.fanout(), func(i int) {
+		host := r.ParentNS[i]
+		if addrs, ok := glue[host]; ok {
+			sort.Slice(addrs, func(a, b int) bool { return addrs[a].Less(addrs[b]) })
+			resolved[i] = addrs
+		} else if addrs, err := s.Iterator.ResolveHost(ctx, host); err == nil {
+			resolved[i] = addrs
+		}
+		perHost[i] = make([]ServerResponse, len(resolved[i]))
+		for j, addr := range resolved[i] {
 			sr := ServerResponse{Host: host, Addr: addr}
 			resp, err := client.Query(ctx, addr, domain, dnswire.TypeNS)
 			if err != nil {
@@ -113,10 +166,14 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 					}
 					sr.NS = append(sr.NS, rr.Data.(dnswire.NSData).Host)
 				}
-				sort.Slice(sr.NS, func(i, j int) bool { return dnsname.Compare(sr.NS[i], sr.NS[j]) < 0 })
+				sort.Slice(sr.NS, func(a, b int) bool { return dnsname.Compare(sr.NS[a], sr.NS[b]) < 0 })
 			}
-			r.Servers = append(r.Servers, sr)
+			perHost[i][j] = sr
 		}
+	})
+	for i, host := range r.ParentNS {
+		r.Addrs[host] = resolved[i]
+		r.Servers = append(r.Servers, perHost[i]...)
 	}
 
 	// The child may know servers the parent does not (C ⊃ P): resolve
@@ -133,6 +190,7 @@ func (s *Scanner) queryChildOnlyHosts(ctx context.Context, r *DomainResult) {
 	for _, h := range r.ParentNS {
 		inParent[h] = true
 	}
+	var hosts []dnsname.Name
 	for _, host := range r.ChildNS() {
 		if inParent[host] {
 			continue
@@ -140,12 +198,16 @@ func (s *Scanner) queryChildOnlyHosts(ctx context.Context, r *DomainResult) {
 		if _, done := r.Addrs[host]; done {
 			continue
 		}
-		addrs, err := s.Iterator.ResolveHost(ctx, host)
-		if err != nil {
-			r.Addrs[host] = nil
-			continue
+		hosts = append(hosts, host)
+	}
+	resolved := make([][]netip.Addr, len(hosts))
+	fanEach(len(hosts), s.fanout(), func(i int) {
+		if addrs, err := s.Iterator.ResolveHost(ctx, hosts[i]); err == nil {
+			resolved[i] = addrs
 		}
-		r.Addrs[host] = addrs
+	})
+	for i, host := range hosts {
+		r.Addrs[host] = resolved[i]
 	}
 }
 
@@ -186,10 +248,17 @@ feed:
 	close(jobs)
 	wg.Wait()
 
-	// Fill any unprocessed slots (cancelled scans) with error results.
+	// Fill any unprocessed slots (cancelled scans) with error results
+	// that carry the context's own error, so callers can tell a deadline
+	// from an explicit cancel.
+	cancelErr := ctx.Err()
+	if cancelErr == nil {
+		cancelErr = context.Canceled
+	}
+	cancelMsg := fmt.Errorf("scan cancelled: %w", cancelErr).Error()
 	for i, r := range results {
 		if r == nil {
-			results[i] = &DomainResult{Domain: domains[i], Err: "scan cancelled"}
+			results[i] = &DomainResult{Domain: domains[i], Err: cancelMsg}
 		}
 	}
 	return results

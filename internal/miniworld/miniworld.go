@@ -253,6 +253,52 @@ func (w *World) serve(hostname dnsname.Name, addr netip.Addr, z *zone.Zone) *aut
 	return s
 }
 
+// AddHostedChildren delegates n extra gov.br children to the third-party
+// provider's nameservers and serves their zones on the provider, returning
+// the new names. The gov.br zone carries no glue for the provider hosts,
+// so every scan of these domains must resolve ns1/ns2.provider.com —
+// the shape concurrency tests need to observe cache sharing and
+// singleflight coalescing across domains.
+func (w *World) AddHostedChildren(n int) []dnsname.Name {
+	gov, ok := w.Servers["ns1.gov.br."].ZoneByOrigin("gov.br.")
+	if !ok {
+		panic("miniworld: gov.br zone missing")
+	}
+	p1 := w.Servers["ns1.provider.com."]
+	p2 := w.Servers["ns2.provider.com."]
+	names := make([]dnsname.Name, 0, n)
+	for i := 0; i < n; i++ {
+		name := dnsname.MustParse(fmt.Sprintf("hosted%d.gov.br", i))
+		gov.MustAdd(ns(name, "ns1.provider.com."))
+		gov.MustAdd(ns(name, "ns2.provider.com."))
+		z := zone.New(name)
+		z.MustAdd(soa(name, "ns1.provider.com."))
+		z.MustAdd(ns(name, "ns1.provider.com."))
+		z.MustAdd(ns(name, "ns2.provider.com."))
+		p1.AddZone(z)
+		p2.AddZone(z)
+		names = append(names, name)
+	}
+	return names
+}
+
+// BreakIntermediateZone delegates an intermediate zone broken.gov.br to a
+// nameserver under the non-existent gone-provider.com (no glue), so any
+// walk through it fails, and returns m child names beneath it. Used to
+// exercise negative zone caching.
+func (w *World) BreakIntermediateZone(m int) []dnsname.Name {
+	gov, ok := w.Servers["ns1.gov.br."].ZoneByOrigin("gov.br.")
+	if !ok {
+		panic("miniworld: gov.br zone missing")
+	}
+	gov.MustAdd(ns("broken.gov.br.", "ns.gone-provider.com."))
+	names := make([]dnsname.Name, 0, m)
+	for i := 0; i < m; i++ {
+		names = append(names, dnsname.MustParse(fmt.Sprintf("dept%d.broken.gov.br", i)))
+	}
+	return names
+}
+
 // Domains returns the fixture's government child domains.
 func Domains() []dnsname.Name {
 	return []dnsname.Name{

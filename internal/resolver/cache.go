@@ -1,0 +1,120 @@
+package resolver
+
+import (
+	"net/netip"
+	"sync"
+
+	"govdns/internal/dnsname"
+)
+
+// cacheShards is the number of independently locked segments in each of
+// the iterator's caches. Bulk scans run hundreds of workers that all
+// consult the caches on every referral step; sharding by name hash keeps
+// them from serializing on a single mutex. 32 shards is far beyond any
+// worker count this repo configures while keeping the per-cache footprint
+// trivial.
+const cacheShards = 32
+
+// shardIndex hashes a name (FNV-1a) onto a shard.
+func shardIndex(n dnsname.Name) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(n); i++ {
+		h = (h ^ uint32(n[i])) * 16777619
+	}
+	return int(h % cacheShards)
+}
+
+// hostCache maps NS hostnames to resolved IPv4 addresses. A present
+// entry with a nil slice is a negative entry (the resolution failed and
+// is not worth repeating).
+type hostCache struct {
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[dnsname.Name][]netip.Addr
+	}
+}
+
+func (c *hostCache) get(name dnsname.Name) ([]netip.Addr, bool) {
+	s := &c.shards[shardIndex(name)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrs, ok := s.m[name]
+	return addrs, ok
+}
+
+func (c *hostCache) put(name dnsname.Name, addrs []netip.Addr) {
+	s := &c.shards[shardIndex(name)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[dnsname.Name][]netip.Addr)
+	}
+	s.m[name] = addrs
+}
+
+// addrHealth tracks consecutive query failures per server address. The
+// iterator's walk queries consult it to try healthy servers first: a
+// zone whose first-listed nameserver is dead would otherwise cost every
+// domain under it a full timeout before the responsive server is asked.
+type addrHealth struct {
+	mu    sync.RWMutex
+	fails map[netip.Addr]int
+}
+
+func (h *addrHealth) failures(addr netip.Addr) int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.fails[addr]
+}
+
+func (h *addrHealth) recordFailure(addr netip.Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fails == nil {
+		h.fails = make(map[netip.Addr]int)
+	}
+	h.fails[addr]++
+}
+
+func (h *addrHealth) recordSuccess(addr netip.Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fails[addr] != 0 {
+		delete(h.fails, addr)
+	}
+}
+
+// zoneEntry is one zone cache slot: either a discovered server set or a
+// negative entry recording why the zone could not be built (err != nil).
+// Negative entries let every domain under a broken intermediate zone fail
+// fast instead of re-walking the chain.
+type zoneEntry struct {
+	zs  *ZoneServers
+	err error
+}
+
+// zoneCache maps zone apexes to their server sets, sharded like hostCache.
+type zoneCache struct {
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[dnsname.Name]zoneEntry
+	}
+}
+
+func (c *zoneCache) get(name dnsname.Name) (zoneEntry, bool) {
+	s := &c.shards[shardIndex(name)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[name]
+	return e, ok
+}
+
+func (c *zoneCache) put(name dnsname.Name, e zoneEntry) {
+	s := &c.shards[shardIndex(name)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[dnsname.Name]zoneEntry)
+	}
+	s.m[name] = e
+}

@@ -66,7 +66,9 @@ type Client struct {
 	mismatches atomic.Uint64
 }
 
-// Stats is a snapshot of the client's query-load counters.
+// Stats is a snapshot of resolver counters. Client.Stats fills the
+// query-load fields; Iterator.Stats additionally fills the cache and
+// coalescing fields. All counters are maintained atomically.
 type Stats struct {
 	// Sent counts query attempts put on the wire (retries included).
 	Sent uint64
@@ -76,6 +78,19 @@ type Stats struct {
 	Timeouts uint64
 	// Mismatches counts responses rejected by validation.
 	Mismatches uint64
+
+	// HostCacheHits counts host resolutions served from cache;
+	// HostCacheMisses counts full lookups actually performed.
+	HostCacheHits, HostCacheMisses uint64
+	// ZoneCacheHits counts zone-server sets served from cache;
+	// ZoneCacheMisses counts zone builds actually performed.
+	ZoneCacheHits, ZoneCacheMisses uint64
+	// NegativeHits counts host or zone requests answered from a cached
+	// failure.
+	NegativeHits uint64
+	// CoalescedWaits counts resolutions that joined another caller's
+	// in-flight work instead of duplicating it (singleflight).
+	CoalescedWaits uint64
 }
 
 // Stats returns the current counter snapshot.

@@ -1,0 +1,177 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/miniworld"
+)
+
+// slowTransport delays every exchange, keeping resolutions in flight long
+// enough for concurrent callers to pile onto the singleflight entry.
+type slowTransport struct {
+	inner Transport
+	delay time.Duration
+}
+
+func (s *slowTransport) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return s.inner.Exchange(ctx, server, query)
+}
+
+func TestResolveHostSingleflight(t *testing.T) {
+	w := miniworld.Build()
+	c := NewClient(&slowTransport{inner: w.Net, delay: 20 * time.Millisecond})
+	c.Timeout = 500 * time.Millisecond
+	c.Retries = 1
+	it := NewIterator(c, w.Roots)
+	ctx := ctxWithTimeout(t)
+
+	const callers = 16
+	addrs := make([][]netip.Addr, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addrs[i], errs[i] = it.ResolveHost(ctx, "ns1.provider.com.")
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if len(addrs[i]) != 1 || addrs[i][0] != miniworld.ProviderNS1Addr {
+			t.Errorf("caller %d got %v", i, addrs[i])
+		}
+	}
+
+	st := it.Stats()
+	if st.HostCacheMisses != 1 {
+		t.Errorf("HostCacheMisses = %d, want 1 (one shared lookup)", st.HostCacheMisses)
+	}
+	// Every other caller either joined the in-flight resolution or, if it
+	// arrived after completion, hit the cache.
+	if got := st.HostCacheHits + st.CoalescedWaits; got != callers-1 {
+		t.Errorf("hits+coalesced = %d, want %d", got, callers-1)
+	}
+	if st.CoalescedWaits == 0 {
+		t.Error("no caller coalesced despite a 20ms-per-query transport")
+	}
+}
+
+func TestNegativeZoneCaching(t *testing.T) {
+	w, c, it := newFixture(t)
+	children := w.BreakIntermediateZone(2)
+	ctx := ctxWithTimeout(t)
+
+	if _, err := it.Delegation(ctx, children[0]); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("first walk: err = %v, want ErrNoServers", err)
+	}
+	st1 := it.Stats()
+	sent1 := c.Stats().Sent
+
+	// The second child sits under the same broken zone: the cached
+	// negative entry must answer without another build or extra queries
+	// beyond the parent referral itself.
+	if _, err := it.Delegation(ctx, children[1]); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("second walk: err = %v, want ErrNoServers", err)
+	}
+	st2 := it.Stats()
+
+	if st2.ZoneCacheMisses != st1.ZoneCacheMisses {
+		t.Errorf("second walk rebuilt the broken zone: misses %d -> %d",
+			st1.ZoneCacheMisses, st2.ZoneCacheMisses)
+	}
+	if st2.NegativeHits <= st1.NegativeHits {
+		t.Errorf("negative hits did not grow: %d -> %d", st1.NegativeHits, st2.NegativeHits)
+	}
+	// One referral query to reach the cached failure; no re-walk of
+	// gone-provider.com.
+	if extra := c.Stats().Sent - sent1; extra > 2 {
+		t.Errorf("second walk sent %d queries, want <= 2", extra)
+	}
+}
+
+func TestIteratorStatsCounters(t *testing.T) {
+	_, _, it := newFixture(t)
+	ctx := ctxWithTimeout(t)
+
+	if _, err := it.ResolveHost(ctx, "ns1.provider.com."); err != nil {
+		t.Fatalf("first resolve: %v", err)
+	}
+	if _, err := it.ResolveHost(ctx, "ns1.provider.com."); err != nil {
+		t.Fatalf("second resolve: %v", err)
+	}
+	if _, err := it.ResolveHost(ctx, "ns.gone-provider.com."); err == nil {
+		t.Fatal("dangling host resolved")
+	}
+	if _, err := it.ResolveHost(ctx, "ns.gone-provider.com."); err == nil {
+		t.Fatal("dangling host resolved from cache")
+	}
+
+	st := it.Stats()
+	if st.HostCacheMisses != 2 {
+		t.Errorf("HostCacheMisses = %d, want 2", st.HostCacheMisses)
+	}
+	if st.HostCacheHits != 1 {
+		t.Errorf("HostCacheHits = %d, want 1", st.HostCacheHits)
+	}
+	if st.NegativeHits != 1 {
+		t.Errorf("NegativeHits = %d, want 1", st.NegativeHits)
+	}
+	if st.ZoneCacheMisses == 0 {
+		t.Error("no zone builds recorded")
+	}
+	if st.Sent == 0 || st.Received == 0 {
+		t.Errorf("client counters missing from iterator stats: %+v", st)
+	}
+}
+
+// TestConcurrentWalksShareZones drives many concurrent delegation walks
+// under one parent and checks the zone chain was built exactly once per
+// zone — the stampede the singleflight layer exists to prevent.
+func TestConcurrentWalksShareZones(t *testing.T) {
+	w := miniworld.Build()
+	hosted := w.AddHostedChildren(8)
+	c := NewClient(&slowTransport{inner: w.Net, delay: 5 * time.Millisecond})
+	c.Timeout = 500 * time.Millisecond
+	c.Retries = 1
+	it := NewIterator(c, w.Roots)
+	ctx := ctxWithTimeout(t)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(hosted))
+	for i, name := range hosted {
+		wg.Add(1)
+		go func(i int, name dnsname.Name) {
+			defer wg.Done()
+			_, errs[i] = it.Delegation(ctx, name)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("walk %d: %v", i, err)
+		}
+	}
+
+	// br. and gov.br. are the only zones those walks build.
+	if st := it.Stats(); st.ZoneCacheMisses != 2 {
+		t.Errorf("ZoneCacheMisses = %d, want 2 (br., gov.br.)", st.ZoneCacheMisses)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
@@ -29,6 +30,10 @@ var (
 )
 
 const maxDepth = 12
+
+// DefaultBuildFanout is the default bound on concurrent NS-host
+// resolutions within one zone build.
+const DefaultBuildFanout = 4
 
 // ZoneServers describes the authoritative server set of one zone as
 // discovered during iteration.
@@ -97,24 +102,58 @@ func nsHosts(records []dnswire.RR) []dnsname.Name {
 // Iterator performs iterative resolution from root hints. It caches
 // discovered zone-server sets and host addresses, which is what makes
 // bulk scans over a hundred thousand domains tractable: provider
-// nameservers shared by thousands of domains are resolved once.
+// nameservers shared by thousands of domains are resolved once. Both
+// caches are mutex-sharded and fronted by singleflight groups, so
+// concurrent workers neither contend on one lock nor duplicate in-flight
+// resolutions.
 type Iterator struct {
 	client *Client
 	roots  []netip.Addr
 
-	mu        sync.Mutex
-	hostCache map[dnsname.Name][]netip.Addr
-	zoneCache map[dnsname.Name]*ZoneServers
+	// AdaptiveOrder makes walk queries try recently responsive server
+	// addresses first (per-address consecutive-failure counts, reset on
+	// success). Without it, a zone whose first-listed nameserver is dead
+	// costs every query against that zone a full timeout before the
+	// responsive server is asked. Defaults to true from NewIterator; only
+	// the order of infrastructure queries changes — measurement probes go
+	// through Client.Query directly and are never reordered.
+	AdaptiveOrder bool
+
+	// Coalesce routes concurrent resolutions of the same name through a
+	// singleflight group so only one does the work. Defaults to true from
+	// NewIterator; disabling it restores independent (duplicated)
+	// lookups, which keeps per-caller query counts deterministic — useful
+	// for debugging and for benchmarking the coalescing itself.
+	Coalesce bool
+
+	// BuildFanout bounds how many glue-less NS hosts a zone build
+	// resolves concurrently. A zone whose nameservers are all
+	// out-of-bailiwick and dangling otherwise serializes one timeout walk
+	// per host. Defaults to DefaultBuildFanout from NewIterator; 1 is
+	// fully serial.
+	BuildFanout int
+
+	hosts  hostCache
+	zones  zoneCache
+	health addrHealth
+
+	hostFlight flightGroup[[]netip.Addr]
+	zoneFlight flightGroup[*ZoneServers]
+
+	hostHits, hostMisses atomic.Uint64
+	zoneHits, zoneMisses atomic.Uint64
+	negHits              atomic.Uint64
 }
 
 // NewIterator creates an iterator over client starting from the given
 // root server addresses.
 func NewIterator(client *Client, roots []netip.Addr) *Iterator {
 	it := &Iterator{
-		client:    client,
-		roots:     append([]netip.Addr(nil), roots...),
-		hostCache: make(map[dnsname.Name][]netip.Addr),
-		zoneCache: make(map[dnsname.Name]*ZoneServers),
+		client:        client,
+		roots:         append([]netip.Addr(nil), roots...),
+		AdaptiveOrder: true,
+		Coalesce:      true,
+		BuildFanout:   DefaultBuildFanout,
 	}
 	rootZS := &ZoneServers{Zone: dnsname.Root, Addrs: map[dnsname.Name][]netip.Addr{}}
 	for i, addr := range it.roots {
@@ -122,32 +161,39 @@ func NewIterator(client *Client, roots []netip.Addr) *Iterator {
 		rootZS.Hosts = append(rootZS.Hosts, host)
 		rootZS.Addrs[host] = []netip.Addr{addr}
 	}
-	it.zoneCache[dnsname.Root] = rootZS
+	it.zones.put(dnsname.Root, zoneEntry{zs: rootZS})
 	return it
 }
 
 // Client returns the underlying query client.
 func (it *Iterator) Client() *Client { return it.client }
 
-// cachedZone returns the deepest cached zone at or above name.
+// Stats returns a point-in-time snapshot of the iterator's counters
+// merged with the underlying client's query-load counters. All counters
+// are sampled atomically (individually, not as a consistent cut).
+func (it *Iterator) Stats() Stats {
+	s := it.client.Stats()
+	s.HostCacheHits = it.hostHits.Load()
+	s.HostCacheMisses = it.hostMisses.Load()
+	s.ZoneCacheHits = it.zoneHits.Load()
+	s.ZoneCacheMisses = it.zoneMisses.Load()
+	s.NegativeHits = it.negHits.Load()
+	s.CoalescedWaits = it.hostFlight.coalesced.Load() + it.zoneFlight.coalesced.Load()
+	return s
+}
+
+// cachedZone returns the deepest positively cached zone at or above name.
 func (it *Iterator) cachedZone(name dnsname.Name) *ZoneServers {
-	it.mu.Lock()
-	defer it.mu.Unlock()
 	for cur := name; ; cur = cur.Parent() {
-		if zs, ok := it.zoneCache[cur]; ok {
-			return zs
+		if e, ok := it.zones.get(cur); ok && e.zs != nil {
+			return e.zs
 		}
 		if cur.IsRoot() {
 			// Root is always cached at construction.
-			return it.zoneCache[dnsname.Root]
+			e, _ := it.zones.get(dnsname.Root)
+			return e.zs
 		}
 	}
-}
-
-func (it *Iterator) storeZone(zs *ZoneServers) {
-	it.mu.Lock()
-	defer it.mu.Unlock()
-	it.zoneCache[zs.Zone] = zs
 }
 
 // Delegation walks the delegation chain from the root to name and returns
@@ -206,11 +252,10 @@ func (it *Iterator) delegation(ctx context.Context, name dnsname.Name, depth int
 				}, nil
 			}
 			// Intermediate zone cut: build its server set and descend.
-			next, err := it.zoneFromReferral(ctx, owner, authNS, resp.AdditionalOfType(dnswire.TypeA), depth)
+			next, err := it.zoneServers(ctx, owner, authNS, resp.AdditionalOfType(dnswire.TypeA), depth)
 			if err != nil {
 				return nil, err
 			}
-			it.storeZone(next)
 			current = next
 			continue
 		}
@@ -221,6 +266,60 @@ func (it *Iterator) delegation(ctx context.Context, name dnsname.Name, depth int
 		return nil, fmt.Errorf("%w: no NS for %s at %s", ErrNoAnswer, name, current.Zone)
 	}
 	return nil, fmt.Errorf("%w: referral chain too long for %s", ErrDepth, name)
+}
+
+// zoneServers returns the server set of zoneName, consulting the zone
+// cache (including negative entries for zones whose walk already failed)
+// and coalescing concurrent builds of the same zone into one.
+func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
+	if e, ok := it.zones.get(zoneName); ok {
+		if e.err != nil {
+			it.negHits.Add(1)
+			return nil, e.err
+		}
+		it.zoneHits.Add(1)
+		return e.zs, nil
+	}
+	if !it.Coalesce || isInFlight(ctx, 'z', zoneName) {
+		// Coalescing off, or this call chain is already building zoneName
+		// (its NS host walk looped back into the zone); waiting on our own
+		// flight would deadlock, so build directly — depth bounds the
+		// recursion.
+		return it.buildZone(ctx, zoneName, nsRecords, glue, depth)
+	}
+	return it.zoneFlight.do(ctx, zoneName, func() (*ZoneServers, error) {
+		if e, ok := it.zones.get(zoneName); ok {
+			// A previous leader finished between our cache check and
+			// flight entry.
+			if e.err != nil {
+				it.negHits.Add(1)
+			} else {
+				it.zoneHits.Add(1)
+			}
+			return e.zs, e.err
+		}
+		return it.buildZone(markInFlight(ctx, 'z', zoneName), zoneName, nsRecords, glue, depth)
+	})
+}
+
+// buildZone runs one zone-set construction and records the outcome in the
+// cache. Failures are negative-cached — unless the context ended, which
+// says nothing about the zone — so the thousands of domains under a
+// broken intermediate zone fail fast instead of each re-walking it.
+func (it *Iterator) buildZone(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
+	it.zoneMisses.Add(1)
+	zs, err := it.zoneFromReferral(ctx, zoneName, nsRecords, glue, depth)
+	if err != nil {
+		// Depth overruns are relative to the call chain, not a fact
+		// about the zone, and are not negative-cached (same rule as
+		// lookupAndCache).
+		if ctx.Err() == nil && !errors.Is(err, ErrDepth) {
+			it.zones.put(zoneName, zoneEntry{err: err})
+		}
+		return nil, err
+	}
+	it.zones.put(zoneName, zoneEntry{zs: zs})
+	return zs, nil
 }
 
 // zoneFromReferral builds the server set of a zone from referral records,
@@ -237,22 +336,71 @@ func (it *Iterator) zoneFromReferral(ctx context.Context, zoneName dnsname.Name,
 			glueByHost[rr.Name] = append(glueByHost[rr.Name], a.Addr)
 		}
 	}
-	anyAddr := false
-	for _, host := range zs.Hosts {
+	// Glue-less hosts need full resolutions; run them with bounded
+	// fan-out, writing into an index-ordered slice. Each resolution is
+	// itself cached and coalesced, so the concurrency only overlaps
+	// waits (mostly timeout walks for dangling hosts), never duplicates
+	// work.
+	resolved := make([][]netip.Addr, len(zs.Hosts))
+	errs := make([]error, len(zs.Hosts))
+	var need []int
+	for i, host := range zs.Hosts {
 		if addrs, ok := glueByHost[host]; ok {
-			zs.Addrs[host] = addrs
+			resolved[i] = addrs
+			continue
+		}
+		need = append(need, i)
+	}
+	fan := it.BuildFanout
+	if fan <= 0 {
+		fan = DefaultBuildFanout
+	}
+	if fan > len(need) {
+		fan = len(need)
+	}
+	if fan <= 1 {
+		for _, i := range need {
+			resolved[i], errs[i] = it.resolveHost(ctx, zs.Hosts[i], depth+1)
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < fan; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					resolved[i], errs[i] = it.resolveHost(ctx, zs.Hosts[i], depth+1)
+				}
+			}()
+		}
+		for _, i := range need {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	anyAddr := false
+	depthLimited := false
+	for i, host := range zs.Hosts {
+		if errs[i] != nil {
+			resolved[i] = nil
+			if errors.Is(errs[i], ErrDepth) {
+				depthLimited = true
+			}
+		}
+		zs.Addrs[host] = resolved[i]
+		if resolved[i] != nil {
 			anyAddr = true
-			continue
 		}
-		addrs, err := it.resolveHost(ctx, host, depth+1)
-		if err != nil {
-			zs.Addrs[host] = nil
-			continue
-		}
-		zs.Addrs[host] = addrs
-		anyAddr = true
 	}
 	if !anyAddr {
+		if depthLimited {
+			// At least one host only failed because this call chain ran
+			// out of depth; report that so the failure isn't treated as
+			// a durable fact about the zone.
+			return nil, fmt.Errorf("%w: resolving nameservers of zone %s", ErrDepth, zoneName)
+		}
 		return nil, fmt.Errorf("%w: zone %s has no resolvable nameservers", ErrNoServers, zoneName)
 	}
 	return zs, nil
@@ -265,26 +413,48 @@ func (it *Iterator) ResolveHost(ctx context.Context, host dnsname.Name) ([]netip
 }
 
 func (it *Iterator) resolveHost(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
-	it.mu.Lock()
-	if addrs, ok := it.hostCache[host]; ok {
-		it.mu.Unlock()
-		if addrs == nil {
-			return nil, fmt.Errorf("%w: cached failure for %s", ErrNoServers, host)
+	if addrs, ok := it.hosts.get(host); ok {
+		return it.cachedHost(host, addrs)
+	}
+	if !it.Coalesce || isInFlight(ctx, 'h', host) {
+		// Coalescing off, or a CNAME loop back to a host this call chain
+		// is already leading; bypass the flight (depth bounds the
+		// recursion).
+		return it.lookupAndCache(ctx, host, depth)
+	}
+	return it.hostFlight.do(ctx, host, func() ([]netip.Addr, error) {
+		if addrs, ok := it.hosts.get(host); ok {
+			return it.cachedHost(host, addrs)
 		}
-		return addrs, nil
-	}
-	it.mu.Unlock()
+		return it.lookupAndCache(markInFlight(ctx, 'h', host), host, depth)
+	})
+}
 
-	addrs, err := it.lookup(ctx, host, depth)
-	it.mu.Lock()
-	if err == nil {
-		it.hostCache[host] = addrs
-	} else {
-		// Negative-cache resolution failures: bulk scans would
-		// otherwise re-walk broken chains thousands of times.
-		it.hostCache[host] = nil
+// cachedHost turns a cache entry into a result, counting the hit.
+func (it *Iterator) cachedHost(host dnsname.Name, addrs []netip.Addr) ([]netip.Addr, error) {
+	if addrs == nil {
+		it.negHits.Add(1)
+		return nil, fmt.Errorf("%w: cached failure for %s", ErrNoServers, host)
 	}
-	it.mu.Unlock()
+	it.hostHits.Add(1)
+	return addrs, nil
+}
+
+// lookupAndCache runs one full host resolution and records the outcome.
+func (it *Iterator) lookupAndCache(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
+	it.hostMisses.Add(1)
+	addrs, err := it.lookup(ctx, host, depth)
+	switch {
+	case err == nil:
+		it.hosts.put(host, addrs)
+	case ctx.Err() == nil && !errors.Is(err, ErrDepth):
+		// Negative-cache resolution failures: bulk scans would otherwise
+		// re-walk broken chains thousands of times. A cancelled context
+		// is the caller's failure, not the host's, and is not cached;
+		// neither is a depth overrun, which is relative to the call
+		// chain (the same host can resolve fine from a shallower one).
+		it.hosts.put(host, nil)
+	}
 	return addrs, err
 }
 
@@ -325,11 +495,10 @@ func (it *Iterator) lookup(ctx context.Context, host dnsname.Name, depth int) ([
 		}
 		if resp.IsReferral() {
 			authNS := resp.AuthorityOfType(dnswire.TypeNS)
-			next, err := it.zoneFromReferral(ctx, authNS[0].Name, authNS, resp.AdditionalOfType(dnswire.TypeA), depth)
+			next, err := it.zoneServers(ctx, authNS[0].Name, authNS, resp.AdditionalOfType(dnswire.TypeA), depth)
 			if err != nil {
 				return nil, err
 			}
-			it.storeZone(next)
 			current = next
 			continue
 		}
@@ -338,34 +507,72 @@ func (it *Iterator) lookup(ctx context.Context, host dnsname.Name, depth int) ([
 	return nil, fmt.Errorf("%w: referral chain too long for %s", ErrDepth, host)
 }
 
-// queryAny asks the zone's servers in order until one responds. Lame
-// servers are skipped; if all are lame the last error is returned.
+// queryAny asks the zone's servers until one responds. Lame servers are
+// skipped; if all are lame the last error is returned. With AdaptiveOrder
+// the known addresses are tried healthiest-first (stable, so a fresh
+// iterator behaves exactly like the fixed order); out-of-bailiwick hosts
+// whose addresses are not yet known are only resolved once every known
+// address has failed.
 func (it *Iterator) queryAny(ctx context.Context, zs *ZoneServers, name dnsname.Name, qtype dnswire.Type, depth int) (*dnswire.Message, netip.Addr, error) {
-	var lastErr error
-	tried := false
+	type candidate struct {
+		host dnsname.Name
+		addr netip.Addr
+	}
+	var cands []candidate
+	var unresolved []dnsname.Name
 	for _, host := range zs.Hosts {
 		addrs := zs.Addrs[host]
 		if addrs == nil && !host.IsSubdomainOf(zs.Zone) {
 			// Out-of-bailiwick host that wasn't resolved when the zone
-			// was cached; try now (it may have been a transient miss).
-			var err error
-			addrs, err = it.resolveHost(ctx, host, depth+1)
-			if err != nil {
-				continue
-			}
+			// was cached; it may have been a transient miss.
+			unresolved = append(unresolved, host)
+			continue
 		}
 		for _, addr := range addrs {
-			tried = true
-			resp, err := it.client.Query(ctx, addr, name, qtype)
-			if err != nil {
-				lastErr = err
-				continue
+			cands = append(cands, candidate{host, addr})
+		}
+	}
+	if it.AdaptiveOrder && len(cands) > 1 {
+		sort.SliceStable(cands, func(i, j int) bool {
+			return it.health.failures(cands[i].addr) < it.health.failures(cands[j].addr)
+		})
+	}
+
+	var lastErr error
+	tried := false
+	try := func(addr netip.Addr) *dnswire.Message {
+		tried = true
+		resp, err := it.client.Query(ctx, addr, name, qtype)
+		if err != nil {
+			// A dead context says nothing about the server's health.
+			if ctx.Err() == nil {
+				it.health.recordFailure(addr)
 			}
-			if resp.Header.RCode == dnswire.RCodeServFail || resp.Header.RCode == dnswire.RCodeRefused {
-				lastErr = fmt.Errorf("%w: %s from %s", ErrNoServers, resp.Header.RCode, addr)
-				continue
+			lastErr = err
+			return nil
+		}
+		if resp.Header.RCode == dnswire.RCodeServFail || resp.Header.RCode == dnswire.RCodeRefused {
+			it.health.recordFailure(addr)
+			lastErr = fmt.Errorf("%w: %s from %s", ErrNoServers, resp.Header.RCode, addr)
+			return nil
+		}
+		it.health.recordSuccess(addr)
+		return resp
+	}
+	for _, c := range cands {
+		if resp := try(c.addr); resp != nil {
+			return resp, c.addr, nil
+		}
+	}
+	for _, host := range unresolved {
+		addrs, err := it.resolveHost(ctx, host, depth+1)
+		if err != nil {
+			continue
+		}
+		for _, addr := range addrs {
+			if resp := try(addr); resp != nil {
+				return resp, addr, nil
 			}
-			return resp, addr, nil
 		}
 	}
 	if !tried {

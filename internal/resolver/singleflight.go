@@ -1,0 +1,83 @@
+package resolver
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"govdns/internal/dnsname"
+)
+
+// flightGroup coalesces concurrent work for the same name: the first
+// caller (the leader) runs fn, everyone else blocks on the leader's
+// completion and shares its result. At scan concurrency in the hundreds,
+// the provider nameservers shared by thousands of domains would otherwise
+// be resolved by a stampede of identical walks before the first one lands
+// in the cache.
+//
+// Callers must not re-enter do for a key already being led by their own
+// call chain (the wait would deadlock); the Iterator guards against that
+// with inFlightKey context markers.
+type flightGroup[V any] struct {
+	mu       sync.Mutex
+	inflight map[dnsname.Name]*flightCall[V]
+	// coalesced counts calls that waited on another caller's work.
+	coalesced atomic.Uint64
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// do returns fn's result for key, running it at most once across
+// concurrent callers. Waiters abandon the wait (but not the leader's
+// work) when their own context ends.
+func (g *flightGroup[V]) do(ctx context.Context, key dnsname.Name, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = make(map[dnsname.Name]*flightCall[V])
+	}
+	if c, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.inflight[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// inFlightKey marks, via context values, a (kind, name) whose flight this
+// call chain is currently leading. Recursive resolution can revisit its
+// own key — a CNAME loop back to the host being resolved, or a zone whose
+// glue-less NS host walk runs into the zone itself — and must then bypass
+// the flight group instead of waiting on itself. Recursion depth limits
+// bound the bypassed path exactly as they did before coalescing existed.
+type inFlightKey struct {
+	kind byte // 'h' for host lookups, 'z' for zone builds
+	name dnsname.Name
+}
+
+func markInFlight(ctx context.Context, kind byte, name dnsname.Name) context.Context {
+	return context.WithValue(ctx, inFlightKey{kind, name}, true)
+}
+
+func isInFlight(ctx context.Context, kind byte, name dnsname.Name) bool {
+	return ctx.Value(inFlightKey{kind, name}) != nil
+}
