@@ -134,11 +134,11 @@ func run() error {
 	if *showStats {
 		st := it.Stats()
 		fmt.Fprintf(os.Stderr,
-			"resolver: sent=%d received=%d timeouts=%d; host cache %d hit / %d miss; zone cache %d hit / %d miss; negative hits=%d; coalesced=%d\n",
+			"resolver: sent=%d received=%d timeouts=%d; host cache %d hit / %d miss; zone cache %d hit / %d miss; negative hits=%d; coalesced=%d; flight bypasses=%d\n",
 			st.Sent, st.Received, st.Timeouts,
 			st.HostCacheHits, st.HostCacheMisses,
 			st.ZoneCacheHits, st.ZoneCacheMisses,
-			st.NegativeHits, st.CoalescedWaits)
+			st.NegativeHits, st.CoalescedWaits, st.FlightBypasses)
 	}
 
 	dest := os.Stdout

@@ -282,6 +282,63 @@ func (w *World) AddHostedChildren(n int) []dnsname.Name {
 	return names
 }
 
+// SlowNSAddr is the address of slow-provider.com's only nameserver,
+// which never responds (see BreakIntermediateZoneTransient).
+var SlowNSAddr = netip.MustParseAddr("5.1.0.1")
+
+// AddGluelessZone delegates a zone selfglue.gov.br to a nameserver
+// inside the zone itself while providing no glue: the host cannot be
+// resolved without the zone's servers, and the zone's server set cannot
+// be built without the host's address. The delegation is therefore
+// unresolvable — a real misconfiguration (missing glue for an
+// in-bailiwick NS) — and because the host resolution and the zone build
+// depend on each other, it is the shape that can cross-couple the
+// resolver's host and zone singleflights. Returns the zone, its NS
+// host, and a child name beneath the zone.
+func (w *World) AddGluelessZone() (zoneName, host, child dnsname.Name) {
+	gov, ok := w.Servers["ns1.gov.br."].ZoneByOrigin("gov.br.")
+	if !ok {
+		panic("miniworld: gov.br zone missing")
+	}
+	gov.MustAdd(ns("selfglue.gov.br.", "ns.selfglue.gov.br."))
+	return "selfglue.gov.br.", "ns.selfglue.gov.br.", "dept.selfglue.gov.br."
+}
+
+// BreakIntermediateZoneTransient delegates an intermediate zone
+// flaky.gov.br to a glue-less nameserver whose own resolution dead-ends
+// in query timeouts (slow-provider.com's only server never answers) and
+// returns m child names beneath it. Unlike BreakIntermediateZone's
+// NXDOMAIN dead end, every failure on this path is timeout-rooted — the
+// possibly-transient shape the scanner's second round re-probes, which
+// the resolver must not negative-cache.
+func (w *World) BreakIntermediateZoneTransient(m int) []dnsname.Name {
+	gov, ok := w.Servers["ns1.gov.br."].ZoneByOrigin("gov.br.")
+	if !ok {
+		panic("miniworld: gov.br zone missing")
+	}
+	gov.MustAdd(ns("flaky.gov.br.", "ns.slow-provider.com."))
+
+	com, ok := w.Servers["a.gtld-servers.com."].ZoneByOrigin("com.")
+	if !ok {
+		panic("miniworld: com zone missing")
+	}
+	com.MustAdd(ns("slow-provider.com.", "ns1.slow-provider.com."))
+	com.MustAdd(a("ns1.slow-provider.com.", SlowNSAddr))
+
+	slow := zone.New("slow-provider.com.")
+	slow.MustAdd(soa("slow-provider.com.", "ns1.slow-provider.com."))
+	slow.MustAdd(ns("slow-provider.com.", "ns1.slow-provider.com."))
+	slow.MustAdd(a("ns1.slow-provider.com.", SlowNSAddr))
+	srv := w.serve("ns1.slow-provider.com.", SlowNSAddr, slow)
+	srv.SetBehavior(authserver.BehaviorUnresponsive)
+
+	names := make([]dnsname.Name, 0, m)
+	for i := 0; i < m; i++ {
+		names = append(names, dnsname.MustParse(fmt.Sprintf("dept%d.flaky.gov.br", i)))
+	}
+	return names
+}
+
 // BreakIntermediateZone delegates an intermediate zone broken.gov.br to a
 // nameserver under the non-existent gone-provider.com (no glue), so any
 // walk through it fails, and returns m child names beneath it. Used to

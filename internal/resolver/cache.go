@@ -24,32 +24,40 @@ func shardIndex(n dnsname.Name) int {
 	return int(h % cacheShards)
 }
 
-// hostCache maps NS hostnames to resolved IPv4 addresses. A present
-// entry with a nil slice is a negative entry (the resolution failed and
-// is not worth repeating).
+// hostEntry is one host cache slot: resolved IPv4 addresses, or a
+// negative entry recording why the resolution failed (err != nil).
+// Keeping the cause lets consumers of a cached failure — in particular
+// zone builds deciding whether their own failure is transient — classify
+// it instead of seeing an opaque "cached failure".
+type hostEntry struct {
+	addrs []netip.Addr
+	err   error
+}
+
+// hostCache maps NS hostnames to their resolution outcome.
 type hostCache struct {
 	shards [cacheShards]struct {
 		mu sync.Mutex
-		m  map[dnsname.Name][]netip.Addr
+		m  map[dnsname.Name]hostEntry
 	}
 }
 
-func (c *hostCache) get(name dnsname.Name) ([]netip.Addr, bool) {
+func (c *hostCache) get(name dnsname.Name) (hostEntry, bool) {
 	s := &c.shards[shardIndex(name)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	addrs, ok := s.m[name]
-	return addrs, ok
+	e, ok := s.m[name]
+	return e, ok
 }
 
-func (c *hostCache) put(name dnsname.Name, addrs []netip.Addr) {
+func (c *hostCache) put(name dnsname.Name, e hostEntry) {
 	s := &c.shards[shardIndex(name)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.m == nil {
-		s.m = make(map[dnsname.Name][]netip.Addr)
+		s.m = make(map[dnsname.Name]hostEntry)
 	}
-	s.m[name] = addrs
+	s.m[name] = e
 }
 
 // addrHealth tracks consecutive query failures per server address. The

@@ -89,8 +89,15 @@ type Stats struct {
 	// failure.
 	NegativeHits uint64
 	// CoalescedWaits counts resolutions that joined another caller's
-	// in-flight work instead of duplicating it (singleflight).
+	// in-flight work and received its result instead of duplicating it
+	// (singleflight). Abandoned or bypassed waits are not counted.
 	CoalescedWaits uint64
+	// FlightBypasses counts singleflight waits abandoned at the
+	// deadlock-avoidance bound, where the waiter fell back to doing the
+	// work itself (see flightGroup.do). Nonzero values are expected only
+	// on pathological shapes like a zone whose in-bailiwick NS host has
+	// no glue.
+	FlightBypasses uint64
 }
 
 // Stats returns the current counter snapshot.

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"net/netip"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
 	"govdns/internal/miniworld"
 )
 
@@ -173,5 +175,206 @@ func TestConcurrentWalksShareZones(t *testing.T) {
 	// br. and gov.br. are the only zones those walks build.
 	if st := it.Stats(); st.ZoneCacheMisses != 2 {
 		t.Errorf("ZoneCacheMisses = %d, want 2 (br., gov.br.)", st.ZoneCacheMisses)
+	}
+}
+
+func TestFlightGroupBoundedWaitFallsBack(t *testing.T) {
+	var g flightGroup[int]
+	block := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	var leaderVal int
+	var leaderErr error
+	go func() {
+		defer close(leaderDone)
+		leaderVal, leaderErr = g.do(context.Background(), "k.", 0, func() (int, error) {
+			close(started)
+			<-block
+			return 1, nil
+		})
+	}()
+	<-started
+
+	// A bounded waiter must give up on the stuck leader and run its own
+	// fn, without counting as a useful coalesce.
+	got, err := g.do(context.Background(), "k.", 5*time.Millisecond, func() (int, error) { return 2, nil })
+	if err != nil || got != 2 {
+		t.Fatalf("bounded wait fallback = (%d, %v), want (2, nil)", got, err)
+	}
+	if n := g.bypassed.Load(); n != 1 {
+		t.Errorf("bypassed = %d, want 1", n)
+	}
+	if n := g.coalesced.Load(); n != 0 {
+		t.Errorf("coalesced = %d, want 0 (fallback received nothing from the leader)", n)
+	}
+
+	close(block)
+	<-leaderDone
+	if leaderErr != nil || leaderVal != 1 {
+		t.Errorf("leader = (%d, %v), want (1, nil)", leaderVal, leaderErr)
+	}
+}
+
+func TestFlightGroupAbandonedWait(t *testing.T) {
+	var g flightGroup[int]
+	block := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		g.do(context.Background(), "k.", 0, func() (int, error) {
+			close(started)
+			<-block
+			return 1, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := g.do(ctx, "k.", 0, func() (int, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("abandoned wait error = %v, want wrapped context.Canceled", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "abandoned") {
+		t.Errorf("abandoned wait error %q does not identify the abandoned wait", err)
+	}
+	if n := g.coalesced.Load(); n != 0 {
+		t.Errorf("coalesced = %d, want 0 (the waiter received no result)", n)
+	}
+
+	close(block)
+	<-leaderDone
+}
+
+// gateTransport holds queries matching hold until release is closed (or
+// the query's context ends), passing everything else straight through.
+type gateTransport struct {
+	inner   Transport
+	release chan struct{}
+	hold    func(q *dnswire.Message) bool
+}
+
+func (g *gateTransport) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	if q, err := dnswire.Decode(query); err == nil && g.hold(q) {
+		select {
+		case <-g.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return g.inner.Exchange(ctx, server, query)
+}
+
+// TestCrossFlightCycleDoesNotDeadlock reproduces the host-flight ↔
+// zone-flight wait cycle: goroutine A leads the host flight for a
+// glue-less in-bailiwick NS host and walks into the host's own zone,
+// while goroutine B leads that zone's flight and resolves the host.
+// Without bounded flight waits both block on each other forever (plus
+// every caller coalesced behind them); with them, one side bypasses its
+// wait, fails at the depth limit — the delegation is genuinely circular
+// and unresolvable — and unwinds the other.
+func TestCrossFlightCycleDoesNotDeadlock(t *testing.T) {
+	w := miniworld.Build()
+	zoneName, host, child := w.AddGluelessZone()
+	gate := make(chan struct{})
+	tr := &gateTransport{
+		inner:   w.Net,
+		release: gate,
+		hold: func(q *dnswire.Message) bool {
+			return len(q.Questions) > 0 && q.Questions[0].Name == host && q.Questions[0].Type == dnswire.TypeA
+		},
+	}
+	c := NewClient(tr)
+	c.Timeout = 300 * time.Millisecond
+	c.Retries = -1 // single attempt, so the flight-wait bound stays small
+	it := NewIterator(c, w.Roots)
+	ctx := ctxWithTimeout(t)
+
+	busy := func(check func() bool, what string) {
+		t.Helper()
+		for i := 0; i < 2000; i++ {
+			if check() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("%s never became in-flight", what)
+	}
+
+	done := make(chan error, 2)
+	// A: leads the host flight; its first query is gated so it cannot
+	// populate the cache before B is wedged into the cycle.
+	go func() {
+		_, err := it.ResolveHost(ctx, host)
+		done <- err
+	}()
+	busy(func() bool {
+		it.hostFlight.mu.Lock()
+		defer it.hostFlight.mu.Unlock()
+		_, ok := it.hostFlight.inflight[host]
+		return ok
+	}, "host flight")
+
+	// B: walks to the child, leads the zone flight, and joins A's host
+	// flight from inside the zone build.
+	go func() {
+		_, err := it.Delegation(ctx, child)
+		done <- err
+	}()
+	busy(func() bool {
+		it.zoneFlight.mu.Lock()
+		defer it.zoneFlight.mu.Unlock()
+		_, ok := it.zoneFlight.inflight[zoneName]
+		return ok
+	}, "zone flight")
+	time.Sleep(20 * time.Millisecond) // let B reach the host-flight join
+	close(gate)                       // A now walks into B's zone flight
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Error("resolution through a circular glue-less delegation unexpectedly succeeded")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("cross-flight deadlock: resolution never completed")
+		}
+	}
+	if st := it.Stats(); st.FlightBypasses == 0 {
+		t.Error("FlightBypasses = 0, want > 0 (someone must break the host/zone wait cycle)")
+	}
+}
+
+// TestTransientZoneFailureNotNegativeCached checks that a zone build
+// that failed only because of query timeouts is re-attempted by the next
+// walk instead of being replayed from the negative cache — the second
+// scan round exists to rule out exactly such transient failures.
+func TestTransientZoneFailureNotNegativeCached(t *testing.T) {
+	w, _, it := newFixture(t)
+	children := w.BreakIntermediateZoneTransient(2)
+	ctx := ctxWithTimeout(t)
+
+	_, err := it.Delegation(ctx, children[0])
+	if !errors.Is(err, ErrNoServers) {
+		t.Fatalf("first walk: err = %v, want ErrNoServers", err)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("first walk: err = %v, should carry the ErrTimeout cause", err)
+	}
+	st1 := it.Stats()
+
+	// The second child triggers a fresh build of the flaky zone (a zone
+	// cache miss, not a negative hit) — even though the dead host's own
+	// failure is served from the host cache, whose stored cause keeps the
+	// rebuild classified as transient too.
+	_, err = it.Delegation(ctx, children[1])
+	if !errors.Is(err, ErrNoServers) {
+		t.Fatalf("second walk: err = %v, want ErrNoServers", err)
+	}
+	st2 := it.Stats()
+	if st2.ZoneCacheMisses <= st1.ZoneCacheMisses {
+		t.Errorf("timeout-rooted zone failure was negative-cached: misses %d -> %d",
+			st1.ZoneCacheMisses, st2.ZoneCacheMisses)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
@@ -179,7 +180,24 @@ func (it *Iterator) Stats() Stats {
 	s.ZoneCacheMisses = it.zoneMisses.Load()
 	s.NegativeHits = it.negHits.Load()
 	s.CoalescedWaits = it.hostFlight.coalesced.Load() + it.zoneFlight.coalesced.Load()
+	s.FlightBypasses = it.hostFlight.bypassed.Load() + it.zoneFlight.bypassed.Load()
 	return s
+}
+
+// flightWait returns the bound on how long this call chain may wait for
+// another caller's in-flight resolution. A top-level caller leads no
+// flight, cannot be part of a wait cycle, and waits as long as its
+// context allows (0 = unbounded). A chain that is itself leading a
+// flight is resolving a dependency of that work, and two such leaders
+// can wait on each other's keys forever (host flight ↔ zone flight, see
+// flightGroup.do); it gets a bound of a couple of full query budgets —
+// long enough that the fallback stays rare under ordinary contention,
+// short enough that a dependency cycle unwinds promptly.
+func (it *Iterator) flightWait(ctx context.Context) time.Duration {
+	if !leadsFlight(ctx) {
+		return 0
+	}
+	return 2 * time.Duration(1+it.client.retries()) * it.client.timeout()
 }
 
 // cachedZone returns the deepest positively cached zone at or above name.
@@ -287,7 +305,7 @@ func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRe
 		// recursion.
 		return it.buildZone(ctx, zoneName, nsRecords, glue, depth)
 	}
-	return it.zoneFlight.do(ctx, zoneName, func() (*ZoneServers, error) {
+	return it.zoneFlight.do(ctx, zoneName, it.flightWait(ctx), func() (*ZoneServers, error) {
 		if e, ok := it.zones.get(zoneName); ok {
 			// A previous leader finished between our cache check and
 			// flight entry.
@@ -303,17 +321,20 @@ func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRe
 }
 
 // buildZone runs one zone-set construction and records the outcome in the
-// cache. Failures are negative-cached — unless the context ended, which
-// says nothing about the zone — so the thousands of domains under a
-// broken intermediate zone fail fast instead of each re-walking it.
+// cache. Durable failures are negative-cached, so the thousands of
+// domains under a broken intermediate zone fail fast instead of each
+// re-walking it. Not every failure is durable, though: a dead context
+// says nothing about the zone, a depth overrun is relative to the call
+// chain, and a failure rooted in query *timeouts* may be transient — the
+// scanner's second round exists precisely to re-probe those (§ III-B),
+// so caching them would turn the retry into a replay of the first
+// failure.
 func (it *Iterator) buildZone(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
 	it.zoneMisses.Add(1)
 	zs, err := it.zoneFromReferral(ctx, zoneName, nsRecords, glue, depth)
 	if err != nil {
-		// Depth overruns are relative to the call chain, not a fact
-		// about the zone, and are not negative-cached (same rule as
-		// lookupAndCache).
-		if ctx.Err() == nil && !errors.Is(err, ErrDepth) {
+		if ctx.Err() == nil && !errors.Is(err, ErrDepth) &&
+			!errors.Is(err, ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
 			it.zones.put(zoneName, zoneEntry{err: err})
 		}
 		return nil, err
@@ -382,11 +403,16 @@ func (it *Iterator) zoneFromReferral(ctx context.Context, zoneName dnsname.Name,
 	}
 	anyAddr := false
 	depthLimited := false
+	var timeoutErr error
 	for i, host := range zs.Hosts {
 		if errs[i] != nil {
 			resolved[i] = nil
 			if errors.Is(errs[i], ErrDepth) {
 				depthLimited = true
+			}
+			if timeoutErr == nil &&
+				(errors.Is(errs[i], ErrTimeout) || errors.Is(errs[i], context.DeadlineExceeded)) {
+				timeoutErr = errs[i]
 			}
 		}
 		zs.Addrs[host] = resolved[i]
@@ -401,6 +427,11 @@ func (it *Iterator) zoneFromReferral(ctx context.Context, zoneName dnsname.Name,
 			// a durable fact about the zone.
 			return nil, fmt.Errorf("%w: resolving nameservers of zone %s", ErrDepth, zoneName)
 		}
+		if timeoutErr != nil {
+			// Surface the timeout cause in the chain so buildZone can
+			// tell this possibly-transient failure from a durable one.
+			return nil, fmt.Errorf("%w: zone %s has no resolvable nameservers: %w", ErrNoServers, zoneName, timeoutErr)
+		}
 		return nil, fmt.Errorf("%w: zone %s has no resolvable nameservers", ErrNoServers, zoneName)
 	}
 	return zs, nil
@@ -413,8 +444,8 @@ func (it *Iterator) ResolveHost(ctx context.Context, host dnsname.Name) ([]netip
 }
 
 func (it *Iterator) resolveHost(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
-	if addrs, ok := it.hosts.get(host); ok {
-		return it.cachedHost(host, addrs)
+	if e, ok := it.hosts.get(host); ok {
+		return it.cachedHost(host, e)
 	}
 	if !it.Coalesce || isInFlight(ctx, 'h', host) {
 		// Coalescing off, or a CNAME loop back to a host this call chain
@@ -422,22 +453,24 @@ func (it *Iterator) resolveHost(ctx context.Context, host dnsname.Name, depth in
 		// recursion).
 		return it.lookupAndCache(ctx, host, depth)
 	}
-	return it.hostFlight.do(ctx, host, func() ([]netip.Addr, error) {
-		if addrs, ok := it.hosts.get(host); ok {
-			return it.cachedHost(host, addrs)
+	return it.hostFlight.do(ctx, host, it.flightWait(ctx), func() ([]netip.Addr, error) {
+		if e, ok := it.hosts.get(host); ok {
+			return it.cachedHost(host, e)
 		}
 		return it.lookupAndCache(markInFlight(ctx, 'h', host), host, depth)
 	})
 }
 
-// cachedHost turns a cache entry into a result, counting the hit.
-func (it *Iterator) cachedHost(host dnsname.Name, addrs []netip.Addr) ([]netip.Addr, error) {
-	if addrs == nil {
+// cachedHost turns a cache entry into a result, counting the hit. A
+// negative entry reproduces the original failure (wrapped, so callers can
+// still classify its cause — e.g. a timeout — through errors.Is).
+func (it *Iterator) cachedHost(host dnsname.Name, e hostEntry) ([]netip.Addr, error) {
+	if e.err != nil {
 		it.negHits.Add(1)
-		return nil, fmt.Errorf("%w: cached failure for %s", ErrNoServers, host)
+		return nil, fmt.Errorf("%w: cached failure for %s: %w", ErrNoServers, host, e.err)
 	}
 	it.hostHits.Add(1)
-	return addrs, nil
+	return e.addrs, nil
 }
 
 // lookupAndCache runs one full host resolution and records the outcome.
@@ -446,14 +479,16 @@ func (it *Iterator) lookupAndCache(ctx context.Context, host dnsname.Name, depth
 	addrs, err := it.lookup(ctx, host, depth)
 	switch {
 	case err == nil:
-		it.hosts.put(host, addrs)
+		it.hosts.put(host, hostEntry{addrs: addrs})
 	case ctx.Err() == nil && !errors.Is(err, ErrDepth):
 		// Negative-cache resolution failures: bulk scans would otherwise
 		// re-walk broken chains thousands of times. A cancelled context
 		// is the caller's failure, not the host's, and is not cached;
 		// neither is a depth overrun, which is relative to the call
 		// chain (the same host can resolve fine from a shallower one).
-		it.hosts.put(host, nil)
+		// The cause is stored so consumers of the cached failure can
+		// classify it.
+		it.hosts.put(host, hostEntry{err: err})
 	}
 	return addrs, err
 }

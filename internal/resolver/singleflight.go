@@ -2,8 +2,10 @@ package resolver
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"govdns/internal/dnsname"
 )
@@ -17,12 +19,17 @@ import (
 //
 // Callers must not re-enter do for a key already being led by their own
 // call chain (the wait would deadlock); the Iterator guards against that
-// with inFlightKey context markers.
+// with inFlightKey context markers. Waits *across* call chains can also
+// cycle — a host flight and a zone flight can each depend on the other's
+// result — which is why do takes a wait bound (see below).
 type flightGroup[V any] struct {
 	mu       sync.Mutex
 	inflight map[dnsname.Name]*flightCall[V]
-	// coalesced counts calls that waited on another caller's work.
+	// coalesced counts calls that received another caller's result.
 	coalesced atomic.Uint64
+	// bypassed counts waits abandoned at the wait bound, where the
+	// caller fell back to doing the work itself.
+	bypassed atomic.Uint64
 }
 
 type flightCall[V any] struct {
@@ -34,20 +41,39 @@ type flightCall[V any] struct {
 // do returns fn's result for key, running it at most once across
 // concurrent callers. Waiters abandon the wait (but not the leader's
 // work) when their own context ends.
-func (g *flightGroup[V]) do(ctx context.Context, key dnsname.Name, fn func() (V, error)) (V, error) {
+//
+// A positive wait bounds how long a waiter blocks on someone else's
+// flight before giving up and running fn itself. The Iterator passes a
+// bound only for callers that are themselves leading a flight: two
+// leaders can wait on each other's keys — goroutine A leads the host
+// flight for a glue-less NS host whose resolution walks into zone Z
+// while goroutine B leads the zone flight for Z and resolves that very
+// host — and without a bound both (plus everyone coalesced behind them)
+// would block forever. The fallback duplicates work at worst; recursion
+// depth limits bound it exactly as they do the same-chain bypass path.
+func (g *flightGroup[V]) do(ctx context.Context, key dnsname.Name, wait time.Duration, fn func() (V, error)) (V, error) {
 	g.mu.Lock()
 	if g.inflight == nil {
 		g.inflight = make(map[dnsname.Name]*flightCall[V])
 	}
 	if c, ok := g.inflight[key]; ok {
 		g.mu.Unlock()
-		g.coalesced.Add(1)
+		var bound <-chan time.Time
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			bound = t.C
+		}
 		select {
 		case <-c.done:
+			g.coalesced.Add(1)
 			return c.val, c.err
 		case <-ctx.Done():
 			var zero V
-			return zero, ctx.Err()
+			return zero, fmt.Errorf("resolver: wait for in-flight resolution of %s abandoned: %w", key, ctx.Err())
+		case <-bound:
+			g.bypassed.Add(1)
+			return fn()
 		}
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
@@ -74,10 +100,22 @@ type inFlightKey struct {
 	name dnsname.Name
 }
 
+// leadsFlightKey marks a call chain that leads *some* flight, regardless
+// of key. Only such chains can participate in a cross-chain wait cycle
+// (every edge of a cycle is a leader waiting on another flight), so only
+// they need the bounded wait in do; top-level callers coalesce without a
+// bound.
+type leadsFlightKey struct{}
+
 func markInFlight(ctx context.Context, kind byte, name dnsname.Name) context.Context {
-	return context.WithValue(ctx, inFlightKey{kind, name}, true)
+	ctx = context.WithValue(ctx, inFlightKey{kind, name}, true)
+	return context.WithValue(ctx, leadsFlightKey{}, true)
 }
 
 func isInFlight(ctx context.Context, kind byte, name dnsname.Name) bool {
 	return ctx.Value(inFlightKey{kind, name}) != nil
+}
+
+func leadsFlight(ctx context.Context) bool {
+	return ctx.Value(leadsFlightKey{}) != nil
 }
