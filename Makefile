@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -20,5 +21,24 @@ vet:
 bench:
 	$(GO) run ./cmd/benchreport -bench . -benchtime 1s
 
-# check is the tier-1 verify: everything a PR must keep green.
+# chaos is the focused fault-injection view of the tier-1 gate: the
+# chaos package tests plus the scan-invariance differential harness
+# (digest invariance across schedule shapes, per-fault-class transient
+# recovery, graceful degradation) under the race detector. `make race`
+# already runs all of this — the target exists for fast iteration on
+# the resolver/chaos stack.
+chaos:
+	$(GO) test -race ./internal/chaos
+	$(GO) test -race -run 'Chaos|Invariance' ./internal/measure ./internal/resolver
+
+# fuzz gives each wire-level fuzz target a short budget; raise FUZZTIME
+# for a real session.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/dnswire
+	$(GO) test -run '^$$' -fuzz FuzzEncodeNames -fuzztime $(FUZZTIME) ./internal/dnswire
+	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime $(FUZZTIME) ./internal/dnswire
+
+# check is the tier-1 verify: everything a PR must keep green. The
+# race target runs the whole tree — including the chaos and invariance
+# suites — under the race detector.
 check: build vet test race

@@ -13,6 +13,7 @@
 // Examples:
 //
 //	govscan -sim -scale 0.02 -out scan.jsonl
+//	govscan -sim -chaos persistent:0.05 -stats -out chaotic.jsonl
 //	govscan -real -domains domains.txt -concurrency 16 -timeout 2s
 //	govscan -summarize scan.jsonl
 package main
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"govdns/internal/authserver"
+	"govdns/internal/chaos"
 	"govdns/internal/dnsname"
 	"govdns/internal/measure"
 	"govdns/internal/resolver"
@@ -63,6 +65,8 @@ func run() error {
 	showStats := flag.Bool("stats", false, "print resolver cache/coalescing statistics after the scan")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (default 25ms sim, 2s real)")
 	qps := flag.Float64("qps", 0, "global query rate limit (0 = unlimited; recommended for -real)")
+	chaosSpec := flag.String("chaos", "",
+		"fault-injection profile: off, transient, persistent[:prob], flap[:len], or one class drop|delay|dup|truncate|qid|question|mangle|rcode[:prob]; seeded by -seed")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL scan and exit")
 	flag.Parse()
 
@@ -115,6 +119,16 @@ func run() error {
 	if *real && *qps == 0 {
 		*qps = 50 // § III-D courtesy: never hammer live infrastructure
 	}
+	// Chaos wraps the raw transport and the rate limiter wraps chaos, so
+	// injected duplicates and delays still count against the query budget
+	// the way real wire pathologies would.
+	var chaosTr *chaos.Transport
+	if rules, err := chaos.ParseProfile(*chaosSpec); err != nil {
+		return err
+	} else if rules != nil {
+		chaosTr = chaos.Wrap(transport, *seed, rules...)
+		transport = chaosTr
+	}
 	transport = resolver.RateLimit(transport, *qps, 10)
 	client := resolver.NewClient(transport)
 	client.Timeout = *timeout
@@ -139,6 +153,15 @@ func run() error {
 			st.HostCacheHits, st.HostCacheMisses,
 			st.ZoneCacheHits, st.ZoneCacheMisses,
 			st.NegativeHits, st.CoalescedWaits, st.FlightBypasses)
+		cs := client.Stats()
+		if cs.Mismatches+cs.Truncations+cs.Malformed > 0 {
+			fmt.Fprintf(os.Stderr,
+				"faults survived: duplicates=%d truncations=%d qid-mismatches=%d question-mismatches=%d malformed=%d\n",
+				cs.Duplicates, cs.Truncations, cs.QIDMismatches, cs.QuestionMismatches, cs.Malformed)
+		}
+		if chaosTr != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %s\n", chaosTr.Stats())
+		}
 	}
 
 	dest := os.Stdout

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Profiles map the govscan -chaos flag onto fault schedules. A spec is a
+// comma-separated list of entries, each a preset or a single class,
+// optionally parameterized:
+//
+//	transient          every class, windowed to the first exchanges of
+//	                   each key — the shape the second round must recover
+//	persistent[:p]     every response-corrupting class plus drop, each
+//	                   open-ended at probability p (default 0.1)
+//	flap[:n]           every server dead for exchanges [5, 5+n) of its
+//	                   own sequence (default n=25)
+//	drop[:p] delay[:p] dup[:p] truncate[:p] qid[:p]
+//	question[:p] mangle[:p] rcode[:p]
+//	                   one open-ended class at probability p (default 1)
+//
+// Examples: "transient", "persistent:0.3", "truncate:0.5,flap",
+// "qid,question".
+
+// transientMismatchWindow is sized past one full query budget
+// (attempts × (1 + discard budget)) so a round-one probe burns the
+// schedule out and the second round sees a clean server.
+const (
+	transientTimeoutWindow  = 3  // ≥ default attempts, each one exchange
+	transientMismatchWindow = 15 // ≥ attempts × (1 + discards)
+)
+
+// ParseProfile translates a -chaos spec into a fault schedule. An empty
+// spec (or "off") yields no rules.
+func ParseProfile(spec string) ([]Rule, error) {
+	var rules []Rule
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return nil, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		name, arg, hasArg := strings.Cut(strings.TrimSpace(entry), ":")
+		var prob float64
+		if hasArg {
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil || p <= 0 {
+				return nil, fmt.Errorf("chaos: bad parameter %q in %q", arg, entry)
+			}
+			prob = p
+		}
+		switch name {
+		case "transient":
+			if hasArg {
+				return nil, fmt.Errorf("chaos: %q takes no parameter", name)
+			}
+			rules = append(rules,
+				Transient(Drop, transientTimeoutWindow),
+				Transient(Delay, transientTimeoutWindow),
+				Transient(Truncate, transientTimeoutWindow),
+				Transient(FlipRCode, 1),
+				Transient(Duplicate, 2),
+				Transient(CorruptQID, transientMismatchWindow),
+				Transient(MismatchQuestion, transientMismatchWindow),
+				Transient(Mangle, transientMismatchWindow),
+			)
+		case "persistent":
+			p := prob
+			if p == 0 {
+				p = 0.1
+			}
+			for _, c := range []Class{Drop, Duplicate, Truncate, CorruptQID, MismatchQuestion, Mangle, FlipRCode} {
+				rules = append(rules, Persistent(c, p))
+			}
+		case "flap":
+			n := 25
+			if hasArg {
+				v, err := strconv.Atoi(arg)
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("chaos: bad flap window %q", arg)
+				}
+				n = v
+			}
+			rules = append(rules, FlapOutage(5, n))
+		case "drop":
+			rules = append(rules, Persistent(Drop, prob))
+		case "delay":
+			rules = append(rules, DelaySpike(DefaultDelaySpike, prob))
+		case "dup":
+			rules = append(rules, Persistent(Duplicate, prob))
+		case "truncate":
+			rules = append(rules, Persistent(Truncate, prob))
+		case "qid":
+			rules = append(rules, Persistent(CorruptQID, prob))
+		case "question":
+			rules = append(rules, Persistent(MismatchQuestion, prob))
+		case "mangle":
+			rules = append(rules, Persistent(Mangle, prob))
+		case "rcode":
+			rules = append(rules, Persistent(FlipRCode, prob))
+		default:
+			return nil, fmt.Errorf("chaos: unknown profile entry %q", entry)
+		}
+	}
+	return rules, nil
+}

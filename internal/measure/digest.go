@@ -1,0 +1,117 @@
+package measure
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"net/netip"
+	"sort"
+
+	"govdns/internal/dnsname"
+)
+
+// Digest condenses a scan's results into one SHA-256 over a canonical
+// serialization. Two scans of the same world digest equal iff they
+// reached the same measurement conclusions for every domain, which is
+// the differential harness's equality test: results must be bit-identical
+// per (seed, scale) no matter how the scan was scheduled (worker count,
+// per-domain fan-out), and after transient chaos the recovered scan must
+// digest equal to an undisturbed one.
+//
+// The digest deliberately excludes Rounds and Faults: they describe the
+// *journey* (how hard the scan had to work), while the digest fixes the
+// *destination*. A domain recovered in round two with a dozen discarded
+// datagrams digests identically to one answered cleanly — that is the
+// recovery property, not a loophole.
+func Digest(results []*DomainResult) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	name := func(n dnsname.Name) { str(string(n)) }
+	boolean := func(b bool) {
+		if b {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	addr := func(a netip.Addr) {
+		b := a.As16()
+		h.Write(b[:])
+	}
+	names := func(ns []dnsname.Name) {
+		u64(uint64(len(ns)))
+		for _, n := range ns {
+			name(n)
+		}
+	}
+
+	u64(uint64(len(results)))
+	for _, r := range results {
+		if r == nil {
+			u64(0)
+			continue
+		}
+		u64(1)
+		name(r.Domain)
+		name(r.ParentZone)
+		boolean(r.ParentResponded)
+		boolean(r.ParentAuthoritative)
+		names(r.ParentNS)
+
+		hosts := make([]dnsname.Name, 0, len(r.Addrs))
+		for host := range r.Addrs {
+			hosts = append(hosts, host)
+		}
+		sort.Slice(hosts, func(i, j int) bool { return dnsname.Compare(hosts[i], hosts[j]) < 0 })
+		u64(uint64(len(hosts)))
+		for _, host := range hosts {
+			name(host)
+			addrs := append([]netip.Addr(nil), r.Addrs[host]...)
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+			u64(uint64(len(addrs)))
+			for _, a := range addrs {
+				addr(a)
+			}
+		}
+
+		u64(uint64(len(r.Servers)))
+		for i := range r.Servers {
+			digestServer(h, u64, str, boolean, &r.Servers[i])
+		}
+		str(r.Err)
+		boolean(r.ErrTransient)
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func digestServer(h hash.Hash, u64 func(uint64), str func(string), boolean func(bool), sr *ServerResponse) {
+	str(string(sr.Host))
+	b := sr.Addr.As16()
+	h.Write(b[:])
+	boolean(sr.OK)
+	u64(uint64(sr.RCode))
+	boolean(sr.Authoritative)
+	u64(uint64(len(sr.NS)))
+	for _, n := range sr.NS {
+		str(string(n))
+	}
+	str(sr.Err)
+}
+
+// DigestHex is Digest rendered as a hex string, for logs and test
+// failure messages.
+func DigestHex(results []*DomainResult) string {
+	d := Digest(results)
+	return hex.EncodeToString(d[:])
+}

@@ -1,0 +1,300 @@
+package measure
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"govdns/internal/chaos"
+	"govdns/internal/dnsname"
+	"govdns/internal/miniworld"
+	"govdns/internal/resolver"
+	"govdns/internal/worldgen"
+)
+
+// The differential harness: a scan's digest must be a function of the
+// world alone — not of worker count, per-domain fan-out, or transient
+// wire damage the second round can outlast. These tests are the
+// correctness gate later performance work is measured against.
+
+// scanConfigs are the concurrency/fan-out shapes every invariance
+// property is checked across: fully serial, moderately parallel, and
+// wider-than-the-world.
+var scanConfigs = []struct {
+	workers, fanout int
+}{
+	{1, 1},
+	{8, 2},
+	{64, 8},
+}
+
+// scanWith runs one full scan of domains over transport with the given
+// schedule shape. Each call builds a fresh client and iterator so no
+// cache state leaks between scans. The tight 10ms deadline and single
+// retry give the miniworld recovery test exact fault-window arithmetic.
+func scanWith(t *testing.T, tr resolver.Transport, roots []netip.Addr, domains []dnsname.Name, workers, fanout int, adaptive bool) []*DomainResult {
+	return scanTuned(t, tr, roots, domains, workers, fanout, adaptive, 10*time.Millisecond, 1)
+}
+
+// scanTuned is scanWith with an explicit deadline and retry budget. The
+// worldgen-scale tests use a roomier deadline and no retry: hundreds of
+// goroutines park on dead-server timers there, and a deadline within
+// scheduling noise of zero would let wall-clock pressure time out a
+// *live* exchange and break digest invariance for real.
+func scanTuned(t *testing.T, tr resolver.Transport, roots []netip.Addr, domains []dnsname.Name, workers, fanout int, adaptive bool, timeout time.Duration, retries int) []*DomainResult {
+	t.Helper()
+	client := resolver.NewClient(tr)
+	client.Timeout = timeout
+	client.Retries = retries
+	it := resolver.NewIterator(client, roots)
+	it.AdaptiveOrder = adaptive
+	s := NewScanner(it)
+	s.Concurrency = workers
+	s.PerDomainParallelism = fanout
+	return s.Scan(context.Background(), domains)
+}
+
+// worldDeadline is the per-query deadline for worldgen-scale scans —
+// the simulator's default, far enough from scheduling noise that a
+// *live* exchange cannot time out just because hundreds of goroutines
+// are parked on dead-server timers.
+const worldDeadline = 25 * time.Millisecond
+
+// TestScanInvarianceAcrossConfigs: the same (seed, scale) world scanned
+// under three different concurrency/fan-out configurations must produce
+// bit-identical digests.
+func TestScanInvarianceAcrossConfigs(t *testing.T) {
+	w := worldgen.Generate(worldgen.Config{Seed: 42, Scale: 0.002})
+	active := worldgen.Build(w)
+
+	var want string
+	for _, cfg := range scanConfigs {
+		results := scanTuned(t, active.Net, active.Roots, active.QueryList, cfg.workers, cfg.fanout, true, worldDeadline, 0)
+		got := DigestHex(results)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("config (workers=%d fanout=%d): digest %s != %s",
+				cfg.workers, cfg.fanout, got, want)
+		}
+	}
+}
+
+// TestScanInvariancePersistentChaosReproducibleAndMonotone: two
+// properties that persistent, content-keyed chaos must satisfy at world
+// scale. First, a serial scan is fully reproducible: rerunning the same
+// (world seed, chaos seed) pair digests identically, because with one
+// worker the query stream — and thus every content-keyed fault draw — is
+// a pure function of the world. Second, degradation is monotone across
+// every schedule shape: chaos can only withhold or damage answers, so no
+// domain may classify *healthier* under chaos than in a clean scan.
+// Bit-identical cross-config digests are deliberately not asserted here:
+// a walk's query set depends on zone-cache warm-up order (a warm cache
+// skips ancestor queries a cold one must issue), so under faults the
+// per-domain outcome legitimately varies with scheduling even though
+// every individual query is answered deterministically. AdaptiveOrder is
+// off so health feedback does not additionally reorder server choices.
+func TestScanInvariancePersistentChaosReproducibleAndMonotone(t *testing.T) {
+	w := worldgen.Generate(worldgen.Config{Seed: 42, Scale: 0.002})
+	active := worldgen.Build(w)
+
+	rules := []chaos.Rule{
+		chaos.Persistent(chaos.Drop, 0.03),
+		chaos.Persistent(chaos.Truncate, 0.05),
+		chaos.Persistent(chaos.FlipRCode, 0.05),
+		chaos.Persistent(chaos.CorruptQID, 0.02),
+		chaos.Persistent(chaos.MismatchQuestion, 0.02),
+		chaos.Persistent(chaos.Mangle, 0.02),
+	}
+
+	clean := scanTuned(t, active.Net, active.Roots, active.QueryList, 8, 2, false, worldDeadline, 0)
+	cleanClass := make(map[dnsname.Name]Classification, len(clean))
+	for _, r := range clean {
+		cleanClass[r.Domain] = r.Classify()
+	}
+
+	var serial string
+	for _, cfg := range scanConfigs {
+		tr := chaos.Wrap(active.Net, 7, rules...)
+		results := scanTuned(t, tr, active.Roots, active.QueryList, cfg.workers, cfg.fanout, false, worldDeadline, 0)
+		if tr.Stats().Total() == 0 {
+			t.Fatal("chaos injected nothing; the test is vacuous")
+		}
+		if len(results) != len(active.QueryList) {
+			t.Fatalf("config (workers=%d fanout=%d): %d results for %d domains",
+				cfg.workers, cfg.fanout, len(results), len(active.QueryList))
+		}
+		if cfg.workers == 1 && cfg.fanout == 1 {
+			serial = DigestHex(results)
+		}
+		for _, r := range results {
+			if r == nil {
+				t.Fatal("nil result in scan output")
+			}
+			if c := r.Classify(); c == ClassHealthy && cleanClass[r.Domain] != ClassHealthy {
+				t.Errorf("config (workers=%d fanout=%d): %s classified healthy under chaos but %s clean",
+					cfg.workers, cfg.fanout, r.Domain, cleanClass[r.Domain])
+			}
+		}
+	}
+
+	// Reproducibility: a second serial run must digest identically to the
+	// serial run above.
+	tr := chaos.Wrap(active.Net, 7, rules...)
+	rerun := scanTuned(t, tr, active.Roots, active.QueryList, 1, 1, false, worldDeadline, 0)
+	if got := DigestHex(rerun); got != serial {
+		t.Errorf("serial persistent-chaos scan not reproducible: digest %s != %s", got, serial)
+	}
+}
+
+// transientSchedules gives, per fault class, a windowed schedule sized to
+// knock out the whole first round of a probe (client budget: 2 attempts,
+// each discarding up to resolver.DefaultMaxDiscards rejected responses)
+// and then go quiet, plus the round count the scanner is expected to
+// report. Duplicate is the exception: a duplicate of the attempt's own
+// re-sent query carries the current transaction ID and the right answer,
+// so the client absorbs it within round one.
+var transientSchedules = []struct {
+	class  chaos.Class
+	rules  []chaos.Rule
+	rounds int
+}{
+	{chaos.Drop, []chaos.Rule{chaos.Transient(chaos.Drop, 2)}, 2},
+	{chaos.Delay, []chaos.Rule{{Class: chaos.Delay, Count: 2, Delay: 60 * time.Millisecond}}, 2},
+	{chaos.Duplicate, []chaos.Rule{chaos.Transient(chaos.Duplicate, 2)}, 1},
+	{chaos.Truncate, []chaos.Rule{chaos.Transient(chaos.Truncate, 2)}, 2},
+	{chaos.CorruptQID, []chaos.Rule{chaos.Transient(chaos.CorruptQID, 10)}, 2},
+	{chaos.MismatchQuestion, []chaos.Rule{chaos.Transient(chaos.MismatchQuestion, 10)}, 2},
+	{chaos.Mangle, []chaos.Rule{chaos.Transient(chaos.Mangle, 10)}, 2},
+	{chaos.FlipRCode, []chaos.Rule{chaos.Transient(chaos.FlipRCode, 1)}, 2},
+	{chaos.Flap, []chaos.Rule{chaos.FlapOutage(0, 2)}, 2},
+}
+
+// TestScanInvarianceTransientChaosRecovery: for every fault class, a
+// scan whose probe targets are disturbed only transiently must converge
+// — via the second round — to the digest of an undisturbed scan. The
+// schedule targets the probe-only servers of city.gov.br (two NS) and
+// single.gov.br (one NS), so delegation walks stay clean and the window
+// arithmetic is exact; the scan runs serially because windowed rules
+// depend on arrival order.
+func TestScanInvarianceTransientChaosRecovery(t *testing.T) {
+	w := miniworld.Build()
+	domains := miniworld.Domains()
+
+	clean := scanWith(t, w.Net, w.Roots, domains, 1, 1, true)
+	want := DigestHex(clean)
+	for _, r := range clean {
+		if r.Domain == "city.gov.br." || r.Domain == "single.gov.br." {
+			if !r.Responsive() || r.Rounds != 1 {
+				t.Fatalf("clean scan: %s not healthy in one round", r.Domain)
+			}
+		}
+	}
+
+	for _, tc := range transientSchedules {
+		t.Run(tc.class.String(), func(t *testing.T) {
+			tr := w.ChaosProfile(3, map[dnsname.Name][]chaos.Rule{
+				"ns1.city.gov.br.":   tc.rules,
+				"ns2.city.gov.br.":   tc.rules,
+				"ns1.single.gov.br.": tc.rules,
+			})
+			results := scanWith(t, tr, w.Roots, domains, 1, 1, true)
+			if tr.Stats().Injected[tc.class] == 0 {
+				t.Fatalf("no %s faults injected; the test is vacuous", tc.class)
+			}
+			if got := DigestHex(results); got != want {
+				t.Errorf("digest under transient %s = %s, want clean %s", tc.class, got, want)
+				for _, r := range results {
+					t.Logf("  %s: rounds=%d class=%s err=%q faults=%+v",
+						r.Domain, r.Rounds, r.Classify(), r.Err, r.Faults)
+				}
+			}
+			for _, r := range results {
+				if r.Domain != "city.gov.br." && r.Domain != "single.gov.br." {
+					continue
+				}
+				if !r.Responsive() {
+					t.Errorf("%s not recovered under transient %s", r.Domain, tc.class)
+				}
+				if r.Rounds != tc.rounds {
+					t.Errorf("%s under transient %s: rounds=%d, want %d",
+						r.Domain, tc.class, r.Rounds, tc.rounds)
+				}
+				// Only rejection classes leave fault traces: timeouts
+				// (Drop, Delay, Flap) and accepted-but-useless answers
+				// (FlipRCode) are visible in Stats, not in Trace.
+				if tc.rounds == 2 && r.Faults.Total() == 0 &&
+					tc.class != chaos.Drop && tc.class != chaos.Delay &&
+					tc.class != chaos.Flap && tc.class != chaos.FlipRCode {
+					t.Errorf("%s under transient %s: no faults recorded", r.Domain, tc.class)
+				}
+			}
+		})
+	}
+}
+
+// TestScanInvariancePersistentChaosDegradesGracefully: when probe
+// targets are *persistently* damaged, recovery is impossible — the scan
+// must still terminate, classify the damaged domains as defective (never
+// healthy), and leave undisturbed domains exactly as a clean scan found
+// them.
+func TestScanInvariancePersistentChaosDegradesGracefully(t *testing.T) {
+	cases := []struct {
+		name  string
+		rules []chaos.Rule
+	}{
+		{"truncate", []chaos.Rule{chaos.Persistent(chaos.Truncate, 1)}},
+		{"qid", []chaos.Rule{chaos.Persistent(chaos.CorruptQID, 1)}},
+		{"mangle", []chaos.Rule{chaos.Persistent(chaos.Mangle, 1)}},
+		{"rcode", []chaos.Rule{chaos.Persistent(chaos.FlipRCode, 1)}},
+		{"drop", []chaos.Rule{chaos.Persistent(chaos.Drop, 1)}},
+	}
+	w := miniworld.Build()
+	domains := miniworld.Domains()
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := w.ChaosProfile(5, map[dnsname.Name][]chaos.Rule{
+				"ns1.city.gov.br.":   tc.rules,
+				"ns2.city.gov.br.":   tc.rules,
+				"ns1.single.gov.br.": tc.rules,
+			})
+			results := scanWith(t, tr, w.Roots, domains, 4, 2, true)
+			if tr.Stats().Total() == 0 {
+				t.Fatal("chaos injected nothing; the test is vacuous")
+			}
+			byDomain := make(map[dnsname.Name]*DomainResult, len(results))
+			for _, r := range results {
+				if r == nil {
+					t.Fatal("nil result in scan output")
+				}
+				byDomain[r.Domain] = r
+			}
+			for _, d := range []dnsname.Name{"city.gov.br.", "single.gov.br."} {
+				r := byDomain[d]
+				if c := r.Classify(); c != ClassFullyLame {
+					t.Errorf("%s under persistent %s classified %s, want %s",
+						d, tc.name, c, ClassFullyLame)
+				}
+				if r.Rounds != 2 {
+					t.Errorf("%s under persistent %s: rounds=%d, want 2 (retry must run and fail)",
+						d, tc.name, r.Rounds)
+				}
+			}
+			// Collateral check: domains whose servers were not targeted
+			// keep their clean-world classification.
+			for d, wantClass := range map[dnsname.Name]Classification{
+				"lame.gov.br.":   ClassPartiallyLame,
+				"dead.gov.br.":   ClassFullyLame,
+				"hosted.gov.br.": ClassHealthy,
+			} {
+				if c := byDomain[d].Classify(); c != wantClass {
+					t.Errorf("%s under persistent %s classified %s, want %s", d, tc.name, c, wantClass)
+				}
+			}
+		})
+	}
+}

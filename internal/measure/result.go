@@ -12,7 +12,45 @@ import (
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
+	"govdns/internal/resolver"
 )
+
+// FaultCounts aggregates the resolver's per-query fault traces over one
+// domain's probes: how many responses each rejection class discarded.
+// The counters describe what the wire did to the measurement, not what
+// the measurement concluded — two scans that recover to identical
+// conclusions may carry very different fault counts.
+type FaultCounts struct {
+	Duplicates         uint64 `json:"duplicates,omitempty"`
+	Truncations        uint64 `json:"truncations,omitempty"`
+	QIDMismatches      uint64 `json:"qid_mismatches,omitempty"`
+	QuestionMismatches uint64 `json:"question_mismatches,omitempty"`
+	Malformed          uint64 `json:"malformed,omitempty"`
+}
+
+// add folds one query trace into the counters.
+func (f *FaultCounts) add(tr resolver.Trace) {
+	f.Duplicates += uint64(tr.Duplicates)
+	f.Truncations += uint64(tr.Truncations)
+	f.QIDMismatches += uint64(tr.QIDMismatches)
+	f.QuestionMismatches += uint64(tr.QuestionMismatches)
+	f.Malformed += uint64(tr.Malformed)
+}
+
+// merge folds another domain's counters in (used when the second round
+// replaces a first-round result but must not lose its fault history).
+func (f *FaultCounts) merge(o FaultCounts) {
+	f.Duplicates += o.Duplicates
+	f.Truncations += o.Truncations
+	f.QIDMismatches += o.QIDMismatches
+	f.QuestionMismatches += o.QuestionMismatches
+	f.Malformed += o.Malformed
+}
+
+// Total sums the counters.
+func (f FaultCounts) Total() uint64 {
+	return f.Duplicates + f.Truncations + f.QIDMismatches + f.QuestionMismatches + f.Malformed
+}
 
 // ServerResponse is the outcome of querying one nameserver address for
 // the domain's NS records.
@@ -67,6 +105,67 @@ type DomainResult struct {
 	Rounds int
 	// Err records a walk failure (no parent response).
 	Err string
+	// ErrTransient marks Err as belonging to the transient failure
+	// class (resolver.IsTransientErr): a second round may not reproduce
+	// it, so analyses should not treat the domain as durably broken.
+	ErrTransient bool
+	// Faults aggregates the per-query fault traces of every probe made
+	// for this domain, across both rounds.
+	Faults FaultCounts
+}
+
+// Classification buckets a DomainResult for the paper's § IV-C analysis.
+type Classification int
+
+const (
+	// ClassWalkFailure: the delegation walk itself failed; nothing is
+	// known about the domain's servers.
+	ClassWalkFailure Classification = iota
+	// ClassNoDelegation: the parent answered but returned no NS set —
+	// the domain is gone from the parent.
+	ClassNoDelegation
+	// ClassHealthy: every parent-listed nameserver produced a working
+	// authoritative answer.
+	ClassHealthy
+	// ClassPartiallyLame: some servers answer, some are defective.
+	ClassPartiallyLame
+	// ClassFullyLame: the delegation exists but no server answers.
+	ClassFullyLame
+)
+
+// String names the classification for reports and test output.
+func (c Classification) String() string {
+	switch c {
+	case ClassWalkFailure:
+		return "walk-failure"
+	case ClassNoDelegation:
+		return "no-delegation"
+	case ClassHealthy:
+		return "healthy"
+	case ClassPartiallyLame:
+		return "partially-lame"
+	case ClassFullyLame:
+		return "fully-lame"
+	}
+	return "unknown"
+}
+
+// Classify buckets the result. Every result falls into exactly one
+// class; chaos can move a domain between classes but never out of the
+// partition (the graceful-degradation property the invariance harness
+// checks).
+func (r *DomainResult) Classify() Classification {
+	switch {
+	case !r.ParentResponded:
+		return ClassWalkFailure
+	case !r.HasData():
+		return ClassNoDelegation
+	case !r.Responsive():
+		return ClassFullyLame
+	case len(r.DefectiveServerHosts()) > 0:
+		return ClassPartiallyLame
+	}
+	return ClassHealthy
 }
 
 // HasData reports whether the parent returned a non-empty NS set (the

@@ -29,8 +29,9 @@ type Scanner struct {
 	// 1 restores fully serial per-domain behaviour.
 	PerDomainParallelism int
 	// SecondRound enables the paper's retry: when a delegation exists
-	// but no delegated server responded, the domain is probed again to
-	// rule out transient failures (§ III-B).
+	// but no delegated server responded — or the walk itself failed for
+	// a transient cause — the domain is probed again to rule out
+	// transient failures (§ III-B).
 	SecondRound bool
 }
 
@@ -91,9 +92,13 @@ func NewScanner(it *resolver.Iterator) *Scanner {
 // including the second round when enabled).
 func (s *Scanner) ScanDomain(ctx context.Context, domain dnsname.Name) *DomainResult {
 	r := s.scanOnce(ctx, domain)
-	if s.SecondRound && r.FullyDefective() {
+	if s.SecondRound && (r.FullyDefective() || r.ErrTransient) {
 		retry := s.scanOnce(ctx, domain)
 		retry.Rounds = 2
+		// The retry replaces the result but keeps the full fault
+		// history: what the wire did in round one is part of the
+		// domain's measurement record even when round two recovers.
+		retry.Faults.merge(r.Faults)
 		return retry
 	}
 	return r
@@ -121,6 +126,9 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 		return r
 	default:
 		r.Err = err.Error()
+		// A dead context makes every in-flight query "time out"; only a
+		// live-context transient failure says anything about the wire.
+		r.ErrTransient = ctx.Err() == nil && resolver.IsTransientErr(err)
 		return r
 	}
 
@@ -142,6 +150,7 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 	client := s.Iterator.Client()
 	resolved := make([][]netip.Addr, len(r.ParentNS))
 	perHost := make([][]ServerResponse, len(r.ParentNS))
+	faults := make([]FaultCounts, len(r.ParentNS))
 	fanEach(len(r.ParentNS), s.fanout(), func(i int) {
 		host := r.ParentNS[i]
 		if addrs, ok := glue[host]; ok {
@@ -153,7 +162,8 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 		perHost[i] = make([]ServerResponse, len(resolved[i]))
 		for j, addr := range resolved[i] {
 			sr := ServerResponse{Host: host, Addr: addr}
-			resp, err := client.Query(ctx, addr, domain, dnswire.TypeNS)
+			resp, trace, err := client.QueryTraced(ctx, addr, domain, dnswire.TypeNS)
+			faults[i].add(trace)
 			if err != nil {
 				sr.Err = err.Error()
 			} else {
@@ -174,6 +184,7 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 	for i, host := range r.ParentNS {
 		r.Addrs[host] = resolved[i]
 		r.Servers = append(r.Servers, perHost[i]...)
+		r.Faults.merge(faults[i])
 	}
 
 	// The child may know servers the parent does not (C ⊃ P): resolve

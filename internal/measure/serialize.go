@@ -27,6 +27,8 @@ type resultJSON struct {
 	Servers             []serverJSON        `json:"servers,omitempty"`
 	Rounds              int                 `json:"rounds"`
 	Err                 string              `json:"error,omitempty"`
+	ErrTransient        bool                `json:"error_transient,omitempty"`
+	Faults              *FaultCounts        `json:"faults,omitempty"`
 }
 
 type serverJSON struct {
@@ -55,6 +57,11 @@ func WriteJSONL(w io.Writer, results []*DomainResult) error {
 			ParentAuthoritative: r.ParentAuthoritative,
 			Rounds:              r.Rounds,
 			Err:                 r.Err,
+			ErrTransient:        r.ErrTransient,
+		}
+		if r.Faults != (FaultCounts{}) {
+			f := r.Faults
+			out.Faults = &f
 		}
 		if len(r.Addrs) > 0 {
 			out.Addrs = make(map[string][]string, len(r.Addrs))
@@ -104,6 +111,10 @@ func ReadJSONL(r io.Reader) ([]*DomainResult, error) {
 			Addrs:               make(map[dnsname.Name][]netip.Addr, len(in.Addrs)),
 			Rounds:              in.Rounds,
 			Err:                 in.Err,
+			ErrTransient:        in.ErrTransient,
+		}
+		if in.Faults != nil {
+			out.Faults = *in.Faults
 		}
 		for host, strs := range in.Addrs {
 			name, err := dnsname.Parse(host)

@@ -12,8 +12,10 @@ package miniworld
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 
 	"govdns/internal/authserver"
+	"govdns/internal/chaos"
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
 	"govdns/internal/simnet"
@@ -46,6 +48,10 @@ type World struct {
 	Roots []netip.Addr
 	// Servers indexes every authoritative server by hostname.
 	Servers map[dnsname.Name]*authserver.Server
+
+	// hostAddrs records every address a hostname was attached at, in
+	// attachment order, so fault schedules can be keyed by server name.
+	hostAddrs map[dnsname.Name][]netip.Addr
 }
 
 // rr builds an IN-class record.
@@ -76,9 +82,10 @@ func Build() *World {
 // characteristics (used by failure-injection tests).
 func BuildWithNetwork(cfg simnet.Config) *World {
 	w := &World{
-		Net:     simnet.New(cfg),
-		Roots:   []netip.Addr{RootAddr},
-		Servers: make(map[dnsname.Name]*authserver.Server),
+		Net:       simnet.New(cfg),
+		Roots:     []netip.Addr{RootAddr},
+		Servers:   make(map[dnsname.Name]*authserver.Server),
+		hostAddrs: make(map[dnsname.Name][]netip.Addr),
 	}
 
 	// --- Root zone ---
@@ -250,7 +257,59 @@ func (w *World) serve(hostname dnsname.Name, addr netip.Addr, z *zone.Zone) *aut
 	}
 	s.AddZone(z)
 	w.Net.Attach(addr, s)
+	seen := false
+	for _, a := range w.hostAddrs[hostname] {
+		if a == addr {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		w.hostAddrs[hostname] = append(w.hostAddrs[hostname], addr)
+	}
 	return s
+}
+
+// AddrsOf returns the addresses hostname is attached at, in attachment
+// order. It panics on a hostname the fixture never served, so a typo in
+// a fault schedule fails loudly instead of silently injecting nothing.
+func (w *World) AddrsOf(hostname dnsname.Name) []netip.Addr {
+	addrs, ok := w.hostAddrs[hostname]
+	if !ok {
+		panic(fmt.Sprintf("miniworld: no server named %s", hostname))
+	}
+	return append([]netip.Addr(nil), addrs...)
+}
+
+// ChaosProfile wraps the world's network in a chaos transport whose
+// per-class fault schedules are keyed by server *name* instead of
+// address, so a behavioural test can say "this NS truncates, that one
+// flaps" in one line:
+//
+//	tr := w.ChaosProfile(1, map[dnsname.Name][]chaos.Rule{
+//		"ns1.city.gov.br.": {chaos.Persistent(chaos.Truncate, 1)},
+//		"ns2.city.gov.br.": {chaos.FlapOutage(0, 10)},
+//	})
+//
+// Each rule's Servers field is filled with the named host's addresses
+// (any existing restriction is replaced). Hosts are applied in sorted
+// name order so the rule order — and with it every fault decision — is
+// deterministic. Unknown hostnames panic, per AddrsOf.
+func (w *World) ChaosProfile(seed int64, profile map[dnsname.Name][]chaos.Rule) *chaos.Transport {
+	hosts := make([]dnsname.Name, 0, len(profile))
+	for host := range profile {
+		hosts = append(hosts, host)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return dnsname.Compare(hosts[i], hosts[j]) < 0 })
+	var rules []chaos.Rule
+	for _, host := range hosts {
+		addrs := w.AddrsOf(host)
+		for _, r := range profile[host] {
+			r.Servers = addrs
+			rules = append(rules, r)
+		}
+	}
+	return chaos.Wrap(w.Net, seed, rules...)
 }
 
 // AddHostedChildren delegates n extra gov.br children to the third-party

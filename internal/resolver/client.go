@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,7 +43,17 @@ var (
 const (
 	DefaultTimeout = 500 * time.Millisecond
 	DefaultRetries = 2
+	// DefaultMaxDiscards bounds how many rejected datagrams one attempt
+	// will discard before giving up on the attempt. A UDP client that
+	// stopped listening after the first stray packet would be trivially
+	// jammed by any duplicate on the path.
+	DefaultMaxDiscards = 4
 )
+
+// acceptedRing is how many recently accepted transaction IDs are kept
+// per server, to tell a late duplicate of a past answer from fresh QID
+// corruption.
+const acceptedRing = 8
 
 // Client sends DNS queries to explicit server addresses.
 type Client struct {
@@ -52,9 +63,14 @@ type Client struct {
 	// DefaultTimeout.
 	Timeout time.Duration
 	// Retries is the number of additional attempts after the first
-	// times out. Defaults to DefaultRetries. Non-timeout errors
-	// (e.g. FORMERR responses) are returned immediately.
+	// fails transiently (timeout, rejected responses, truncation).
+	// Defaults to DefaultRetries. Other errors are returned immediately.
 	Retries int
+	// MaxDiscards bounds how many rejected responses a single attempt
+	// discards before the attempt fails with ErrMismatch. Defaults to
+	// DefaultMaxDiscards; negative disables discarding (first rejected
+	// response fails the attempt).
+	MaxDiscards int
 
 	nextID atomic.Uint32
 
@@ -64,6 +80,19 @@ type Client struct {
 	received   atomic.Uint64
 	timeouts   atomic.Uint64
 	mismatches atomic.Uint64
+
+	// Fault-class breakdown of rejected responses.
+	duplicates         atomic.Uint64
+	truncations        atomic.Uint64
+	qidMismatches      atomic.Uint64
+	questionMismatches atomic.Uint64
+	malformed          atomic.Uint64
+
+	// accepted remembers the last few transaction IDs validated per
+	// server so a replayed old answer is classified as a duplicate
+	// rather than QID corruption.
+	acceptedMu sync.Mutex
+	accepted   map[netip.Addr][]uint16
 }
 
 // Stats is a snapshot of resolver counters. Client.Stats fills the
@@ -76,8 +105,24 @@ type Stats struct {
 	Received uint64
 	// Timeouts counts attempts that got no answer.
 	Timeouts uint64
-	// Mismatches counts responses rejected by validation.
+	// Mismatches counts responses rejected by validation (the sum of
+	// the per-class counters below).
 	Mismatches uint64
+	// Duplicates counts rejected responses whose transaction ID matched
+	// a recently accepted answer from the same server — late or
+	// replayed datagrams.
+	Duplicates uint64
+	// Truncations counts responses rejected for carrying the TC bit.
+	Truncations uint64
+	// QIDMismatches counts responses rejected for an unknown
+	// transaction ID.
+	QIDMismatches uint64
+	// QuestionMismatches counts responses whose echoed question did not
+	// match the query.
+	QuestionMismatches uint64
+	// Malformed counts responses that failed to decode or arrived with
+	// the QR bit clear.
+	Malformed uint64
 
 	// HostCacheHits counts host resolutions served from cache;
 	// HostCacheMisses counts full lookups actually performed.
@@ -103,10 +148,15 @@ type Stats struct {
 // Stats returns the current counter snapshot.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Sent:       c.sent.Load(),
-		Received:   c.received.Load(),
-		Timeouts:   c.timeouts.Load(),
-		Mismatches: c.mismatches.Load(),
+		Sent:               c.sent.Load(),
+		Received:           c.received.Load(),
+		Timeouts:           c.timeouts.Load(),
+		Mismatches:         c.mismatches.Load(),
+		Duplicates:         c.duplicates.Load(),
+		Truncations:        c.truncations.Load(),
+		QIDMismatches:      c.qidMismatches.Load(),
+		QuestionMismatches: c.questionMismatches.Load(),
+		Malformed:          c.malformed.Load(),
 	}
 }
 
@@ -132,33 +182,88 @@ func (c *Client) retries() int {
 	return DefaultRetries
 }
 
+// Trace is the per-query fault breakdown filled by QueryTraced: how many
+// attempts the query took and how many responses each rejection class
+// discarded along the way. The measurement layer aggregates traces into
+// per-domain fault counters.
+type Trace struct {
+	// Attempts counts query attempts made (1 for a clean first answer).
+	Attempts int
+	// Duplicates, Truncations, QIDMismatches, QuestionMismatches, and
+	// Malformed count rejected responses by class, mirroring the
+	// like-named Stats fields.
+	Duplicates         int
+	Truncations        int
+	QIDMismatches      int
+	QuestionMismatches int
+	Malformed          int
+}
+
+// Rejects sums the rejected-response counters.
+func (tr Trace) Rejects() int {
+	return tr.Duplicates + tr.Truncations + tr.QIDMismatches + tr.QuestionMismatches + tr.Malformed
+}
+
 // Query sends (name, qtype) to the server and returns the decoded,
-// validated response. Timeouts are retried up to c.Retries times; the
-// returned error wraps ErrTimeout when every attempt timed out.
+// validated response. Transient failures — timeouts, rejected or
+// truncated responses — are retried up to c.Retries times; the returned
+// error wraps ErrTimeout when every attempt timed out, or the last
+// rejection otherwise.
 func (c *Client) Query(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	resp, _, err := c.QueryTraced(ctx, server, name, qtype)
+	return resp, err
+}
+
+// QueryTraced is Query plus the per-query fault trace. The trace is
+// meaningful even when err is non-nil: it records what the wire did to
+// this query.
+func (c *Client) QueryTraced(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, Trace, error) {
+	var tr Trace
 	attempts := 1 + c.retries()
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, tr, err
 		}
-		resp, err := c.attempt(ctx, server, name, qtype)
+		tr.Attempts++
+		resp, err := c.attempt(ctx, server, name, qtype, &tr)
 		if err == nil {
-			return resp, nil
+			return resp, tr, nil
 		}
 		lastErr = err
-		// Only timeouts are worth retrying; anything else (a decoded
-		// but mismatched response, a transport failure that is not a
-		// deadline) is deterministic.
-		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTimeout) {
-			return nil, err
+		// Timeouts, mismatch budgets, and truncation are all transient
+		// from the query's point of view: a fresh attempt draws a fresh
+		// transaction ID and may land between the damage. Anything else
+		// (an encode failure, a non-deadline transport error) is
+		// deterministic and returned immediately.
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTimeout) &&
+			!errors.Is(err, ErrMismatch) && !errors.Is(err, ErrTruncated) {
+			return nil, tr, err
 		}
 	}
-	return nil, fmt.Errorf("%w: %s %s @%s after %d attempts: %v",
-		ErrTimeout, name, qtype, server, attempts, lastErr)
+	if errors.Is(lastErr, context.DeadlineExceeded) || errors.Is(lastErr, ErrTimeout) {
+		return nil, tr, fmt.Errorf("%w: %s %s @%s after %d attempts: %v",
+			ErrTimeout, name, qtype, server, attempts, lastErr)
+	}
+	return nil, tr, fmt.Errorf("resolver: %s %s @%s after %d attempts: %w",
+		name, qtype, server, attempts, lastErr)
 }
 
-func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+func (c *Client) maxDiscards() int {
+	if c.MaxDiscards > 0 {
+		return c.MaxDiscards
+	}
+	if c.MaxDiscards < 0 {
+		return 0
+	}
+	return DefaultMaxDiscards
+}
+
+// attempt sends one query and listens until it gets a validated answer,
+// exhausts its discard budget, or hits the attempt deadline. Responses
+// that fail validation are counted by class and discarded — the socket
+// stays open for the real answer, as a UDP resolver's must.
+func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type, tr *Trace) (*dnswire.Message, error) {
 	id := uint16(c.nextID.Add(1))
 	query := dnswire.NewQuery(id, name, qtype)
 	wire, err := dnswire.Encode(query)
@@ -168,34 +273,107 @@ func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Na
 
 	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
-	c.sent.Add(1)
-	respWire, err := c.Transport.Exchange(attemptCtx, server, wire)
-	if err != nil {
-		c.timeouts.Add(1)
-		if attemptCtx.Err() != nil && ctx.Err() == nil {
-			return nil, fmt.Errorf("%w: attempt deadline: %v", context.DeadlineExceeded, err)
+	for discards := 0; ; discards++ {
+		c.sent.Add(1)
+		respWire, err := c.Transport.Exchange(attemptCtx, server, wire)
+		if err != nil {
+			c.timeouts.Add(1)
+			if attemptCtx.Err() != nil && ctx.Err() == nil {
+				return nil, fmt.Errorf("%w: attempt deadline: %v", context.DeadlineExceeded, err)
+			}
+			return nil, err
 		}
-		return nil, err
+		resp, reject := c.classify(query, server, respWire, tr)
+		if reject == nil {
+			c.received.Add(1)
+			c.remember(server, id)
+			return resp, nil
+		}
+		c.mismatches.Add(1)
+		// Truncation is a validated answer from the right server about
+		// the right question; listening longer cannot improve on it.
+		// Everything else is a stray datagram worth waiting past.
+		if errors.Is(reject, ErrTruncated) || discards >= c.maxDiscards() {
+			return nil, reject
+		}
 	}
+}
+
+// classify validates one wire image against the query, returning the
+// decoded message for an acceptable answer or a classified rejection
+// error. Counters (both aggregate and per-class, plus the trace) are
+// bumped for rejects.
+func (c *Client) classify(query *dnswire.Message, server netip.Addr, respWire []byte, tr *Trace) (*dnswire.Message, error) {
 	resp, err := dnswire.Decode(respWire)
 	if err != nil {
-		c.mismatches.Add(1)
-		return nil, fmt.Errorf("resolver: decoding response: %w", err)
+		c.malformed.Add(1)
+		tr.Malformed++
+		return nil, fmt.Errorf("%w: decoding response: %v", ErrMismatch, err)
 	}
-	if err := validate(query, resp); err != nil {
-		c.mismatches.Add(1)
-		return nil, err
+	if !resp.Header.Response {
+		c.malformed.Add(1)
+		tr.Malformed++
+		return nil, fmt.Errorf("%w: QR bit clear", ErrMismatch)
+	}
+	// Rejection messages deliberately omit the transaction IDs: they
+	// come from a process-wide counter, so embedding them would make
+	// recorded error strings — and with them the scan digest — depend
+	// on scheduling.
+	if resp.Header.ID != query.Header.ID {
+		if c.recentlyAccepted(server, resp.Header.ID) {
+			c.duplicates.Add(1)
+			tr.Duplicates++
+			return nil, fmt.Errorf("%w: duplicate of an answered query", ErrMismatch)
+		}
+		c.qidMismatches.Add(1)
+		tr.QIDMismatches++
+		return nil, fmt.Errorf("%w: unknown transaction id", ErrMismatch)
+	}
+	if len(resp.Questions) > 0 {
+		got, want := resp.Questions[0], query.Questions[0]
+		if got.Name != want.Name || got.Type != want.Type || got.Class != want.Class {
+			c.questionMismatches.Add(1)
+			tr.QuestionMismatches++
+			return nil, fmt.Errorf("%w: question %v != %v", ErrMismatch, got, want)
+		}
 	}
 	if resp.Header.Truncated {
-		c.mismatches.Add(1)
-		return nil, fmt.Errorf("%w: %s %s @%s", ErrTruncated, name, qtype, server)
+		c.truncations.Add(1)
+		tr.Truncations++
+		return nil, fmt.Errorf("%w: %s %s @%s", ErrTruncated,
+			query.Questions[0].Name, query.Questions[0].Type, server)
 	}
-	c.received.Add(1)
 	return resp, nil
 }
 
+// remember records an accepted transaction ID for duplicate detection.
+func (c *Client) remember(server netip.Addr, id uint16) {
+	c.acceptedMu.Lock()
+	defer c.acceptedMu.Unlock()
+	if c.accepted == nil {
+		c.accepted = make(map[netip.Addr][]uint16)
+	}
+	ids := append(c.accepted[server], id)
+	if len(ids) > acceptedRing {
+		ids = ids[len(ids)-acceptedRing:]
+	}
+	c.accepted[server] = ids
+}
+
+func (c *Client) recentlyAccepted(server netip.Addr, id uint16) bool {
+	c.acceptedMu.Lock()
+	defer c.acceptedMu.Unlock()
+	for _, v := range c.accepted[server] {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
 // validate checks the response against its query per classic resolver
-// rules: matching ID, QR set, matching question.
+// rules: matching ID, QR set, matching question. It is the counter-free
+// core of classify, kept for direct use in tests.
 func validate(query, resp *dnswire.Message) error {
 	if resp.Header.ID != query.Header.ID {
 		return fmt.Errorf("%w: id %d != %d", ErrMismatch, resp.Header.ID, query.Header.ID)

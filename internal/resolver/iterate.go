@@ -28,7 +28,22 @@ var (
 	// ErrNoAnswer indicates resolution completed but yielded no usable
 	// records (e.g. NODATA).
 	ErrNoAnswer = errors.New("resolver: no answer")
+	// ErrServerFailure indicates a server answered with SERVFAIL or
+	// REFUSED — it is up, but declined to be useful. Overload commonly
+	// produces SERVFAIL, so the class is treated as transient.
+	ErrServerFailure = errors.New("resolver: server failure")
 )
+
+// IsTransientErr reports whether err belongs to a failure class that a
+// later retry — in particular the scanner's second round — may not
+// reproduce: timeouts, rejected or truncated responses, and SERVFAIL-
+// style server errors. Durable facts (NXDOMAIN, NODATA, a zone with no
+// nameservers at all) are not transient.
+func IsTransientErr(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrMismatch) || errors.Is(err, ErrTruncated) ||
+		errors.Is(err, ErrServerFailure)
+}
 
 const maxDepth = 12
 
@@ -325,16 +340,15 @@ func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRe
 // domains under a broken intermediate zone fail fast instead of each
 // re-walking it. Not every failure is durable, though: a dead context
 // says nothing about the zone, a depth overrun is relative to the call
-// chain, and a failure rooted in query *timeouts* may be transient — the
-// scanner's second round exists precisely to re-probe those (§ III-B),
-// so caching them would turn the retry into a replay of the first
-// failure.
+// chain, and a failure in the transient class (timeouts, rejected or
+// truncated responses, SERVFAIL) may not recur — the scanner's second
+// round exists precisely to re-probe those (§ III-B), so caching them
+// would turn the retry into a replay of the first failure.
 func (it *Iterator) buildZone(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
 	it.zoneMisses.Add(1)
 	zs, err := it.zoneFromReferral(ctx, zoneName, nsRecords, glue, depth)
 	if err != nil {
-		if ctx.Err() == nil && !errors.Is(err, ErrDepth) &&
-			!errors.Is(err, ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+		if ctx.Err() == nil && !errors.Is(err, ErrDepth) && !IsTransientErr(err) {
 			it.zones.put(zoneName, zoneEntry{err: err})
 		}
 		return nil, err
@@ -403,16 +417,15 @@ func (it *Iterator) zoneFromReferral(ctx context.Context, zoneName dnsname.Name,
 	}
 	anyAddr := false
 	depthLimited := false
-	var timeoutErr error
+	var transientErr error
 	for i, host := range zs.Hosts {
 		if errs[i] != nil {
 			resolved[i] = nil
 			if errors.Is(errs[i], ErrDepth) {
 				depthLimited = true
 			}
-			if timeoutErr == nil &&
-				(errors.Is(errs[i], ErrTimeout) || errors.Is(errs[i], context.DeadlineExceeded)) {
-				timeoutErr = errs[i]
+			if transientErr == nil && IsTransientErr(errs[i]) {
+				transientErr = errs[i]
 			}
 		}
 		zs.Addrs[host] = resolved[i]
@@ -427,10 +440,10 @@ func (it *Iterator) zoneFromReferral(ctx context.Context, zoneName dnsname.Name,
 			// a durable fact about the zone.
 			return nil, fmt.Errorf("%w: resolving nameservers of zone %s", ErrDepth, zoneName)
 		}
-		if timeoutErr != nil {
-			// Surface the timeout cause in the chain so buildZone can
-			// tell this possibly-transient failure from a durable one.
-			return nil, fmt.Errorf("%w: zone %s has no resolvable nameservers: %w", ErrNoServers, zoneName, timeoutErr)
+		if transientErr != nil {
+			// Surface the transient cause in the chain so buildZone can
+			// tell this possibly-recoverable failure from a durable one.
+			return nil, fmt.Errorf("%w: zone %s has no resolvable nameservers: %w", ErrNoServers, zoneName, transientErr)
 		}
 		return nil, fmt.Errorf("%w: zone %s has no resolvable nameservers", ErrNoServers, zoneName)
 	}
@@ -480,14 +493,15 @@ func (it *Iterator) lookupAndCache(ctx context.Context, host dnsname.Name, depth
 	switch {
 	case err == nil:
 		it.hosts.put(host, hostEntry{addrs: addrs})
-	case ctx.Err() == nil && !errors.Is(err, ErrDepth):
-		// Negative-cache resolution failures: bulk scans would otherwise
-		// re-walk broken chains thousands of times. A cancelled context
-		// is the caller's failure, not the host's, and is not cached;
-		// neither is a depth overrun, which is relative to the call
-		// chain (the same host can resolve fine from a shallower one).
-		// The cause is stored so consumers of the cached failure can
-		// classify it.
+	case ctx.Err() == nil && !errors.Is(err, ErrDepth) && !IsTransientErr(err):
+		// Negative-cache durable resolution failures: bulk scans would
+		// otherwise re-walk broken chains thousands of times. A
+		// cancelled context is the caller's failure, not the host's, and
+		// is not cached; neither is a depth overrun, which is relative
+		// to the call chain (the same host can resolve fine from a
+		// shallower one), nor a transient-class failure, which the
+		// scanner's second round must be free to re-probe. The cause is
+		// stored so consumers of the cached failure can classify it.
 		it.hosts.put(host, hostEntry{err: err})
 	}
 	return addrs, err
@@ -543,7 +557,11 @@ func (it *Iterator) lookup(ctx context.Context, host dnsname.Name, depth int) ([
 }
 
 // queryAny asks the zone's servers until one responds. Lame servers are
-// skipped; if all are lame the last error is returned. With AdaptiveOrder
+// skipped; if all are lame, the failure of the lowest-addressed server
+// is returned — every candidate was tried, so the failure *set* does not
+// depend on try order, and picking a canonical representative keeps the
+// reported error (which ends up in scan results) independent of the
+// adaptive ordering's scheduling-fed health state. With AdaptiveOrder
 // the known addresses are tried healthiest-first (stable, so a fresh
 // iterator behaves exactly like the fixed order); out-of-bailiwick hosts
 // whose addresses are not yet known are only resolved once every known
@@ -573,22 +591,25 @@ func (it *Iterator) queryAny(ctx context.Context, zs *ZoneServers, name dnsname.
 		})
 	}
 
-	var lastErr error
-	tried := false
+	type failure struct {
+		addr netip.Addr
+		err  error
+	}
+	var fails []failure
 	try := func(addr netip.Addr) *dnswire.Message {
-		tried = true
 		resp, err := it.client.Query(ctx, addr, name, qtype)
 		if err != nil {
 			// A dead context says nothing about the server's health.
 			if ctx.Err() == nil {
 				it.health.recordFailure(addr)
 			}
-			lastErr = err
+			fails = append(fails, failure{addr, err})
 			return nil
 		}
 		if resp.Header.RCode == dnswire.RCodeServFail || resp.Header.RCode == dnswire.RCodeRefused {
 			it.health.recordFailure(addr)
-			lastErr = fmt.Errorf("%w: %s from %s", ErrNoServers, resp.Header.RCode, addr)
+			fails = append(fails, failure{addr,
+				fmt.Errorf("%w: %w: %s from %s", ErrNoServers, ErrServerFailure, resp.Header.RCode, addr)})
 			return nil
 		}
 		it.health.recordSuccess(addr)
@@ -610,8 +631,9 @@ func (it *Iterator) queryAny(ctx context.Context, zs *ZoneServers, name dnsname.
 			}
 		}
 	}
-	if !tried {
+	if len(fails) == 0 {
 		return nil, netip.Addr{}, fmt.Errorf("%w: zone %s", ErrNoServers, zs.Zone)
 	}
-	return nil, netip.Addr{}, lastErr
+	sort.Slice(fails, func(i, j int) bool { return fails[i].addr.Less(fails[j].addr) })
+	return nil, netip.Addr{}, fails[0].err
 }

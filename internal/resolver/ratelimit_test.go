@@ -2,9 +2,13 @@ package resolver
 
 import (
 	"context"
+	"net/netip"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"govdns/internal/chaos"
 	"govdns/internal/dnswire"
 	"govdns/internal/miniworld"
 )
@@ -74,5 +78,75 @@ func TestRateLimitHonoursCancellation(t *testing.T) {
 	}
 	if time.Since(start) > time.Second {
 		t.Error("cancelled wait did not return promptly")
+	}
+}
+
+// admissionCounter counts how many exchanges the rate limiter lets
+// through to the transport beneath it.
+type admissionCounter struct {
+	inner Transport
+	n     atomic.Int64
+}
+
+func (a *admissionCounter) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	a.n.Add(1)
+	return a.inner.Exchange(ctx, server, query)
+}
+
+// TestRateLimitUnderConcurrentChaos hammers the limiter from many
+// goroutines through a chaotic transport — duplicated responses, delay
+// spikes, and short per-call deadlines that abandon waits mid-flight —
+// and checks the token-bucket bound: admissions can never exceed
+// burst + qps×elapsed, no matter how clients misbehave. Abandoned waits
+// may waste tokens (the debt stays), but must never mint them.
+func TestRateLimitUnderConcurrentChaos(t *testing.T) {
+	w := miniworld.Build()
+	tr := chaos.Wrap(w.Net, 11,
+		chaos.Persistent(chaos.Duplicate, 0.3),
+		chaos.DelaySpike(5*time.Millisecond, 0.5),
+	)
+	counted := &admissionCounter{inner: tr}
+	const (
+		qps   = 500.0
+		burst = 20
+	)
+	limited := RateLimit(counted, qps, burst)
+
+	const goroutines = 8
+	const perG = 25
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				wire, err := dnswire.Encode(dnswire.NewQuery(uint16(g*perG+i), "gov.br.", dnswire.TypeNS))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+				_, _ = limited.Exchange(ctx, miniworld.GovNS1Addr, wire)
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	admitted := counted.n.Load()
+	if admitted == 0 {
+		t.Fatal("no exchanges admitted; the test is vacuous")
+	}
+	if tr.Stats().Total() == 0 {
+		t.Fatal("chaos injected nothing; the test is vacuous")
+	}
+	// elapsed is measured past the last admission, so the bound needs no
+	// slack beyond one token of measurement skew.
+	bound := float64(burst) + qps*elapsed.Seconds() + 1
+	if float64(admitted) > bound {
+		t.Errorf("limiter over-admitted: %d exchanges in %v exceeds burst %d + %.0f qps (bound %.1f)",
+			admitted, elapsed, burst, qps, bound)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"govdns/internal/chaos"
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
 	"govdns/internal/miniworld"
@@ -157,16 +158,25 @@ func TestNegativeCaching(t *testing.T) {
 }
 
 func TestDelegationSkipsLameParentServer(t *testing.T) {
-	// Even with one gov.br server blackholed, delegation succeeds via
-	// the other.
-	w, _, it := newFixture(t)
-	w.Net.Blackhole(miniworld.GovNS1Addr)
+	// Even with one gov.br server persistently dropping every query,
+	// delegation succeeds via the other.
+	w := miniworld.Build()
+	tr := w.ChaosProfile(1, map[dnsname.Name][]chaos.Rule{
+		"ns1.gov.br.": {chaos.Persistent(chaos.Drop, 1)},
+	})
+	c := NewClient(tr)
+	c.Timeout = 20 * time.Millisecond
+	c.Retries = 1
+	it := NewIterator(c, w.Roots)
 	d, err := it.Delegation(ctxWithTimeout(t), "city.gov.br.")
 	if err != nil {
 		t.Fatalf("Delegation with one lame parent server: %v", err)
 	}
 	if len(d.Hosts()) != 2 {
 		t.Errorf("hosts = %v", d.Hosts())
+	}
+	if tr.Stats().Injected[chaos.Drop] == 0 {
+		t.Error("chaos dropped nothing; the lame server was never consulted")
 	}
 }
 
@@ -275,27 +285,21 @@ func TestClientStats(t *testing.T) {
 }
 
 func TestClientRejectsTruncatedResponse(t *testing.T) {
-	// A transport that always answers with the TC bit set.
-	tc := transportFunc(func(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
-		q, err := dnswire.Decode(query)
-		if err != nil {
-			return nil, err
-		}
-		resp := dnswire.NewResponse(q)
-		resp.Header.Truncated = true
-		return dnswire.Encode(resp)
+	// A miniworld server that answers every query with the TC bit set.
+	w := miniworld.Build()
+	tr := w.ChaosProfile(2, map[dnsname.Name][]chaos.Rule{
+		"ns1.gov.br.": {chaos.Persistent(chaos.Truncate, 1)},
 	})
-	c := NewClient(tc)
+	c := NewClient(tr)
 	c.Timeout = 20 * time.Millisecond
-	_, err := c.Query(context.Background(), netip.MustParseAddr("192.0.2.1"), "x.gov.br.", dnswire.TypeNS)
+	_, err := c.Query(context.Background(), miniworld.GovNS1Addr, "gov.br.", dnswire.TypeNS)
 	if !errors.Is(err, ErrTruncated) {
 		t.Errorf("error = %v, want ErrTruncated", err)
 	}
-}
-
-// transportFunc adapts a function to the Transport interface.
-type transportFunc func(context.Context, netip.Addr, []byte) ([]byte, error)
-
-func (f transportFunc) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
-	return f(ctx, server, query)
+	if tr.Stats().Injected[chaos.Truncate] == 0 {
+		t.Error("chaos truncated nothing; the test is vacuous")
+	}
+	if got := c.Stats().Truncations; got == 0 {
+		t.Errorf("client truncation counter = %d, want > 0", got)
+	}
 }

@@ -4,6 +4,13 @@
 // exercised exactly as it would be over UDP. The network models latency,
 // random packet loss, and blackholed (unresponsive) addresses — the raw
 // material of lame delegations.
+//
+// Simnet's LossRate draws from a shared rng, so which exchange is lost
+// depends on arrival order — fine for soak-style runs, useless for
+// reproducible adversity. For deterministic, content-keyed fault
+// schedules (drops, duplicates, truncation, corrupted IDs, flapping
+// servers), wrap the network with internal/chaos instead and leave
+// LossRate at zero.
 package simnet
 
 import (
