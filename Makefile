@@ -18,6 +18,12 @@ race:
 vet:
 	$(GO) vet ./...
 
+# bench runs the scan-pipeline benchmarks (including the
+# parallel-metrics sub-benchmark, which repeats the parallel
+# configuration with a live metrics registry — compare the two ns/op
+# figures for the instrumentation overhead; the acceptance bar is
+# < 3%) and emits a BENCH_<host>.json report with an embedded metrics
+# snapshot from an instrumented reference scan.
 bench:
 	$(GO) run ./cmd/benchreport -bench . -benchtime 1s
 
@@ -40,5 +46,7 @@ fuzz:
 
 # check is the tier-1 verify: everything a PR must keep green. The
 # race target runs the whole tree — including the chaos and invariance
-# suites — under the race detector.
+# suites and the internal/obs concurrency tests (histogram and counter
+# hot paths are lock-free; the race detector is what keeps them honest)
+# — under the race detector.
 check: build vet test race

@@ -18,6 +18,7 @@ import (
 	"govdns/internal/analysis"
 	"govdns/internal/dnswire"
 	"govdns/internal/measure"
+	"govdns/internal/obs"
 	"govdns/internal/pdns"
 	"govdns/internal/resolver"
 	"govdns/internal/stats"
@@ -397,12 +398,17 @@ func (l *benchLatencyTransport) Exchange(ctx context.Context, server netip.Addr,
 func BenchmarkScanPipeline(b *testing.B) {
 	s := study(b)
 	ctx := context.Background()
-	run := func(b *testing.B, workers, fanout int, seedBaseline bool) {
+	run := func(b *testing.B, workers, fanout int, seedBaseline, metrics bool) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
 			client := resolver.NewClient(&benchLatencyTransport{s.Active.Net, 5 * time.Millisecond})
 			client.Timeout = 25 * time.Millisecond
 			client.Retries = 1
+			var reg *obs.Registry
+			if metrics {
+				reg = obs.NewRegistry()
+				client.SetMetrics(resolver.NewMetrics(reg))
+			}
 			it := resolver.NewIterator(client, s.Active.Roots)
 			if seedBaseline {
 				it.Coalesce = false
@@ -412,6 +418,9 @@ func BenchmarkScanPipeline(b *testing.B) {
 			sc := measure.NewScanner(it)
 			sc.Concurrency = workers
 			sc.PerDomainParallelism = fanout
+			if metrics {
+				sc.Metrics = measure.NewScanMetrics(reg)
+			}
 			results := sc.Scan(ctx, s.Active.QueryList)
 			if len(results) != len(s.Active.QueryList) {
 				b.Fatalf("got %d results for %d domains", len(results), len(s.Active.QueryList))
@@ -428,10 +437,17 @@ func BenchmarkScanPipeline(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(s.Active.QueryList)), "domains/op")
 	}
-	b.Run("serial", func(b *testing.B) { run(b, 64, 1, true) })
-	b.Run("serial-c128", func(b *testing.B) { run(b, 128, 1, true) })
+	b.Run("serial", func(b *testing.B) { run(b, 64, 1, true, false) })
+	b.Run("serial-c128", func(b *testing.B) { run(b, 128, 1, true, false) })
 	b.Run("parallel", func(b *testing.B) {
-		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false)
+		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false, false)
+	})
+	// parallel-metrics is the observability overhead gate: the same
+	// configuration as parallel with the full instrument set attached
+	// (resolver RTT histogram, per-server outcomes, stage histograms).
+	// The acceptance bar is < 3% regression against parallel.
+	b.Run("parallel-metrics", func(b *testing.B) {
+		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false, true)
 	})
 }
 

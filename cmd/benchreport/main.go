@@ -27,6 +27,7 @@ import (
 
 	"govdns"
 	"govdns/internal/core"
+	"govdns/internal/obs"
 )
 
 func main() {
@@ -182,6 +183,11 @@ type benchReport struct {
 	NumCPU     int           `json:"num_cpu"`
 	Command    string        `json:"command"`
 	Benchmarks []benchResult `json:"benchmarks"`
+	// MetricsScale is the world scale of the instrumented reference scan
+	// whose registry snapshot is embedded below, so per-stage latency
+	// distributions and query counts travel with the perf numbers.
+	MetricsScale float64               `json:"metrics_scale,omitempty"`
+	Metrics      *obs.RegistrySnapshot `json:"metrics,omitempty"`
 }
 
 // runBench shells out to go test, parses the standard benchmark output
@@ -233,6 +239,18 @@ func runBench(pattern, benchtime, out string) error {
 	if len(report.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines in go test output")
 	}
+
+	// Embed an instrumented reference scan's metrics snapshot so each
+	// BENCH_*.json carries stage latency histograms and query counts
+	// alongside the ns/op numbers.
+	const metricsScale = 0.01
+	reg := govdns.NewMetricsRegistry()
+	if _, err := govdns.Run(context.Background(), govdns.Options{Seed: 42, Scale: metricsScale, Metrics: reg}); err != nil {
+		return fmt.Errorf("instrumented reference scan: %w", err)
+	}
+	snap := reg.Snapshot()
+	report.MetricsScale = metricsScale
+	report.Metrics = &snap
 
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

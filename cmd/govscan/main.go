@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/netip"
 	"os"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"govdns/internal/chaos"
 	"govdns/internal/dnsname"
 	"govdns/internal/measure"
+	"govdns/internal/obs"
 	"govdns/internal/resolver"
 	"govdns/internal/stats"
 	"govdns/internal/worldgen"
@@ -67,6 +69,10 @@ func run() error {
 	qps := flag.Float64("qps", 0, "global query rate limit (0 = unlimited; recommended for -real)")
 	chaosSpec := flag.String("chaos", "",
 		"fault-injection profile: off, transient, persistent[:prob], flap[:len], or one class drop|delay|dup|truncate|qid|question|mangle|rcode[:prob]; seeded by -seed")
+	metricsAddr := flag.String("metrics", "",
+		"serve a metrics snapshot (JSON) and pprof on this address, e.g. :9090")
+	progressEvery := flag.Duration("progress", 0,
+		"print periodic scan progress (domains done/total, qps, error rates, ETA) at this interval; 0 disables")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL scan and exit")
 	flag.Parse()
 
@@ -130,8 +136,20 @@ func run() error {
 		transport = chaosTr
 	}
 	transport = resolver.RateLimit(transport, *qps, 10)
+
+	// One registry for the whole pipeline: resolver, chaos, and scanner
+	// instruments all land on it, so the HTTP snapshot and the progress
+	// reporter see a coherent picture. Attach order matters twice over:
+	// the chaos transport binds its counters on first use, and the
+	// iterator binds its handles from the client at construction — so
+	// both attachments happen before NewIterator and before any query.
+	reg := obs.NewRegistry()
+	if chaosTr != nil {
+		chaosTr.AttachRegistry(reg)
+	}
 	client := resolver.NewClient(transport)
 	client.Timeout = *timeout
+	client.SetMetrics(resolver.NewMetrics(reg))
 	it := resolver.NewIterator(client, roots)
 	scanner := measure.NewScanner(it)
 	scanner.Concurrency = *concurrency
@@ -139,11 +157,29 @@ func run() error {
 		*fanout = measure.DefaultPerDomainParallelism
 	}
 	scanner.PerDomainParallelism = *fanout
+	scanner.Metrics = measure.NewScanMetrics(reg)
+
+	if *metricsAddr != "" {
+		go func() {
+			srv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(reg)}
+			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof under /debug/pprof/)\n", *metricsAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "govscan: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	fmt.Fprintf(os.Stderr, "scanning %d domains (timeout %v, concurrency %d, fanout %d)\n",
 		len(domains), *timeout, *concurrency, *fanout)
+	ctx := context.Background()
+	if *progressEvery > 0 {
+		progressCtx, stopProgress := context.WithCancel(ctx)
+		defer stopProgress()
+		rep := &measure.ProgressReporter{Metrics: scanner.Metrics, Interval: *progressEvery, W: os.Stderr}
+		go rep.Run(progressCtx)
+	}
 	start := time.Now()
-	results := scanner.Scan(context.Background(), domains)
+	results := scanner.Scan(ctx, domains)
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 	if *showStats {
 		st := it.Stats()

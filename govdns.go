@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"govdns/internal/core"
+	"govdns/internal/obs"
 )
 
 // Options configures a reproduction run. The zero value runs at 1/10 of
@@ -50,11 +51,23 @@ type Options struct {
 	// HijackEvents injects historical takeover episodes into the PDNS
 	// record for the hijack-forensics analysis (0 = none).
 	HijackEvents int
+	// Metrics, when non-nil, instruments the scan pipeline (resolver,
+	// iterator, scanner) on the given registry. Recording never changes
+	// scan results; serve the registry with obs.Handler or snapshot it
+	// with Registry.Snapshot.
+	Metrics *obs.Registry
 }
 
 // Study is the completed reproduction: see the methods on core.Study
 // (Fig2And3, Table1, Fig10, WriteReport, ...).
 type Study = core.Study
+
+// MetricsRegistry is the observability registry the pipeline records
+// into (re-exported so callers outside the module can construct one).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty registry for Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Config is re-exported for callers constructing studies directly.
 type Config = core.Config
@@ -73,6 +86,7 @@ func New(opts Options) *Study {
 		SecondRound:          !opts.DisableSecondRound,
 		StabilityDays:        opts.StabilityDays,
 		HijackEvents:         opts.HijackEvents,
+		Metrics:              opts.Metrics,
 	})
 }
 

@@ -32,11 +32,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
+	"govdns/internal/obs"
 )
 
 // ErrInjected marks transport errors produced by an injected fault, so
@@ -204,8 +204,13 @@ type Transport struct {
 	srvSeq map[netip.Addr]int
 	last   map[netip.Addr][]byte
 
-	exchanges atomic.Uint64
-	injected  [numClasses]atomic.Uint64
+	// Counters live on an obs.Registry — a private one by default, or
+	// the shared pipeline registry when AttachRegistry runs first —
+	// so chaos injection shows up next to resolver and scanner metrics
+	// in one snapshot instead of in a parallel counter system.
+	metricsOnce sync.Once
+	exchanges   *obs.Counter
+	injected    [numClasses]*obs.Counter
 }
 
 // Wrap layers the fault schedule over inner. Rules are consulted in
@@ -218,6 +223,26 @@ func Wrap(inner Inner, seed int64, rules ...Rule) *Transport {
 		keySeq: make(map[exKey]int),
 		srvSeq: make(map[netip.Addr]int),
 		last:   make(map[netip.Addr][]byte),
+	}
+}
+
+// AttachRegistry binds the transport's counters onto r
+// (chaos_exchanges_total and the chaos_injected_total{class} family).
+// Call it before the first Exchange; afterwards the transport has
+// already bound a private registry and the call is a no-op.
+func (t *Transport) AttachRegistry(r *obs.Registry) {
+	t.metricsOnce.Do(func() { t.bind(r) })
+}
+
+func (t *Transport) metrics() {
+	t.metricsOnce.Do(func() { t.bind(obs.NewRegistry()) })
+}
+
+func (t *Transport) bind(r *obs.Registry) {
+	t.exchanges = r.Counter("chaos_exchanges_total")
+	vec := r.CounterVec("chaos_injected_total")
+	for c := Class(0); c < numClasses; c++ {
+		t.injected[c] = vec.With(c.String())
 	}
 }
 
@@ -256,6 +281,7 @@ func (s Stats) String() string {
 // Stats returns the current counters (only classes that fired appear in
 // the map).
 func (t *Transport) Stats() Stats {
+	t.metrics()
 	s := Stats{Exchanges: t.exchanges.Load(), Injected: make(map[Class]uint64)}
 	for c := Class(0); c < numClasses; c++ {
 		if n := t.injected[c].Load(); n > 0 {
@@ -271,7 +297,8 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t.exchanges.Add(1)
+	t.metrics()
+	t.exchanges.Inc()
 	q, err := dnswire.Decode(query)
 	if err != nil || len(q.Questions) == 0 {
 		// Not a query we can key a schedule on; deliver untouched.
@@ -289,12 +316,12 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 	if rule != nil {
 		switch rule.Class {
 		case Drop, Flap:
-			t.injected[rule.Class].Add(1)
+			t.injected[rule.Class].Inc()
 			// Like a blackhole: the answer never comes.
 			<-ctx.Done()
 			return nil, fmt.Errorf("%w: %s: %v", ErrInjected, rule.Class, ctx.Err())
 		case Delay:
-			t.injected[Delay].Add(1)
+			t.injected[Delay].Inc()
 			d := rule.Delay
 			if d <= 0 {
 				d = DefaultDelaySpike
@@ -322,7 +349,7 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 		return resp, nil
 	}
 
-	t.injected[rule.Class].Add(1)
+	t.injected[rule.Class].Inc()
 	switch rule.Class {
 	case Duplicate:
 		if stale == nil {

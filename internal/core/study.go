@@ -12,6 +12,7 @@ import (
 	"govdns/internal/analysis"
 	"govdns/internal/dnsname"
 	"govdns/internal/measure"
+	"govdns/internal/obs"
 	"govdns/internal/pdns"
 	"govdns/internal/providers"
 	"govdns/internal/remedy"
@@ -45,6 +46,11 @@ type Config struct {
 	// HijackEvents injects that many historical takeover episodes into
 	// the PDNS record for the § V-A forensics analysis (0 = none).
 	HijackEvents int
+	// Metrics, when non-nil, is the shared observability registry:
+	// RunActive instruments its client, iterator, and scanner on it, so
+	// one snapshot covers the whole pipeline. Nil disables recording
+	// (each client still keeps a private registry for Stats).
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -149,11 +155,19 @@ func (s *Study) RunActive(ctx context.Context) error {
 	client := resolver.NewClient(s.Active.Net)
 	client.Timeout = s.Cfg.QueryTimeout
 	client.Retries = s.Cfg.Retries
+	if s.Cfg.Metrics != nil {
+		// SetMetrics must precede NewIterator: the iterator binds its
+		// counter handles from the client's metrics at construction.
+		client.SetMetrics(resolver.NewMetrics(s.Cfg.Metrics))
+	}
 	it := resolver.NewIterator(client, s.Active.Roots)
 	scanner := measure.NewScanner(it)
 	scanner.Concurrency = s.Cfg.Concurrency
 	scanner.PerDomainParallelism = s.Cfg.PerDomainParallelism
 	scanner.SecondRound = s.Cfg.SecondRound
+	if s.Cfg.Metrics != nil {
+		scanner.Metrics = measure.NewScanMetrics(s.Cfg.Metrics)
+	}
 	s.Results = scanner.Scan(ctx, s.Active.QueryList)
 	return ctx.Err()
 }

@@ -1,0 +1,72 @@
+package measure
+
+import (
+	"testing"
+
+	"govdns/internal/chaos"
+	"govdns/internal/dnsname"
+	"govdns/internal/miniworld"
+)
+
+// TestDigestExcludesJourneyFields pins the digest's deliberate scope:
+// Rounds and Faults describe how hard the scan worked, not what it
+// concluded, and mutating them arbitrarily must leave the digest
+// bit-identical. If a future field ever leaks journey state into the
+// canonical serialization, the transient-recovery equivalence (round-two
+// scans digesting equal to clean ones) silently stops being checkable —
+// this test fails first.
+func TestDigestExcludesJourneyFields(t *testing.T) {
+	w := miniworld.Build()
+	results := scanWith(t, w.Net, w.Roots, miniworld.Domains(), 1, 1, true)
+	want := DigestHex(results)
+
+	for i, r := range results {
+		r.Rounds += 1 + i
+		r.Faults.Duplicates += 3
+		r.Faults.Truncations += 17
+		r.Faults.QIDMismatches += 5
+		r.Faults.QuestionMismatches += 7
+		r.Faults.Malformed += 11
+	}
+	if got := DigestHex(results); got != want {
+		t.Errorf("digest changed after mutating Rounds/Faults: %s != %s", got, want)
+	}
+}
+
+// TestSecondRoundFaultMergeExact checks the merge arithmetic end to end
+// with a window sized so the expected count is exact: a Transient
+// (Truncate, 2) schedule against single.gov.br's only nameserver burns
+// exactly the first round's two attempts (client budget: 1 retry = 2
+// attempts) and goes quiet, so round one traces exactly 2 truncations
+// and round two traces 0. The merged result must say 2 — a 4 would mean
+// the retry re-counted round-one faults (double-counting), a 0 that the
+// merge dropped the history.
+func TestSecondRoundFaultMergeExact(t *testing.T) {
+	w := miniworld.Build()
+	tr := w.ChaosProfile(3, map[dnsname.Name][]chaos.Rule{
+		"ns1.single.gov.br.": {chaos.Transient(chaos.Truncate, 2)},
+	})
+	results := scanWith(t, tr, w.Roots, miniworld.Domains(), 1, 1, true)
+
+	if n := tr.Stats().Injected[chaos.Truncate]; n != 2 {
+		t.Fatalf("injected truncations = %d, want exactly 2 (window arithmetic drifted; fix the schedule before trusting the merge check)", n)
+	}
+	var got *DomainResult
+	for _, r := range results {
+		if r.Domain == "single.gov.br." {
+			got = r
+		}
+	}
+	if got == nil {
+		t.Fatal("single.gov.br. missing from results")
+	}
+	if got.Rounds != 2 || !got.Responsive() {
+		t.Fatalf("single.gov.br.: rounds=%d responsive=%v, want recovery in round 2", got.Rounds, got.Responsive())
+	}
+	if got.Faults.Truncations != 2 {
+		t.Errorf("merged Truncations = %d, want exactly 2 (4 = double-counted, 0 = history lost)", got.Faults.Truncations)
+	}
+	if total := got.Faults.Total(); total != 2 {
+		t.Errorf("merged Faults.Total() = %d, want 2, faults %+v", total, got.Faults)
+	}
+}

@@ -232,7 +232,40 @@ func TestScanInvarianceTransientChaosRecovery(t *testing.T) {
 					t.Errorf("%s under transient %s: no faults recorded", r.Domain, tc.class)
 				}
 			}
+			// Fault-accounting self-consistency: the per-domain counters
+			// merged across rounds can never exceed what the transport
+			// actually injected — a second round that re-counted round
+			// one's faults would push the sum past the injected total.
+			if field := faultField(tc.class); field != nil {
+				var sum uint64
+				for _, r := range results {
+					sum += field(r.Faults)
+				}
+				if injected := tr.Stats().Injected[tc.class]; sum > injected {
+					t.Errorf("merged %s faults across domains = %d > %d injected; rounds double-counted",
+						tc.class, sum, injected)
+				}
+			}
 		})
+	}
+}
+
+// faultField maps a chaos class to the FaultCounts field its injections
+// land in when the client rejects the damaged response. Classes the
+// client experiences as silence (Drop, Delay, Flap) or accepts as a
+// well-formed answer (FlipRCode) have no trace field and return nil.
+func faultField(c chaos.Class) func(FaultCounts) uint64 {
+	switch c {
+	case chaos.Duplicate:
+		return func(f FaultCounts) uint64 { return f.Duplicates }
+	case chaos.Truncate:
+		return func(f FaultCounts) uint64 { return f.Truncations }
+	case chaos.CorruptQID:
+		return func(f FaultCounts) uint64 { return f.QIDMismatches }
+	case chaos.MismatchQuestion:
+		return func(f FaultCounts) uint64 { return f.QuestionMismatches }
+	default:
+		return nil
 	}
 }
 

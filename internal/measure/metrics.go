@@ -1,0 +1,203 @@
+package measure
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"govdns/internal/obs"
+)
+
+// ScanMetrics holds the scanner's instrument handles on an obs.Registry:
+// per-stage latency histograms for the paper's Fig. 1 pipeline
+// (parent-zone poll → NS fetch → child probe → second round) and the
+// progress counters the reporter and HTTP endpoint read. A nil
+// *ScanMetrics is a valid no-op recorder, so the scanner's hot path
+// never branches on "is observability on" beyond one nil check inside
+// each record method.
+type ScanMetrics struct {
+	reg *obs.Registry
+
+	// Stage histograms. parentWalk is the delegation walk (Fig. 1 steps
+	// 1-2); nsFetch is per-host nameserver address resolution (step 3,
+	// including child-only hosts); childProbe is one host's sequence of
+	// per-address NS queries (step 4); secondRound is a full retry pass
+	// (§ III-B); domain is the whole-domain wall clock including any
+	// second round.
+	parentWalk, nsFetch, childProbe *obs.Histogram
+	secondRound, domain             *obs.Histogram
+
+	domainsTotal *obs.Gauge
+	domainsDone  *obs.Counter
+	walkFailures *obs.Counter
+	errDomains   *obs.Counter
+	transients   *obs.Counter
+	secondRounds *obs.Counter
+	probeQueries *obs.Counter
+
+	// sent is the resolver's own query counter on the same registry,
+	// read (never written) by the progress reporter for its QPS line.
+	sent *obs.Counter
+}
+
+// NewScanMetrics builds the scanner's instruments on r. Instruments are
+// get-or-create, so sharing r with the resolver's Metrics gives one
+// coherent registry for the whole pipeline.
+func NewScanMetrics(r *obs.Registry) *ScanMetrics {
+	return &ScanMetrics{
+		reg:          r,
+		parentWalk:   r.Histogram("scan_stage_parent_walk"),
+		nsFetch:      r.Histogram("scan_stage_ns_fetch"),
+		childProbe:   r.Histogram("scan_stage_child_probe"),
+		secondRound:  r.Histogram("scan_stage_second_round"),
+		domain:       r.Histogram("scan_domain_duration"),
+		domainsTotal: r.Gauge("scan_domains_total"),
+		domainsDone:  r.Counter("scan_domains_done_total"),
+		walkFailures: r.Counter("scan_walk_failures_total"),
+		errDomains:   r.Counter("scan_error_domains_total"),
+		transients:   r.Counter("scan_transient_domains_total"),
+		secondRounds: r.Counter("scan_second_rounds_total"),
+		probeQueries: r.Counter("scan_probe_queries_total"),
+		sent:         r.Counter("resolver_sent_total"),
+	}
+}
+
+// Registry returns the registry the instruments live on.
+func (m *ScanMetrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// The record methods below are the scanner's only interface to the
+// metrics; every one tolerates a nil receiver so an uninstrumented
+// scanner pays a single predictable branch.
+
+func (m *ScanMetrics) recordParentWalk(start time.Time, failed bool) {
+	if m == nil {
+		return
+	}
+	m.parentWalk.ObserveSince(start)
+	if failed {
+		m.walkFailures.Inc()
+	}
+}
+
+func (m *ScanMetrics) recordNSFetch(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.nsFetch.ObserveSince(start)
+}
+
+func (m *ScanMetrics) recordChildProbe(start time.Time, queries int) {
+	if m == nil {
+		return
+	}
+	m.childProbe.ObserveSince(start)
+	m.probeQueries.Add(uint64(queries))
+}
+
+func (m *ScanMetrics) recordSecondRound(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.secondRound.ObserveSince(start)
+	m.secondRounds.Inc()
+}
+
+func (m *ScanMetrics) recordDomain(start time.Time, r *DomainResult) {
+	if m == nil {
+		return
+	}
+	m.domain.ObserveSince(start)
+	m.domainsDone.Inc()
+	if r.Err != "" {
+		m.errDomains.Inc()
+	}
+	if r.ErrTransient {
+		m.transients.Inc()
+	}
+}
+
+func (m *ScanMetrics) setTotal(n int) {
+	if m == nil {
+		return
+	}
+	m.domainsTotal.Set(int64(n))
+}
+
+// ProgressReporter periodically prints one-line scan progress — domains
+// done/total, domain and query rates, error and transient rates, and an
+// ETA extrapolated from the done-rate — from a ScanMetrics. Run it in
+// its own goroutine; it stops when the context ends.
+type ProgressReporter struct {
+	Metrics *ScanMetrics
+	// Interval between reports. Zero or negative defaults to 10s.
+	Interval time.Duration
+	// W receives the report lines (defaults to io.Discard if nil, which
+	// makes a misconfigured reporter harmless).
+	W io.Writer
+}
+
+// Run reports until ctx is cancelled, then emits one final line.
+func (p *ProgressReporter) Run(ctx context.Context) {
+	if p.Metrics == nil || p.W == nil {
+		return
+	}
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	start := time.Now()
+	var lastDone, lastSent uint64
+	lastAt := start
+	for {
+		select {
+		case <-ctx.Done():
+			p.report(start, time.Now(), &lastDone, &lastSent, &lastAt)
+			return
+		case now := <-t.C:
+			p.report(start, now, &lastDone, &lastSent, &lastAt)
+		}
+	}
+}
+
+func (p *ProgressReporter) report(start, now time.Time, lastDone, lastSent *uint64, lastAt *time.Time) {
+	m := p.Metrics
+	done := m.domainsDone.Load()
+	total := m.domainsTotal.Load()
+	sent := m.sent.Load()
+	errs := m.errDomains.Load()
+	trans := m.transients.Load()
+
+	window := now.Sub(*lastAt).Seconds()
+	if window <= 0 {
+		window = 1
+	}
+	qps := float64(sent-*lastSent) / window
+	domRate := float64(done-*lastDone) / window
+	*lastDone, *lastSent, *lastAt = done, sent, now
+
+	eta := "?"
+	if total > 0 && done > 0 && uint64(total) > done {
+		// Extrapolate from the whole-scan rate, which is steadier than
+		// the last window when concurrency ramps up or drains.
+		overallRate := float64(done) / now.Sub(start).Seconds()
+		if overallRate > 0 {
+			eta = time.Duration(float64(uint64(total)-done) / overallRate * float64(time.Second)).Round(time.Second).String()
+		}
+	}
+	pct := func(n uint64) float64 {
+		if done == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(done)
+	}
+	fmt.Fprintf(p.W, "scan: %d/%d domains (%.1f/s, %.0f qps) errors %.1f%% transient %.1f%% eta %s\n",
+		done, total, domRate, qps, pct(errs), pct(trans), eta)
+}

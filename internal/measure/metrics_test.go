@@ -1,0 +1,204 @@
+package measure
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/miniworld"
+	"govdns/internal/obs"
+	"govdns/internal/resolver"
+)
+
+// These tests pin the observability layer's two load-bearing promises:
+// metrics are *free* (a metrics-on scan digests bit-identical to a
+// metrics-off one) and metrics are *honest* (stage histograms account
+// for the scan's wall clock, and the HTTP snapshot reconciles with the
+// resolver's own Stats).
+
+// scanInstrumented is scanWith with a live metrics registry wired
+// through the whole pipeline: resolver counters and RTT histogram on
+// the client, stage histograms and progress counters on the scanner.
+// SetMetrics runs before NewIterator because the iterator binds its
+// counter handles at construction.
+func scanInstrumented(t *testing.T, tr resolver.Transport, roots []netip.Addr, domains []dnsname.Name, workers, fanout int) ([]*DomainResult, *resolver.Client, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	client := resolver.NewClient(tr)
+	client.Timeout = 10 * time.Millisecond
+	client.Retries = 1
+	client.SetMetrics(resolver.NewMetrics(reg))
+	it := resolver.NewIterator(client, roots)
+	it.AdaptiveOrder = true
+	s := NewScanner(it)
+	s.Concurrency = workers
+	s.PerDomainParallelism = fanout
+	s.Metrics = NewScanMetrics(reg)
+	return s.Scan(context.Background(), domains), client, reg
+}
+
+// slowTransport adds a fixed per-exchange delay, honouring the context
+// so timed-out attempts still abort on schedule. The stage-accounting
+// test uses it to make wire waits dominate scan time, which turns
+// "stage sums ≈ wall clock" into a robust assertion instead of a race
+// against scheduler noise.
+type slowTransport struct {
+	inner resolver.Transport
+	d     time.Duration
+}
+
+func (s slowTransport) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	timer := time.NewTimer(s.d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+	}
+	return s.inner.Exchange(ctx, server, query)
+}
+
+// TestScanMetricsDigestBitIdentical: instrumenting a scan must not
+// change what it measures. Same world, same schedule shape, fresh
+// caches both times — the digests must match bit for bit.
+func TestScanMetricsDigestBitIdentical(t *testing.T) {
+	w := miniworld.Build()
+	domains := miniworld.Domains()
+
+	off := scanWith(t, w.Net, w.Roots, domains, 4, 2, true)
+	on, _, _ := scanInstrumented(t, w.Net, w.Roots, domains, 4, 2)
+
+	if a, b := DigestHex(off), DigestHex(on); a != b {
+		t.Errorf("metrics-on digest %s != metrics-off digest %s", b, a)
+	}
+}
+
+// TestScanMetricsStageAccounting runs a fully serial scan over a
+// delay-dominated transport and checks the stage histograms against
+// ground truth: counts match the scan's structure, and — because every
+// recorded stage interval nests inside its domain's interval, and
+// serial domains partition the scan's wall clock — the sums obey
+// stages ≤ domains ≤ wall clock, with the delay making the inequalities
+// tight.
+func TestScanMetricsStageAccounting(t *testing.T) {
+	w := miniworld.Build()
+	domains := miniworld.Domains()
+	tr := slowTransport{inner: w.Net, d: 2 * time.Millisecond}
+
+	start := time.Now()
+	results, _, reg := scanInstrumented(t, tr, w.Roots, domains, 1, 1)
+	wall := time.Since(start)
+
+	parentWalk := reg.Histogram("scan_stage_parent_walk")
+	nsFetch := reg.Histogram("scan_stage_ns_fetch")
+	childProbe := reg.Histogram("scan_stage_child_probe")
+	secondRound := reg.Histogram("scan_stage_second_round")
+	domainHist := reg.Histogram("scan_domain_duration")
+
+	var secondRounds uint64
+	for _, r := range results {
+		if r.Rounds == 2 {
+			secondRounds++
+		}
+	}
+	if secondRounds == 0 {
+		t.Fatal("no domain took a second round; the fixture should include at least one fully defective domain")
+	}
+	if got := secondRound.Count(); got != secondRounds {
+		t.Errorf("second-round histogram count = %d, want %d (results with Rounds==2)", got, secondRounds)
+	}
+	if got := reg.Counter("scan_second_rounds_total").Load(); got != secondRounds {
+		t.Errorf("scan_second_rounds_total = %d, want %d", got, secondRounds)
+	}
+	// Each round's scanOnce records exactly one parent walk, so the walk
+	// histogram counts first rounds plus retries.
+	if got, want := parentWalk.Count(), uint64(len(domains))+secondRounds; got != want {
+		t.Errorf("parent-walk histogram count = %d, want %d (%d domains + %d second rounds)", got, want, len(domains), secondRounds)
+	}
+	if got := domainHist.Count(); got != uint64(len(domains)) {
+		t.Errorf("domain histogram count = %d, want %d", got, len(domains))
+	}
+	if got := reg.Counter("scan_domains_done_total").Load(); got != uint64(len(domains)) {
+		t.Errorf("scan_domains_done_total = %d, want %d", got, len(domains))
+	}
+	if got := reg.Gauge("scan_domains_total").Load(); got != int64(len(domains)) {
+		t.Errorf("scan_domains_total gauge = %d, want %d", got, len(domains))
+	}
+
+	// Sum accounting. The second-round histogram is excluded from the
+	// stage sum: its interval *contains* the retry's walk/fetch/probe
+	// intervals, which are already counted.
+	stages := parentWalk.Sum() + nsFetch.Sum() + childProbe.Sum()
+	domainsSum := domainHist.Sum()
+	if stages > domainsSum {
+		t.Errorf("stage sums (%v) exceed domain-duration sum (%v); stage intervals must nest inside their domain", stages, domainsSum)
+	}
+	if domainsSum > wall {
+		t.Errorf("domain-duration sum (%v) exceeds scan wall clock (%v); serial domains must partition the scan", domainsSum, wall)
+	}
+	// Tightness: with a 2ms floor under every exchange, time outside the
+	// recorded stages is bookkeeping noise.
+	if float64(stages) < 0.8*float64(domainsSum) {
+		t.Errorf("stage sums (%v) cover only %.0f%% of domain time (%v); want ≥ 80%% under a delay-dominated transport",
+			stages, 100*float64(stages)/float64(domainsSum), domainsSum)
+	}
+	if float64(domainsSum) < 0.8*float64(wall) {
+		t.Errorf("domain time (%v) covers only %.0f%% of wall clock (%v); want ≥ 80%% for a serial scan",
+			domainsSum, 100*float64(domainsSum)/float64(wall), wall)
+	}
+}
+
+// TestMetricsHandlerReconcilesWithStats serves a post-scan registry
+// over the same HTTP handler govscan's -metrics flag mounts, and checks
+// the snapshot a client would download against resolver.Stats. The two
+// views read the same atomics, so any drift means the migration left a
+// counter behind.
+func TestMetricsHandlerReconcilesWithStats(t *testing.T) {
+	w := miniworld.Build()
+	_, client, reg := scanInstrumented(t, w.Net, w.Roots, miniworld.Domains(), 4, 2)
+
+	srv := httptest.NewServer(obs.Handler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /metrics snapshot: %v", err)
+	}
+
+	stats := client.Stats()
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"resolver_sent_total", stats.Sent},
+		{"resolver_received_total", stats.Received},
+		{"resolver_timeouts_total", stats.Timeouts},
+		{"resolver_mismatches_total", stats.Mismatches},
+		{"resolver_truncations_total", stats.Truncations},
+	}
+	for _, c := range checks {
+		got, ok := snap.Counters[c.name]
+		if !ok {
+			t.Errorf("snapshot missing counter %q", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("snapshot %s = %d, want %d (resolver.Stats)", c.name, got, c.want)
+		}
+	}
+	if snap.Counters["resolver_sent_total"] == 0 {
+		t.Error("resolver_sent_total = 0 after a full scan; registry not wired through the client")
+	}
+}

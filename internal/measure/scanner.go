@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"time"
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
@@ -33,6 +34,11 @@ type Scanner struct {
 	// a transient cause — the domain is probed again to rule out
 	// transient failures (§ III-B).
 	SecondRound bool
+	// Metrics, when non-nil, records per-stage latency histograms and
+	// progress counters. It never influences scan behaviour: a
+	// metrics-on scan produces bit-identical results (and digests) to a
+	// metrics-off one.
+	Metrics *ScanMetrics
 }
 
 // DefaultConcurrency is the scanner's default worker count. Scans are
@@ -91,16 +97,20 @@ func NewScanner(it *resolver.Iterator) *Scanner {
 // ScanDomain measures a single domain (one Fig. 1 pipeline run,
 // including the second round when enabled).
 func (s *Scanner) ScanDomain(ctx context.Context, domain dnsname.Name) *DomainResult {
+	domainStart := time.Now()
 	r := s.scanOnce(ctx, domain)
 	if s.SecondRound && (r.FullyDefective() || r.ErrTransient) {
+		retryStart := time.Now()
 		retry := s.scanOnce(ctx, domain)
+		s.Metrics.recordSecondRound(retryStart)
 		retry.Rounds = 2
 		// The retry replaces the result but keeps the full fault
 		// history: what the wire did in round one is part of the
 		// domain's measurement record even when round two recovers.
 		retry.Faults.merge(r.Faults)
-		return retry
+		r = retry
 	}
+	s.Metrics.recordDomain(domainStart, r)
 	return r
 }
 
@@ -111,7 +121,10 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 		Rounds: 1,
 	}
 
+	walkStart := time.Now()
 	deleg, err := s.Iterator.Delegation(ctx, domain)
+	s.Metrics.recordParentWalk(walkStart, err != nil &&
+		!errors.Is(err, resolver.ErrNXDomain) && !errors.Is(err, resolver.ErrNoAnswer))
 	switch {
 	case err == nil:
 		r.ParentResponded = true
@@ -153,12 +166,15 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 	faults := make([]FaultCounts, len(r.ParentNS))
 	fanEach(len(r.ParentNS), s.fanout(), func(i int) {
 		host := r.ParentNS[i]
+		fetchStart := time.Now()
 		if addrs, ok := glue[host]; ok {
 			sort.Slice(addrs, func(a, b int) bool { return addrs[a].Less(addrs[b]) })
 			resolved[i] = addrs
 		} else if addrs, err := s.Iterator.ResolveHost(ctx, host); err == nil {
 			resolved[i] = addrs
 		}
+		s.Metrics.recordNSFetch(fetchStart)
+		probeStart := time.Now()
 		perHost[i] = make([]ServerResponse, len(resolved[i]))
 		for j, addr := range resolved[i] {
 			sr := ServerResponse{Host: host, Addr: addr}
@@ -180,6 +196,7 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 			}
 			perHost[i][j] = sr
 		}
+		s.Metrics.recordChildProbe(probeStart, len(resolved[i]))
 	})
 	for i, host := range r.ParentNS {
 		r.Addrs[host] = resolved[i]
@@ -213,9 +230,11 @@ func (s *Scanner) queryChildOnlyHosts(ctx context.Context, r *DomainResult) {
 	}
 	resolved := make([][]netip.Addr, len(hosts))
 	fanEach(len(hosts), s.fanout(), func(i int) {
+		fetchStart := time.Now()
 		if addrs, err := s.Iterator.ResolveHost(ctx, hosts[i]); err == nil {
 			resolved[i] = addrs
 		}
+		s.Metrics.recordNSFetch(fetchStart)
 	})
 	for i, host := range hosts {
 		r.Addrs[host] = resolved[i]
@@ -225,6 +244,7 @@ func (s *Scanner) queryChildOnlyHosts(ctx context.Context, r *DomainResult) {
 // Scan measures every domain in the list concurrently and returns the
 // results in input order.
 func (s *Scanner) Scan(ctx context.Context, domains []dnsname.Name) []*DomainResult {
+	s.Metrics.setTotal(len(domains))
 	workers := s.Concurrency
 	if workers <= 0 {
 		workers = DefaultConcurrency

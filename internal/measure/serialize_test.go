@@ -100,7 +100,7 @@ func TestJSONLFieldRoundTrip(t *testing.T) {
 	for i, want := range results {
 		got := loaded[i]
 		fields := []struct {
-			name     string
+			name      string
 			got, want any
 		}{
 			{"Domain", got.Domain, want.Domain},

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of histogram slots. Bucket 0 holds sub-
+// microsecond observations; bucket i (i >= 1) holds durations in
+// [2^(i-1), 2^i) microseconds. 38 slots reach 2^37 µs ≈ 38 hours, far
+// past any single query, stage, or scan round this pipeline times; the
+// last bucket absorbs overflow.
+const histBuckets = 38
+
+// Histogram is a fixed log2-spaced latency histogram. Observe costs two
+// atomic adds, a CAS-bounded max update, and a bits.Len64 — no floats,
+// no locks, no allocations — so it can sit on the resolver's per-attempt
+// path without showing up in a profile. The zero value is ready to use;
+// a nil *Histogram discards observations.
+//
+// Bucket bounds double, so any quantile estimate is exact to within a
+// factor of two of the true order statistic and interpolation inside the
+// bucket does much better in practice; that resolution is plenty for the
+// p50/p90/p99 questions the scan dashboards ask ("is this server 1ms or
+// 30ms or timing out"), and what it buys is a histogram that is a single
+// fixed-size array shared by every producer.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds
+	max    atomic.Uint64 // nanoseconds
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(us))
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketBounds returns the value range [lo, hi) of bucket idx.
+func bucketBounds(idx int) (lo, hi time.Duration) {
+	if idx == 0 {
+		return 0, time.Microsecond
+	}
+	return time.Duration(1<<(idx-1)) * time.Microsecond,
+		time.Duration(uint64(1)<<idx) * time.Microsecond
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+	for {
+		cur := h.max.Load()
+		if uint64(d) <= cur || h.max.CompareAndSwap(cur, uint64(d)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Max returns the largest observation (0 for nil).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by locating the
+// bucket holding the target rank and interpolating linearly inside it.
+// The estimate is bounded by the bucket's true value range. Returns 0
+// when no observations have been recorded.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		// Position of the target rank inside this bucket, treating its
+		// n observations as evenly spread over [lo, hi).
+		pos := (float64(rank-cum) - 0.5) / float64(n)
+		est := time.Duration(float64(lo) + pos*float64(hi-lo))
+		// The true order statistic cannot exceed the recorded maximum.
+		if m := h.Max(); est > m && m > 0 {
+			est = m
+		}
+		return est
+	}
+	return h.Max()
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot: Le is
+// the exclusive upper bound of the bucket's value range, N the number
+// of observations that fell inside it.
+type BucketCount struct {
+	Le time.Duration `json:"le_ns"`
+	N  uint64        `json:"n"`
+}
+
+// HistogramSnapshot is the serializable view of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	SumNS   int64         `json:"sum_ns"`
+	MaxNS   int64         `json:"max_ns"`
+	P50NS   int64         `json:"p50_ns"`
+	P90NS   int64         `json:"p90_ns"`
+	P99NS   int64         `json:"p99_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// SnapshotHistogram captures the histogram's current state. Loads are
+// per-bucket atomic, not a consistent cut across buckets.
+func (h *Histogram) SnapshotHistogram() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		SumNS: int64(h.Sum()),
+		MaxNS: int64(h.Max()),
+		P50NS: int64(h.Quantile(0.50)),
+		P90NS: int64(h.Quantile(0.90)),
+		P99NS: int64(h.Quantile(0.99)),
+	}
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			_, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, BucketCount{Le: hi, N: n})
+		}
+	}
+	return s
+}

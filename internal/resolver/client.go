@@ -15,6 +15,7 @@ import (
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
+	"govdns/internal/obs"
 )
 
 // Transport carries wire-format DNS messages to a server address. It is
@@ -75,18 +76,10 @@ type Client struct {
 	nextID atomic.Uint32
 
 	// Load accounting (§ III-D: the paper tracked and limited the load
-	// its measurements placed on operators).
-	sent       atomic.Uint64
-	received   atomic.Uint64
-	timeouts   atomic.Uint64
-	mismatches atomic.Uint64
-
-	// Fault-class breakdown of rejected responses.
-	duplicates         atomic.Uint64
-	truncations        atomic.Uint64
-	qidMismatches      atomic.Uint64
-	questionMismatches atomic.Uint64
-	malformed          atomic.Uint64
+	// its measurements placed on operators) lives on an obs registry —
+	// a private one unless SetMetrics attached a shared one first.
+	metricsOnce sync.Once
+	m           *Metrics
 
 	// accepted remembers the last few transaction IDs validated per
 	// server so a replayed old answer is classified as a duplicate
@@ -147,17 +140,33 @@ type Stats struct {
 
 // Stats returns the current counter snapshot.
 func (c *Client) Stats() Stats {
+	m := c.metrics()
 	return Stats{
-		Sent:               c.sent.Load(),
-		Received:           c.received.Load(),
-		Timeouts:           c.timeouts.Load(),
-		Mismatches:         c.mismatches.Load(),
-		Duplicates:         c.duplicates.Load(),
-		Truncations:        c.truncations.Load(),
-		QIDMismatches:      c.qidMismatches.Load(),
-		QuestionMismatches: c.questionMismatches.Load(),
-		Malformed:          c.malformed.Load(),
+		Sent:               m.sent.Load(),
+		Received:           m.received.Load(),
+		Timeouts:           m.timeouts.Load(),
+		Mismatches:         m.mismatches.Load(),
+		Duplicates:         m.duplicates.Load(),
+		Truncations:        m.truncations.Load(),
+		QIDMismatches:      m.qidMismatches.Load(),
+		QuestionMismatches: m.questionMismatches.Load(),
+		Malformed:          m.malformed.Load(),
 	}
+}
+
+// SetMetrics attaches externally built instruments (a shared registry)
+// to the client. It must be called before the client's first query or
+// Stats call; afterwards the lazily created private registry has
+// already won and the call is a no-op.
+func (c *Client) SetMetrics(m *Metrics) {
+	c.metricsOnce.Do(func() { c.m = m })
+}
+
+// metrics returns the client's instruments, creating them on a private
+// registry when none were attached.
+func (c *Client) metrics() *Metrics {
+	c.metricsOnce.Do(func() { c.m = NewMetrics(obs.NewRegistry()) })
+	return c.m
 }
 
 // NewClient returns a client over t with default timeout and retries.
@@ -271,13 +280,17 @@ func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Na
 		return nil, fmt.Errorf("resolver: encoding query: %w", err)
 	}
 
+	m := c.metrics()
 	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
 	for discards := 0; ; discards++ {
-		c.sent.Add(1)
+		m.sent.Inc()
+		sentAt := time.Now()
 		respWire, err := c.Transport.Exchange(attemptCtx, server, wire)
+		m.observeRTT(sentAt)
 		if err != nil {
-			c.timeouts.Add(1)
+			m.timeouts.Inc()
+			m.server(server).timeout.Inc()
 			if attemptCtx.Err() != nil && ctx.Err() == nil {
 				return nil, fmt.Errorf("%w: attempt deadline: %v", context.DeadlineExceeded, err)
 			}
@@ -285,11 +298,13 @@ func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Na
 		}
 		resp, reject := c.classify(query, server, respWire, tr)
 		if reject == nil {
-			c.received.Add(1)
+			m.received.Inc()
+			m.server(server).ok.Inc()
 			c.remember(server, id)
 			return resp, nil
 		}
-		c.mismatches.Add(1)
+		m.mismatches.Inc()
+		m.server(server).reject.Inc()
 		// Truncation is a validated answer from the right server about
 		// the right question; listening longer cannot improve on it.
 		// Everything else is a stray datagram worth waiting past.
@@ -304,14 +319,15 @@ func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Na
 // error. Counters (both aggregate and per-class, plus the trace) are
 // bumped for rejects.
 func (c *Client) classify(query *dnswire.Message, server netip.Addr, respWire []byte, tr *Trace) (*dnswire.Message, error) {
+	m := c.metrics()
 	resp, err := dnswire.Decode(respWire)
 	if err != nil {
-		c.malformed.Add(1)
+		m.malformed.Inc()
 		tr.Malformed++
 		return nil, fmt.Errorf("%w: decoding response: %v", ErrMismatch, err)
 	}
 	if !resp.Header.Response {
-		c.malformed.Add(1)
+		m.malformed.Inc()
 		tr.Malformed++
 		return nil, fmt.Errorf("%w: QR bit clear", ErrMismatch)
 	}
@@ -321,24 +337,24 @@ func (c *Client) classify(query *dnswire.Message, server netip.Addr, respWire []
 	// on scheduling.
 	if resp.Header.ID != query.Header.ID {
 		if c.recentlyAccepted(server, resp.Header.ID) {
-			c.duplicates.Add(1)
+			m.duplicates.Inc()
 			tr.Duplicates++
 			return nil, fmt.Errorf("%w: duplicate of an answered query", ErrMismatch)
 		}
-		c.qidMismatches.Add(1)
+		m.qidMismatches.Inc()
 		tr.QIDMismatches++
 		return nil, fmt.Errorf("%w: unknown transaction id", ErrMismatch)
 	}
 	if len(resp.Questions) > 0 {
 		got, want := resp.Questions[0], query.Questions[0]
 		if got.Name != want.Name || got.Type != want.Type || got.Class != want.Class {
-			c.questionMismatches.Add(1)
+			m.questionMismatches.Inc()
 			tr.QuestionMismatches++
 			return nil, fmt.Errorf("%w: question %v != %v", ErrMismatch, got, want)
 		}
 	}
 	if resp.Header.Truncated {
-		c.truncations.Add(1)
+		m.truncations.Inc()
 		tr.Truncations++
 		return nil, fmt.Errorf("%w: %s %s @%s", ErrTruncated,
 			query.Questions[0].Name, query.Questions[0].Type, server)

@@ -12,6 +12,7 @@ import (
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
 	"govdns/internal/miniworld"
+	"govdns/internal/obs"
 )
 
 // slowTransport delays every exchange, keeping resolutions in flight long
@@ -180,6 +181,7 @@ func TestConcurrentWalksShareZones(t *testing.T) {
 
 func TestFlightGroupBoundedWaitFallsBack(t *testing.T) {
 	var g flightGroup[int]
+	g.coalesced, g.bypassed = new(obs.Counter), new(obs.Counter)
 	block := make(chan struct{})
 	started := make(chan struct{})
 	leaderDone := make(chan struct{})
@@ -217,6 +219,7 @@ func TestFlightGroupBoundedWaitFallsBack(t *testing.T) {
 
 func TestFlightGroupAbandonedWait(t *testing.T) {
 	var g flightGroup[int]
+	g.coalesced, g.bypassed = new(obs.Counter), new(obs.Counter)
 	block := make(chan struct{})
 	started := make(chan struct{})
 	leaderDone := make(chan struct{})

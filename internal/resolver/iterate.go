@@ -5,9 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"slices"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"govdns/internal/dnsname"
@@ -53,6 +53,15 @@ const DefaultBuildFanout = 4
 
 // ZoneServers describes the authoritative server set of one zone as
 // discovered during iteration.
+//
+// A ZoneServers returned by the Iterator (directly or inside a
+// Delegation) is shared with the zone cache and with every other caller
+// that hits the same zone: treat Hosts and Addrs — keys, values, and
+// the slices behind them — as immutable. Derive mutated views through
+// AllAddrs (which builds a fresh slice) or your own copy. The resolver
+// itself never mutates a ZoneServers after publishing it, and
+// TestZoneServersCachedAliasing enforces that a misbehaving caller is
+// the only way to corrupt the cache.
 type ZoneServers struct {
 	// Zone is the apex of the zone.
 	Zone dnsname.Name
@@ -156,9 +165,10 @@ type Iterator struct {
 	hostFlight flightGroup[[]netip.Addr]
 	zoneFlight flightGroup[*ZoneServers]
 
-	hostHits, hostMisses atomic.Uint64
-	zoneHits, zoneMisses atomic.Uint64
-	negHits              atomic.Uint64
+	// m holds the cache and coalescing instruments, shared with the
+	// client's registry (bound at NewIterator, which is why a shared
+	// registry must be attached to the client first).
+	m *Metrics
 }
 
 // NewIterator creates an iterator over client starting from the given
@@ -170,7 +180,10 @@ func NewIterator(client *Client, roots []netip.Addr) *Iterator {
 		AdaptiveOrder: true,
 		Coalesce:      true,
 		BuildFanout:   DefaultBuildFanout,
+		m:             client.metrics(),
 	}
+	it.hostFlight.coalesced, it.hostFlight.bypassed = it.m.coalesced, it.m.bypassed
+	it.zoneFlight.coalesced, it.zoneFlight.bypassed = it.m.coalesced, it.m.bypassed
 	rootZS := &ZoneServers{Zone: dnsname.Root, Addrs: map[dnsname.Name][]netip.Addr{}}
 	for i, addr := range it.roots {
 		host := dnsname.MustParse(fmt.Sprintf("%c.root-servers.net", 'a'+i))
@@ -189,13 +202,14 @@ func (it *Iterator) Client() *Client { return it.client }
 // are sampled atomically (individually, not as a consistent cut).
 func (it *Iterator) Stats() Stats {
 	s := it.client.Stats()
-	s.HostCacheHits = it.hostHits.Load()
-	s.HostCacheMisses = it.hostMisses.Load()
-	s.ZoneCacheHits = it.zoneHits.Load()
-	s.ZoneCacheMisses = it.zoneMisses.Load()
-	s.NegativeHits = it.negHits.Load()
-	s.CoalescedWaits = it.hostFlight.coalesced.Load() + it.zoneFlight.coalesced.Load()
-	s.FlightBypasses = it.hostFlight.bypassed.Load() + it.zoneFlight.bypassed.Load()
+	s.HostCacheHits = it.m.hostHits.Load()
+	s.HostCacheMisses = it.m.hostMisses.Load()
+	s.ZoneCacheHits = it.m.zoneHits.Load()
+	s.ZoneCacheMisses = it.m.zoneMisses.Load()
+	s.NegativeHits = it.m.negHits.Load()
+	// The host and zone flight groups share one pair of handles.
+	s.CoalescedWaits = it.m.coalesced.Load()
+	s.FlightBypasses = it.m.bypassed.Load()
 	return s
 }
 
@@ -307,10 +321,10 @@ func (it *Iterator) delegation(ctx context.Context, name dnsname.Name, depth int
 func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
 	if e, ok := it.zones.get(zoneName); ok {
 		if e.err != nil {
-			it.negHits.Add(1)
+			it.m.negHits.Inc()
 			return nil, e.err
 		}
-		it.zoneHits.Add(1)
+		it.m.zoneHits.Inc()
 		return e.zs, nil
 	}
 	if !it.Coalesce || isInFlight(ctx, 'z', zoneName) {
@@ -325,9 +339,9 @@ func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRe
 			// A previous leader finished between our cache check and
 			// flight entry.
 			if e.err != nil {
-				it.negHits.Add(1)
+				it.m.negHits.Inc()
 			} else {
-				it.zoneHits.Add(1)
+				it.m.zoneHits.Inc()
 			}
 			return e.zs, e.err
 		}
@@ -345,7 +359,7 @@ func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRe
 // round exists precisely to re-probe those (§ III-B), so caching them
 // would turn the retry into a replay of the first failure.
 func (it *Iterator) buildZone(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
-	it.zoneMisses.Add(1)
+	it.m.zoneMisses.Inc()
 	zs, err := it.zoneFromReferral(ctx, zoneName, nsRecords, glue, depth)
 	if err != nil {
 		if ctx.Err() == nil && !errors.Is(err, ErrDepth) && !IsTransientErr(err) {
@@ -451,12 +465,25 @@ func (it *Iterator) zoneFromReferral(ctx context.Context, zoneName dnsname.Name,
 }
 
 // ResolveHost returns IPv4 addresses for host via full iterative
-// resolution, using the cache.
+// resolution, using the cache. The caller owns the returned slice.
 func (it *Iterator) ResolveHost(ctx context.Context, host dnsname.Name) ([]netip.Addr, error) {
 	return it.resolveHost(ctx, host, 0)
 }
 
+// resolveHost is the single boundary through which host addresses leave
+// the resolution machinery, and it returns a fresh slice every time.
+// Behind it the same backing array is shared three ways — the host
+// cache entry, the slice handed to every coalesced flight waiter, and
+// the copy the leader returns to itself — so returning it directly
+// would let one caller's in-place sort or truncation corrupt what every
+// later cache hit sees. One small clone per call (host resolution is
+// already amortised by the cache) buys an unaliased result.
 func (it *Iterator) resolveHost(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
+	addrs, err := it.resolveHostShared(ctx, host, depth)
+	return slices.Clone(addrs), err
+}
+
+func (it *Iterator) resolveHostShared(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
 	if e, ok := it.hosts.get(host); ok {
 		return it.cachedHost(host, e)
 	}
@@ -479,16 +506,16 @@ func (it *Iterator) resolveHost(ctx context.Context, host dnsname.Name, depth in
 // still classify its cause — e.g. a timeout — through errors.Is).
 func (it *Iterator) cachedHost(host dnsname.Name, e hostEntry) ([]netip.Addr, error) {
 	if e.err != nil {
-		it.negHits.Add(1)
+		it.m.negHits.Inc()
 		return nil, fmt.Errorf("%w: cached failure for %s: %w", ErrNoServers, host, e.err)
 	}
-	it.hostHits.Add(1)
+	it.m.hostHits.Inc()
 	return e.addrs, nil
 }
 
 // lookupAndCache runs one full host resolution and records the outcome.
 func (it *Iterator) lookupAndCache(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
-	it.hostMisses.Add(1)
+	it.m.hostMisses.Inc()
 	addrs, err := it.lookup(ctx, host, depth)
 	switch {
 	case err == nil:

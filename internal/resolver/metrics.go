@@ -1,0 +1,113 @@
+package resolver
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"govdns/internal/obs"
+)
+
+// Metrics holds the resolver's instrument handles on an obs.Registry.
+// It is the single counter system behind both the programmatic Stats
+// snapshot and the registry's JSON/HTTP form: every counter the resolver
+// maintained as a private atomic now lives here, plus the distributions
+// only a registry can express — per-attempt RTT histograms and
+// per-server outcome counters (ZDNS-style per-query visibility, and the
+// per-server latency/outcome view Septiadi et al. build their resilience
+// analysis on).
+//
+// A Client without explicit metrics lazily creates a private registry,
+// so zero-configured clients keep working and Stats stays cheap; share
+// one registry across components (client, scanner, chaos) by building a
+// Metrics over it and attaching with Client.SetMetrics before first use.
+type Metrics struct {
+	reg *obs.Registry
+
+	// Query-load counters (the former Client atomics).
+	sent, received, timeouts, mismatches   *obs.Counter
+	duplicates, truncations, qidMismatches *obs.Counter
+	questionMismatches, malformed          *obs.Counter
+
+	// Iterator cache and coalescing counters (the former Iterator
+	// atomics; the flight counters are shared by the host and zone
+	// flight groups).
+	hostHits, hostMisses, zoneHits, zoneMisses *obs.Counter
+	negHits, coalesced, bypassed               *obs.Counter
+
+	// rtt is the per-attempt round-trip latency of every transport
+	// exchange, successful or not (a timeout observes the full wait).
+	rtt *obs.Histogram
+
+	// outcomes is the per-server outcome family, flattened into the
+	// registry as resolver_server_outcome_total{addr/outcome}. The
+	// per-address handle cache keeps addr.String() off the hot path.
+	outcomes  *obs.CounterVec
+	serversMu sync.RWMutex
+	servers   map[netip.Addr]*serverCounters
+}
+
+// serverCounters are one server address's outcome handles.
+type serverCounters struct {
+	ok, timeout, reject *obs.Counter
+}
+
+// NewMetrics builds the resolver's instruments on r. Instruments are
+// get-or-create, so two Metrics over the same registry share counters.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		reg:                r,
+		sent:               r.Counter("resolver_sent_total"),
+		received:           r.Counter("resolver_received_total"),
+		timeouts:           r.Counter("resolver_timeouts_total"),
+		mismatches:         r.Counter("resolver_mismatches_total"),
+		duplicates:         r.Counter("resolver_duplicates_total"),
+		truncations:        r.Counter("resolver_truncations_total"),
+		qidMismatches:      r.Counter("resolver_qid_mismatches_total"),
+		questionMismatches: r.Counter("resolver_question_mismatches_total"),
+		malformed:          r.Counter("resolver_malformed_total"),
+		hostHits:           r.Counter("resolver_host_cache_hits_total"),
+		hostMisses:         r.Counter("resolver_host_cache_misses_total"),
+		zoneHits:           r.Counter("resolver_zone_cache_hits_total"),
+		zoneMisses:         r.Counter("resolver_zone_cache_misses_total"),
+		negHits:            r.Counter("resolver_negative_hits_total"),
+		coalesced:          r.Counter("resolver_coalesced_waits_total"),
+		bypassed:           r.Counter("resolver_flight_bypasses_total"),
+		rtt:                r.Histogram("resolver_attempt_rtt"),
+		outcomes:           r.CounterVec("resolver_server_outcome_total"),
+		servers:            make(map[netip.Addr]*serverCounters),
+	}
+}
+
+// Registry returns the registry the instruments live on (for snapshots
+// and the HTTP endpoint).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// server returns the outcome handles for addr, creating and caching
+// them on first sight of the address.
+func (m *Metrics) server(addr netip.Addr) *serverCounters {
+	m.serversMu.RLock()
+	sc := m.servers[addr]
+	m.serversMu.RUnlock()
+	if sc != nil {
+		return sc
+	}
+	m.serversMu.Lock()
+	defer m.serversMu.Unlock()
+	if sc := m.servers[addr]; sc != nil {
+		return sc
+	}
+	a := addr.String()
+	sc = &serverCounters{
+		ok:      m.outcomes.With(a + "/ok"),
+		timeout: m.outcomes.With(a + "/timeout"),
+		reject:  m.outcomes.With(a + "/reject"),
+	}
+	m.servers[addr] = sc
+	return sc
+}
+
+// observeRTT records one transport exchange's round-trip time.
+func (m *Metrics) observeRTT(start time.Time) {
+	m.rtt.ObserveSince(start)
+}

@@ -71,6 +71,19 @@ func (r *rateLimited) wait(ctx context.Context) error {
 	defer timer.Stop()
 	select {
 	case <-ctx.Done():
+		// The reservation was never used: refund it, or the debt of
+		// every cancelled waiter would keep pacing queries that no
+		// longer exist and depress the steady-state rate below qps.
+		// Refilling happens on demand from elapsed time, so putting
+		// the token back is exact; the bucket was below 1 when we
+		// reserved, so the refund cannot overflow burst by itself,
+		// but clamp anyway in case the timer raced a long idle gap.
+		r.mu.Lock()
+		r.tokens++
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
+		r.mu.Unlock()
 		return ctx.Err()
 	case <-timer.C:
 		return nil

@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"govdns/internal/dnsname"
+	"govdns/internal/obs"
 )
 
 // flightGroup coalesces concurrent work for the same name: the first
@@ -25,11 +25,13 @@ import (
 type flightGroup[V any] struct {
 	mu       sync.Mutex
 	inflight map[dnsname.Name]*flightCall[V]
-	// coalesced counts calls that received another caller's result.
-	coalesced atomic.Uint64
+	// coalesced counts calls that received another caller's result;
 	// bypassed counts waits abandoned at the wait bound, where the
-	// caller fell back to doing the work itself.
-	bypassed atomic.Uint64
+	// caller fell back to doing the work itself. Both are registry
+	// handles bound by NewIterator (the host and zone groups share one
+	// pair); nil handles no-op, so a zero-value group still works.
+	coalesced *obs.Counter
+	bypassed  *obs.Counter
 }
 
 type flightCall[V any] struct {
@@ -66,13 +68,13 @@ func (g *flightGroup[V]) do(ctx context.Context, key dnsname.Name, wait time.Dur
 		}
 		select {
 		case <-c.done:
-			g.coalesced.Add(1)
+			g.coalesced.Inc()
 			return c.val, c.err
 		case <-ctx.Done():
 			var zero V
 			return zero, fmt.Errorf("resolver: wait for in-flight resolution of %s abandoned: %w", key, ctx.Err())
 		case <-bound:
-			g.bypassed.Add(1)
+			g.bypassed.Inc()
 			return fn()
 		}
 	}
