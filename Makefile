@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench chaos fuzz check
+.PHONY: build test race vet lint bench chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's custom vet pass: tracecheck verifies that every
+# trace span started in the resolver and measure packages is ended on
+# all paths out of the region that started it (see
+# internal/tools/tracecheck for the analysis and its limits).
+lint:
+	$(GO) run ./internal/tools/tracecheck ./internal/resolver ./internal/measure
 
 # bench runs the scan-pipeline benchmarks (including the
 # parallel-metrics sub-benchmark, which repeats the parallel
@@ -49,4 +56,4 @@ fuzz:
 # suites and the internal/obs concurrency tests (histogram and counter
 # hot paths are lock-free; the race detector is what keeps them honest)
 # — under the race detector.
-check: build vet test race
+check: build vet lint test race

@@ -22,6 +22,7 @@ import (
 	"govdns/internal/pdns"
 	"govdns/internal/resolver"
 	"govdns/internal/stats"
+	"govdns/internal/trace"
 )
 
 var (
@@ -398,7 +399,7 @@ func (l *benchLatencyTransport) Exchange(ctx context.Context, server netip.Addr,
 func BenchmarkScanPipeline(b *testing.B) {
 	s := study(b)
 	ctx := context.Background()
-	run := func(b *testing.B, workers, fanout int, seedBaseline, metrics bool) {
+	run := func(b *testing.B, workers, fanout int, seedBaseline, metrics, traced bool) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
 			client := resolver.NewClient(&benchLatencyTransport{s.Active.Net, 5 * time.Millisecond})
@@ -421,6 +422,9 @@ func BenchmarkScanPipeline(b *testing.B) {
 			if metrics {
 				sc.Metrics = measure.NewScanMetrics(reg)
 			}
+			if traced {
+				sc.Trace = trace.NewFlightRecorder(trace.Config{})
+			}
 			results := sc.Scan(ctx, s.Active.QueryList)
 			if len(results) != len(s.Active.QueryList) {
 				b.Fatalf("got %d results for %d domains", len(results), len(s.Active.QueryList))
@@ -437,17 +441,25 @@ func BenchmarkScanPipeline(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(s.Active.QueryList)), "domains/op")
 	}
-	b.Run("serial", func(b *testing.B) { run(b, 64, 1, true, false) })
-	b.Run("serial-c128", func(b *testing.B) { run(b, 128, 1, true, false) })
+	b.Run("serial", func(b *testing.B) { run(b, 64, 1, true, false, false) })
+	b.Run("serial-c128", func(b *testing.B) { run(b, 128, 1, true, false, false) })
 	b.Run("parallel", func(b *testing.B) {
-		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false, false)
+		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false, false, false)
 	})
 	// parallel-metrics is the observability overhead gate: the same
 	// configuration as parallel with the full instrument set attached
 	// (resolver RTT histogram, per-server outcomes, stage histograms).
 	// The acceptance bar is < 3% regression against parallel.
 	b.Run("parallel-metrics", func(b *testing.B) {
-		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false, true)
+		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false, true, false)
+	})
+	// parallel-traced is the tracing overhead gate: the same configuration
+	// as parallel with a default-bucket flight recorder attached, so every
+	// domain records a full span tree and offers it for retention. The
+	// acceptance bar is < 3% regression against parallel (tracing is also
+	// digest-passive; TestTraceDigestInvariance pins that part).
+	b.Run("parallel-traced", func(b *testing.B) {
+		run(b, measure.DefaultConcurrency, measure.DefaultPerDomainParallelism, false, false, true)
 	})
 }
 

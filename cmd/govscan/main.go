@@ -35,6 +35,7 @@ import (
 	"govdns/internal/obs"
 	"govdns/internal/resolver"
 	"govdns/internal/stats"
+	"govdns/internal/trace"
 	"govdns/internal/worldgen"
 )
 
@@ -73,6 +74,12 @@ func run() error {
 		"serve a metrics snapshot (JSON) and pprof on this address, e.g. :9090")
 	progressEvery := flag.Duration("progress", 0,
 		"print periodic scan progress (domains done/total, qps, error rates, ETA) at this interval; 0 disables")
+	tracePath := flag.String("trace", "",
+		"record per-domain resolution traces and write retained exemplars (slowest, Error/Transient, classification flips) as JSONL to this path; render with govtrace")
+	traceSlowest := flag.Int("trace-slowest", 0,
+		"with -trace: how many slowest-domain exemplars to retain (default 16)")
+	traceErrors := flag.Int("trace-errors", 0,
+		"with -trace: ring-buffer bound on Error/Transient exemplars (default 512)")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL scan and exit")
 	flag.Parse()
 
@@ -158,6 +165,12 @@ func run() error {
 	}
 	scanner.PerDomainParallelism = *fanout
 	scanner.Metrics = measure.NewScanMetrics(reg)
+	var flight *trace.FlightRecorder
+	if *tracePath != "" {
+		flight = trace.NewFlightRecorder(trace.Config{Slowest: *traceSlowest, Errors: *traceErrors})
+		flight.AttachRegistry(reg)
+		scanner.Trace = flight
+	}
 
 	if *metricsAddr != "" {
 		go func() {
@@ -198,6 +211,23 @@ func run() error {
 		if chaosTr != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %s\n", chaosTr.Stats())
 		}
+	}
+
+	if flight != nil {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		werr := flight.WriteJSONL(tf)
+		if cerr := tf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing traces: %w", werr)
+		}
+		slow, errsN, flipped, offered := flight.Counts()
+		fmt.Fprintf(os.Stderr, "traces: %d offered; retained %d slowest, %d error/transient, %d class-flips -> %s\n",
+			offered, slow, errsN, flipped, *tracePath)
 	}
 
 	dest := os.Stdout

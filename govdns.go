@@ -24,6 +24,7 @@ import (
 
 	"govdns/internal/core"
 	"govdns/internal/obs"
+	"govdns/internal/trace"
 )
 
 // Options configures a reproduction run. The zero value runs at 1/10 of
@@ -56,6 +57,12 @@ type Options struct {
 	// scan results; serve the registry with obs.Handler or snapshot it
 	// with Registry.Snapshot.
 	Metrics *obs.Registry
+	// Trace, when non-nil, records every domain's measurement as a
+	// span tree and retains exemplars (slowest domains, Error/Transient
+	// domains, classification flips). Like Metrics it never changes
+	// scan results; export retained traces with
+	// FlightRecorder.WriteJSONL and render them with cmd/govtrace.
+	Trace *FlightRecorder
 }
 
 // Study is the completed reproduction: see the methods on core.Study
@@ -68,6 +75,15 @@ type MetricsRegistry = obs.Registry
 
 // NewMetricsRegistry builds an empty registry for Options.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// FlightRecorder is the resolution-trace flight recorder (re-exported
+// for Options.Trace).
+type FlightRecorder = trace.FlightRecorder
+
+// NewFlightRecorder builds a flight recorder with default retention
+// (16 slowest domains, 512 Error/Transient exemplars, 128
+// classification flips) for Options.Trace.
+func NewFlightRecorder() *FlightRecorder { return trace.NewFlightRecorder(trace.Config{}) }
 
 // Config is re-exported for callers constructing studies directly.
 type Config = core.Config
@@ -87,6 +103,7 @@ func New(opts Options) *Study {
 		StabilityDays:        opts.StabilityDays,
 		HijackEvents:         opts.HijackEvents,
 		Metrics:              opts.Metrics,
+		Trace:                opts.Trace,
 	})
 }
 

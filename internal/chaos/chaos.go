@@ -37,6 +37,7 @@ import (
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
 	"govdns/internal/obs"
+	"govdns/internal/trace"
 )
 
 // ErrInjected marks transport errors produced by an injected fault, so
@@ -317,11 +318,13 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 		switch rule.Class {
 		case Drop, Flap:
 			t.injected[rule.Class].Inc()
+			annotateInjection(ctx, rule.Class)
 			// Like a blackhole: the answer never comes.
 			<-ctx.Done()
 			return nil, fmt.Errorf("%w: %s: %v", ErrInjected, rule.Class, ctx.Err())
 		case Delay:
 			t.injected[Delay].Inc()
+			annotateInjection(ctx, Delay)
 			d := rule.Delay
 			if d <= 0 {
 				d = DefaultDelaySpike
@@ -350,6 +353,7 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 	}
 
 	t.injected[rule.Class].Inc()
+	annotateInjection(ctx, rule.Class)
 	switch rule.Class {
 	case Duplicate:
 		if stale == nil {
@@ -379,6 +383,17 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 		return FlipRCodeWire(resp, dnswire.RCodeServFail), nil
 	}
 	return resp, nil
+}
+
+// annotateInjection marks a fired fault on the exchange span the
+// resolver client scoped into ctx, so a trace shows which wire
+// exchange suffered which injection. A no-op on untraced exchanges.
+func annotateInjection(ctx context.Context, class Class) {
+	rec, span := trace.From(ctx)
+	if rec == nil {
+		return
+	}
+	rec.Event(span, trace.KindChaos, class.String())
 }
 
 // pick returns the first rule that fires for this exchange, or nil.

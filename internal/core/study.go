@@ -17,6 +17,7 @@ import (
 	"govdns/internal/providers"
 	"govdns/internal/remedy"
 	"govdns/internal/resolver"
+	"govdns/internal/trace"
 	"govdns/internal/worldgen"
 )
 
@@ -51,6 +52,9 @@ type Config struct {
 	// one snapshot covers the whole pipeline. Nil disables recording
 	// (each client still keeps a private registry for Stats).
 	Metrics *obs.Registry
+	// Trace, when non-nil, is the flight recorder RunActive's scanner
+	// offers every domain's span tree to. Nil disables tracing.
+	Trace *trace.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +172,7 @@ func (s *Study) RunActive(ctx context.Context) error {
 	if s.Cfg.Metrics != nil {
 		scanner.Metrics = measure.NewScanMetrics(s.Cfg.Metrics)
 	}
+	scanner.Trace = s.Cfg.Trace
 	s.Results = scanner.Scan(ctx, s.Active.QueryList)
 	return ctx.Err()
 }

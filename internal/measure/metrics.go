@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"govdns/internal/obs"
@@ -142,6 +143,24 @@ type ProgressReporter struct {
 	W io.Writer
 }
 
+// progressEWMATau is the time constant of the done-rate EWMA the ETA
+// extrapolates from: windows much shorter than tau barely move the
+// estimate, and history older than a few tau is forgotten. 60s tracks a
+// scan's phase changes (the second round kicking in, the tail draining)
+// within a couple of reports without jittering on every tick.
+const progressEWMATau = 60 * time.Second
+
+// progressState carries the reporter's inter-tick state. It is a plain
+// struct updated by progressLine — a pure function of (state, counter
+// values, clock) — so tests drive it with a synthetic clock.
+type progressState struct {
+	lastDone uint64
+	lastSent uint64
+	lastAt   time.Time
+	rate     float64 // EWMA of the domain completion rate (domains/sec)
+	primed   bool    // rate holds a real observation
+}
+
 // Run reports until ctx is cancelled, then emits one final line.
 func (p *ProgressReporter) Run(ctx context.Context) {
 	if p.Metrics == nil || p.W == nil {
@@ -153,44 +172,54 @@ func (p *ProgressReporter) Run(ctx context.Context) {
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
-	start := time.Now()
-	var lastDone, lastSent uint64
-	lastAt := start
+	st := &progressState{lastAt: time.Now()}
 	for {
 		select {
 		case <-ctx.Done():
-			p.report(start, time.Now(), &lastDone, &lastSent, &lastAt)
+			p.report(st, time.Now())
 			return
 		case now := <-t.C:
-			p.report(start, now, &lastDone, &lastSent, &lastAt)
+			p.report(st, now)
 		}
 	}
 }
 
-func (p *ProgressReporter) report(start, now time.Time, lastDone, lastSent *uint64, lastAt *time.Time) {
+func (p *ProgressReporter) report(st *progressState, now time.Time) {
 	m := p.Metrics
-	done := m.domainsDone.Load()
-	total := m.domainsTotal.Load()
-	sent := m.sent.Load()
-	errs := m.errDomains.Load()
-	trans := m.transients.Load()
+	fmt.Fprintln(p.W, progressLine(st, now,
+		m.domainsDone.Load(), m.domainsTotal.Load(),
+		m.sent.Load(), m.errDomains.Load(), m.transients.Load()))
+}
 
-	window := now.Sub(*lastAt).Seconds()
+// progressLine advances st to now and renders one progress report. The
+// ETA extrapolates from an EWMA of the recent completion rate rather
+// than the cumulative average: when the scan changes phase — most
+// visibly when second-round retries start and the done-rate drops —
+// the cumulative average still remembers the fast early phase and
+// promises an ETA the scan cannot meet, while the EWMA converges to
+// the current rate within a few tau.
+func progressLine(st *progressState, now time.Time, done uint64, total int64, sent, errs, trans uint64) string {
+	window := now.Sub(st.lastAt).Seconds()
 	if window <= 0 {
 		window = 1
 	}
-	qps := float64(sent-*lastSent) / window
-	domRate := float64(done-*lastDone) / window
-	*lastDone, *lastSent, *lastAt = done, sent, now
+	qps := float64(sent-st.lastSent) / window
+	domRate := float64(done-st.lastDone) / window
+	st.lastDone, st.lastSent, st.lastAt = done, sent, now
+
+	// Window-aware smoothing: alpha = 1 - exp(-window/tau) gives the
+	// same decay per unit time whatever the tick spacing, so a delayed
+	// report (long window) weighs its observation proportionally more.
+	alpha := 1 - math.Exp(-window/progressEWMATau.Seconds())
+	if !st.primed {
+		st.rate, st.primed = domRate, true
+	} else {
+		st.rate += alpha * (domRate - st.rate)
+	}
 
 	eta := "?"
-	if total > 0 && done > 0 && uint64(total) > done {
-		// Extrapolate from the whole-scan rate, which is steadier than
-		// the last window when concurrency ramps up or drains.
-		overallRate := float64(done) / now.Sub(start).Seconds()
-		if overallRate > 0 {
-			eta = time.Duration(float64(uint64(total)-done) / overallRate * float64(time.Second)).Round(time.Second).String()
-		}
+	if total > 0 && uint64(total) > done && st.rate > 0 {
+		eta = time.Duration(float64(uint64(total)-done) / st.rate * float64(time.Second)).Round(time.Second).String()
 	}
 	pct := func(n uint64) float64 {
 		if done == 0 {
@@ -198,6 +227,6 @@ func (p *ProgressReporter) report(start, now time.Time, lastDone, lastSent *uint
 		}
 		return 100 * float64(n) / float64(done)
 	}
-	fmt.Fprintf(p.W, "scan: %d/%d domains (%.1f/s, %.0f qps) errors %.1f%% transient %.1f%% eta %s\n",
+	return fmt.Sprintf("scan: %d/%d domains (%.1f/s, %.0f qps) errors %.1f%% transient %.1f%% eta %s",
 		done, total, domRate, qps, pct(errs), pct(trans), eta)
 }

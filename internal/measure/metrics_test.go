@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -200,5 +201,92 @@ func TestMetricsHandlerReconcilesWithStats(t *testing.T) {
 	}
 	if snap.Counters["resolver_sent_total"] == 0 {
 		t.Error("resolver_sent_total = 0 after a full scan; registry not wired through the client")
+	}
+}
+
+// TestProgressETAEWMA drives the progress reporter's rate estimator
+// with a synthetic clock through the scenario the EWMA exists for: a
+// fast first phase, then the second round kicks in and the completion
+// rate collapses. The ETA must converge to the current rate instead of
+// the cumulative average, which still remembers the fast phase.
+func TestProgressETAEWMA(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	const total = 10000
+	const tick = 10 * time.Second
+
+	st := &progressState{lastAt: base}
+	now := base
+	var done uint64
+
+	// A zero-progress first window primes the rate at 0: no basis for
+	// an ETA yet.
+	now = now.Add(tick)
+	line := progressLine(st, now, done, total, 0, 0, 0)
+	if !strings.Contains(line, "eta ?") {
+		t.Errorf("zero-progress line should have no ETA: %q", line)
+	}
+
+	// Fast phase: 50 domains per 10s tick (5/s) for 20 ticks — over
+	// three tau, enough to converge up from the zero-primed start.
+	for i := 0; i < 20; i++ {
+		done += 50
+		now = now.Add(tick)
+		line = progressLine(st, now, done, total, 0, 0, 0)
+	}
+	if st.rate < 4.5 || st.rate > 5.0 {
+		t.Fatalf("fast-phase rate = %.2f, want ~5/s", st.rate)
+	}
+
+	// Second round kicks in: 5 domains per tick (0.5/s) for 6 minutes
+	// (6 tau), long enough for the fast phase to be forgotten.
+	for i := 0; i < 36; i++ {
+		done += 5
+		now = now.Add(tick)
+		line = progressLine(st, now, done, total, 0, 0, 0)
+	}
+	if st.rate < 0.5 || st.rate > 0.6 {
+		t.Errorf("slow-phase rate = %.3f/s, want ~0.5/s (EWMA must forget the fast phase)", st.rate)
+	}
+
+	// The cumulative average is still dominated by the fast phase —
+	// the misestimate this estimator replaces. Guard the test's own
+	// premise so the scenario stays meaningful if constants change.
+	cumulative := float64(done) / now.Sub(base).Seconds()
+	if cumulative < 2*st.rate {
+		t.Fatalf("scenario too gentle: cumulative %.3f/s vs EWMA %.3f/s", cumulative, st.rate)
+	}
+
+	// The printed ETA is remaining/EWMA-rate, nowhere near the
+	// cumulative extrapolation.
+	wantETA := time.Duration(float64(total-done) / st.rate * float64(time.Second)).Round(time.Second)
+	if !strings.Contains(line, "eta "+wantETA.String()) {
+		t.Errorf("line %q should carry eta %s", line, wantETA)
+	}
+
+	// Finished scans stop predicting.
+	now = now.Add(tick)
+	line = progressLine(st, now, total, total, 0, 0, 0)
+	if !strings.Contains(line, "eta ?") {
+		t.Errorf("completed scan should print no ETA: %q", line)
+	}
+}
+
+// TestProgressLineCounters: rates and percentages come from the window
+// deltas and done counts, and a non-advancing clock cannot divide by
+// zero.
+func TestProgressLineCounters(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	st := &progressState{lastAt: base}
+	line := progressLine(st, base.Add(10*time.Second), 40, 100, 800, 10, 5)
+	for _, want := range []string{"40/100 domains", "(4.0/s, 80 qps)", "errors 25.0%", "transient 12.5%"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	// Same timestamp again: window clamps to 1s instead of dividing by
+	// zero; deltas are zero so rates read 0.
+	line = progressLine(st, base.Add(10*time.Second), 40, 100, 800, 10, 5)
+	if !strings.Contains(line, "(0.0/s, 0 qps)") {
+		t.Errorf("zero-window line = %q", line)
 	}
 }

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
 	"govdns/internal/resolver"
+	"govdns/internal/trace"
 )
 
 // Scanner drives the bulk measurement.
@@ -39,6 +41,13 @@ type Scanner struct {
 	// metrics-on scan produces bit-identical results (and digests) to a
 	// metrics-off one.
 	Metrics *ScanMetrics
+	// Trace, when non-nil, records each domain's measurement as a span
+	// tree and offers it to the flight recorder, which retains the
+	// slowest domains, every Error/Transient domain, and any domain
+	// whose classification changed between rounds. Like Metrics it is
+	// purely passive: a traced scan's digest is bit-identical to an
+	// untraced one.
+	Trace *trace.FlightRecorder
 }
 
 // DefaultConcurrency is the scanner's default worker count. Scans are
@@ -98,10 +107,21 @@ func NewScanner(it *resolver.Iterator) *Scanner {
 // including the second round when enabled).
 func (s *Scanner) ScanDomain(ctx context.Context, domain dnsname.Name) *DomainResult {
 	domainStart := time.Now()
-	r := s.scanOnce(ctx, domain)
+	rec := s.Trace.NewRecorder(domain)
+	root := trace.NoSpan
+	if rec != nil {
+		root = rec.StartSpan(trace.NoSpan, trace.KindDomain, string(domain))
+		ctx = trace.ContextWith(ctx, rec, root)
+	}
+	r := s.scanRound(ctx, rec, root, domain, 1)
+	classChanged := false
 	if s.SecondRound && (r.FullyDefective() || r.ErrTransient) {
+		var firstClass Classification
+		if rec != nil {
+			firstClass = r.Classify()
+		}
 		retryStart := time.Now()
-		retry := s.scanOnce(ctx, domain)
+		retry := s.scanRound(ctx, rec, root, domain, 2)
 		s.Metrics.recordSecondRound(retryStart)
 		retry.Rounds = 2
 		// The retry replaces the result but keeps the full fault
@@ -109,9 +129,32 @@ func (s *Scanner) ScanDomain(ctx context.Context, domain dnsname.Name) *DomainRe
 		// domain's measurement record even when round two recovers.
 		retry.Faults.merge(r.Faults)
 		r = retry
+		if rec != nil {
+			classChanged = r.Classify() != firstClass
+		}
 	}
 	s.Metrics.recordDomain(domainStart, r)
+	if rec != nil {
+		class := r.Classify().String()
+		rec.Annotate(root, trace.Str("class", class))
+		rec.EndSpan(root, nil)
+		s.Trace.Offer(rec.Finish(class, r.Rounds, r.Err, r.ErrTransient, classChanged))
+	}
 	return r
+}
+
+// scanRound wraps one scanOnce pass in a round span, annotated with
+// the classification that round produced on its own.
+func (s *Scanner) scanRound(ctx context.Context, rec *trace.Recorder, root trace.SpanID, domain dnsname.Name, round int) (r *DomainResult) {
+	if rec != nil {
+		span := rec.StartSpan(root, trace.KindRound, "round "+strconv.Itoa(round))
+		ctx = trace.ContextWith(ctx, rec, span)
+		defer func() {
+			rec.Annotate(span, trace.Str("class", r.Classify().String()))
+			rec.EndSpan(span, nil)
+		}()
+	}
+	return s.scanOnce(ctx, domain)
 }
 
 func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResult {
@@ -121,8 +164,17 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 		Rounds: 1,
 	}
 
+	rec, round := trace.From(ctx)
+
 	walkStart := time.Now()
-	deleg, err := s.Iterator.Delegation(ctx, domain)
+	wspan := trace.NoSpan
+	wctx := ctx
+	if rec != nil {
+		wspan = rec.StartSpan(round, trace.KindParentWalk, string(domain))
+		wctx = trace.ContextWith(ctx, rec, wspan)
+	}
+	deleg, err := s.Iterator.Delegation(wctx, domain)
+	rec.EndSpan(wspan, err)
 	s.Metrics.recordParentWalk(walkStart, err != nil &&
 		!errors.Is(err, resolver.ErrNXDomain) && !errors.Is(err, resolver.ErrNoAnswer))
 	switch {
@@ -167,19 +219,51 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 	fanEach(len(r.ParentNS), s.fanout(), func(i int) {
 		host := r.ParentNS[i]
 		fetchStart := time.Now()
+		fspan := trace.NoSpan
+		fctx := ctx
+		if rec != nil {
+			fspan = rec.StartSpan(round, trace.KindNSFetch, string(host))
+			fctx = trace.ContextWith(ctx, rec, fspan)
+		}
+		var fetchErr error
 		if addrs, ok := glue[host]; ok {
 			sort.Slice(addrs, func(a, b int) bool { return addrs[a].Less(addrs[b]) })
 			resolved[i] = addrs
-		} else if addrs, err := s.Iterator.ResolveHost(ctx, host); err == nil {
+			if rec != nil {
+				rec.Annotate(fspan, trace.Bool("glue", true))
+			}
+		} else if addrs, err := s.Iterator.ResolveHost(fctx, host); err == nil {
 			resolved[i] = addrs
+		} else {
+			fetchErr = err
+		}
+		if rec != nil {
+			rec.Annotate(fspan, trace.Int("addrs", int64(len(resolved[i]))))
+			rec.EndSpan(fspan, fetchErr)
 		}
 		s.Metrics.recordNSFetch(fetchStart)
 		probeStart := time.Now()
+		cspan := trace.NoSpan
+		cctx := ctx
+		if rec != nil {
+			cspan = rec.StartSpan(round, trace.KindChildProbe, string(host))
+			cctx = trace.ContextWith(ctx, rec, cspan)
+		}
 		perHost[i] = make([]ServerResponse, len(resolved[i]))
 		for j, addr := range resolved[i] {
 			sr := ServerResponse{Host: host, Addr: addr}
-			resp, trace, err := client.QueryTraced(ctx, addr, domain, dnswire.TypeNS)
-			faults[i].add(trace)
+			pspan := trace.NoSpan
+			pctx := cctx
+			if rec != nil {
+				pspan = rec.StartSpan(cspan, trace.KindProbe, addr.String())
+				pctx = trace.ContextWith(cctx, rec, pspan)
+			}
+			resp, qtr, err := client.QueryTraced(pctx, addr, domain, dnswire.TypeNS)
+			faults[i].add(qtr)
+			if rec != nil {
+				rec.Annotate(pspan, faultAttrs(qtr)...)
+				rec.EndSpan(pspan, err)
+			}
 			if err != nil {
 				sr.Err = err.Error()
 			} else {
@@ -196,6 +280,7 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 			}
 			perHost[i][j] = sr
 		}
+		rec.EndSpan(cspan, nil)
 		s.Metrics.recordChildProbe(probeStart, len(resolved[i]))
 	})
 	for i, host := range r.ParentNS {
@@ -209,6 +294,34 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 	// picture.
 	s.queryChildOnlyHosts(ctx, r)
 	return r
+}
+
+// faultAttrs renders one probe's per-query fault trace as span
+// attributes, keyed exactly like FaultCounts' JSON fields. The
+// accounting contract (pinned by TestTraceFaultAccounting): summing
+// these attributes over every probe span in a domain's trace
+// reproduces the domain's FaultCounts, because FaultCounts aggregates
+// precisely the child-probe query traces — across both rounds — and
+// nothing else.
+func faultAttrs(tr resolver.Trace) []trace.Attr {
+	attrs := make([]trace.Attr, 0, 6)
+	attrs = append(attrs, trace.Int("attempts", int64(tr.Attempts)))
+	if tr.Duplicates > 0 {
+		attrs = append(attrs, trace.Int("duplicates", int64(tr.Duplicates)))
+	}
+	if tr.Truncations > 0 {
+		attrs = append(attrs, trace.Int("truncations", int64(tr.Truncations)))
+	}
+	if tr.QIDMismatches > 0 {
+		attrs = append(attrs, trace.Int("qid_mismatches", int64(tr.QIDMismatches)))
+	}
+	if tr.QuestionMismatches > 0 {
+		attrs = append(attrs, trace.Int("question_mismatches", int64(tr.QuestionMismatches)))
+	}
+	if tr.Malformed > 0 {
+		attrs = append(attrs, trace.Int("malformed", int64(tr.Malformed)))
+	}
+	return attrs
 }
 
 // queryChildOnlyHosts resolves nameservers that appear only in child
@@ -228,11 +341,24 @@ func (s *Scanner) queryChildOnlyHosts(ctx context.Context, r *DomainResult) {
 		}
 		hosts = append(hosts, host)
 	}
+	rec, round := trace.From(ctx)
 	resolved := make([][]netip.Addr, len(hosts))
 	fanEach(len(hosts), s.fanout(), func(i int) {
 		fetchStart := time.Now()
-		if addrs, err := s.Iterator.ResolveHost(ctx, hosts[i]); err == nil {
+		fspan := trace.NoSpan
+		fctx := ctx
+		if rec != nil {
+			fspan = rec.StartSpan(round, trace.KindNSFetch, string(hosts[i]))
+			fctx = trace.ContextWith(ctx, rec, fspan)
+		}
+		addrs, err := s.Iterator.ResolveHost(fctx, hosts[i])
+		if err == nil {
 			resolved[i] = addrs
+		}
+		if rec != nil {
+			rec.Annotate(fspan, trace.Int("addrs", int64(len(resolved[i]))),
+				trace.Bool("child_only", true))
+			rec.EndSpan(fspan, err)
 		}
 		s.Metrics.recordNSFetch(fetchStart)
 	})

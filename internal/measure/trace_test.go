@@ -1,0 +1,231 @@
+package measure
+
+import (
+	"bytes"
+	"context"
+	"net/netip"
+	"testing"
+
+	"govdns/internal/chaos"
+	"govdns/internal/dnsname"
+	"govdns/internal/resolver"
+	"govdns/internal/trace"
+	"govdns/internal/worldgen"
+)
+
+// The tracing acceptance gate: recording is purely passive (a traced
+// scan digests bit-identically to an untraced one), and the recorded
+// span trees are trustworthy (complete, and their fault annotations
+// reproduce the scan's own fault accounting exactly).
+
+// scanTraced is scanTuned with a flight recorder attached, using the
+// same deadline/retry shape as the chaos invariance tests.
+func scanTraced(t *testing.T, tr resolver.Transport, roots []netip.Addr, domains []dnsname.Name, workers, fanout int, adaptive bool, flight *trace.FlightRecorder) []*DomainResult {
+	t.Helper()
+	client := resolver.NewClient(tr)
+	client.Timeout = worldDeadline
+	client.Retries = 0
+	it := resolver.NewIterator(client, roots)
+	it.AdaptiveOrder = adaptive
+	s := NewScanner(it)
+	s.Concurrency = workers
+	s.PerDomainParallelism = fanout
+	s.Trace = flight
+	return s.Scan(context.Background(), domains)
+}
+
+// chaosRules is the persistent fault mix used by the tracing tests —
+// the same classes the invariance suite uses, so every FaultCounts
+// field can light up.
+func chaosRules() []chaos.Rule {
+	return []chaos.Rule{
+		chaos.Persistent(chaos.Drop, 0.03),
+		chaos.Persistent(chaos.Truncate, 0.05),
+		chaos.Persistent(chaos.FlipRCode, 0.05),
+		chaos.Persistent(chaos.CorruptQID, 0.02),
+		chaos.Persistent(chaos.MismatchQuestion, 0.02),
+		chaos.Persistent(chaos.Duplicate, 0.03),
+		chaos.Persistent(chaos.Mangle, 0.02),
+	}
+}
+
+// TestTraceDigestInvariance: attaching the flight recorder must not
+// change scan results by a single bit — clean or under chaos. The
+// chaos leg runs serially because that is where a persistent-chaos
+// scan is reproducible at all (see the invariance suite); any digest
+// drift there is tracing leaking into resolution.
+func TestTraceDigestInvariance(t *testing.T) {
+	w := worldgen.Generate(worldgen.Config{Seed: 42, Scale: 0.002})
+	active := worldgen.Build(w)
+
+	clean := scanTuned(t, active.Net, active.Roots, active.QueryList, 8, 2, true, worldDeadline, 0)
+	traced := scanTraced(t, active.Net, active.Roots, active.QueryList, 8, 2, true,
+		trace.NewFlightRecorder(trace.Config{}))
+	if a, b := DigestHex(clean), DigestHex(traced); a != b {
+		t.Errorf("clean scan: traced digest %s != untraced %s", b, a)
+	}
+
+	untracedChaos := scanTuned(t, chaos.Wrap(active.Net, 7, chaosRules()...),
+		active.Roots, active.QueryList, 1, 1, false, worldDeadline, 0)
+	flight := trace.NewFlightRecorder(trace.Config{})
+	tracedChaos := scanTraced(t, chaos.Wrap(active.Net, 7, chaosRules()...),
+		active.Roots, active.QueryList, 1, 1, false, flight)
+	if a, b := DigestHex(untracedChaos), DigestHex(tracedChaos); a != b {
+		t.Errorf("chaos scan: traced digest %s != untraced %s", b, a)
+	}
+	if _, _, _, offered := flight.Counts(); offered != uint64(len(active.QueryList)) {
+		t.Errorf("flight recorder offered %d traces for %d domains", offered, len(active.QueryList))
+	}
+}
+
+// TestTraceFaultAccounting is the pinning test for the fault-attribute
+// contract (see faultAttrs): after a chaos-perturbed scan, the
+// JSONL-exported trace of every Error/Transient domain must be a
+// complete span tree — every span ended, parents before children,
+// nothing dropped — whose per-probe fault annotations sum to exactly
+// the domain's merged FaultCounts.
+func TestTraceFaultAccounting(t *testing.T) {
+	w := worldgen.Generate(worldgen.Config{Seed: 42, Scale: 0.002})
+	active := worldgen.Build(w)
+	tr := chaos.Wrap(active.Net, 7, chaosRules()...)
+
+	// Every bucket sized to the whole scan: with Slowest covering the
+	// full query list the recorder retains every domain, so the
+	// fault-sum contract is checked for all of them — fault-carrying
+	// domains usually classify lame without erroring and would
+	// otherwise slip past retention.
+	flight := trace.NewFlightRecorder(trace.Config{
+		Slowest: len(active.QueryList), Errors: len(active.QueryList), Flipped: len(active.QueryList),
+	})
+	results := scanTraced(t, tr, active.Roots, active.QueryList, 8, 2, false, flight)
+	if tr.Stats().Total() == 0 {
+		t.Fatal("chaos injected nothing; the test is vacuous")
+	}
+
+	// Round-trip through the JSONL export: the acceptance property is
+	// about what a triage session reads back, not in-memory state.
+	var buf bytes.Buffer
+	if err := flight.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	traces, err := trace.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	byDomain := make(map[dnsname.Name]*trace.DomainTrace, len(traces))
+	for _, dt := range traces {
+		byDomain[dt.Domain] = dt
+	}
+
+	// Every Error/Transient domain must have been retained. (These are
+	// walk failures: their probe stage never ran, so their FaultCounts
+	// are zero and the sum check below holds trivially for them; the
+	// class-flip and slowest exemplars are where it bites.)
+	errorDomains := 0
+	resultOf := make(map[dnsname.Name]*DomainResult, len(results))
+	for _, r := range results {
+		resultOf[r.Domain] = r
+		if r.Err == "" && !r.ErrTransient {
+			continue
+		}
+		errorDomains++
+		if byDomain[r.Domain] == nil {
+			t.Errorf("%s: Error/Transient but no retained trace", r.Domain)
+		}
+	}
+
+	withFaults := 0
+	for _, dt := range traces {
+		r := resultOf[dt.Domain]
+		if r == nil {
+			t.Errorf("%s: retained trace for a domain the scan never measured", dt.Domain)
+			continue
+		}
+
+		// Header must mirror the scan result.
+		if dt.Class != r.Classify().String() || dt.Rounds != r.Rounds ||
+			dt.Err != r.Err || dt.ErrTransient != r.ErrTransient {
+			t.Errorf("%s: trace header (class=%s rounds=%d err=%q transient=%v) != result (%s %d %q %v)",
+				r.Domain, dt.Class, dt.Rounds, dt.Err, dt.ErrTransient,
+				r.Classify(), r.Rounds, r.Err, r.ErrTransient)
+		}
+
+		// Completeness: a sealed trace has no open spans, no dropped
+		// spans, one domain root, and parents that precede children.
+		if dt.DroppedSpans != 0 {
+			t.Errorf("%s: %d spans dropped; arena limit too small for this world", r.Domain, dt.DroppedSpans)
+		}
+		for i := range dt.Spans {
+			sp := &dt.Spans[i]
+			if !sp.Ended() {
+				t.Errorf("%s: span %d (%s %s) left open", r.Domain, sp.ID, sp.Kind, sp.Name)
+			}
+			if i == 0 {
+				if sp.Kind != trace.KindDomain || sp.Parent != trace.NoSpan {
+					t.Errorf("%s: span 0 is %s parent=%d, want domain root", r.Domain, sp.Kind, sp.Parent)
+				}
+			} else if sp.Parent < 0 || int(sp.Parent) >= i {
+				t.Errorf("%s: span %d has parent %d", r.Domain, i, sp.Parent)
+			}
+		}
+
+		// The fault-accounting contract: probe-span annotations sum to
+		// the domain's merged FaultCounts, both rounds included.
+		var sum FaultCounts
+		var attempts uint64
+		probes := 0
+		for i := range dt.Spans {
+			sp := &dt.Spans[i]
+			if sp.Kind != trace.KindProbe {
+				continue
+			}
+			probes++
+			for _, a := range sp.Attrs {
+				v := uint64(a.Int)
+				switch a.Key {
+				case "attempts":
+					attempts += v
+				case "duplicates":
+					sum.Duplicates += v
+				case "truncations":
+					sum.Truncations += v
+				case "qid_mismatches":
+					sum.QIDMismatches += v
+				case "question_mismatches":
+					sum.QuestionMismatches += v
+				case "malformed":
+					sum.Malformed += v
+				}
+			}
+		}
+		if sum != r.Faults {
+			t.Errorf("%s: probe-span fault attrs sum to %+v, FaultCounts %+v", r.Domain, sum, r.Faults)
+		}
+		if probes > 0 && attempts == 0 {
+			t.Errorf("%s: %d probe spans but zero attempts recorded", r.Domain, probes)
+		}
+		if r.Faults.Total() > 0 {
+			withFaults++
+		}
+	}
+	if errorDomains == 0 {
+		t.Fatal("no Error/Transient domains under chaos; the test is vacuous")
+	}
+	if withFaults == 0 {
+		t.Error("no retained domain carried fault counts; the sum check never bit")
+	}
+
+	// Retention bookkeeping: every retained-for-error trace really was
+	// an error, and offered covers the whole scan.
+	_, _, _, offered := flight.Counts()
+	if offered != uint64(len(results)) {
+		t.Errorf("offered %d, want %d", offered, len(results))
+	}
+	for _, dt := range traces {
+		for _, reason := range dt.RetainedFor {
+			if reason == trace.RetainError && dt.Err == "" && !dt.ErrTransient {
+				t.Errorf("%s: retained for %q without an error", dt.Domain, reason)
+			}
+		}
+	}
+}

@@ -304,3 +304,56 @@ func TestHTTPHandlerServesSnapshotAndPprof(t *testing.T) {
 		t.Errorf("/debug/pprof/cmdline status = %d", pp.StatusCode)
 	}
 }
+
+// TestSnapshotJSONDeterministic pins the snapshot serialization
+// contract: metric and label keys are emitted in sorted order, so two
+// snapshots of identical registry state — e.g. embedded in committed
+// BENCH_*.json files — are byte-identical and diff cleanly.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() RegistrySnapshot {
+		r := NewRegistry()
+		// Register in deliberately unsorted order; serialization must
+		// not care.
+		r.Counter("zeta_total").Add(3)
+		r.Counter("alpha_total").Add(1)
+		r.Gauge("mid_gauge").Set(-7)
+		r.Gauge("another_gauge").Set(9)
+		vec := r.CounterVec("outcome_total")
+		vec.With("timeout").Add(2)
+		vec.With("ok").Add(5)
+		vec.With("malformed").Add(1)
+		s := r.Snapshot()
+		s.TakenAt = time.Unix(1700000000, 0).UTC() // fix the timestamp
+		return s
+	}
+
+	a, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("identical registries serialized differently:\n%s\n%s", a, b)
+	}
+
+	want := `{"taken_at":"2023-11-14T22:13:20Z",` +
+		`"counters":{"alpha_total":1,"outcome_total{malformed}":1,"outcome_total{ok}":5,` +
+		`"outcome_total{timeout}":2,"zeta_total":3},` +
+		`"gauges":{"another_gauge":9,"mid_gauge":-7}}`
+	if string(a) != want {
+		t.Errorf("snapshot serialization changed:\ngot  %s\nwant %s", a, want)
+	}
+
+	// The explicit ordering must stay schema-compatible with the struct
+	// tags the reader side uses.
+	var back RegistrySnapshot
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["outcome_total{ok}"] != 5 || back.Gauges["mid_gauge"] != -7 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
 	"govdns/internal/obs"
+	"govdns/internal/trace"
 )
 
 // Transport carries wire-format DNS messages to a server address. It is
@@ -226,28 +228,52 @@ func (c *Client) Query(ctx context.Context, server netip.Addr, name dnsname.Name
 // QueryTraced is Query plus the per-query fault trace. The trace is
 // meaningful even when err is non-nil: it records what the wire did to
 // this query.
-func (c *Client) QueryTraced(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, Trace, error) {
-	var tr Trace
+func (c *Client) QueryTraced(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (resp *dnswire.Message, tr Trace, err error) {
+	rec, parent := trace.From(ctx)
+	qspan := trace.NoSpan
+	if rec != nil {
+		qspan = rec.StartSpan(parent, trace.KindQuery,
+			fmt.Sprintf("%s %s @%s", name, qtype, server))
+		ctx = trace.ContextWith(ctx, rec, qspan)
+		defer func() {
+			rec.Annotate(qspan, trace.Int("attempts", int64(tr.Attempts)))
+			rec.EndSpan(qspan, err)
+		}()
+	}
 	attempts := 1 + c.retries()
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, tr, err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, tr, cerr
 		}
 		tr.Attempts++
-		resp, err := c.attempt(ctx, server, name, qtype, &tr)
-		if err == nil {
+		actx := ctx
+		aspan := trace.NoSpan
+		rejectsBefore := 0
+		if rec != nil {
+			aspan = rec.StartSpan(qspan, trace.KindAttempt, "attempt "+strconv.Itoa(i+1))
+			actx = trace.ContextWith(ctx, rec, aspan)
+			rejectsBefore = tr.Rejects()
+		}
+		resp, aerr := c.attempt(actx, server, name, qtype, &tr)
+		if rec != nil {
+			if d := tr.Rejects() - rejectsBefore; d > 0 {
+				rec.Annotate(aspan, trace.Int("discarded", int64(d)))
+			}
+			rec.EndSpan(aspan, aerr)
+		}
+		if aerr == nil {
 			return resp, tr, nil
 		}
-		lastErr = err
+		lastErr = aerr
 		// Timeouts, mismatch budgets, and truncation are all transient
 		// from the query's point of view: a fresh attempt draws a fresh
 		// transaction ID and may land between the damage. Anything else
 		// (an encode failure, a non-deadline transport error) is
 		// deterministic and returned immediately.
-		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTimeout) &&
-			!errors.Is(err, ErrMismatch) && !errors.Is(err, ErrTruncated) {
-			return nil, tr, err
+		if !errors.Is(aerr, context.DeadlineExceeded) && !errors.Is(aerr, ErrTimeout) &&
+			!errors.Is(aerr, ErrMismatch) && !errors.Is(aerr, ErrTruncated) {
+			return nil, tr, aerr
 		}
 	}
 	if errors.Is(lastErr, context.DeadlineExceeded) || errors.Is(lastErr, ErrTimeout) {
@@ -281,14 +307,28 @@ func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Na
 	}
 
 	m := c.metrics()
+	rec, parent := trace.From(ctx)
 	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
 	for discards := 0; ; discards++ {
 		m.sent.Inc()
 		sentAt := time.Now()
-		respWire, err := c.Transport.Exchange(attemptCtx, server, wire)
+		// One exchange span per datagram on the wire; the chaos
+		// transport annotates its injections onto this span via the
+		// exchange-scoped context.
+		exCtx := attemptCtx
+		xspan := trace.NoSpan
+		if rec != nil {
+			xspan = rec.StartSpan(parent, trace.KindExchange, server.String())
+			exCtx = trace.ContextWith(attemptCtx, rec, xspan)
+		}
+		respWire, err := c.Transport.Exchange(exCtx, server, wire)
 		m.observeRTT(sentAt)
+		if rec != nil {
+			rec.Annotate(xspan, trace.Dur("rtt", time.Since(sentAt)))
+		}
 		if err != nil {
+			rec.EndSpan(xspan, err)
 			m.timeouts.Inc()
 			m.server(server).timeout.Inc()
 			if attemptCtx.Err() != nil && ctx.Err() == nil {
@@ -297,6 +337,7 @@ func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Na
 			return nil, err
 		}
 		resp, reject := c.classify(query, server, respWire, tr)
+		rec.EndSpan(xspan, reject)
 		if reject == nil {
 			m.received.Inc()
 			m.server(server).ok.Inc()

@@ -12,6 +12,7 @@ import (
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
+	"govdns/internal/trace"
 )
 
 // Iterator errors.
@@ -265,54 +266,82 @@ func (it *Iterator) delegation(ctx context.Context, name dnsname.Name, depth int
 	}
 
 	for step := 0; step < maxDepth; step++ {
-		resp, _, err := it.queryAny(ctx, current, name, dnswire.TypeNS, depth)
+		deleg, next, err := it.delegationStep(ctx, current, name, depth)
 		if err != nil {
-			return nil, fmt.Errorf("querying servers of %q for %q: %w", current.Zone, name, err)
+			return nil, err
 		}
-		switch {
-		case resp.Header.RCode == dnswire.RCodeNXDomain:
-			return nil, fmt.Errorf("%w: %s (denied by %s)", ErrNXDomain, name, current.Zone)
-		case resp.Header.RCode != dnswire.RCodeNoError:
-			return nil, fmt.Errorf("%w: %s returned %s for %s", ErrNoServers, current.Zone, resp.Header.RCode, name)
+		if deleg != nil {
+			return deleg, nil
 		}
-
-		// Authoritative NS answer: the queried server hosts a zone
-		// containing name (possibly name's own zone when parent and
-		// child share servers).
-		if ansNS := resp.AnswersOfType(dnswire.TypeNS); resp.Header.Authoritative && len(ansNS) > 0 {
-			return &Delegation{
-				Parent:        *current,
-				NSRecords:     ansNS,
-				Glue:          resp.AdditionalOfType(dnswire.TypeA),
-				Authoritative: true,
-			}, nil
-		}
-
-		if resp.IsReferral() {
-			authNS := resp.AuthorityOfType(dnswire.TypeNS)
-			owner := authNS[0].Name
-			if owner == name {
-				return &Delegation{
-					Parent:    *current,
-					NSRecords: authNS,
-					Glue:      resp.AdditionalOfType(dnswire.TypeA),
-				}, nil
-			}
-			// Intermediate zone cut: build its server set and descend.
-			next, err := it.zoneServers(ctx, owner, authNS, resp.AdditionalOfType(dnswire.TypeA), depth)
-			if err != nil {
-				return nil, err
-			}
-			current = next
-			continue
-		}
-
-		// NODATA for NS at an intermediate server: name exists but has
-		// no delegation visible here. Give up with ErrNoAnswer so
-		// callers can distinguish it from lameness.
-		return nil, fmt.Errorf("%w: no NS for %s at %s", ErrNoAnswer, name, current.Zone)
+		current = next
 	}
 	return nil, fmt.Errorf("%w: referral chain too long for %s", ErrDepth, name)
+}
+
+// delegationStep performs one step of the delegation walk: ask the
+// current zone's servers about name, then either finish (a delegation
+// in hand, or a terminal error) or descend (the next zone's server
+// set). Exactly one of deleg, next, err is non-zero. Each step is one
+// referral span covering both the query and, on descent, the next
+// zone's build.
+func (it *Iterator) delegationStep(ctx context.Context, current *ZoneServers, name dnsname.Name, depth int) (deleg *Delegation, next *ZoneServers, err error) {
+	rec, parent := trace.From(ctx)
+	if rec != nil {
+		span := rec.StartSpan(parent, trace.KindReferral, string(current.Zone))
+		ctx = trace.ContextWith(ctx, rec, span)
+		defer func() {
+			if err == nil && next != nil {
+				rec.Annotate(span, trace.Str("next", string(next.Zone)))
+			}
+			rec.EndSpan(span, err)
+		}()
+	}
+
+	resp, _, err := it.queryAny(ctx, current, name, dnswire.TypeNS, depth)
+	if err != nil {
+		return nil, nil, fmt.Errorf("querying servers of %q for %q: %w", current.Zone, name, err)
+	}
+	switch {
+	case resp.Header.RCode == dnswire.RCodeNXDomain:
+		return nil, nil, fmt.Errorf("%w: %s (denied by %s)", ErrNXDomain, name, current.Zone)
+	case resp.Header.RCode != dnswire.RCodeNoError:
+		return nil, nil, fmt.Errorf("%w: %s returned %s for %s", ErrNoServers, current.Zone, resp.Header.RCode, name)
+	}
+
+	// Authoritative NS answer: the queried server hosts a zone
+	// containing name (possibly name's own zone when parent and
+	// child share servers).
+	if ansNS := resp.AnswersOfType(dnswire.TypeNS); resp.Header.Authoritative && len(ansNS) > 0 {
+		return &Delegation{
+			Parent:        *current,
+			NSRecords:     ansNS,
+			Glue:          resp.AdditionalOfType(dnswire.TypeA),
+			Authoritative: true,
+		}, nil, nil
+	}
+
+	if resp.IsReferral() {
+		authNS := resp.AuthorityOfType(dnswire.TypeNS)
+		owner := authNS[0].Name
+		if owner == name {
+			return &Delegation{
+				Parent:    *current,
+				NSRecords: authNS,
+				Glue:      resp.AdditionalOfType(dnswire.TypeA),
+			}, nil, nil
+		}
+		// Intermediate zone cut: build its server set and descend.
+		nz, zerr := it.zoneServers(ctx, owner, authNS, resp.AdditionalOfType(dnswire.TypeA), depth)
+		if zerr != nil {
+			return nil, nil, zerr
+		}
+		return nil, nz, nil
+	}
+
+	// NODATA for NS at an intermediate server: name exists but has
+	// no delegation visible here. Give up with ErrNoAnswer so
+	// callers can distinguish it from lameness.
+	return nil, nil, fmt.Errorf("%w: no NS for %s at %s", ErrNoAnswer, name, current.Zone)
 }
 
 // zoneServers returns the server set of zoneName, consulting the zone
@@ -322,9 +351,11 @@ func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRe
 	if e, ok := it.zones.get(zoneName); ok {
 		if e.err != nil {
 			it.m.negHits.Inc()
+			traceCacheEvent(ctx, "zone", zoneName, true)
 			return nil, e.err
 		}
 		it.m.zoneHits.Inc()
+		traceCacheEvent(ctx, "zone", zoneName, false)
 		return e.zs, nil
 	}
 	if !it.Coalesce || isInFlight(ctx, 'z', zoneName) {
@@ -334,19 +365,31 @@ func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRe
 		// recursion.
 		return it.buildZone(ctx, zoneName, nsRecords, glue, depth)
 	}
-	return it.zoneFlight.do(ctx, zoneName, it.flightWait(ctx), func() (*ZoneServers, error) {
+	// ran stays false when this chain received another chain's in-flight
+	// result instead of executing fn itself (fn always runs on the
+	// calling goroutine — as leader or as a bypassing waiter — so the
+	// flag needs no synchronization).
+	ran := false
+	zs, err := it.zoneFlight.do(ctx, zoneName, it.flightWait(ctx), func() (*ZoneServers, error) {
+		ran = true
 		if e, ok := it.zones.get(zoneName); ok {
 			// A previous leader finished between our cache check and
 			// flight entry.
 			if e.err != nil {
 				it.m.negHits.Inc()
+				traceCacheEvent(ctx, "zone", zoneName, true)
 			} else {
 				it.m.zoneHits.Inc()
+				traceCacheEvent(ctx, "zone", zoneName, false)
 			}
 			return e.zs, e.err
 		}
 		return it.buildZone(markInFlight(ctx, 'z', zoneName), zoneName, nsRecords, glue, depth)
 	})
+	if !ran && ctx.Err() == nil {
+		traceFlightWait(ctx, "zone", zoneName)
+	}
+	return zs, err
 }
 
 // buildZone runs one zone-set construction and records the outcome in the
@@ -358,9 +401,15 @@ func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRe
 // truncated responses, SERVFAIL) may not recur — the scanner's second
 // round exists precisely to re-probe those (§ III-B), so caching them
 // would turn the retry into a replay of the first failure.
-func (it *Iterator) buildZone(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
+func (it *Iterator) buildZone(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (zs *ZoneServers, err error) {
 	it.m.zoneMisses.Inc()
-	zs, err := it.zoneFromReferral(ctx, zoneName, nsRecords, glue, depth)
+	rec, parent := trace.From(ctx)
+	if rec != nil {
+		span := rec.StartSpan(parent, trace.KindZoneBuild, string(zoneName))
+		ctx = trace.ContextWith(ctx, rec, span)
+		defer func() { rec.EndSpan(span, err) }()
+	}
+	zs, err = it.zoneFromReferral(ctx, zoneName, nsRecords, glue, depth)
 	if err != nil {
 		if ctx.Err() == nil && !errors.Is(err, ErrDepth) && !IsTransientErr(err) {
 			it.zones.put(zoneName, zoneEntry{err: err})
@@ -399,6 +448,10 @@ func (it *Iterator) zoneFromReferral(ctx context.Context, zoneName dnsname.Name,
 			continue
 		}
 		need = append(need, i)
+	}
+	if rec, span := trace.From(ctx); rec != nil {
+		rec.Annotate(span, trace.Int("hosts", int64(len(zs.Hosts))),
+			trace.Int("glueless", int64(len(need))))
 	}
 	fan := it.BuildFanout
 	if fan <= 0 {
@@ -485,6 +538,7 @@ func (it *Iterator) resolveHost(ctx context.Context, host dnsname.Name, depth in
 
 func (it *Iterator) resolveHostShared(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
 	if e, ok := it.hosts.get(host); ok {
+		traceCacheEvent(ctx, "host", host, e.err != nil)
 		return it.cachedHost(host, e)
 	}
 	if !it.Coalesce || isInFlight(ctx, 'h', host) {
@@ -493,12 +547,21 @@ func (it *Iterator) resolveHostShared(ctx context.Context, host dnsname.Name, de
 		// recursion).
 		return it.lookupAndCache(ctx, host, depth)
 	}
-	return it.hostFlight.do(ctx, host, it.flightWait(ctx), func() ([]netip.Addr, error) {
+	// ran: see zoneServers — false means a coalesced wait on another
+	// chain's resolution.
+	ran := false
+	addrs, err := it.hostFlight.do(ctx, host, it.flightWait(ctx), func() ([]netip.Addr, error) {
+		ran = true
 		if e, ok := it.hosts.get(host); ok {
+			traceCacheEvent(ctx, "host", host, e.err != nil)
 			return it.cachedHost(host, e)
 		}
 		return it.lookupAndCache(markInFlight(ctx, 'h', host), host, depth)
 	})
+	if !ran && ctx.Err() == nil {
+		traceFlightWait(ctx, "host", host)
+	}
+	return addrs, err
 }
 
 // cachedHost turns a cache entry into a result, counting the hit. A
@@ -514,9 +577,20 @@ func (it *Iterator) cachedHost(host dnsname.Name, e hostEntry) ([]netip.Addr, er
 }
 
 // lookupAndCache runs one full host resolution and records the outcome.
-func (it *Iterator) lookupAndCache(ctx context.Context, host dnsname.Name, depth int) ([]netip.Addr, error) {
+func (it *Iterator) lookupAndCache(ctx context.Context, host dnsname.Name, depth int) (addrs []netip.Addr, err error) {
 	it.m.hostMisses.Inc()
-	addrs, err := it.lookup(ctx, host, depth)
+	rec, parent := trace.From(ctx)
+	if rec != nil {
+		span := rec.StartSpan(parent, trace.KindHostResolve, string(host))
+		ctx = trace.ContextWith(ctx, rec, span)
+		defer func() {
+			if err == nil {
+				rec.Annotate(span, trace.Int("addrs", int64(len(addrs))))
+			}
+			rec.EndSpan(span, err)
+		}()
+	}
+	addrs, err = it.lookup(ctx, host, depth)
 	switch {
 	case err == nil:
 		it.hosts.put(host, hostEntry{addrs: addrs})
@@ -583,6 +657,27 @@ func (it *Iterator) lookup(ctx context.Context, host dnsname.Name, depth int) ([
 	return nil, fmt.Errorf("%w: referral chain too long for %s", ErrDepth, host)
 }
 
+// traceCacheEvent records a host/zone cache hit on the active span;
+// negative marks a hit on a cached failure.
+func traceCacheEvent(ctx context.Context, layer string, name dnsname.Name, negative bool) {
+	rec, parent := trace.From(ctx)
+	if rec == nil {
+		return
+	}
+	rec.Event(parent, trace.KindCacheHit, string(name),
+		trace.Str("layer", layer), trace.Bool("negative", negative))
+}
+
+// traceFlightWait records that this call chain received another
+// chain's singleflight result instead of resolving name itself.
+func traceFlightWait(ctx context.Context, layer string, name dnsname.Name) {
+	rec, parent := trace.From(ctx)
+	if rec == nil {
+		return
+	}
+	rec.Event(parent, trace.KindFlightWait, string(name), trace.Str("layer", layer))
+}
+
 // queryAny asks the zone's servers until one responds. Lame servers are
 // skipped; if all are lame, the failure of the lowest-addressed server
 // is returned — every candidate was tried, so the failure *set* does not
@@ -613,9 +708,23 @@ func (it *Iterator) queryAny(ctx context.Context, zs *ZoneServers, name dnsname.
 		}
 	}
 	if it.AdaptiveOrder && len(cands) > 1 {
+		rec, parent := trace.From(ctx)
+		var before []candidate
+		if rec != nil {
+			before = append([]candidate(nil), cands...)
+		}
 		sort.SliceStable(cands, func(i, j int) bool {
 			return it.health.failures(cands[i].addr) < it.health.failures(cands[j].addr)
 		})
+		if rec != nil {
+			for i := range cands {
+				if cands[i].addr != before[i].addr {
+					rec.Event(parent, trace.KindReorder, string(zs.Zone),
+						trace.Str("first", cands[0].addr.String()))
+					break
+				}
+			}
+		}
 	}
 
 	type failure struct {

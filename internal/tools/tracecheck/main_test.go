@@ -1,0 +1,184 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// check parses src as a file and returns tracecheck's findings.
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return checkFile(fset, file)
+}
+
+// The accepted shapes are the repo's actual idioms, lifted from
+// resolver/client.go, resolver/iterate.go, and measure/scanner.go; the
+// rejected shapes are the regressions the lint exists to catch.
+func TestAcceptsRepoIdioms(t *testing.T) {
+	cases := map[string]string{
+		"defer func-lit with named return": `
+func f(rec *R) (err error) {
+	if rec != nil {
+		span := rec.StartSpan(1, "x")
+		defer func() { rec.EndSpan(span, err) }()
+	}
+	return work()
+}`,
+		"guarded end before every return": `
+func f(rec *R) error {
+	fspan := rec.StartSpan(1, "x")
+	v, err := work()
+	if rec != nil {
+		rec.Annotate(fspan, v)
+		rec.EndSpan(fspan, err)
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}`,
+		"loop span ended on both arms": `
+func f(rec *R) error {
+	for i := 0; i < 3; i++ {
+		xspan := rec.StartSpan(1, "x")
+		err := work()
+		if err != nil {
+			rec.EndSpan(xspan, err)
+			if fatal(err) {
+				return err
+			}
+			continue
+		}
+		rec.EndSpan(xspan, nil)
+	}
+	return nil
+}`,
+		"early-exit arm ends, then fallthrough ends": `
+func f(rec *R) error {
+	aspan := rec.StartSpan(1, "x")
+	if bad() {
+		rec.EndSpan(aspan, errBad)
+		return errBad
+	}
+	rec.EndSpan(aspan, nil)
+	return nil
+}`,
+		"span inside closure region": `
+func f(rec *R) {
+	fanEach(3, func(i int) {
+		cspan := rec.StartSpan(1, "x")
+		work()
+		rec.EndSpan(cspan, nil)
+	})
+}`,
+		"blank and unrelated assignments ignored": `
+func f(rec *R) error {
+	_ = rec.StartSpan(1, "x")
+	v := other.Thing()
+	return use(v)
+}`,
+	}
+	for name, src := range cases {
+		if got := check(t, src); len(got) != 0 {
+			t.Errorf("%s: false positives: %v", name, got)
+		}
+	}
+}
+
+func TestCatchesLeaks(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		want string // substring of the expected finding
+	}{
+		"early return between start and end": {`
+func f(rec *R) error {
+	span := rec.StartSpan(1, "x")
+	if bad() {
+		return errBad
+	}
+	rec.EndSpan(span, nil)
+	return nil
+}`, "return"},
+		"loop continue skips the end": {`
+func f(rec *R) {
+	for i := 0; i < 3; i++ {
+		span := rec.StartSpan(1, "x")
+		if skip() {
+			continue
+		}
+		rec.EndSpan(span, nil)
+	}
+}`, "continue"},
+		"loop break skips the end": {`
+func f(rec *R) {
+	for {
+		span := rec.StartSpan(1, "x")
+		if done() {
+			break
+		}
+		rec.EndSpan(span, nil)
+	}
+}`, "break"},
+		"only one if-arm ends before return": {`
+func f(rec *R) error {
+	span := rec.StartSpan(1, "x")
+	if ok() {
+		rec.EndSpan(span, nil)
+	} else {
+		log()
+	}
+	return nil
+}`, "return"},
+		"end only inside nested loop that may not run": {`
+func f(rec *R, items []int) error {
+	span := rec.StartSpan(1, "x")
+	for range items {
+		rec.EndSpan(span, nil)
+	}
+	return nil
+}`, "return"},
+		"deferred closure ends a different span": {`
+func f(rec *R) error {
+	span := rec.StartSpan(1, "x")
+	defer func() { rec.EndSpan(other, nil) }()
+	return nil
+}`, "return"},
+	}
+	for name, tc := range cases {
+		got := check(t, tc.src)
+		if len(got) == 0 {
+			t.Errorf("%s: leak not reported", name)
+			continue
+		}
+		if !strings.Contains(got[0], tc.want) {
+			t.Errorf("%s: finding %q does not mention %q", name, got[0], tc.want)
+		}
+	}
+}
+
+// A return inside a closure defined after StartSpan exits the closure,
+// not the function holding the span — it must not be flagged, and the
+// span ended after the closure is fine.
+func TestClosureReturnIsNotAnExit(t *testing.T) {
+	src := `
+func f(rec *R) {
+	span := rec.StartSpan(1, "x")
+	visit(func(n int) bool {
+		if n > 3 {
+			return false
+		}
+		return true
+	})
+	rec.EndSpan(span, nil)
+}`
+	if got := check(t, src); len(got) != 0 {
+		t.Errorf("closure return flagged: %v", got)
+	}
+}

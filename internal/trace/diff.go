@@ -1,0 +1,137 @@
+// Structural diff of two traces of the same domain — the triage tool
+// for a digest-divergence report: given a trace from each of two runs,
+// show where the resolution trees took different paths, changed
+// outcome, or picked up different fault annotations. Durations are
+// expected to differ between runs and are shown as context on changed
+// spans, never flagged on their own.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Diff writes a line-per-difference structural diff of a and b and
+// returns the number of differences. Spans are matched within each
+// sibling group by (kind, name) in start order; unmatched spans report
+// as one difference each ("-" only in a, "+" only in b), matched spans
+// whose outcome or attributes differ report as "~".
+func Diff(w io.Writer, a, b *DomainTrace) (int, error) {
+	d := &differ{w: w}
+	if a.Domain != b.Domain {
+		d.reportf("~ domain: %s vs %s", a.Domain, b.Domain)
+	}
+	if a.Class != b.Class {
+		d.reportf("~ class: %s -> %s", a.Class, b.Class)
+	}
+	if a.Rounds != b.Rounds {
+		d.reportf("~ rounds: %d -> %d", a.Rounds, b.Rounds)
+	}
+	if a.Err != b.Err {
+		d.reportf("~ error: %q -> %q", a.Err, b.Err)
+	}
+	d.children(a, b, childIndex(a), childIndex(b), NoSpan, NoSpan, "")
+	return d.count, d.err
+}
+
+type differ struct {
+	w     io.Writer
+	count int
+	err   error
+}
+
+func (d *differ) reportf(format string, args ...any) {
+	d.count++
+	if d.err == nil {
+		_, d.err = fmt.Fprintf(d.w, format+"\n", args...)
+	}
+}
+
+// key matches sibling spans across runs: same layer, same subject.
+func spanKey(sp *Span) string { return sp.Kind.String() + " " + sp.Name }
+
+func spanPath(prefix string, sp *Span) string {
+	if prefix == "" {
+		return spanKey(sp)
+	}
+	return prefix + "/" + spanKey(sp)
+}
+
+func (d *differ) children(a, b *DomainTrace, ca, cb map[SpanID][]SpanID, pa, pb SpanID, prefix string) {
+	akids, bkids := ca[pa], cb[pb]
+	// Greedy in-order matching by (kind, name): for each span on the
+	// left, take the first unmatched right-hand sibling with the same
+	// key. Start order is deterministic per run, so repeated keys
+	// (e.g. two attempts against the same server) pair first-to-first.
+	used := make([]bool, len(bkids))
+	for _, aid := range akids {
+		asp := &a.Spans[aid]
+		match := -1
+		for j, bid := range bkids {
+			if !used[j] && spanKey(&b.Spans[bid]) == spanKey(asp) {
+				match = j
+				break
+			}
+		}
+		if match < 0 {
+			d.reportf("- %s (%s)", spanPath(prefix, asp), describe(asp))
+			continue
+		}
+		used[match] = true
+		bsp := &b.Spans[bkids[match]]
+		d.compare(asp, bsp, spanPath(prefix, asp))
+		d.children(a, b, ca, cb, asp.ID, bsp.ID, spanPath(prefix, asp))
+	}
+	for j, bid := range bkids {
+		if !used[j] {
+			bsp := &b.Spans[bid]
+			d.reportf("+ %s (%s)", spanPath(prefix, bsp), describe(bsp))
+		}
+	}
+}
+
+func (d *differ) compare(asp, bsp *Span, path string) {
+	if asp.Outcome != bsp.Outcome {
+		d.reportf("~ %s: outcome %s -> %s (%s -> %s)",
+			path, outcomeText(asp), outcomeText(bsp), asp.Duration, bsp.Duration)
+	}
+	if aa, ba := attrText(asp), attrText(bsp); aa != ba {
+		d.reportf("~ %s: attrs [%s] -> [%s]", path, aa, ba)
+	}
+}
+
+func outcomeText(sp *Span) string {
+	switch {
+	case sp.Event:
+		return "event"
+	case sp.Outcome == "ok":
+		return "ok"
+	case sp.Outcome != "":
+		return fmt.Sprintf("err=%q", sp.Outcome)
+	default:
+		return "open"
+	}
+}
+
+func attrText(sp *Span) string {
+	parts := make([]string, len(sp.Attrs))
+	for i, a := range sp.Attrs {
+		parts[i] = a.Key + "=" + a.Value()
+	}
+	return strings.Join(parts, " ")
+}
+
+func describe(sp *Span) string {
+	if sp.Event {
+		s := attrText(sp)
+		if s == "" {
+			return "event"
+		}
+		return "event " + s
+	}
+	if sp.Duration < 0 {
+		return outcomeText(sp)
+	}
+	return outcomeText(sp) + " " + sp.Duration.String()
+}

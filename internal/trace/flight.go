@@ -1,0 +1,238 @@
+// The flight recorder: bounded retention of exemplar domain traces.
+//
+// Recording every domain's span tree at scan scale would cost more
+// memory than the scan itself, so the FlightRecorder keeps only the
+// traces a triage session would actually open: the N slowest domains
+// (scan-latency outliers), every domain that ended in an error or a
+// transient fault (ring buffer — the paper's Error/Transient buckets),
+// and every domain whose classification changed between rounds (the
+// digest-divergence suspects). Everything else is offered, counted,
+// and dropped; the per-domain arena it occupied is garbage the moment
+// Offer returns.
+package trace
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/obs"
+)
+
+// Retention bucket labels reported in DomainTrace.RetainedFor.
+const (
+	RetainSlowest   = "slowest"
+	RetainError     = "error"
+	RetainClassFlip = "class-flip"
+)
+
+// Config bounds the flight recorder's three retention buckets.
+type Config struct {
+	// Slowest is how many slowest-domain exemplars to keep (default 16).
+	Slowest int
+	// Errors bounds the Error/Transient ring buffer (default 512).
+	Errors int
+	// Flipped bounds the classification-changed ring buffer (default 128).
+	Flipped int
+	// SpanLimit caps spans per domain (default DefaultSpanLimit).
+	SpanLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slowest <= 0 {
+		c.Slowest = 16
+	}
+	if c.Errors <= 0 {
+		c.Errors = 512
+	}
+	if c.Flipped <= 0 {
+		c.Flipped = 128
+	}
+	if c.SpanLimit <= 0 {
+		c.SpanLimit = DefaultSpanLimit
+	}
+	return c
+}
+
+// FlightRecorder retains exemplar DomainTraces under fixed memory
+// bounds. A nil *FlightRecorder is tracing-off: NewRecorder returns a
+// nil *Recorder and Offer is a no-op, mirroring obs's nil-instrument
+// contract.
+type FlightRecorder struct {
+	cfg Config
+
+	mu      sync.Mutex
+	slowest []*DomainTrace // sorted descending by Duration, len <= cfg.Slowest
+	errs    []*DomainTrace // ring buffer
+	errNext int
+	flipped []*DomainTrace // ring buffer
+	flipNext int
+	offered uint64
+
+	// arenas recycles the span slices of traces Offer declined to
+	// retain: at scan scale almost every offer is dropped, and without
+	// reuse each domain pays a fresh arena allocation.
+	arenas sync.Pool
+
+	// Registry handles; nil until AttachRegistry, and nil-safe like
+	// every obs instrument.
+	mOffered      *obs.Counter
+	mRetained     *obs.Counter
+	mDroppedSpans *obs.Counter
+	gSlowest      *obs.Gauge
+	gErrors       *obs.Gauge
+	gFlipped      *obs.Gauge
+}
+
+// NewFlightRecorder builds a flight recorder; zero-value Config fields
+// take the documented defaults.
+func NewFlightRecorder(cfg Config) *FlightRecorder {
+	return &FlightRecorder{cfg: cfg.withDefaults()}
+}
+
+// AttachRegistry binds the recorder's retention counts to reg:
+//
+//	trace_domains_offered_total    domains whose trace was offered
+//	trace_domains_retained_total   offers that landed in >= 1 bucket
+//	trace_spans_dropped_total      spans lost to per-domain arena caps
+//	trace_retained_slowest         current slowest-bucket occupancy
+//	trace_retained_errors          current error-ring occupancy
+//	trace_retained_flipped         current class-flip-ring occupancy
+func (f *FlightRecorder) AttachRegistry(reg *obs.Registry) {
+	if f == nil || reg == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mOffered = reg.Counter("trace_domains_offered_total")
+	f.mRetained = reg.Counter("trace_domains_retained_total")
+	f.mDroppedSpans = reg.Counter("trace_spans_dropped_total")
+	f.gSlowest = reg.Gauge("trace_retained_slowest")
+	f.gErrors = reg.Gauge("trace_retained_errors")
+	f.gFlipped = reg.Gauge("trace_retained_flipped")
+}
+
+// NewRecorder starts a per-domain recorder, or nil when f is nil so
+// the whole recording path short-circuits. The recorder's arena is
+// recycled from a previously dropped trace when one is available.
+func (f *FlightRecorder) NewRecorder(domain dnsname.Name) *Recorder {
+	if f == nil {
+		return nil
+	}
+	if sp, ok := f.arenas.Get().(*[]Span); ok {
+		return newRecorder(domain, f.cfg.SpanLimit, (*sp)[:0])
+	}
+	return NewRecorder(domain, f.cfg.SpanLimit)
+}
+
+// Offer presents a sealed trace for retention. The trace is kept if it
+// is among the slowest seen so far, ended Error/Transient, or changed
+// classification between rounds; otherwise it is dropped.
+func (f *FlightRecorder) Offer(dt *DomainTrace) {
+	if f == nil || dt == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.offered++
+	f.mOffered.Inc()
+	if dt.DroppedSpans > 0 {
+		f.mDroppedSpans.Add(uint64(dt.DroppedSpans))
+	}
+
+	retained := false
+	// Slowest bucket: insertion sort into a small descending slice.
+	if len(f.slowest) < f.cfg.Slowest || dt.Duration > f.slowest[len(f.slowest)-1].Duration {
+		i := sort.Search(len(f.slowest), func(i int) bool {
+			return f.slowest[i].Duration < dt.Duration
+		})
+		if len(f.slowest) < f.cfg.Slowest {
+			f.slowest = append(f.slowest, nil)
+		}
+		copy(f.slowest[i+1:], f.slowest[i:])
+		f.slowest[i] = dt
+		retained = true
+	}
+	if dt.Err != "" || dt.ErrTransient {
+		if len(f.errs) < f.cfg.Errors {
+			f.errs = append(f.errs, dt)
+		} else {
+			f.errs[f.errNext] = dt
+			f.errNext = (f.errNext + 1) % f.cfg.Errors
+		}
+		retained = true
+	}
+	if dt.ClassChanged {
+		if len(f.flipped) < f.cfg.Flipped {
+			f.flipped = append(f.flipped, dt)
+		} else {
+			f.flipped[f.flipNext] = dt
+			f.flipNext = (f.flipNext + 1) % f.cfg.Flipped
+		}
+		retained = true
+	}
+	if retained {
+		f.mRetained.Inc()
+	} else {
+		// Nobody holds the trace: clear the spans (they pin name and
+		// outcome strings) and recycle the arena for the next domain.
+		spans := dt.Spans
+		clear(spans)
+		spans = spans[:0]
+		f.arenas.Put(&spans)
+		dt.Spans = nil
+	}
+	f.gSlowest.Set(int64(len(f.slowest)))
+	f.gErrors.Set(int64(len(f.errs)))
+	f.gFlipped.Set(int64(len(f.flipped)))
+}
+
+// Counts reports current bucket occupancy and the total offered.
+func (f *FlightRecorder) Counts() (slowest, errors, flipped int, offered uint64) {
+	if f == nil {
+		return 0, 0, 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.slowest), len(f.errs), len(f.flipped), f.offered
+}
+
+// Retained returns the deduplicated set of retained traces, each
+// annotated with the buckets that kept it, sorted by (Domain, Start)
+// so exports are deterministic for a deterministic scan.
+func (f *FlightRecorder) Retained() []*DomainTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reasons := make(map[*DomainTrace][]string)
+	order := make([]*DomainTrace, 0, len(f.slowest)+len(f.errs)+len(f.flipped))
+	add := func(dts []*DomainTrace, reason string) {
+		for _, dt := range dts {
+			if _, ok := reasons[dt]; !ok {
+				order = append(order, dt)
+			}
+			reasons[dt] = append(reasons[dt], reason)
+		}
+	}
+	add(f.slowest, RetainSlowest)
+	add(f.errs, RetainError)
+	add(f.flipped, RetainClassFlip)
+	for _, dt := range order {
+		dt.RetainedFor = reasons[dt]
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Domain != order[j].Domain {
+			return order[i].Domain < order[j].Domain
+		}
+		return order[i].Start.Before(order[j].Start)
+	})
+	return order
+}
+
+// WriteJSONL exports every retained trace, one JSON object per line.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, f.Retained())
+}

@@ -1,0 +1,120 @@
+// ASCII tree rendering: one line per span — stage, name (server/zone/
+// host), outcome, duration, attributes — indented into the resolution
+// tree. This is govtrace's triage view of a flight-recorder exemplar.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderTree writes dt as an indented ASCII resolution tree. Children
+// render in start order (ties broken by ID), so a trace renders
+// identically however it was stored.
+func RenderTree(w io.Writer, dt *DomainTrace) error {
+	if _, err := fmt.Fprintln(w, headerLine(dt)); err != nil {
+		return err
+	}
+	children := childIndex(dt)
+	roots := children[NoSpan]
+	for i, id := range roots {
+		if err := renderSpan(w, dt, children, id, "", i == len(roots)-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func headerLine(dt *DomainTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s class=%s rounds=%d dur=%s", dt.Domain, dt.Class, dt.Rounds, dt.Duration)
+	if dt.Err != "" {
+		fmt.Fprintf(&b, " err=%q", dt.Err)
+	}
+	if dt.ErrTransient {
+		b.WriteString(" transient")
+	}
+	if dt.ClassChanged {
+		b.WriteString(" class-changed")
+	}
+	if dt.DroppedSpans > 0 {
+		fmt.Fprintf(&b, " dropped=%d", dt.DroppedSpans)
+	}
+	if len(dt.RetainedFor) > 0 {
+		fmt.Fprintf(&b, " retained=%s", strings.Join(dt.RetainedFor, ","))
+	}
+	return b.String()
+}
+
+// childIndex maps parent -> child IDs sorted by (Start, ID). Spans
+// with out-of-range parents are treated as roots so a hand-built trace
+// still renders rather than vanishing.
+func childIndex(dt *DomainTrace) map[SpanID][]SpanID {
+	children := make(map[SpanID][]SpanID)
+	for i := range dt.Spans {
+		sp := &dt.Spans[i]
+		parent := sp.Parent
+		if parent < NoSpan || int(parent) >= len(dt.Spans) {
+			parent = NoSpan
+		}
+		children[parent] = append(children[parent], sp.ID)
+	}
+	for _, ids := range children {
+		sort.Slice(ids, func(a, b int) bool {
+			sa, sb := &dt.Spans[ids[a]], &dt.Spans[ids[b]]
+			if sa.Start != sb.Start {
+				return sa.Start < sb.Start
+			}
+			return sa.ID < sb.ID
+		})
+	}
+	return children
+}
+
+func renderSpan(w io.Writer, dt *DomainTrace, children map[SpanID][]SpanID, id SpanID, prefix string, last bool) error {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	if _, err := fmt.Fprintf(w, "%s%s%s\n", prefix, branch, SpanLine(&dt.Spans[id])); err != nil {
+		return err
+	}
+	kids := children[id]
+	for i, kid := range kids {
+		if err := renderSpan(w, dt, children, kid, childPrefix, i == len(kids)-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanLine renders one span as a single line: kind, name, outcome,
+// duration, attributes. Events render without outcome or duration.
+func SpanLine(sp *Span) string {
+	var b strings.Builder
+	b.WriteString(sp.Kind.String())
+	if sp.Name != "" {
+		b.WriteByte(' ')
+		b.WriteString(sp.Name)
+	}
+	if !sp.Event {
+		switch {
+		case sp.Outcome == "ok":
+			b.WriteString(" ok")
+		case sp.Outcome != "":
+			fmt.Fprintf(&b, " err=%q", sp.Outcome)
+		default:
+			b.WriteString(" open")
+		}
+		if sp.Duration >= 0 {
+			b.WriteByte(' ')
+			b.WriteString(sp.Duration.String())
+		}
+	}
+	for _, a := range sp.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Value())
+	}
+	return b.String()
+}

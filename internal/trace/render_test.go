@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRenderTreeGolden pins govtrace's tree view of the full-featured
+// fixture (regenerate with `go test ./internal/trace -run Golden -update`).
+func TestRenderTreeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTree(&buf, goldenTrace()); err != nil {
+		t.Fatalf("RenderTree: %v", err)
+	}
+	path := filepath.Join("testdata", "tree.golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("tree rendering diverged from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRenderTreeOrphanSpan: spans whose parent is out of range render
+// as roots instead of disappearing — a truncated arena (DroppedSpans)
+// must still show everything it kept.
+func TestRenderTreeOrphanSpan(t *testing.T) {
+	dt := &DomainTrace{
+		Domain: "x.gov.", Duration: time.Millisecond, Class: "ok", Rounds: 1,
+		Spans: []Span{
+			{ID: 0, Parent: 99, Kind: KindQuery, Name: "orphan",
+				Start: 0, Duration: 1, Outcome: "ok"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderTree(&buf, dt); err != nil {
+		t.Fatalf("RenderTree: %v", err)
+	}
+	if !strings.Contains(buf.String(), "orphan") {
+		t.Errorf("orphan span vanished from rendering:\n%s", buf.String())
+	}
+}
+
+// TestSpanLineShapes covers the one-line renderer's outcome states.
+func TestSpanLineShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		span Span
+		want string
+	}{
+		{"ok with attrs",
+			Span{Kind: KindQuery, Name: "x. NS @1.2.3.4", Duration: 5 * time.Microsecond,
+				Outcome: "ok", Attrs: []Attr{Int("attempts", 1)}},
+			"query x. NS @1.2.3.4 ok 5µs attempts=1"},
+		{"error",
+			Span{Kind: KindExchange, Name: "1.2.3.4", Duration: time.Microsecond, Outcome: "timeout"},
+			`exchange 1.2.3.4 err="timeout" 1µs`},
+		{"open",
+			Span{Kind: KindRound, Name: "round 2", Duration: -1},
+			"round round 2 open"},
+		{"event",
+			Span{Kind: KindCacheHit, Name: "gov.", Event: true,
+				Attrs: []Attr{Str("layer", "zone"), Bool("negative", true)}},
+			"cache_hit gov. layer=zone negative=true"},
+	}
+	for _, tc := range cases {
+		if got := SpanLine(&tc.span); got != tc.want {
+			t.Errorf("%s: SpanLine = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// alteredTrace is the "second run" for diff tests: same domain, but the
+// truncated attempt never happened (chaos off), one probe flipped from
+// timeout to ok, the adaptive reorder picked a different first server,
+// and round 2 never ran.
+func alteredTrace() *DomainTrace {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	return &DomainTrace{
+		Domain:   "city.gov.br.",
+		Start:    time.Date(2026, 8, 5, 13, 0, 0, 0, time.UTC),
+		Duration: us(400),
+		Class:    "healthy",
+		Rounds:   1,
+		Spans: []Span{
+			{ID: 0, Parent: NoSpan, Kind: KindDomain, Name: "city.gov.br.",
+				Start: us(0), Duration: us(390), Outcome: "ok",
+				Attrs: []Attr{Str("class", "healthy")}},
+			{ID: 1, Parent: 0, Kind: KindRound, Name: "round 1",
+				Start: us(1), Duration: us(380), Outcome: "ok",
+				Attrs: []Attr{Str("class", "healthy")}},
+			{ID: 2, Parent: 1, Kind: KindParentWalk, Name: "city.gov.br.",
+				Start: us(2), Duration: us(150), Outcome: "ok"},
+			{ID: 3, Parent: 2, Kind: KindReferral, Name: ".",
+				Start: us(3), Duration: us(70), Outcome: "ok",
+				Attrs: []Attr{Str("next", "gov.br.")}},
+			{ID: 4, Parent: 3, Kind: KindReorder, Name: ".", Event: true,
+				Start: us(4), Attrs: []Attr{Str("first", "1.0.2.1")}},
+			{ID: 5, Parent: 3, Kind: KindQuery, Name: "city.gov.br. NS @1.0.1.1",
+				Start: us(5), Duration: us(40), Outcome: "ok",
+				Attrs: []Attr{Int("attempts", 1)}},
+			{ID: 6, Parent: 5, Kind: KindAttempt, Name: "attempt 1",
+				Start: us(6), Duration: us(20), Outcome: "ok"},
+			{ID: 7, Parent: 6, Kind: KindExchange, Name: "1.0.1.1",
+				Start: us(7), Duration: us(18), Outcome: "ok",
+				Attrs: []Attr{Dur("rtt", us(15))}},
+			{ID: 8, Parent: 3, Kind: KindZoneBuild, Name: "gov.br.",
+				Start: us(70), Duration: us(10), Outcome: "ok",
+				Attrs: []Attr{Int("hosts", 2), Int("glueless", 1)}},
+			{ID: 9, Parent: 2, Kind: KindCacheHit, Name: "gov.br.", Event: true,
+				Start: us(100), Attrs: []Attr{Str("layer", "zone"), Bool("negative", false)}},
+			{ID: 10, Parent: 1, Kind: KindNSFetch, Name: "ns1.city.gov.br.",
+				Start: us(210), Duration: us(40), Outcome: "ok",
+				Attrs: []Attr{Bool("glue", true), Int("addrs", 1)}},
+			{ID: 11, Parent: 10, Kind: KindHostResolve, Name: "ns1.city.gov.br.",
+				Start: us(211), Duration: us(30), Outcome: "ok",
+				Attrs: []Attr{Int("addrs", 1)}},
+			{ID: 12, Parent: 11, Kind: KindFlightWait, Name: "ns1.city.gov.br.", Event: true,
+				Start: us(212), Attrs: []Attr{Str("layer", "host")}},
+			{ID: 13, Parent: 1, Kind: KindChildProbe, Name: "ns1.city.gov.br.",
+				Start: us(270), Duration: us(80), Outcome: "ok"},
+			{ID: 14, Parent: 13, Kind: KindProbe, Name: "4.0.0.1",
+				Start: us(271), Duration: us(75), Outcome: "ok",
+				Attrs: []Attr{Int("attempts", 1), Int("duplicates", 0),
+					Int("truncations", 0), Int("qid_mismatches", 0),
+					Int("question_mismatches", 0), Int("malformed", 0)}},
+		},
+	}
+}
+
+// TestDiffGolden pins the structural diff of the chaotic fixture
+// against its clean second run: header changes, the vanished truncated
+// attempt and its chaos event, the flipped probe outcome, the reorder
+// attr change, and the missing round 2.
+func TestDiffGolden(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := Diff(&buf, goldenTrace(), alteredTrace())
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if wantLines := strings.Count(buf.String(), "\n"); n != wantLines {
+		t.Errorf("Diff count %d != %d reported lines", n, wantLines)
+	}
+	path := filepath.Join("testdata", "diff.golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("diff output diverged from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestDiffIdentical: a trace diffed against itself reports nothing.
+func TestDiffIdentical(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := Diff(&buf, goldenTrace(), goldenTrace())
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if n != 0 || buf.Len() != 0 {
+		t.Errorf("self-diff reported %d differences:\n%s", n, buf.String())
+	}
+}

@@ -1,0 +1,215 @@
+// JSONL serialization for domain traces, mirroring measure's
+// WriteJSONL/ReadJSONL: one JSON object per line, and a strict reader
+// that rejects garbage rather than resurrecting a half-broken trace —
+// a corrupt flight-recorder file should fail loudly in govtrace, not
+// render a plausible-looking wrong tree.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"govdns/internal/dnsname"
+)
+
+type attrJSON struct {
+	Key  string `json:"k"`
+	Type string `json:"t,omitempty"` // "s" (default), "i", "d", "b"
+	Str  string `json:"s,omitempty"`
+	Int  int64  `json:"i,omitempty"`
+}
+
+type spanJSON struct {
+	ID      int32      `json:"id"`
+	Parent  int32      `json:"parent"`
+	Kind    string     `json:"kind"`
+	Name    string     `json:"name,omitempty"`
+	Event   bool       `json:"event,omitempty"`
+	StartNS int64      `json:"start_ns"`
+	DurNS   int64      `json:"dur_ns"`
+	Outcome string     `json:"outcome,omitempty"`
+	Attrs   []attrJSON `json:"attrs,omitempty"`
+}
+
+type traceJSON struct {
+	Domain       dnsname.Name `json:"domain"`
+	Start        time.Time    `json:"start"`
+	DurNS        int64        `json:"dur_ns"`
+	Class        string       `json:"class,omitempty"`
+	Rounds       int          `json:"rounds"`
+	Err          string       `json:"error,omitempty"`
+	ErrTransient bool         `json:"error_transient,omitempty"`
+	ClassChanged bool         `json:"class_changed,omitempty"`
+	DroppedSpans int          `json:"dropped_spans,omitempty"`
+	RetainedFor  []string     `json:"retained_for,omitempty"`
+	Spans        []spanJSON   `json:"spans"`
+}
+
+var attrTypeNames = map[AttrKind]string{AttrStr: "s", AttrInt: "i", AttrDur: "d", AttrBool: "b"}
+
+func toAttrJSON(a Attr) attrJSON {
+	j := attrJSON{Key: a.Key}
+	switch a.Kind {
+	case AttrStr:
+		j.Str = a.Str
+	default:
+		j.Type = attrTypeNames[a.Kind]
+		j.Int = a.Int
+	}
+	return j
+}
+
+func fromAttrJSON(j attrJSON) (Attr, error) {
+	switch j.Type {
+	case "", "s":
+		return Str(j.Key, j.Str), nil
+	case "i":
+		return Int(j.Key, j.Int), nil
+	case "d":
+		return Dur(j.Key, time.Duration(j.Int)), nil
+	case "b":
+		return Bool(j.Key, j.Int != 0), nil
+	default:
+		return Attr{}, fmt.Errorf("unknown attr type %q", j.Type)
+	}
+}
+
+func toJSON(dt *DomainTrace) traceJSON {
+	j := traceJSON{
+		Domain:       dt.Domain,
+		Start:        dt.Start,
+		DurNS:        int64(dt.Duration),
+		Class:        dt.Class,
+		Rounds:       dt.Rounds,
+		Err:          dt.Err,
+		ErrTransient: dt.ErrTransient,
+		ClassChanged: dt.ClassChanged,
+		DroppedSpans: dt.DroppedSpans,
+		RetainedFor:  dt.RetainedFor,
+		Spans:        make([]spanJSON, len(dt.Spans)),
+	}
+	for i, sp := range dt.Spans {
+		sj := spanJSON{
+			ID:      int32(sp.ID),
+			Parent:  int32(sp.Parent),
+			Kind:    sp.Kind.String(),
+			Name:    sp.Name,
+			Event:   sp.Event,
+			StartNS: int64(sp.Start),
+			DurNS:   int64(sp.Duration),
+			Outcome: sp.Outcome,
+		}
+		if len(sp.Attrs) > 0 {
+			sj.Attrs = make([]attrJSON, len(sp.Attrs))
+			for k, a := range sp.Attrs {
+				sj.Attrs[k] = toAttrJSON(a)
+			}
+		}
+		j.Spans[i] = sj
+	}
+	return j
+}
+
+func fromJSON(j traceJSON) (*DomainTrace, error) {
+	if j.Domain == "" {
+		return nil, fmt.Errorf("missing domain")
+	}
+	if _, err := dnsname.Parse(string(j.Domain)); err != nil {
+		return nil, fmt.Errorf("bad domain %q: %w", j.Domain, err)
+	}
+	if j.DurNS < 0 {
+		return nil, fmt.Errorf("negative duration")
+	}
+	dt := &DomainTrace{
+		Domain:       j.Domain,
+		Start:        j.Start,
+		Duration:     time.Duration(j.DurNS),
+		Class:        j.Class,
+		Rounds:       j.Rounds,
+		Err:          j.Err,
+		ErrTransient: j.ErrTransient,
+		ClassChanged: j.ClassChanged,
+		DroppedSpans: j.DroppedSpans,
+		RetainedFor:  j.RetainedFor,
+		Spans:        make([]Span, len(j.Spans)),
+	}
+	for i, sj := range j.Spans {
+		if int(sj.ID) != i {
+			return nil, fmt.Errorf("span %d: id %d out of order", i, sj.ID)
+		}
+		if sj.Parent < int32(NoSpan) || sj.Parent >= sj.ID {
+			return nil, fmt.Errorf("span %d: bad parent %d", i, sj.Parent)
+		}
+		kind, ok := KindFromString(sj.Kind)
+		if !ok {
+			return nil, fmt.Errorf("span %d: unknown kind %q", i, sj.Kind)
+		}
+		if sj.StartNS < 0 {
+			return nil, fmt.Errorf("span %d: negative start", i)
+		}
+		sp := Span{
+			ID: SpanID(sj.ID), Parent: SpanID(sj.Parent), Kind: kind,
+			Name: sj.Name, Event: sj.Event,
+			Start: time.Duration(sj.StartNS), Duration: time.Duration(sj.DurNS),
+			Outcome: sj.Outcome,
+		}
+		if len(sj.Attrs) > 0 {
+			sp.Attrs = make([]Attr, len(sj.Attrs))
+			for k, aj := range sj.Attrs {
+				a, err := fromAttrJSON(aj)
+				if err != nil {
+					return nil, fmt.Errorf("span %d attr %d: %w", i, k, err)
+				}
+				sp.Attrs[k] = a
+			}
+		}
+		dt.Spans[i] = sp
+	}
+	return dt, nil
+}
+
+// WriteJSONL writes one trace per line.
+func WriteJSONL(w io.Writer, traces []*DomainTrace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, dt := range traces {
+		if err := enc.Encode(toJSON(dt)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace JSONL stream, validating every span: dense
+// in-order IDs, parents that precede their children, known kinds and
+// attribute types. Any violation aborts the read with a line-numbered
+// error.
+func ReadJSONL(r io.Reader) ([]*DomainTrace, error) {
+	var out []*DomainTrace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var j traceJSON
+		if err := json.Unmarshal(line, &j); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		dt, err := fromJSON(j)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		out = append(out, dt)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace is a hand-built two-round trace exercising every span
+// kind, attribute type, and edge the renderer and serializer handle:
+// nested query/attempt/exchange chains, a chaos injection, instant
+// events, fault-annotated probes, and one span left open (a crash
+// would leave exactly this shape).
+func goldenTrace() *DomainTrace {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	return &DomainTrace{
+		Domain:       "city.gov.br.",
+		Start:        time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Duration:     us(900),
+		Class:        "walk-failure",
+		Rounds:       2,
+		Err:          `resolver: timeout: city.gov.br. NS @4.0.0.1`,
+		ErrTransient: true,
+		ClassChanged: true,
+		DroppedSpans: 3,
+		RetainedFor:  []string{RetainError, RetainClassFlip},
+		Spans: []Span{
+			{ID: 0, Parent: NoSpan, Kind: KindDomain, Name: "city.gov.br.",
+				Start: us(0), Duration: us(890), Outcome: "ok",
+				Attrs: []Attr{Str("class", "walk-failure")}},
+			{ID: 1, Parent: 0, Kind: KindRound, Name: "round 1",
+				Start: us(1), Duration: us(500), Outcome: "ok",
+				Attrs: []Attr{Str("class", "lame-delegation")}},
+			{ID: 2, Parent: 1, Kind: KindParentWalk, Name: "city.gov.br.",
+				Start: us(2), Duration: us(200), Outcome: "ok"},
+			{ID: 3, Parent: 2, Kind: KindReferral, Name: ".",
+				Start: us(3), Duration: us(90), Outcome: "ok",
+				Attrs: []Attr{Str("next", "gov.br.")}},
+			{ID: 4, Parent: 3, Kind: KindReorder, Name: ".", Event: true,
+				Start: us(4), Attrs: []Attr{Str("first", "1.0.1.1")}},
+			{ID: 5, Parent: 3, Kind: KindQuery, Name: "city.gov.br. NS @1.0.1.1",
+				Start: us(5), Duration: us(60), Outcome: "ok",
+				Attrs: []Attr{Int("attempts", 2)}},
+			{ID: 6, Parent: 5, Kind: KindAttempt, Name: "attempt 1",
+				Start: us(6), Duration: us(30),
+				Outcome: "resolver: response truncated: city.gov.br. NS @1.0.1.1",
+				Attrs:   []Attr{Int("discarded", 1)}},
+			{ID: 7, Parent: 6, Kind: KindExchange, Name: "1.0.1.1",
+				Start: us(7), Duration: us(25),
+				Outcome: "resolver: response truncated: city.gov.br. NS @1.0.1.1",
+				Attrs:   []Attr{Dur("rtt", us(20))}},
+			{ID: 8, Parent: 7, Kind: KindChaos, Name: "truncate", Event: true,
+				Start: us(8)},
+			{ID: 9, Parent: 5, Kind: KindAttempt, Name: "attempt 2",
+				Start: us(40), Duration: us(20), Outcome: "ok"},
+			{ID: 10, Parent: 9, Kind: KindExchange, Name: "1.0.1.1",
+				Start: us(41), Duration: us(18), Outcome: "ok",
+				Attrs: []Attr{Dur("rtt", us(15))}},
+			{ID: 11, Parent: 3, Kind: KindZoneBuild, Name: "gov.br.",
+				Start: us(70), Duration: us(10), Outcome: "ok",
+				Attrs: []Attr{Int("hosts", 2), Int("glueless", 1)}},
+			{ID: 12, Parent: 2, Kind: KindCacheHit, Name: "gov.br.", Event: true,
+				Start: us(100), Attrs: []Attr{Str("layer", "zone"), Bool("negative", false)}},
+			{ID: 13, Parent: 1, Kind: KindNSFetch, Name: "ns1.city.gov.br.",
+				Start: us(210), Duration: us(50), Outcome: "ok",
+				Attrs: []Attr{Bool("glue", true), Int("addrs", 1)}},
+			{ID: 14, Parent: 13, Kind: KindHostResolve, Name: "ns1.city.gov.br.",
+				Start: us(211), Duration: us(40), Outcome: "ok",
+				Attrs: []Attr{Int("addrs", 1)}},
+			{ID: 15, Parent: 14, Kind: KindFlightWait, Name: "ns1.city.gov.br.", Event: true,
+				Start: us(212), Attrs: []Attr{Str("layer", "host")}},
+			{ID: 16, Parent: 1, Kind: KindChildProbe, Name: "ns1.city.gov.br.",
+				Start: us(270), Duration: us(100), Outcome: "ok"},
+			{ID: 17, Parent: 16, Kind: KindProbe, Name: "4.0.0.1",
+				Start: us(271), Duration: us(95),
+				Outcome: "resolver: timeout: city.gov.br. NS @4.0.0.1",
+				Attrs: []Attr{Int("attempts", 3), Int("duplicates", 1),
+					Int("truncations", 0), Int("qid_mismatches", 0),
+					Int("question_mismatches", 0), Int("malformed", 2)}},
+			{ID: 18, Parent: 0, Kind: KindRound, Name: "round 2",
+				Start: us(510), Duration: -1}, // left open: renders as "open"
+		},
+	}
+}
+
+// TestJSONLRoundTrip: a full-featured trace must survive
+// WriteJSONL→ReadJSONL with every span, attribute, and flag intact.
+func TestJSONLRoundTrip(t *testing.T) {
+	want := goldenTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, []*DomainTrace{want}); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d traces, want 1", len(got))
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Errorf("round trip diverged:\ngot  %+v\nwant %+v", got[0], want)
+	}
+}
+
+// TestJSONLGolden pins the wire schema byte for byte (regenerate with
+// `go test ./internal/trace -run Golden -update`).
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, []*DomainTrace{goldenTrace()}); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	path := filepath.Join("testdata", "trace.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("serialization diverged from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	if _, err := ReadJSONL(bytes.NewReader(want)); err != nil {
+		t.Errorf("golden file does not parse: %v", err)
+	}
+}
+
+// TestReadJSONLRejectsGarbage: the reader is strict — every class of
+// corruption aborts with a line-numbered error instead of producing a
+// plausible-looking wrong trace.
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	valid := func() string {
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, []*DomainTrace{goldenTrace()}); err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSuffix(buf.String(), "\n")
+	}()
+
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"not json", "{nope", "line 1"},
+		{"wrong type", `["a","b"]`, "line 1"},
+		{"missing domain", `{"start":"2026-08-05T12:00:00Z","dur_ns":1,"rounds":1,"spans":[]}`,
+			"missing domain"},
+		{"unparseable domain", `{"domain":"..bad..","dur_ns":1,"rounds":1,"spans":[]}`,
+			"bad domain"},
+		{"negative duration", `{"domain":"x.gov.","dur_ns":-5,"rounds":1,"spans":[]}`,
+			"negative duration"},
+		{"span id out of order",
+			`{"domain":"x.gov.","dur_ns":1,"rounds":1,"spans":[{"id":1,"parent":-1,"kind":"domain","start_ns":0,"dur_ns":0}]}`,
+			"id 1 out of order"},
+		{"parent not before child",
+			`{"domain":"x.gov.","dur_ns":1,"rounds":1,"spans":[{"id":0,"parent":0,"kind":"domain","start_ns":0,"dur_ns":0}]}`,
+			"bad parent"},
+		{"parent below NoSpan",
+			`{"domain":"x.gov.","dur_ns":1,"rounds":1,"spans":[{"id":0,"parent":-2,"kind":"domain","start_ns":0,"dur_ns":0}]}`,
+			"bad parent"},
+		{"unknown span kind",
+			`{"domain":"x.gov.","dur_ns":1,"rounds":1,"spans":[{"id":0,"parent":-1,"kind":"warp_drive","start_ns":0,"dur_ns":0}]}`,
+			`unknown kind "warp_drive"`},
+		{"negative span start",
+			`{"domain":"x.gov.","dur_ns":1,"rounds":1,"spans":[{"id":0,"parent":-1,"kind":"domain","start_ns":-1,"dur_ns":0}]}`,
+			"negative start"},
+		{"unknown attr type",
+			`{"domain":"x.gov.","dur_ns":1,"rounds":1,"spans":[{"id":0,"parent":-1,"kind":"domain","start_ns":0,"dur_ns":0,"attrs":[{"k":"x","t":"z"}]}]}`,
+			`unknown attr type "z"`},
+		{"garbage after valid line", valid + "\n{nope", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSONL(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("ReadJSONL accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// Blank lines are tolerated — they are not corruption.
+	got, err := ReadJSONL(strings.NewReader("\n" + valid + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("blank lines: got %d traces, err %v; want 1, nil", len(got), err)
+	}
+}

@@ -1,0 +1,364 @@
+// Package trace is the scan pipeline's flight recorder. Where
+// internal/obs answers "how is the scan doing in aggregate", trace
+// answers "why did THIS domain take THIS path through the Fig. 1
+// pipeline": every layer of a domain's measurement — scanner stages
+// (parent walk, NS fetch, child probe, second round), iterator steps
+// (referral, glue chase, zone build, cache hits, singleflight waits,
+// adaptive reorder), client attempts (retry, discard, fault class,
+// RTT), and transport-level chaos injections — records a span into a
+// per-domain tree.
+//
+// The design mirrors obs's nil-safety contract: a nil *Recorder is a
+// valid recorder whose every method is a no-op, so tracing-off call
+// sites pay only a nil check. Recording call sites that would build a
+// label string (fmt.Sprintf, addr.String()) must guard with
+// `if rec != nil` so the tracing-off path stays allocation-free; the
+// recorder itself is one append into a per-domain arena under a
+// mutex.
+//
+// Span timestamps are monotonic offsets from the recorder's creation
+// (time.Since on the creation time, which carries Go's monotonic
+// reading), so a trace is internally consistent even across wall-clock
+// steps; only the DomainTrace root carries a wall-clock start.
+package trace
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"govdns/internal/dnsname"
+)
+
+// SpanID indexes a span within its domain's arena. IDs are dense and
+// allocation order equals start order.
+type SpanID int32
+
+// NoSpan is the parent of root spans and the ID returned by a nil or
+// saturated recorder; every Recorder method accepts it and no-ops.
+const NoSpan SpanID = -1
+
+// DefaultSpanLimit bounds one domain's arena. A healthy domain records
+// a few dozen spans; a pathological walk under chaos a few hundred.
+// The cap exists so a resolution loop can never hold the scan's memory
+// hostage — overflow increments DroppedSpans instead of growing.
+const DefaultSpanLimit = 8192
+
+// Kind classifies a span by pipeline layer. Kinds serialize as the
+// strings in kindNames; ReadJSONL rejects unknown kinds.
+type Kind uint8
+
+const (
+	// Scanner stages (internal/measure).
+	KindDomain     Kind = iota // root: one whole domain measurement
+	KindRound                  // one scan round (1 or 2)
+	KindParentWalk             // delegation walk from the root
+	KindNSFetch                // resolving one NS host to addresses
+	KindChildProbe             // probing one NS host's addresses
+	KindProbe                  // one child NS query to one address
+
+	// Client layer (internal/resolver client).
+	KindQuery    // one QueryTraced call (all attempts)
+	KindAttempt  // one retry attempt
+	KindExchange // one wire exchange (send + recv/discard loop entry)
+
+	// Iterator layer (internal/resolver iterate).
+	KindReferral    // one step of the delegation walk
+	KindZoneBuild   // building a zone's server set from a referral
+	KindHostResolve // resolving one NS hostname (glue chase)
+
+	// Events (zero-duration annotations).
+	KindCacheHit   // host/zone cache hit (attr negative=true for cached failures)
+	KindFlightWait // received another chain's singleflight result (coalesce)
+	KindReorder    // adaptive ordering changed the server try order
+	KindChaos      // a chaos injection hit the enclosing exchange
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"domain", "round", "parent_walk", "ns_fetch", "child_probe", "probe",
+	"query", "attempt", "exchange",
+	"referral", "zone_build", "host_resolve",
+	"cache_hit", "flight_wait", "reorder", "chaos",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// KindFromString is the inverse of Kind.String for deserialization.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// AttrKind types an attribute value. Attrs are a flat tagged union
+// rather than interface{} so recording never boxes.
+type AttrKind uint8
+
+const (
+	AttrStr AttrKind = iota
+	AttrInt
+	AttrDur
+	AttrBool
+)
+
+// Attr is one typed key/value annotation on a span.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Str  string
+	Int  int64
+}
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Kind: AttrStr, Str: v} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Kind: AttrInt, Int: v} }
+
+// Dur builds a duration attribute.
+func Dur(key string, d time.Duration) Attr { return Attr{Key: key, Kind: AttrDur, Int: int64(d)} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, Kind: AttrBool}
+	if v {
+		a.Int = 1
+	}
+	return a
+}
+
+// Value renders the attribute value as a string (for trees and diffs).
+func (a Attr) Value() string {
+	switch a.Kind {
+	case AttrStr:
+		return a.Str
+	case AttrInt:
+		return strconv.FormatInt(a.Int, 10)
+	case AttrDur:
+		return time.Duration(a.Int).String()
+	case AttrBool:
+		if a.Int != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Span is one node of a domain's resolution tree. Start is the offset
+// from the domain recorder's creation; Duration is -1 while the span
+// is open and >= 0 once ended. Events (Event == true) are instant
+// annotations: zero duration, no outcome.
+type Span struct {
+	ID       SpanID
+	Parent   SpanID
+	Kind     Kind
+	Name     string
+	Event    bool
+	Start    time.Duration
+	Duration time.Duration
+	Outcome  string // "" while open; "ok" or the error text once ended
+	Attrs    []Attr
+}
+
+// Ended reports whether the span was closed (events count as ended).
+func (s *Span) Ended() bool { return s.Event || s.Duration >= 0 }
+
+// Recorder collects one domain's spans into an arena. All methods are
+// safe on a nil receiver and safe for concurrent use — the per-domain
+// fan-out and glue chases record from many goroutines.
+type Recorder struct {
+	limit  int
+	start  time.Time // carries the monotonic reading for offsets
+	domain dnsname.Name
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int
+}
+
+// NewRecorder starts a recorder for one domain. limit <= 0 means
+// DefaultSpanLimit.
+func NewRecorder(domain dnsname.Name, limit int) *Recorder {
+	return newRecorder(domain, limit, make([]Span, 0, 64))
+}
+
+// newRecorder is NewRecorder over a caller-supplied arena — the flight
+// recorder recycles dropped traces' arenas through here.
+func newRecorder(domain dnsname.Name, limit int, arena []Span) *Recorder {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Recorder{limit: limit, start: time.Now(), domain: domain, spans: arena}
+}
+
+// StartSpan opens a span under parent (NoSpan for a root) and returns
+// its ID. Returns NoSpan on a nil recorder or a full arena.
+func (r *Recorder) StartSpan(parent SpanID, kind Kind, name string) SpanID {
+	if r == nil {
+		return NoSpan
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.limit {
+		r.dropped++
+		return NoSpan
+	}
+	id := SpanID(len(r.spans))
+	r.spans = append(r.spans, Span{
+		ID: id, Parent: parent, Kind: kind, Name: name,
+		Start: time.Since(r.start), Duration: -1,
+	})
+	return id
+}
+
+// EndSpan closes a span with "ok" or the error's text. Ending NoSpan
+// or an already-ended span is a no-op, so straight-line call sites can
+// end unconditionally on every path.
+func (r *Recorder) EndSpan(id SpanID, err error) {
+	if r == nil || id < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(id) >= len(r.spans) {
+		return
+	}
+	sp := &r.spans[id]
+	if sp.Ended() {
+		return
+	}
+	if d := time.Since(r.start) - sp.Start; d > 0 {
+		sp.Duration = d
+	} else {
+		sp.Duration = 0
+	}
+	if err != nil {
+		sp.Outcome = err.Error()
+	} else {
+		sp.Outcome = "ok"
+	}
+}
+
+// Annotate appends attributes to an open or ended span.
+func (r *Recorder) Annotate(id SpanID, attrs ...Attr) {
+	if r == nil || id < 0 || len(attrs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(id) >= len(r.spans) {
+		return
+	}
+	sp := &r.spans[id]
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// Event records an instant zero-duration span under parent: cache
+// hits, singleflight waits, reorders, chaos injections.
+func (r *Recorder) Event(parent SpanID, kind Kind, name string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.limit {
+		r.dropped++
+		return
+	}
+	id := SpanID(len(r.spans))
+	r.spans = append(r.spans, Span{
+		ID: id, Parent: parent, Kind: kind, Name: name, Event: true,
+		Start: time.Since(r.start), Attrs: attrs,
+	})
+}
+
+// Finish seals the recorder into an exportable DomainTrace. The
+// classification, round count, and error disposition come from the
+// scan result; ClassChanged marks a domain whose classification
+// differed between rounds (one of the flight recorder's retention
+// triggers).
+//
+// Finish transfers the span arena to the returned trace rather than
+// copying it — at scan scale the copy would double tracing's
+// allocation bill. The recorder is left empty: recording after Finish
+// is safe but lands in a fresh arena invisible to the sealed trace.
+func (r *Recorder) Finish(class string, rounds int, errText string, transient, classChanged bool) *DomainTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dt := &DomainTrace{
+		Domain:       r.domain,
+		Start:        r.start,
+		Duration:     time.Since(r.start),
+		Class:        class,
+		Rounds:       rounds,
+		Err:          errText,
+		ErrTransient: transient,
+		ClassChanged: classChanged,
+		DroppedSpans: r.dropped,
+		Spans:        r.spans,
+	}
+	r.spans = nil
+	return dt
+}
+
+// DomainTrace is one domain's sealed span tree plus the scan-result
+// summary that decided its retention.
+type DomainTrace struct {
+	Domain       dnsname.Name
+	Start        time.Time
+	Duration     time.Duration
+	Class        string
+	Rounds       int
+	Err          string
+	ErrTransient bool
+	ClassChanged bool
+	DroppedSpans int
+	// RetainedFor lists the flight-recorder buckets that kept this
+	// trace ("slowest", "error", "class-flip"); empty until the trace
+	// passes through FlightRecorder.Retained.
+	RetainedFor []string
+	Spans       []Span
+}
+
+// scope carries the active recorder and parent span through a context.
+// One key holds both so tracing adds a single context value per layer.
+type scopeKey struct{}
+
+type scope struct {
+	rec  *Recorder
+	span SpanID
+}
+
+// ContextWith returns ctx scoped to (rec, span); a nil rec returns ctx
+// unchanged so tracing-off paths add no context layers.
+func ContextWith(ctx context.Context, rec *Recorder, span SpanID) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeKey{}, scope{rec: rec, span: span})
+}
+
+// From extracts the active recorder and parent span from ctx; (nil,
+// NoSpan) when the request is untraced.
+func From(ctx context.Context) (*Recorder, SpanID) {
+	if s, ok := ctx.Value(scopeKey{}).(scope); ok {
+		return s.rec, s.span
+	}
+	return nil, NoSpan
+}

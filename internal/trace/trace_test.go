@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/obs"
+)
+
+// TestNilRecorderNoOps pins the tracing-off contract: every method of a
+// nil *Recorder and nil *FlightRecorder is a safe no-op, because that
+// is what every call site in the resolver and scanner relies on.
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	if id := r.StartSpan(NoSpan, KindDomain, "x"); id != NoSpan {
+		t.Errorf("nil StartSpan = %d, want NoSpan", id)
+	}
+	r.EndSpan(NoSpan, nil)
+	r.EndSpan(0, errors.New("boom"))
+	r.Annotate(0, Str("k", "v"))
+	r.Event(NoSpan, KindChaos, "drop")
+	if dt := r.Finish("ok", 1, "", false, false); dt != nil {
+		t.Errorf("nil Finish = %+v, want nil", dt)
+	}
+
+	var f *FlightRecorder
+	if rec := f.NewRecorder("x.gov."); rec != nil {
+		t.Errorf("nil FlightRecorder.NewRecorder = %v, want nil", rec)
+	}
+	f.Offer(nil)
+	f.AttachRegistry(obs.NewRegistry())
+	if s, e, fl, o := f.Counts(); s+e+fl != 0 || o != 0 {
+		t.Errorf("nil Counts = %d %d %d %d", s, e, fl, o)
+	}
+	if got := f.Retained(); got != nil {
+		t.Errorf("nil Retained = %v, want nil", got)
+	}
+}
+
+// TestRecorderSpanTree exercises the arena: parents, outcomes,
+// annotation, events, and idempotent EndSpan.
+func TestRecorderSpanTree(t *testing.T) {
+	r := NewRecorder("x.gov.", 0)
+	root := r.StartSpan(NoSpan, KindDomain, "x.gov.")
+	child := r.StartSpan(root, KindQuery, "x.gov. NS @1.2.3.4")
+	r.Annotate(child, Int("attempts", 3), Dur("rtt", 5*time.Millisecond))
+	r.EndSpan(child, errors.New("timeout"))
+	r.EndSpan(child, nil) // idempotent: must not overwrite the error
+	r.Event(root, KindCacheHit, "gov.", Str("layer", "zone"), Bool("negative", true))
+	r.EndSpan(root, nil)
+
+	dt := r.Finish("walk-failure", 2, "timeout", true, true)
+	if dt.Domain != "x.gov." || dt.Class != "walk-failure" || dt.Rounds != 2 {
+		t.Fatalf("Finish header = %+v", dt)
+	}
+	if !dt.ErrTransient || !dt.ClassChanged {
+		t.Errorf("flags not carried: %+v", dt)
+	}
+	if len(dt.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(dt.Spans))
+	}
+
+	rootSp, childSp, ev := &dt.Spans[0], &dt.Spans[1], &dt.Spans[2]
+	if rootSp.Parent != NoSpan || childSp.Parent != root || ev.Parent != root {
+		t.Errorf("parents wrong: %d %d %d", rootSp.Parent, childSp.Parent, ev.Parent)
+	}
+	if rootSp.Outcome != "ok" {
+		t.Errorf("root outcome = %q, want ok", rootSp.Outcome)
+	}
+	if childSp.Outcome != "timeout" {
+		t.Errorf("child outcome = %q, want timeout (idempotent EndSpan)", childSp.Outcome)
+	}
+	if !childSp.Ended() || childSp.Duration < 0 {
+		t.Errorf("child not ended: %+v", childSp)
+	}
+	if len(childSp.Attrs) != 2 || childSp.Attrs[0].Value() != "3" || childSp.Attrs[1].Value() != "5ms" {
+		t.Errorf("attrs = %+v", childSp.Attrs)
+	}
+	if !ev.Event || !ev.Ended() || ev.Duration != 0 || ev.Outcome != "" {
+		t.Errorf("event malformed: %+v", ev)
+	}
+	if ev.Kind != KindCacheHit || ev.Attrs[1].Value() != "true" {
+		t.Errorf("event attrs = %+v", ev)
+	}
+}
+
+// TestRecorderSpanLimit: the arena cap turns overflow into DroppedSpans
+// instead of growth, and ending a dropped (NoSpan) span is harmless.
+func TestRecorderSpanLimit(t *testing.T) {
+	r := NewRecorder("x.gov.", 2)
+	a := r.StartSpan(NoSpan, KindDomain, "a")
+	b := r.StartSpan(a, KindRound, "b")
+	c := r.StartSpan(b, KindQuery, "c") // over the cap
+	if c != NoSpan {
+		t.Fatalf("over-limit StartSpan = %d, want NoSpan", c)
+	}
+	r.Event(b, KindChaos, "also dropped")
+	r.EndSpan(c, nil)
+	r.EndSpan(b, nil)
+	r.EndSpan(a, nil)
+	dt := r.Finish("ok", 1, "", false, false)
+	if len(dt.Spans) != 2 || dt.DroppedSpans != 2 {
+		t.Errorf("spans=%d dropped=%d, want 2 and 2", len(dt.Spans), dt.DroppedSpans)
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines the
+// way the scanner's intra-domain fan-out does; run under -race this is
+// the data-race check, and the span count must come out exact.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder("x.gov.", 0)
+	root := r.StartSpan(NoSpan, KindDomain, "x.gov.")
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := r.StartSpan(root, KindProbe, fmt.Sprintf("w%d-%d", w, i))
+				r.Annotate(id, Int("i", int64(i)))
+				r.EndSpan(id, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.EndSpan(root, nil)
+	dt := r.Finish("ok", 1, "", false, false)
+	if want := 1 + workers*each; len(dt.Spans) != want {
+		t.Errorf("got %d spans, want %d", len(dt.Spans), want)
+	}
+	for i := range dt.Spans {
+		if sp := &dt.Spans[i]; !sp.Ended() {
+			t.Errorf("span %d (%s) not ended", sp.ID, sp.Name)
+		}
+		if int(dt.Spans[i].ID) != i {
+			t.Errorf("span %d has ID %d; arena must stay dense", i, dt.Spans[i].ID)
+		}
+	}
+}
+
+// TestContextPlumbing: ContextWith/From carry the (recorder, span)
+// scope, and a nil recorder adds no context layer at all.
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if rec, span := From(ctx); rec != nil || span != NoSpan {
+		t.Errorf("empty ctx From = %v %d", rec, span)
+	}
+	if got := ContextWith(ctx, nil, 7); got != ctx {
+		t.Error("ContextWith(nil rec) must return ctx unchanged")
+	}
+	r := NewRecorder("x.gov.", 0)
+	id := r.StartSpan(NoSpan, KindDomain, "x.gov.")
+	ctx2 := ContextWith(ctx, r, id)
+	if rec, span := From(ctx2); rec != r || span != id {
+		t.Errorf("From = %v %d, want %v %d", rec, span, r, id)
+	}
+}
+
+// mkTrace builds a minimal sealed trace for retention tests.
+func mkTrace(domain string, dur time.Duration, errText string, transient, flipped bool) *DomainTrace {
+	return &DomainTrace{
+		Domain: dnsname.Name("d" + domain + ".gov."), Start: time.Unix(1700000000, 0).UTC(),
+		Duration: dur, Class: "ok", Rounds: 1,
+		Err: errText, ErrTransient: transient, ClassChanged: flipped,
+	}
+}
+
+// TestFlightRecorderRetention pins the three buckets: slowest-N kept in
+// descending order with eviction, error and class-flip rings wrapping,
+// and Retained() deduplicating a trace kept for several reasons.
+func TestFlightRecorderRetention(t *testing.T) {
+	f := NewFlightRecorder(Config{Slowest: 2, Errors: 2, Flipped: 2})
+	f.Offer(mkTrace("a", 30*time.Millisecond, "", false, false))
+	f.Offer(mkTrace("b", 10*time.Millisecond, "", false, false))
+	f.Offer(mkTrace("c", 20*time.Millisecond, "", false, false)) // evicts b
+	f.Offer(mkTrace("d", 1*time.Millisecond, "", false, false))  // too fast: dropped
+	// Error ring wraps: e1 is overwritten by e3.
+	f.Offer(mkTrace("e1", 2*time.Millisecond, "timeout", true, false))
+	f.Offer(mkTrace("e2", 2*time.Millisecond, "refused", false, false))
+	f.Offer(mkTrace("e3", 2*time.Millisecond, "servfail", true, false))
+	// Slow AND flipped: retained once with two reasons.
+	f.Offer(mkTrace("f", 40*time.Millisecond, "", false, true))
+
+	slow, errs, flip, offered := f.Counts()
+	if slow != 2 || errs != 2 || flip != 1 || offered != 8 {
+		t.Fatalf("Counts = %d %d %d %d, want 2 2 1 8", slow, errs, flip, offered)
+	}
+	got := f.Retained()
+	byDomain := map[string]*DomainTrace{}
+	for _, dt := range got {
+		byDomain[string(dt.Domain)] = dt
+	}
+	if len(got) != 4 { // f + a (slowest), e2 + e3 (ring); f's flip dedups
+		var names []string
+		for _, dt := range got {
+			names = append(names, string(dt.Domain))
+		}
+		t.Fatalf("Retained %d traces (%s), want 4", len(got), strings.Join(names, ","))
+	}
+	for domain, reasons := range map[string][]string{
+		"df.gov.":  {RetainSlowest, RetainClassFlip},
+		"da.gov.":  {RetainSlowest},
+		"de2.gov.": {RetainError},
+		"de3.gov.": {RetainError},
+	} {
+		dt := byDomain[domain]
+		if dt == nil {
+			t.Errorf("%s not retained", domain)
+			continue
+		}
+		if fmt.Sprint(dt.RetainedFor) != fmt.Sprint(reasons) {
+			t.Errorf("%s RetainedFor = %v, want %v", domain, dt.RetainedFor, reasons)
+		}
+	}
+	if byDomain["de1.gov."] != nil {
+		t.Error("e1 should have been evicted by the ring wrap")
+	}
+	if byDomain["db.gov."] != nil || byDomain["dd.gov."] != nil {
+		t.Error("fast non-error traces must be dropped")
+	}
+}
+
+// TestFlightRecorderMetrics: AttachRegistry surfaces retention in obs.
+func TestFlightRecorderMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewFlightRecorder(Config{Slowest: 1})
+	f.AttachRegistry(reg)
+	f.Offer(mkTrace("a", 5*time.Millisecond, "", false, false))
+	f.Offer(mkTrace("b", 1*time.Millisecond, "boom", false, false))
+	f.Offer(mkTrace("c", 1*time.Millisecond, "", false, false)) // dropped
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"trace_domains_offered_total":  3,
+		"trace_domains_retained_total": 2,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	for name, want := range map[string]int64{
+		"trace_retained_slowest": 1,
+		"trace_retained_errors":  1,
+		"trace_retained_flipped": 0,
+	} {
+		if got := snap.Gauges[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestKindStringRoundTrip: every kind has a distinct wire name and
+// KindFromString inverts String, so serialized traces stay readable.
+func TestKindStringRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+		got, ok := KindFromString(s)
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v %v, want %v true", s, got, ok, k)
+		}
+	}
+	if _, ok := KindFromString("warp_drive"); ok {
+		t.Error("unknown kind name must not resolve")
+	}
+}
