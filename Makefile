@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench chaos fuzz check
+.PHONY: build test race vet lint bench bench-pdns chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,17 @@ lint:
 # snapshot from an instrumented reference scan.
 bench:
 	$(GO) run ./cmd/benchreport -bench . -benchtime 1s
+
+# bench-pdns runs the passive-analysis figure/table benchmarks — the
+# corpus fast paths alongside the retained view-based reference slow
+# paths (BenchmarkFig2PDNSGrowthReference and friends) and the one-time
+# BenchmarkCorpusCompile — and emits BENCH_2.json as the before/after
+# evidence for the columnar analysis engine, plus the pdns dump-load
+# micro-bench. The scan-pipeline overhead gates live in `make bench`
+# and are deliberately untouched here.
+bench-pdns:
+	$(GO) run ./cmd/benchreport -bench 'Fig|Table|Corpus' -benchtime 1s -benchout BENCH_2.json
+	$(GO) test -run '^$$' -bench ReadJSONL -benchmem ./internal/pdns
 
 # chaos is the focused fault-injection view of the tier-1 gate: the
 # chaos package tests plus the scan-invariance differential harness

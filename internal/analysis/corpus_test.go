@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/pdns"
+)
+
+// TestCorpusModeHandCrafted pins the difference-array sweep on the
+// windows that are easy to get wrong: year-boundary straddles,
+// single-day records, mode ties (stats.Mode breaks toward the smaller
+// count), and more concurrent records than the sweep's initial
+// frequency scratch.
+func TestCorpusModeHandCrafted(t *testing.T) {
+	s := pdns.NewStore()
+	obs := func(name dnsname.Name, host string, from, to pdns.Day) {
+		s.ObserveRange(name, dnswire.TypeNS, host, from, to)
+	}
+
+	// straddle.gov.br.: one record across the 2014/2015 boundary, one
+	// only in 2015.
+	obs("straddle.gov.br.", "ns1.gov.br.", pdns.Date(2014, time.November, 1), pdns.Date(2015, time.March, 1))
+	obs("straddle.gov.br.", "ns2.gov.br.", pdns.Date(2015, time.January, 10), pdns.Date(2015, time.December, 31))
+
+	// tie.gov.br.: 2016 split exactly between 1-NS and 2-NS days —
+	// the mode must break toward 1.
+	obs("tie.gov.br.", "ns1.gov.br.", pdns.Date(2016, time.January, 1), pdns.Date(2016, time.January, 20))
+	obs("tie.gov.br.", "ns2.gov.br.", pdns.Date(2016, time.January, 11), pdns.Date(2016, time.January, 30))
+
+	// singleday.gov.br.: a one-day record on December 31.
+	obs("singleday.gov.br.", "ns1.gov.br.", pdns.Date(2017, time.December, 31), pdns.Date(2017, time.December, 31))
+
+	// wide.gov.br.: 10 concurrent records, past the sweep's initial
+	// 8-slot frequency scratch.
+	for i := 0; i < 10; i++ {
+		obs("wide.gov.br.", fmt.Sprintf("ns%d.wide.gov.br.", i), pdns.Date(2018, time.March, 1), pdns.Date(2018, time.June, 1))
+	}
+
+	// outside.gov.br.: active only before the study span.
+	obs("outside.gov.br.", "ns1.gov.br.", pdns.Date(2009, time.May, 1), pdns.Date(2010, time.May, 1))
+
+	view := pdns.NewView(s.Snapshot())
+	c := CompileCorpus(view, testMapper(), 2011, 2020)
+	idx := indexByDomain(view)
+	for _, name := range idx.names {
+		for year := 2011; year <= 2020; year++ {
+			want, ok := NSModeForYear(idx.sets[name], year)
+			if !ok {
+				want = 0
+			}
+			got := int(c.modeAt(int(c.nameID[name]), year-2011))
+			if got != want {
+				t.Errorf("mode(%s, %d) = %d, want %d", name, year, got, want)
+			}
+		}
+	}
+	if got := int(c.modeAt(int(c.nameID["tie.gov.br."]), 2016-2011)); got != 1 {
+		t.Errorf("tie mode = %d, want 1 (smaller value wins ties)", got)
+	}
+	if got := int(c.modeAt(int(c.nameID["wide.gov.br."]), 2018-2011)); got != 10 {
+		t.Errorf("wide mode = %d, want 10", got)
+	}
+}
+
+// TestCorpusActiveNamesPerYear checks the pdnsq -counts series against
+// the view's Between/Names reference, across all record types.
+func TestCorpusActiveNamesPerYear(t *testing.T) {
+	store := genStore(99)
+	view := pdns.NewView(store.Snapshot())
+	c := CompileCorpus(view, nil, 2011, 2020)
+	got := c.ActiveNamesPerYear()
+	for year := 2011; year <= 2020; year++ {
+		from, to := pdns.YearRange(year)
+		want := len(view.Between(from, to).Names())
+		if got[year-2011] != want {
+			t.Errorf("ActiveNamesPerYear[%d] = %d, want %d", year, got[year-2011], want)
+		}
+	}
+}
+
+// TestCorpusDeterministicAcrossGOMAXPROCS pins the index-ordered
+// assembly discipline: the same view must compile to identical results
+// at any parallelism.
+func TestCorpusDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	store := genStore(5)
+	view := pdns.NewView(store.Snapshot())
+	m := testMapper()
+
+	old := runtime.GOMAXPROCS(1)
+	c1 := CompileCorpus(view, m, 2011, 2020)
+	y1, n1, ch1 := c1.Yearly(), c1.NameserversPerYear(), c1.SingleNSChurn()
+	runtime.GOMAXPROCS(4)
+	c4 := CompileCorpus(view, m, 2011, 2020)
+	y4, n4, ch4 := c4.Yearly(), c4.NameserversPerYear(), c4.SingleNSChurn()
+	runtime.GOMAXPROCS(old)
+
+	if !reflect.DeepEqual(y1, y4) {
+		t.Errorf("Yearly differs across GOMAXPROCS:\n 1: %+v\n 4: %+v", y1, y4)
+	}
+	if !reflect.DeepEqual(n1, n4) {
+		t.Errorf("NameserversPerYear differs across GOMAXPROCS")
+	}
+	if !reflect.DeepEqual(ch1, ch4) {
+		t.Errorf("SingleNSChurn differs across GOMAXPROCS")
+	}
+}
+
+// TestCorpusEmptyView checks the degenerate shapes.
+func TestCorpusEmptyView(t *testing.T) {
+	c := CompileCorpus(pdns.NewView(nil), testMapper(), 2011, 2020)
+	if c.NumDomains() != 0 || c.NumNames() != 0 || c.NumRecords() != 0 {
+		t.Errorf("empty view compiled to %d/%d/%d", c.NumNames(), c.NumDomains(), c.NumRecords())
+	}
+	years := c.Yearly()
+	if len(years) != 10 {
+		t.Fatalf("Yearly len = %d", len(years))
+	}
+	for _, y := range years {
+		if y.Domains != 0 {
+			t.Errorf("%d: domains = %d on empty view", y.Year, y.Domains)
+		}
+	}
+	if got := c.ActiveNamesPerYear(); len(got) != 10 {
+		t.Errorf("ActiveNamesPerYear len = %d", len(got))
+	}
+}
+
+// TestCorpusYearIndexPanics: serving a year outside the compiled span
+// must fail loudly, not return zeros.
+func TestCorpusYearIndexPanics(t *testing.T) {
+	c := CompileCorpus(pdns.NewView(nil), testMapper(), 2011, 2020)
+	defer func() {
+		if recover() == nil {
+			t.Error("DomainsPerCountry(2021) did not panic")
+		}
+	}()
+	c.DomainsPerCountry(2021)
+}
+
+// TestCorpusNilMapper: a corpus compiled without a mapper still serves
+// the type-agnostic queries (the pdnsq -counts path).
+func TestCorpusNilMapper(t *testing.T) {
+	s := pdns.NewStore()
+	s.ObserveRange("x.gov.br.", dnswire.TypeNS, "ns1.gov.br.", pdns.Date(2015, time.March, 1), pdns.Date(2015, time.June, 1))
+	c := CompileCorpus(pdns.NewView(s.Snapshot()), nil, 2015, 2015)
+	if got := c.ActiveNamesPerYear(); got[0] != 1 {
+		t.Errorf("ActiveNamesPerYear = %v, want [1]", got)
+	}
+	if c.NumDomains() != 1 {
+		t.Errorf("NumDomains = %d", c.NumDomains())
+	}
+}
+
+// TestProviderAnalysisMapperMismatchPanics guards the corpus provider
+// paths against mixing mappers.
+func TestProviderAnalysisMapperMismatchPanics(t *testing.T) {
+	c := CompileCorpus(pdns.NewView(nil), testMapper(), 2011, 2020)
+	pa := NewProviderAnalysis(nil, testMapper(), nil) // a different Mapper instance
+	defer func() {
+		if recover() == nil {
+			t.Error("corpus path accepted a mismatched mapper")
+		}
+	}()
+	pa.GovProviderShareCorpus(c, 2020, "br")
+}

@@ -68,6 +68,18 @@ func (m *Mapper) CountryOf(name dnsname.Name) (Country, bool) {
 	return m.countries[m.bySuffix[suffix]], true
 }
 
+// countryIndexOf resolves a domain to its index in m.countries (-1 =
+// unmapped) — CountryOf in the index form the corpus memoizes.
+func (m *Mapper) countryIndexOf(name dnsname.Name) int32 {
+	if idx, ok := m.bySuffix[name]; ok {
+		return int32(idx)
+	}
+	if suffix, ok := m.suffixes.LongestSuffix(name); ok {
+		return int32(m.bySuffix[suffix])
+	}
+	return -1
+}
+
 // SuffixOf returns the d_gov a domain belongs to.
 func (m *Mapper) SuffixOf(name dnsname.Name) (dnsname.Name, bool) {
 	if _, ok := m.bySuffix[name]; ok {

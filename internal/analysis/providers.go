@@ -34,6 +34,12 @@ type ProviderUsage struct {
 	Countries int
 }
 
+// nonProviderLabel marks hosts outside the label set of interest
+// inside a domain's per-year label set: it makes such hosts defeat the
+// single-provider test without ever being aggregated as a provider.
+// The NUL prefix keeps it from colliding with any real label.
+const nonProviderLabel = "\x00other"
+
 // providerYear indexes one year of provider usage.
 type providerYear struct {
 	totalDomains int
@@ -94,7 +100,7 @@ func (pa *ProviderAnalysis) yearUsage(view *pdns.View, year int, label func(dnsn
 			if l := label(host); l != "" {
 				labels[l] = true
 			} else {
-				labels["\x00other"] = true
+				labels[nonProviderLabel] = true
 			}
 		}
 		_ = all
@@ -106,7 +112,7 @@ func (pa *ProviderAnalysis) yearUsage(view *pdns.View, year int, label func(dnsn
 		}
 		single := len(labels) == 1
 		for l := range labels {
-			if l == "\x00other" {
+			if l == nonProviderLabel {
 				continue
 			}
 			py.domains[l]++
@@ -143,15 +149,10 @@ func (py *providerYear) usage(label string) ProviderUsage {
 	}
 }
 
-// MajorProviders computes Table II: usage of the catalog's major
-// providers in the given year.
-func (pa *ProviderAnalysis) MajorProviders(view *pdns.View, year int) []ProviderUsage {
-	py := pa.yearUsage(view, year, func(host dnsname.Name) string {
-		if p, ok := pa.catalog.Identify(host); ok {
-			return p.Display
-		}
-		return ""
-	})
+// majorRows turns one year's usage index into the Table II rows (one
+// per major provider, sorted by label). Shared by the view and corpus
+// paths.
+func (pa *ProviderAnalysis) majorRows(py *providerYear) []ProviderUsage {
 	var out []ProviderUsage
 	for _, p := range pa.catalog.Major() {
 		out = append(out, py.usage(p.Display))
@@ -160,13 +161,10 @@ func (pa *ProviderAnalysis) MajorProviders(view *pdns.View, year int) []Provider
 	return out
 }
 
-// TopProviders computes Table III: every nameserver-domain group ranked
-// by the number of countries served, top n.
-func (pa *ProviderAnalysis) TopProviders(view *pdns.View, year, n int) []ProviderUsage {
-	py := pa.yearUsage(view, year, func(host dnsname.Name) string {
-		label, _ := pa.catalog.GroupLabel(host)
-		return label
-	})
+// topRows turns one year's usage index into the Table III rows (every
+// group ranked by countries served, top n). Shared by the view and
+// corpus paths.
+func topRows(py *providerYear, n int) []ProviderUsage {
 	var out []ProviderUsage
 	for _, label := range sortedKeys(py.countries) {
 		out = append(out, py.usage(label))
@@ -181,6 +179,28 @@ func (pa *ProviderAnalysis) TopProviders(view *pdns.View, year, n int) []Provide
 		out = out[:n]
 	}
 	return out
+}
+
+// MajorProviders computes Table II: usage of the catalog's major
+// providers in the given year.
+func (pa *ProviderAnalysis) MajorProviders(view *pdns.View, year int) []ProviderUsage {
+	py := pa.yearUsage(view, year, func(host dnsname.Name) string {
+		if p, ok := pa.catalog.Identify(host); ok {
+			return p.Display
+		}
+		return ""
+	})
+	return pa.majorRows(py)
+}
+
+// TopProviders computes Table III: every nameserver-domain group ranked
+// by the number of countries served, top n.
+func (pa *ProviderAnalysis) TopProviders(view *pdns.View, year, n int) []ProviderUsage {
+	py := pa.yearUsage(view, year, func(host dnsname.Name) string {
+		label, _ := pa.catalog.GroupLabel(host)
+		return label
+	})
+	return topRows(py, n)
 }
 
 // GovProviderShare returns, for one country, the share of that country's

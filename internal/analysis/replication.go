@@ -150,6 +150,25 @@ func PDNSYearly(view *pdns.View, m *Mapper, startYear, endYear int) []YearStats 
 	return out
 }
 
+// NameserversPerYear returns the number of distinct NS rdata strings
+// active in each year of [startYear, endYear] — Fig. 3's nameserver
+// series over the whole view, with no per-domain mode gating.
+func NameserversPerYear(view *pdns.View, startYear, endYear int) []int {
+	out := make([]int, 0, endYear-startYear+1)
+	for year := startYear; year <= endYear; year++ {
+		first, last := pdns.YearRange(year)
+		hosts := make(map[string]bool)
+		for i := range view.Sets {
+			rs := &view.Sets[i]
+			if rs.RRType == dnswire.TypeNS && rs.Overlaps(first, last) {
+				hosts[rs.RData] = true
+			}
+		}
+		out = append(out, len(hosts))
+	}
+	return out
+}
+
 // DomainsPerCountry returns each country's domain count for one year
 // (Fig. 4), keyed by country code.
 func DomainsPerCountry(view *pdns.View, m *Mapper, year int) map[string]int {

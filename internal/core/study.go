@@ -102,6 +102,12 @@ type Study struct {
 	mu         sync.Mutex
 	cacheYears []analysis.YearStats
 	cacheRepl  *analysis.ActiveReplication
+	// corpStable/corpRaw are the compiled columnar corpora of the two
+	// PDNS views, built on first use and shared by every passive
+	// analysis (the views are immutable after NewStudy, so the corpora
+	// never invalidate).
+	corpStable *analysis.Corpus
+	corpRaw    *analysis.Corpus
 }
 
 // NewStudy generates the world and prepares the passive views. The
@@ -179,44 +185,77 @@ func (s *Study) RunActive(ctx context.Context) error {
 
 // --- Passive experiments (PDNS) ---
 
+// Corpus returns the compiled columnar analysis corpus of the stable
+// PDNS view, building it on first use. Every passive figure and table
+// consumes this shared corpus instead of re-indexing the raw view.
+func (s *Study) Corpus() *analysis.Corpus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corpusLocked()
+}
+
+func (s *Study) corpusLocked() *analysis.Corpus {
+	if s.corpStable == nil {
+		s.corpStable = analysis.CompileCorpus(s.StableView, s.Mapper, s.StartYear(), s.EndYear())
+	}
+	return s.corpStable
+}
+
+// RawCorpus returns the corpus of the unfiltered view (the hijack
+// forensics run on it: the stability filter would erase the evidence).
+func (s *Study) RawCorpus() *analysis.Corpus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.corpRaw == nil {
+		s.corpRaw = analysis.CompileCorpus(s.RawView, s.Mapper, s.StartYear(), s.EndYear())
+	}
+	return s.corpRaw
+}
+
 // Fig2And3 returns the yearly PDNS statistics behind Figures 2 (domains
 // and countries) and 3 (nameservers), plus the Fig. 7 private-deployment
 // series.
-// The result is memoized: the full-scale computation takes seconds and
-// the report consumes it several times.
+// The result is memoized: the report consumes it several times.
 func (s *Study) Fig2And3() []analysis.YearStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cacheYears == nil {
-		s.cacheYears = analysis.PDNSYearly(s.StableView, s.Mapper, s.StartYear(), s.EndYear())
+		s.cacheYears = s.corpusLocked().Yearly()
 	}
 	return s.cacheYears
 }
 
+// NameserversPerYear returns Fig. 3's distinct-nameserver series over
+// the whole stable view (no per-domain mode gating, unlike the
+// YearStats.Nameservers column).
+func (s *Study) NameserversPerYear() []int {
+	return s.Corpus().NameserversPerYear()
+}
+
 // Fig4 returns the per-country domain counts for the final year.
 func (s *Study) Fig4() map[string]int {
-	return analysis.DomainsPerCountry(s.StableView, s.Mapper, s.EndYear())
+	return s.Corpus().DomainsPerCountry(s.EndYear())
 }
 
 // Fig6 returns the d_1NS churn/overlap series.
 func (s *Study) Fig6() []analysis.ChurnStats {
-	return analysis.SingleNSChurn(s.StableView, s.StartYear(), s.EndYear())
+	return s.Corpus().SingleNSChurn()
 }
 
 // Table2 returns the major-provider usage rows for the given year.
 func (s *Study) Table2(year int) []analysis.ProviderUsage {
-	return s.pa.MajorProviders(s.StableView, year)
+	return s.pa.MajorProvidersCorpus(s.Corpus(), year)
 }
 
 // Table3 returns the top providers by country reach for the given year.
 func (s *Study) Table3(year, n int) []analysis.ProviderUsage {
-	return s.pa.TopProviders(s.StableView, year, n)
+	return s.pa.TopProvidersCorpus(s.Corpus(), year, n)
 }
 
 // GovProviderShare exposes the per-country provider mix (the gov.cn
 // hichina/xincache/dns-diy observation).
 func (s *Study) GovProviderShare(year int, code string) map[string]float64 {
-	return s.pa.GovProviderShare(s.StableView, year, code)
+	return s.pa.GovProviderShareCorpus(s.Corpus(), year, code)
 }
 
 // --- Active experiments (scan) ---
@@ -372,14 +411,14 @@ func (s *Study) ApplyRemediation(ctx context.Context, plan *remedy.Plan, force b
 // RAW passive-DNS view (the stability filter would erase the evidence)
 // and returns the candidates alongside the injected ground truth.
 func (s *Study) HijackForensics() ([]analysis.SuspiciousTransition, []worldgen.HijackEvent) {
-	found := analysis.SuspiciousTransitions(s.RawView, s.Mapper, s.Catalog, analysis.HijackForensicsConfig{})
+	found := analysis.SuspiciousTransitionsCorpus(s.RawCorpus(), s.Catalog, analysis.HijackForensicsConfig{})
 	return found, append([]worldgen.HijackEvent(nil), s.World.Hijacks...)
 }
 
 // ProviderFlows returns the hosting-migration matrix between two study
 // years (who the cloud providers' customers came from).
 func (s *Study) ProviderFlows(yearA, yearB int) []analysis.ProviderFlow {
-	return analysis.ProviderFlows(s.StableView, s.Mapper, s.Catalog, yearA, yearB)
+	return s.Corpus().ProviderFlows(s.Catalog, yearA, yearB)
 }
 
 // CompareVantage geo-fences the given country's government nameservers

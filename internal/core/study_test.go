@@ -6,9 +6,12 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"govdns/internal/analysis"
 )
 
 // testStudy runs the complete pipeline once per test binary at a small
@@ -328,5 +331,46 @@ func TestCompareVantage(t *testing.T) {
 	}
 	if _, err := s.CompareVantage(ctx, "zz", 1); err == nil {
 		t.Error("CompareVantage accepted an unknown country")
+	}
+}
+
+// TestStudyCorpusMatchesReference is the study-level differential: on
+// a generated world (not just the random stores the analysis package's
+// harness uses), every corpus-backed Study method must return exactly
+// what the retained view-based reference implementation returns.
+func TestStudyCorpusMatchesReference(t *testing.T) {
+	s := NewStudy(Config{Seed: 7, Scale: 0.01, HijackEvents: 5})
+	start, end := s.StartYear(), s.EndYear()
+
+	if got, want := s.Fig2And3(), analysis.PDNSYearly(s.StableView, s.Mapper, start, end); !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig2And3 diverges from PDNSYearly:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := s.NameserversPerYear(), analysis.NameserversPerYear(s.StableView, start, end); !reflect.DeepEqual(got, want) {
+		t.Errorf("NameserversPerYear diverges:\n got %v\nwant %v", got, want)
+	}
+	if got, want := s.Fig4(), analysis.DomainsPerCountry(s.StableView, s.Mapper, end); !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig4 diverges from DomainsPerCountry:\n got %v\nwant %v", got, want)
+	}
+	if got, want := s.Fig6(), analysis.SingleNSChurn(s.StableView, start, end); !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig6 diverges from SingleNSChurn:\n got %+v\nwant %+v", got, want)
+	}
+	for _, year := range []int{start, end} {
+		if got, want := s.Table2(year), s.pa.MajorProviders(s.StableView, year); !reflect.DeepEqual(got, want) {
+			t.Errorf("Table2(%d) diverges:\n got %+v\nwant %+v", year, got, want)
+		}
+		if got, want := s.Table3(year, 11), s.pa.TopProviders(s.StableView, year, 11); !reflect.DeepEqual(got, want) {
+			t.Errorf("Table3(%d) diverges:\n got %+v\nwant %+v", year, got, want)
+		}
+	}
+	code := s.Top10()[0]
+	if got, want := s.GovProviderShare(end, code), s.pa.GovProviderShare(s.StableView, end, code); !reflect.DeepEqual(got, want) {
+		t.Errorf("GovProviderShare(%s) diverges:\n got %v\nwant %v", code, got, want)
+	}
+	if got, want := s.ProviderFlows(start, end), analysis.ProviderFlows(s.StableView, s.Mapper, s.Catalog, start, end); !reflect.DeepEqual(got, want) {
+		t.Errorf("ProviderFlows diverges:\n got %+v\nwant %+v", got, want)
+	}
+	found, _ := s.HijackForensics()
+	if want := analysis.SuspiciousTransitions(s.RawView, s.Mapper, s.Catalog, analysis.HijackForensicsConfig{}); !reflect.DeepEqual(found, want) {
+		t.Errorf("HijackForensics diverges:\n got %+v\nwant %+v", found, want)
 	}
 }

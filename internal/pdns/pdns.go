@@ -11,6 +11,7 @@ package pdns
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -156,11 +157,30 @@ func (s *Store) Len() int {
 	return len(s.sets)
 }
 
+// sortOutsideLockHook, when non-nil, runs after a bulk read copies its
+// result and releases the store lock, before the sort. Test seam: the
+// lock-scope regression tests use it to prove writers are admitted
+// while the sort runs.
+var sortOutsideLockHook func()
+
+// finishSets is the tail of every bulk read: it runs after the store
+// lock is released, because sorting a full snapshot is O(n log n) name
+// comparisons — holding even the read lock that long parks every
+// Observe writer (and, since a waiting writer blocks later readers,
+// eventually the whole store) behind one slow reader. Only the copy
+// needs the lock.
+func finishSets(out []RecordSet) []RecordSet {
+	if sortOutsideLockHook != nil {
+		sortOutsideLockHook()
+	}
+	sortSets(out)
+	return out
+}
+
 // Lookup returns the record sets for an exact owner name, optionally
 // filtered by type (pass 0 or dnswire.TypeANY for all types).
 func (s *Store) Lookup(name dnsname.Name, rtype dnswire.Type) []RecordSet {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []RecordSet
 	for _, k := range s.byName[name] {
 		if rtype != 0 && rtype != dnswire.TypeANY && k.rtype != rtype {
@@ -168,8 +188,8 @@ func (s *Store) Lookup(name dnsname.Name, rtype dnswire.Type) []RecordSet {
 		}
 		out = append(out, *s.sets[k])
 	}
-	sortSets(out)
-	return out
+	s.mu.RUnlock()
+	return finishSets(out)
 }
 
 // WildcardSearch returns every record set whose owner name is the suffix
@@ -177,7 +197,6 @@ func (s *Store) Lookup(name dnsname.Name, rtype dnswire.Type) []RecordSet {
 // paper used to expand seed domains. Pass rtype 0 for all types.
 func (s *Store) WildcardSearch(suffix dnsname.Name, rtype dnswire.Type) []RecordSet {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []RecordSet
 	for name, keys := range s.byName {
 		if !name.IsSubdomainOf(suffix) {
@@ -190,8 +209,8 @@ func (s *Store) WildcardSearch(suffix dnsname.Name, rtype dnswire.Type) []Record
 			out = append(out, *s.sets[k])
 		}
 	}
-	sortSets(out)
-	return out
+	s.mu.RUnlock()
+	return finishSets(out)
 }
 
 // Snapshot returns a copy of every record set.
@@ -291,10 +310,26 @@ func (s *Store) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadJSONL loads a store written by WriteJSONL.
+// ReadJSONL loads a store written by WriteJSONL. The whole dump is
+// read up front and its line count (one record set per line, as
+// WriteJSONL emits) sizes the store's maps and a record-set arena, so
+// a load performs a handful of large allocations instead of one per
+// record.
 func ReadJSONL(r io.Reader) (*Store, error) {
-	s := NewStore()
-	dec := json.NewDecoder(bufio.NewReader(r))
+	data, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, fmt.Errorf("pdns: reading dump: %w", err)
+	}
+	lines := bytes.Count(data, []byte{'\n'})
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		lines++
+	}
+	s := &Store{
+		sets:   make(map[key]*RecordSet, lines),
+		byName: make(map[dnsname.Name][]key, lines),
+	}
+	arena := make([]RecordSet, 0, lines)
+	dec := json.NewDecoder(bytes.NewReader(data))
 	line := 0
 	for dec.More() {
 		line++
@@ -313,8 +348,17 @@ func ReadJSONL(r io.Reader) (*Store, error) {
 			existing.Count += rs.Count
 			continue
 		}
-		copied := rs
-		s.sets[k] = &copied
+		if len(arena) < cap(arena) {
+			// The store aliases arena slots by pointer, so the arena
+			// must never reallocate; records beyond the line estimate
+			// (possible only for hand-crafted multi-object lines) get
+			// individual allocations instead.
+			arena = append(arena, rs)
+			s.sets[k] = &arena[len(arena)-1]
+		} else {
+			copied := rs
+			s.sets[k] = &copied
+		}
 		s.byName[rs.RRName] = append(s.byName[rs.RRName], k)
 	}
 	return s, nil

@@ -2,10 +2,12 @@ package pdns
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
 )
 
@@ -213,5 +215,107 @@ func TestConcurrentObserve(t *testing.T) {
 	sets := s.Lookup("x.gov.br.", dnswire.TypeNS)
 	if len(sets) != 1 || sets[0].Count != 1600 {
 		t.Errorf("after concurrent observes: %+v", sets)
+	}
+}
+
+// TestBulkReadsSortOutsideLock pins the lock scope of the bulk read
+// paths: by the time the result is sorted, the store must be fully
+// unlocked, so a writer can take the write lock immediately.
+func TestBulkReadsSortOutsideLock(t *testing.T) {
+	s := NewStore()
+	d := Date(2015, time.June, 1)
+	s.Observe("a.gov.br.", dnswire.TypeNS, "ns1.gov.br.", d)
+	s.Observe("b.gov.br.", dnswire.TypeNS, "ns2.gov.br.", d)
+
+	locked := true
+	sortOutsideLockHook = func() {
+		if s.mu.TryLock() {
+			s.mu.Unlock()
+			locked = false
+		}
+	}
+	defer func() { sortOutsideLockHook = nil }()
+
+	s.Snapshot()
+	if locked {
+		t.Error("WildcardSearch still holds the store lock while sorting")
+	}
+	locked = true
+	s.Lookup("a.gov.br.", dnswire.TypeNS)
+	if locked {
+		t.Error("Lookup still holds the store lock while sorting")
+	}
+}
+
+// TestWildcardSearchAdmitsWritersDuringSort is the starvation
+// regression test: an Observe writer must complete while a bulk read
+// is still busy sorting its result. Before the fix the sort ran under
+// the read lock, so one big Snapshot parked every writer (and, through
+// the pending writer, every later reader) for the whole O(n log n)
+// sort.
+func TestWildcardSearchAdmitsWritersDuringSort(t *testing.T) {
+	s := NewStore()
+	d := Date(2015, time.June, 1)
+	for i := 0; i < 100; i++ {
+		s.Observe(dnsname.Name(fmt.Sprintf("d%03d.gov.br.", i)), dnswire.TypeNS, "ns1.gov.br.", d)
+	}
+
+	inSort := make(chan struct{})
+	release := make(chan struct{})
+	sortOutsideLockHook = func() {
+		close(inSort)
+		<-release
+	}
+	defer func() { sortOutsideLockHook = nil }()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Snapshot()
+	}()
+
+	<-inSort
+	wrote := make(chan struct{})
+	go func() {
+		defer close(wrote)
+		s.Observe("new.gov.br.", dnswire.TypeNS, "ns9.gov.br.", d)
+	}()
+	select {
+	case <-wrote:
+		// The writer got in while the reader was parked in its sort
+		// phase — the lock was released before sorting.
+	case <-time.After(5 * time.Second):
+		t.Fatal("Observe blocked while WildcardSearch sorted its result")
+	}
+	close(release)
+	<-done
+}
+
+// BenchmarkReadJSONL measures a full dump load — the path pdnsq pays
+// on every invocation. ReadJSONL sizes its maps and record arena from
+// a first-pass line count.
+func BenchmarkReadJSONL(b *testing.B) {
+	s := NewStore()
+	base := Date(2015, time.January, 1)
+	for i := 0; i < 5000; i++ {
+		name := dnsname.Name(fmt.Sprintf("d%04d.gov.br.", i))
+		s.ObserveRange(name, dnswire.TypeNS, fmt.Sprintf("ns%d.host.gov.br.", i%97), base, base+30)
+		s.ObserveRange(name, dnswire.TypeA, "198.51.100.7", base, base+30)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportMetric(float64(s.Len()), "recordsets")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if loaded.Len() != s.Len() {
+			b.Fatalf("loaded %d sets, want %d", loaded.Len(), s.Len())
+		}
 	}
 }
