@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench bench-pdns chaos fuzz check
+.PHONY: build test race vet lint bench bench-pdns bench-wire chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,16 @@ bench:
 bench-pdns:
 	$(GO) run ./cmd/benchreport -bench 'Fig|Table|Corpus' -benchtime 1s -benchout BENCH_2.json
 	$(GO) test -run '^$$' -bench ReadJSONL -benchmem ./internal/pdns
+
+# bench-wire runs the zero-alloc wire-path benchmarks and emits
+# BENCH_3.json as the before/after evidence for the pooled codec:
+# BenchmarkExchange / BenchmarkDecodeReferral / BenchmarkEncodeResponse
+# run the arena path (all must report 0 allocs/op — the hard gate is
+# TestWirePathZeroAlloc in internal/dnswire, run by `make test`); the
+# *Owned variants and BenchmarkWireEncodeDecode are the allocating
+# compatibility path for comparison.
+bench-wire:
+	$(GO) run ./cmd/benchreport -bench 'Exchange|DecodeReferral|EncodeResponse|WireEncodeDecode' -benchtime 1s -benchout BENCH_3.json
 
 # chaos is the focused fault-injection view of the tier-1 gate: the
 # chaos package tests plus the scan-invariance differential harness

@@ -1,0 +1,126 @@
+package govdns
+
+// Wire-path memory benchmarks (see DESIGN.md § 10): the zero-alloc
+// tentpole's headline numbers. BenchmarkExchange is the steady-state
+// codec round a scan performs per exchange — build and encode the query,
+// decode the referral response, classify it, re-encode for UDP — all on
+// one pooled arena; it must report 0 allocs/op (the hard gate lives in
+// internal/dnswire's TestWirePathZeroAlloc). The *Owned variants run the
+// same work through the allocating compatibility wrappers, giving the
+// before/after pair `make bench-wire` records in BENCH_3.json.
+//
+// Run: make bench-wire
+
+import (
+	"net/netip"
+	"testing"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+)
+
+// benchReferralWire builds the canonical hot-path packet: a delegation
+// with two NS authority records and their A glue.
+func benchReferralWire(b *testing.B) []byte {
+	b.Helper()
+	q := dnswire.NewQuery(0x4242, "city.gov.br.", dnswire.TypeNS)
+	resp := dnswire.NewResponse(q)
+	resp.Authority = []dnswire.RR{
+		{Name: "gov.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NSData{Host: "ns1.registro.br."}},
+		{Name: "gov.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NSData{Host: "ns2.registro.br."}},
+	}
+	resp.Additional = []dnswire.RR{
+		{Name: "ns1.registro.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AData{Addr: netip.MustParseAddr("203.0.113.10")}},
+		{Name: "ns2.registro.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AData{Addr: netip.MustParseAddr("203.0.113.11")}},
+	}
+	wire, err := dnswire.Encode(resp)
+	if err != nil {
+		b.Fatalf("Encode: %v", err)
+	}
+	return wire
+}
+
+func BenchmarkExchange(b *testing.B) {
+	wire := benchReferralWire(b)
+	qname := dnsname.MustParse("city.gov.br")
+	a := dnswire.DefaultPool.Get()
+	defer a.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := a.NewQuery(uint16(i), qname, dnswire.TypeNS)
+		if _, err := a.Encode(q); err != nil {
+			b.Fatal(err)
+		}
+		m, err := a.Decode(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.IsReferral() {
+			b.Fatal("response no longer classifies as a referral")
+		}
+		if _, err := a.EncodeUDP(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeReferral(b *testing.B) {
+	wire := benchReferralWire(b)
+	a := dnswire.DefaultPool.Get()
+	defer a.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeReferralOwned is the compatibility wrapper: arena
+// decode plus the deep copy that owns every name and payload.
+func BenchmarkDecodeReferralOwned(b *testing.B) {
+	wire := benchReferralWire(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dnswire.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeResponse(b *testing.B) {
+	wire := benchReferralWire(b)
+	a := dnswire.DefaultPool.Get()
+	defer a.Finish()
+	m, err := a.Decode(wire)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.EncodeUDP(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeResponseOwned is the compatibility wrapper: arena
+// encode plus the copy-out to a fresh heap slice.
+func BenchmarkEncodeResponseOwned(b *testing.B) {
+	wire := benchReferralWire(b)
+	m, err := dnswire.Decode(wire)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dnswire.EncodeUDP(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

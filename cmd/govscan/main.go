@@ -31,6 +31,7 @@ import (
 	"govdns/internal/authserver"
 	"govdns/internal/chaos"
 	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
 	"govdns/internal/measure"
 	"govdns/internal/obs"
 	"govdns/internal/resolver"
@@ -156,6 +157,10 @@ func run() error {
 	}
 	client := resolver.NewClient(transport)
 	client.Timeout = *timeout
+	// The process has exactly one registry, so binding the shared codec
+	// arena pool here is safe under AttachRegistry's first-wins rule and
+	// puts dnswire_arena_* checkout/recycle/discard counters on /metrics.
+	client.WirePool = dnswire.DefaultPool
 	client.SetMetrics(resolver.NewMetrics(reg))
 	it := resolver.NewIterator(client, roots)
 	scanner := measure.NewScanner(it)

@@ -158,6 +158,14 @@ func (s *Server) zoneFor(name dnsname.Name) (*zone.Zone, bool) {
 // the query (BehaviorUnresponsive), which the network layer turns into a
 // timeout.
 func (s *Server) Handle(query *dnswire.Message) *dnswire.Message {
+	return s.respond(query, dnswire.NewResponse(query))
+}
+
+// respond fills the pre-built (empty, headers-only) response for query
+// and returns it, or nil when the behaviour drops the query. Splitting
+// construction from logic lets HandleWireAppend build the response in a
+// codec arena slot while Handle keeps its heap-allocating contract.
+func (s *Server) respond(query, resp *dnswire.Message) *dnswire.Message {
 	s.mu.RLock()
 	behavior := s.behavior
 	parking := s.parkingAddr
@@ -167,18 +175,15 @@ func (s *Server) Handle(query *dnswire.Message) *dnswire.Message {
 	case BehaviorUnresponsive:
 		return nil
 	case BehaviorServFail:
-		resp := dnswire.NewResponse(query)
 		resp.Header.RCode = dnswire.RCodeServFail
 		return resp
 	case BehaviorRefused:
-		resp := dnswire.NewResponse(query)
 		resp.Header.RCode = dnswire.RCodeRefused
 		return resp
 	case BehaviorParking:
-		return s.parkingResponse(query, parking)
+		return s.parkingResponse(query, resp, parking)
 	}
 
-	resp := dnswire.NewResponse(query)
 	if len(query.Questions) != 1 || query.Header.Opcode != dnswire.OpcodeQuery {
 		resp.Header.RCode = dnswire.RCodeNotImp
 		return resp
@@ -217,8 +222,7 @@ func (s *Server) Handle(query *dnswire.Message) *dnswire.Message {
 // parkingResponse fabricates an authoritative answer pointing every name
 // at the parking address. NS queries are answered with the parking
 // server's own hostname, which is how hijacked resolutions propagate.
-func (s *Server) parkingResponse(query *dnswire.Message, parking netip.Addr) *dnswire.Message {
-	resp := dnswire.NewResponse(query)
+func (s *Server) parkingResponse(query, resp *dnswire.Message, parking netip.Addr) *dnswire.Message {
 	resp.Header.Authoritative = true
 	if len(query.Questions) != 1 {
 		return resp
@@ -241,35 +245,57 @@ func (s *Server) parkingResponse(query *dnswire.Message, parking netip.Addr) *dn
 	return resp
 }
 
+// wirePool supplies the codec arenas every wire-level exchange runs on:
+// the query decodes into an arena slot, the response is built in the
+// arena's second slot sharing the query's question section, and the
+// response encodes into the arena's output buffer before the one copy
+// out. One pool for the package; servers share arenas freely.
+var wirePool = dnswire.NewPool()
+
 // HandleWire answers a wire-format query, exercising the full codec. A
 // nil return means the query was dropped. Undecodable queries produce a
 // FORMERR response when at least the 12-byte header was readable, and are
 // dropped otherwise.
 func (s *Server) HandleWire(wire []byte) []byte {
-	query, err := dnswire.Decode(wire)
-	if err != nil {
-		if len(wire) < 12 {
-			return nil
-		}
-		resp := &dnswire.Message{}
-		resp.Header.ID = uint16(wire[0])<<8 | uint16(wire[1])
-		resp.Header.Response = true
-		resp.Header.RCode = dnswire.RCodeFormErr
-		out, err := dnswire.Encode(resp)
-		if err != nil {
-			return nil
-		}
-		return out
-	}
-	resp := s.Handle(query)
-	if resp == nil {
-		return nil
-	}
-	out, err := dnswire.EncodeUDP(resp)
-	if err != nil {
-		// Encoding our own response should never fail; drop the query
-		// rather than panic in a server loop.
+	out, ok := s.HandleWireAppend(nil, wire)
+	if !ok {
 		return nil
 	}
 	return out
+}
+
+// HandleWireAppend is HandleWire writing the response into dst
+// (extending it as needed) instead of a fresh slice. It reports ok=false
+// when the query was dropped. Serving loops that answer one query at a
+// time reuse a single response buffer across packets; the codec itself
+// runs entirely on a pooled arena.
+func (s *Server) HandleWireAppend(dst, wire []byte) (out []byte, ok bool) {
+	a := wirePool.Get()
+	defer a.Finish()
+	query, err := a.Decode(wire)
+	if err != nil {
+		if len(wire) < 12 {
+			return dst, false
+		}
+		var resp dnswire.Message
+		resp.Header.ID = uint16(wire[0])<<8 | uint16(wire[1])
+		resp.Header.Response = true
+		resp.Header.RCode = dnswire.RCodeFormErr
+		enc, err := a.Encode(&resp)
+		if err != nil {
+			return dst, false
+		}
+		return append(dst, enc...), true
+	}
+	resp := s.respond(query, a.NewResponse(query))
+	if resp == nil {
+		return dst, false
+	}
+	enc, err := a.EncodeUDP(resp)
+	if err != nil {
+		// Encoding our own response should never fail; drop the query
+		// rather than panic in a server loop.
+		return dst, false
+	}
+	return append(dst, enc...), true
 }

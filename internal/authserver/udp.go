@@ -54,6 +54,7 @@ func (u *UDPServer) Close() error {
 func (u *UDPServer) loop() {
 	defer u.wg.Done()
 	buf := make([]byte, 4096)
+	var resp []byte
 	for {
 		n, peer, err := u.conn.ReadFrom(buf)
 		if err != nil {
@@ -65,9 +66,12 @@ func (u *UDPServer) loop() {
 			}
 			continue
 		}
-		query := make([]byte, n)
-		copy(query, buf[:n])
-		if resp := u.server.HandleWire(query); resp != nil {
+		// The handler decodes the query onto a codec arena before
+		// returning, and the response lands in a loop-owned buffer reused
+		// across packets — neither needs a per-packet allocation.
+		out, ok := u.server.HandleWireAppend(resp[:0], buf[:n])
+		if ok {
+			resp = out
 			// Best effort; a lost response is a normal UDP condition.
 			_, _ = u.conn.WriteTo(resp, peer)
 		}

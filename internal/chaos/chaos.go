@@ -205,6 +205,11 @@ type Transport struct {
 	srvSeq map[netip.Addr]int
 	last   map[netip.Addr][]byte
 
+	// needLast is set at Wrap when some rule can replay a stale response
+	// (Duplicate); without one there is no reason to copy every response
+	// into the per-server replay buffer.
+	needLast bool
+
 	// Counters live on an obs.Registry — a private one by default, or
 	// the shared pipeline registry when AttachRegistry runs first —
 	// so chaos injection shows up next to resolver and scanner metrics
@@ -217,7 +222,7 @@ type Transport struct {
 // Wrap layers the fault schedule over inner. Rules are consulted in
 // order and the first one that fires wins the exchange.
 func Wrap(inner Inner, seed int64, rules ...Rule) *Transport {
-	return &Transport{
+	t := &Transport{
 		inner:  inner,
 		seed:   uint64(seed),
 		rules:  append([]Rule(nil), rules...),
@@ -225,6 +230,12 @@ func Wrap(inner Inner, seed int64, rules ...Rule) *Transport {
 		srvSeq: make(map[netip.Addr]int),
 		last:   make(map[netip.Addr][]byte),
 	}
+	for _, r := range t.rules {
+		if r.Class == Duplicate {
+			t.needLast = true
+		}
+	}
+	return t
 }
 
 // AttachRegistry binds the transport's counters onto r
@@ -300,12 +311,13 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 	}
 	t.metrics()
 	t.exchanges.Inc()
-	q, err := dnswire.Decode(query)
-	if err != nil || len(q.Questions) == 0 {
-		// Not a query we can key a schedule on; deliver untouched.
+	q, ok := dnswire.PeekQuestion(query)
+	if !ok {
+		// Not a query we can key a schedule on (undecodable or empty
+		// question section); deliver untouched.
 		return t.inner.Exchange(ctx, server, query)
 	}
-	k := exKey{server: server, name: q.Questions[0].Name, qtype: q.Questions[0].Type}
+	k := exKey{server: server, name: q.Name, qtype: q.Type}
 	t.mu.Lock()
 	seq := t.keySeq[k]
 	t.keySeq[k]++
@@ -344,10 +356,18 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 	if err != nil {
 		return nil, err
 	}
-	t.mu.Lock()
-	stale := t.last[server]
-	t.last[server] = append([]byte(nil), resp...)
-	t.mu.Unlock()
+	// The inner transport hands over ownership of the response buffer
+	// (both in-tree transports return a fresh slice per exchange), so the
+	// byte-patching injections below mutate it in place; only the replay
+	// buffer needs a private copy, and only when a Duplicate rule can
+	// ever read it back.
+	var stale []byte
+	if t.needLast {
+		t.mu.Lock()
+		stale = t.last[server]
+		t.last[server] = append([]byte(nil), resp...)
+		t.mu.Unlock()
+	}
 	if rule == nil {
 		return resp, nil
 	}
@@ -359,14 +379,15 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 		if stale == nil {
 			// Nothing from this server to replay yet: reflect the query
 			// (QR clear), the garbage datagram every socket eventually
-			// receives.
+			// receives. The query buffer belongs to the caller (it may
+			// borrow a codec arena), so the reflection is a copy.
 			return append([]byte(nil), query...), nil
 		}
 		return stale, nil
 	case Truncate:
 		return TruncateWire(resp), nil
 	case CorruptQID:
-		return CorruptQIDWire(resp), nil
+		return CorruptQIDWireInPlace(resp), nil
 	case MismatchQuestion:
 		return MismatchQuestionWire(resp), nil
 	case Mangle:
@@ -378,9 +399,9 @@ func (t *Transport) Exchange(ctx context.Context, server netip.Addr, query []byt
 		if rule.Count == 0 {
 			mangleIdx = -1
 		}
-		return MangleWire(t.draw(0x6d616e67, server, k, mangleIdx), resp), nil
+		return MangleWireInPlace(t.draw(0x6d616e67, server, k, mangleIdx), resp), nil
 	case FlipRCode:
-		return FlipRCodeWire(resp, dnswire.RCodeServFail), nil
+		return FlipRCodeWireInPlace(resp, dnswire.RCodeServFail), nil
 	}
 	return resp, nil
 }

@@ -4,101 +4,127 @@ import (
 	"govdns/internal/dnswire"
 )
 
-// The wire mutators are pure functions over wire-format messages,
-// exported separately from Transport so fuzz targets can seed their
-// corpora with chaos-shaped packets. Each returns a fresh slice; the
-// input is never modified. Each mutation is guaranteed *detectable*: a
-// validating client can always reject the result by transaction ID, QR
-// bit, question section, TC bit, or RCODE — corruption subtle enough to
-// pass all of those is indistinguishable from a legitimate answer and no
-// resolver can defend against it.
+// The exported wire mutators are pure functions over wire-format
+// messages, exported separately from Transport so fuzz targets can seed
+// their corpora with chaos-shaped packets. Each returns a fresh slice;
+// the input is never modified. The Transport's own injections go through
+// the *InPlace cores instead — it owns the response buffer its inner
+// transport returned, so a header flip need not copy the packet. Each
+// mutation is guaranteed *detectable*: a validating client can always
+// reject the result by transaction ID, QR bit, question section, TC bit,
+// or RCODE — corruption subtle enough to pass all of those is
+// indistinguishable from a legitimate answer and no resolver can defend
+// against it.
 
-// CorruptQID flips bits in the message's transaction ID. The XOR
-// patterns are non-zero in both bytes, so the result never equals the
-// original ID.
+// wirePool supplies codec arenas for the mutators that re-encode
+// (truncation, question rewriting) rather than patch bytes.
+var wirePool = dnswire.NewPool()
+
+// CorruptQIDWire flips bits in a copy of the message's transaction ID.
 func CorruptQIDWire(wire []byte) []byte {
-	out := append([]byte(nil), wire...)
-	if len(out) >= 2 {
-		out[0] ^= 0xA5
-		out[1] ^= 0x5A
-	}
-	return out
+	return CorruptQIDWireInPlace(append([]byte(nil), wire...))
 }
 
-// FlipRCode rewrites the header RCODE nibble.
-func FlipRCodeWire(wire []byte, rcode dnswire.RCode) []byte {
-	out := append([]byte(nil), wire...)
-	if len(out) >= 4 {
-		out[3] = out[3]&0xF0 | byte(rcode)&0x0F
+// CorruptQIDWireInPlace flips bits in the message's transaction ID,
+// modifying and returning wire. The XOR patterns are non-zero in both
+// bytes, so the result never equals the original ID.
+func CorruptQIDWireInPlace(wire []byte) []byte {
+	if len(wire) >= 2 {
+		wire[0] ^= 0xA5
+		wire[1] ^= 0x5A
 	}
-	return out
+	return wire
+}
+
+// FlipRCodeWire rewrites the header RCODE nibble in a copy of wire.
+func FlipRCodeWire(wire []byte, rcode dnswire.RCode) []byte {
+	return FlipRCodeWireInPlace(append([]byte(nil), wire...), rcode)
+}
+
+// FlipRCodeWireInPlace rewrites the header RCODE nibble, modifying and
+// returning wire.
+func FlipRCodeWireInPlace(wire []byte, rcode dnswire.RCode) []byte {
+	if len(wire) >= 4 {
+		wire[3] = wire[3]&0xF0 | byte(rcode)&0x0F
+	}
+	return wire
 }
 
 // TruncateWire models truncation at the 512-byte UDP boundary: the TC
 // bit is set and every record section is dropped, leaving only the
 // header and question (what a server sends when nothing else fits).
-// Wire images that do not decode just get the TC bit set in place.
+// Wire images that do not decode just get the TC bit set on a copy.
 func TruncateWire(wire []byte) []byte {
-	m, err := dnswire.Decode(wire)
+	a := wirePool.Get()
+	defer a.Finish()
+	m, err := a.Decode(wire)
 	if err != nil {
-		out := append([]byte(nil), wire...)
-		if len(out) >= 3 {
-			out[2] |= 0x02
-		}
-		return out
+		return setTCOnCopy(wire)
 	}
 	m.Header.Truncated = true
 	m.Answers, m.Authority, m.Additional = nil, nil, nil
-	out, err := dnswire.Encode(m)
+	out, err := a.Encode(m)
 	if err != nil {
-		out = append([]byte(nil), wire...)
-		if len(out) >= 3 {
-			out[2] |= 0x02
-		}
+		return setTCOnCopy(wire)
+	}
+	return append([]byte(nil), out...)
+}
+
+func setTCOnCopy(wire []byte) []byte {
+	out := append([]byte(nil), wire...)
+	if len(out) >= 3 {
+		out[2] |= 0x02
 	}
 	return out
 }
 
-// MismatchQuestion rewrites the echoed question so it no longer matches
-// the query: the question type is XOR-perturbed (staying well-formed and
-// encodable for any name length, unlike label rewriting). Undecodable
-// wire images fall back to CorruptQID.
+// MismatchQuestionWire rewrites the echoed question so it no longer
+// matches the query: the question type is XOR-perturbed (staying
+// well-formed and encodable for any name length, unlike label
+// rewriting). Undecodable wire images fall back to CorruptQID.
 func MismatchQuestionWire(wire []byte) []byte {
-	m, err := dnswire.Decode(wire)
+	a := wirePool.Get()
+	defer a.Finish()
+	m, err := a.Decode(wire)
 	if err != nil || len(m.Questions) == 0 {
 		return CorruptQIDWire(wire)
 	}
 	m.Questions[0].Type ^= 0x55
-	out, err := dnswire.Encode(m)
+	out, err := a.Encode(m)
 	if err != nil {
 		return CorruptQIDWire(wire)
 	}
-	return out
+	return append([]byte(nil), out...)
 }
 
-// MangleWire applies seeded byte-level corruption: the QR bit is cleared
-// (so the packet can never be mistaken for a valid response) and up to
-// three bytes chosen from h are XOR-flipped anywhere in the image —
-// lengths, names, counts, RDATA — to exercise decoder robustness.
+// MangleWire applies seeded byte-level corruption to a copy of wire.
 func MangleWire(h uint64, wire []byte) []byte {
-	out := append([]byte(nil), wire...)
-	if len(out) >= 3 {
-		out[2] &^= 0x80 // clear QR
+	return MangleWireInPlace(h, append([]byte(nil), wire...))
+}
+
+// MangleWireInPlace applies seeded byte-level corruption, modifying and
+// returning wire: the QR bit is cleared (so the packet can never be
+// mistaken for a valid response) and up to three bytes chosen from h are
+// XOR-flipped anywhere in the image — lengths, names, counts, RDATA —
+// to exercise decoder robustness.
+func MangleWireInPlace(h uint64, wire []byte) []byte {
+	if len(wire) >= 3 {
+		wire[2] &^= 0x80 // clear QR
 	}
-	if len(out) == 0 {
-		return out
+	if len(wire) == 0 {
+		return wire
 	}
 	flips := 1 + int(h%3)
 	for i := 0; i < flips; i++ {
 		h ^= h >> 33
 		h *= 0xff51afd7ed558ccd
 		h ^= h >> 29
-		pos := int(h % uint64(len(out)))
+		pos := int(h % uint64(len(wire)))
 		pat := byte(h>>8) | 1 // never a zero XOR
-		out[pos] ^= pat
+		wire[pos] ^= pat
 		if pos == 2 {
-			out[2] &^= 0x80 // keep QR clear even if the flip landed here
+			wire[2] &^= 0x80 // keep QR clear even if the flip landed here
 		}
 	}
-	return out
+	return wire
 }

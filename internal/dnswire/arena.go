@@ -1,0 +1,274 @@
+package dnswire
+
+import (
+	"sync"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/obs"
+)
+
+// This file is the zero-alloc wire path's memory model: a recycled
+// exchange Arena holding every buffer the codec needs, checked out of a
+// Pool per exchange and returned with Finish. Messages decoded or built
+// on an arena *borrow* it — their names alias the arena's scratch, their
+// record sections alias its backing arrays — and are valid only until
+// the next Decode on the same arena or Finish, whichever comes first.
+// Anything that must outlive the packet goes through Message.Owned,
+// CloneRRs, or dnsname.Name.Own at a choke point. The design follows the
+// trace flight recorder's span arenas (PR 4); the rules are written up
+// in DESIGN.md §10.
+
+// Retention caps: an arena that served an unusually large message is
+// discarded rather than recycled, so one 64 KiB monster doesn't pin its
+// buffers in the pool forever. Typical referral exchanges sit far below
+// all three.
+const (
+	maxRetainedBytes = 64 << 10
+	maxRetainedRRs   = 512
+	maxRetainedQs    = 16
+)
+
+// Arena is the reusable scratch space for one DNS exchange: the encoder
+// output buffer, the decoded-name and RDATA scratch, backing arrays for
+// question and record sections, two message slots (one for the query
+// built with NewQuery/NewResponse, one for the message Decode fills),
+// and the encoder's compression table. The zero value is usable; arenas
+// obtained from a Pool recycle their buffers across exchanges.
+//
+// An arena is not safe for concurrent use, and holds at most one live
+// decoded message at a time: Decode resets the scratch and section
+// arrays, invalidating every borrowed view of the previous message.
+type Arena struct {
+	out     []byte // encoder output; Encode results alias this
+	scratch []byte // canonical name bytes and opaque RDATA copies
+	rrs     []RR   // backing array for the decoded record sections
+	qs      []Question
+	types   []Type     // CSYNC encode scratch
+	slabs   rdataSlabs // decoded RDATA payload cells
+	comp    compTable
+
+	qq    [1]Question // question slot for NewQuery
+	qslot Message     // NewQuery / NewResponse slot
+	rslot Message     // Decode slot
+
+	pool *Pool // recycling destination; nil after Finish
+}
+
+// Pool hands out recycled arenas via sync.Pool. The zero value works; use
+// one shared Pool (or DefaultPool) per pipeline so arenas recirculate.
+type Pool struct {
+	// NoRecycle, when set before first use, makes every Get return a
+	// fresh arena and Finish discard it. Pooling must be pure memory
+	// management; the measure invariance harness scans with recycling on
+	// and off and requires bit-identical digests.
+	NoRecycle bool
+
+	p sync.Pool
+
+	// Counters live on an obs.Registry — a private one by default, or a
+	// shared pipeline registry when AttachRegistry runs first (the same
+	// first-wins contract as chaos.Transport and resolver.Client).
+	metricsOnce sync.Once
+	checkouts   *obs.Counter
+	recycles    *obs.Counter
+	discards    *obs.Counter
+}
+
+// DefaultPool backs the package-level Decode/Encode compatibility
+// wrappers and any client without an explicit pool.
+var DefaultPool = NewPool()
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// AttachRegistry binds the pool's counters onto r
+// (dnswire_arena_checkouts_total, dnswire_arena_recycles_total,
+// dnswire_arena_discards_total). Call it before the pool's first Get;
+// afterwards the pool has already bound a private registry and the call
+// is a no-op.
+func (p *Pool) AttachRegistry(r *obs.Registry) {
+	p.metricsOnce.Do(func() { p.bind(r) })
+}
+
+func (p *Pool) metrics() {
+	p.metricsOnce.Do(func() { p.bind(obs.NewRegistry()) })
+}
+
+func (p *Pool) bind(r *obs.Registry) {
+	p.checkouts = r.Counter("dnswire_arena_checkouts_total")
+	p.recycles = r.Counter("dnswire_arena_recycles_total")
+	p.discards = r.Counter("dnswire_arena_discards_total")
+}
+
+// PoolStats is a snapshot of pool counters.
+type PoolStats struct {
+	// Checkouts counts Get calls; Recycles counts arenas returned to the
+	// pool by Finish; Discards counts arenas Finish dropped for
+	// exceeding the retention caps. Checkouts - Recycles - Discards is
+	// the number of arenas currently checked out (plus any discarded by
+	// NoRecycle, which counts neither recycle nor discard).
+	Checkouts, Recycles, Discards uint64
+}
+
+// Stats returns the current counter snapshot.
+func (p *Pool) Stats() PoolStats {
+	p.metrics()
+	return PoolStats{
+		Checkouts: p.checkouts.Load(),
+		Recycles:  p.recycles.Load(),
+		Discards:  p.discards.Load(),
+	}
+}
+
+// Get checks an arena out of the pool, allocating a fresh one when the
+// pool is empty (or NoRecycle is set). Release it with Finish.
+func (p *Pool) Get() *Arena {
+	p.metrics()
+	p.checkouts.Inc()
+	if !p.NoRecycle {
+		if a, ok := p.p.Get().(*Arena); ok && a != nil {
+			a.pool = p
+			return a
+		}
+	}
+	return &Arena{pool: p}
+}
+
+// Finish releases the arena back to its pool, invalidating every message
+// and name still borrowing it. Finish on nil or an already-finished
+// arena is a no-op, so it is safe to defer unconditionally. Arenas whose
+// buffers grew past the retention caps are discarded instead of pooled.
+func (a *Arena) Finish() {
+	if a == nil || a.pool == nil {
+		return
+	}
+	p := a.pool
+	a.pool = nil
+	if p.NoRecycle {
+		return
+	}
+	if cap(a.out) > maxRetainedBytes || cap(a.scratch) > maxRetainedBytes ||
+		cap(a.rrs) > maxRetainedRRs || cap(a.qs) > maxRetainedQs ||
+		!a.slabs.recycle() {
+		p.discards.Inc()
+		return
+	}
+	// Drop references into message payloads so a pooled arena doesn't
+	// pin names and RDATA from its last exchange while idle.
+	clear(a.rrs[:cap(a.rrs)])
+	clear(a.qs[:cap(a.qs)])
+	a.rrs, a.qs = a.rrs[:0], a.qs[:0]
+	a.qq[0] = Question{}
+	a.qslot = Message{}
+	a.rslot = Message{}
+	p.recycles.Inc()
+	p.p.Put(a)
+}
+
+// NewQuery is Message NewQuery built in the arena's query slot: no heap
+// allocation, valid until the next NewQuery/NewResponse on this arena or
+// Finish. The name is retained as given; callers own its lifetime.
+func (a *Arena) NewQuery(id uint16, name dnsname.Name, qtype Type) *Message {
+	a.qq[0] = Question{Name: name, Type: qtype, Class: ClassIN}
+	a.qslot = Message{
+		Header:    Header{ID: id, Opcode: OpcodeQuery},
+		Questions: a.qq[:1],
+	}
+	return &a.qslot
+}
+
+// NewResponse is Message NewResponse built in the arena's query slot,
+// sharing q's question section rather than copying it. On a server, q is
+// the arena-decoded query (the decode slot), so both messages ride the
+// same arena through the exchange.
+func (a *Arena) NewResponse(q *Message) *Message {
+	a.qslot = Message{
+		Header: Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			Opcode:           q.Header.Opcode,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: q.Questions,
+	}
+	return &a.qslot
+}
+
+// Owned returns a deep copy of m with every name and payload buffer on
+// the Go heap, safe to retain after the arena that produced m is reused
+// or finished. It is the message-granularity release of the borrow
+// contract (see CloneRRs for section granularity).
+func (m *Message) Owned() *Message {
+	out := &Message{Header: m.Header}
+	if len(m.Questions) > 0 {
+		out.Questions = make([]Question, len(m.Questions))
+		for i, q := range m.Questions {
+			q.Name = q.Name.Own()
+			out.Questions[i] = q
+		}
+	}
+	out.Answers = CloneRRs(m.Answers)
+	out.Authority = CloneRRs(m.Authority)
+	out.Additional = CloneRRs(m.Additional)
+	return out
+}
+
+// CloneRRs deep-copies a record slice, owning every name and payload
+// buffer. It returns nil for an empty input, preserving section
+// nil-ness. Resolver choke points use it where arena-decoded records
+// escape into long-lived structures (Delegation, zone builds).
+func CloneRRs(rrs []RR) []RR {
+	if len(rrs) == 0 {
+		return nil
+	}
+	out := make([]RR, len(rrs))
+	for i, rr := range rrs {
+		rr.Name = rr.Name.Own()
+		rr.Data = cloneRData(rr.Data)
+		out[i] = rr
+	}
+	return out
+}
+
+// cloneRData owns the payload's retained storage: names for the name
+// types, the byte image for opaque RDATA, and slice headers for TXT and
+// CSYNC (whose elements the decoder already owns). Every case must
+// return the copied value v, never d: a decoded payload's interface
+// data word points into an arena slab (rdatabox.go), so even a type
+// with no internal pointers — AData, AAAAData — needs the re-boxing
+// that `return v` performs to move the cell off the slab.
+func cloneRData(d RData) RData {
+	switch v := d.(type) {
+	case NSData:
+		v.Host = v.Host.Own()
+		return v
+	case CNAMEData:
+		v.Target = v.Target.Own()
+		return v
+	case PTRData:
+		v.Target = v.Target.Own()
+		return v
+	case AData:
+		return v
+	case AAAAData:
+		return v
+	case MXData:
+		v.Exchange = v.Exchange.Own()
+		return v
+	case SOAData:
+		v.MName = v.MName.Own()
+		v.RName = v.RName.Own()
+		return v
+	case TXTData:
+		v.Strings = append([]string(nil), v.Strings...)
+		return v
+	case CSYNCData:
+		v.Types = append([]Type(nil), v.Types...)
+		return v
+	case OpaqueData:
+		v.Bytes = append([]byte(nil), v.Bytes...)
+		return v
+	default:
+		return d
+	}
+}

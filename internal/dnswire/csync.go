@@ -2,7 +2,7 @@ package dnswire
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -81,71 +81,33 @@ func (d CSYNCData) equal(o RData) bool {
 var _ RData = CSYNCData{}
 
 // encodeCSYNC serialises the RDATA: serial, flags, then an RFC 4034
-// § 4.1.2-style type bitmap.
+// § 4.1.2-style type bitmap. The sort scratch lives on the arena, and
+// windows are grouped by walking consecutive runs of the sorted list —
+// ascending window order, exactly the first-seen order the old
+// per-record map produced from a sorted input.
 func (e *encoder) encodeCSYNC(d CSYNCData) error {
 	e.uint32(d.Serial)
 	e.uint16(d.Flags)
 
-	// Group types by window (high byte).
-	types := append([]Type(nil), d.Types...)
-	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
-	byWindow := make(map[byte][]Type)
-	var windows []byte
-	for _, t := range types {
-		w := byte(uint16(t) >> 8)
-		if _, seen := byWindow[w]; !seen {
-			windows = append(windows, w)
-		}
-		byWindow[w] = append(byWindow[w], t)
-	}
-	for _, w := range windows {
+	types := append(e.a.types[:0], d.Types...)
+	e.a.types = types
+	slices.Sort(types)
+	for i := 0; i < len(types); {
+		w := byte(uint16(types[i]) >> 8)
 		var bitmap [32]byte
 		maxOctet := 0
-		for _, t := range byWindow[w] {
-			low := byte(uint16(t) & 0xFF)
+		j := i
+		for ; j < len(types) && byte(uint16(types[j])>>8) == w; j++ {
+			low := byte(uint16(types[j]) & 0xFF)
 			octet := int(low / 8)
 			bitmap[octet] |= 0x80 >> (low % 8)
 			if octet+1 > maxOctet {
 				maxOctet = octet + 1
 			}
 		}
-		e.buf = append(e.buf, w, byte(maxOctet))
-		e.buf = append(e.buf, bitmap[:maxOctet]...)
+		e.a.out = append(e.a.out, w, byte(maxOctet))
+		e.a.out = append(e.a.out, bitmap[:maxOctet]...)
+		i = j
 	}
 	return nil
-}
-
-// decodeCSYNC parses a CSYNC RDATA ending at end.
-func (d *decoder) decodeCSYNC(end int) (RData, error) {
-	serial, err := d.uint32()
-	if err != nil {
-		return nil, err
-	}
-	flags, err := d.uint16()
-	if err != nil {
-		return nil, err
-	}
-	data := CSYNCData{Serial: serial, Flags: flags}
-	for d.pos < end {
-		if d.pos+2 > end {
-			return nil, fmt.Errorf("%w: CSYNC bitmap header", ErrTruncatedMessage)
-		}
-		window := d.buf[d.pos]
-		length := int(d.buf[d.pos+1])
-		d.pos += 2
-		if length == 0 || length > 32 || d.pos+length > end {
-			return nil, fmt.Errorf("%w: CSYNC bitmap window %d length %d", ErrTruncatedMessage, window, length)
-		}
-		for octet := 0; octet < length; octet++ {
-			b := d.buf[d.pos+octet]
-			for bit := 0; bit < 8; bit++ {
-				if b&(0x80>>bit) != 0 {
-					data.Types = append(data.Types,
-						Type(uint16(window)<<8|uint16(octet*8+bit)))
-				}
-			}
-		}
-		d.pos += length
-	}
-	return data, nil
 }

@@ -19,44 +19,134 @@ var (
 	ErrBadRecord = errors.New("dnswire: unencodable record")
 )
 
-// encoder serialises a message with RFC 1035 §4.1.4 name compression.
-type encoder struct {
-	buf []byte
-	// offsets maps a canonical name to the offset of its first occurrence,
-	// for compression-pointer targets. Only offsets < 0x3FFF are usable.
-	offsets map[dnsname.Name]int
+// compSlots sizes the flat compression table. Each stored suffix is
+// followed by at least two emitted bytes (its length octet and first
+// label byte), so any message the serving tier can actually send over
+// UDP (≤ MaxUDPPayload before truncation handling) stores at most ~256
+// suffixes — the table cannot fill on those, keeping output
+// byte-identical to the unbounded map it replaces. Must be a power of
+// two.
+const compSlots = 512
+
+type compEntry struct {
+	gen  uint64
+	off  uint16
+	name dnsname.Name
 }
 
-// Encode serialises m into wire format. The result may exceed
-// MaxUDPPayload; callers sending over UDP should use EncodeUDP.
-func Encode(m *Message) ([]byte, error) {
-	e := &encoder{
-		buf:     make([]byte, 0, 512),
-		offsets: make(map[dnsname.Name]int, 8),
+// compTable is a linear-probe map from canonical name suffix to the
+// offset of its first occurrence, the compression-pointer target of
+// RFC 1035 §4.1.4. Reset is O(1): bumping gen invalidates every entry
+// without clearing it. Stale entries may pin arena-borrowed names from
+// a previous message; they are never read (the generation check runs
+// first) and the bytes they alias stay allocated with the arena, so the
+// dangling references are memory-safe by construction.
+type compTable struct {
+	gen     uint64
+	entries [compSlots]compEntry
+}
+
+// reset invalidates all entries. The zero table has gen 0, matching the
+// zero entries, so the first reset must run before any lookup — Encode
+// always resets up front.
+func (t *compTable) reset() { t.gen++ }
+
+// find probes for n. It returns its stored offset if present; otherwise
+// slot is the insertion slot for n, or -1 when the table is full.
+func (t *compTable) find(n dnsname.Name) (off int, found bool, slot int) {
+	h := hashName(n)
+	for i := 0; i < compSlots; i++ {
+		idx := (h + uint32(i)) & (compSlots - 1)
+		e := &t.entries[idx]
+		if e.gen != t.gen {
+			return 0, false, int(idx)
+		}
+		if e.name == n {
+			return int(e.off), true, -1
+		}
 	}
+	return 0, false, -1
+}
+
+// store records n at slot, as returned by find.
+func (t *compTable) store(slot int, n dnsname.Name, off int) {
+	t.entries[slot] = compEntry{gen: t.gen, off: uint16(off), name: n}
+}
+
+// hashName is FNV-1a over the name bytes.
+func hashName(n dnsname.Name) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(n); i++ {
+		h ^= uint32(n[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// encoder serialises a message with RFC 1035 §4.1.4 name compression,
+// writing into its arena's output buffer.
+type encoder struct {
+	a *Arena
+}
+
+// Encode serialises m into an owned buffer. It is the allocating
+// convenience form of Arena.Encode; hot paths encode on a pooled arena.
+// The result may exceed MaxUDPPayload; callers sending over UDP should
+// use EncodeUDP.
+func Encode(m *Message) ([]byte, error) {
+	a := DefaultPool.Get()
+	defer a.Finish()
+	wire, err := a.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), wire...), nil
+}
+
+// EncodeUDP is the allocating convenience form of Arena.EncodeUDP.
+func EncodeUDP(m *Message) ([]byte, error) {
+	a := DefaultPool.Get()
+	defer a.Finish()
+	wire, err := a.EncodeUDP(m)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), wire...), nil
+}
+
+// Encode serialises m into the arena's output buffer. The result aliases
+// the arena and is valid until the next Encode on this arena or Finish
+// (sending it on the wire or hashing it is fine; retaining it is not).
+// The result may exceed MaxUDPPayload; callers sending over UDP should
+// use EncodeUDP.
+func (a *Arena) Encode(m *Message) ([]byte, error) {
+	a.out = a.out[:0]
+	a.comp.reset()
+	e := encoder{a: a}
 	if err := e.message(m); err != nil {
 		return nil, err
 	}
-	if len(e.buf) > 0xFFFF {
+	if len(a.out) > 0xFFFF {
 		return nil, ErrMessageTooLarge
 	}
-	return e.buf, nil
+	return a.out, nil
 }
 
-// EncodeUDP serialises m for a UDP datagram. If the full encoding exceeds
-// MaxUDPPayload, the answer/authority/additional sections are emptied and
-// the TC bit is set, as an RFC 1035 server would.
-func EncodeUDP(m *Message) ([]byte, error) {
-	wire, err := Encode(m)
+// EncodeUDP serialises m for a UDP datagram on the arena. If the full
+// encoding exceeds MaxUDPPayload, the answer/authority/additional
+// sections are emptied and the TC bit is set, as an RFC 1035 server
+// would. The result borrows the arena like Encode's.
+func (a *Arena) EncodeUDP(m *Message) ([]byte, error) {
+	wire, err := a.Encode(m)
 	if err != nil {
 		return nil, err
 	}
 	if len(wire) <= MaxUDPPayload {
 		return wire, nil
 	}
-	truncated := &Message{Header: m.Header, Questions: m.Questions}
+	truncated := Message{Header: m.Header, Questions: m.Questions}
 	truncated.Header.Truncated = true
-	return Encode(truncated)
+	return a.Encode(&truncated)
 }
 
 func (e *encoder) message(m *Message) error {
@@ -125,17 +215,17 @@ func (e *encoder) record(rr RR) error {
 	e.uint32(rr.TTL)
 
 	// Reserve RDLENGTH, encode RDATA, then patch the length in.
-	lenAt := len(e.buf)
+	lenAt := len(e.a.out)
 	e.uint16(0)
-	start := len(e.buf)
+	start := len(e.a.out)
 	if err := e.rdata(rr.Data); err != nil {
 		return err
 	}
-	rdlen := len(e.buf) - start
+	rdlen := len(e.a.out) - start
 	if rdlen > 0xFFFF {
 		return fmt.Errorf("%w: RDATA of %q is %d bytes", ErrBadRecord, rr.Name, rdlen)
 	}
-	binary.BigEndian.PutUint16(e.buf[lenAt:], uint16(rdlen))
+	binary.BigEndian.PutUint16(e.a.out[lenAt:], uint16(rdlen))
 	return nil
 }
 
@@ -152,14 +242,14 @@ func (e *encoder) rdata(data RData) error {
 			return fmt.Errorf("%w: A record with non-IPv4 address %s", ErrBadRecord, d.Addr)
 		}
 		a4 := d.Addr.As4()
-		e.buf = append(e.buf, a4[:]...)
+		e.a.out = append(e.a.out, a4[:]...)
 		return nil
 	case AAAAData:
 		if !d.Addr.Is6() || d.Addr.Is4() {
 			return fmt.Errorf("%w: AAAA record with non-IPv6 address %s", ErrBadRecord, d.Addr)
 		}
 		a16 := d.Addr.As16()
-		e.buf = append(e.buf, a16[:]...)
+		e.a.out = append(e.a.out, a16[:]...)
 		return nil
 	case MXData:
 		e.uint16(d.Preference)
@@ -172,8 +262,8 @@ func (e *encoder) rdata(data RData) error {
 			if len(s) > 255 {
 				return fmt.Errorf("%w: TXT string of %d bytes", ErrBadRecord, len(s))
 			}
-			e.buf = append(e.buf, byte(len(s)))
-			e.buf = append(e.buf, s...)
+			e.a.out = append(e.a.out, byte(len(s)))
+			e.a.out = append(e.a.out, s...)
 		}
 		return nil
 	case SOAData:
@@ -192,7 +282,7 @@ func (e *encoder) rdata(data RData) error {
 	case CSYNCData:
 		return e.encodeCSYNC(d)
 	case OpaqueData:
-		e.buf = append(e.buf, d.Bytes...)
+		e.a.out = append(e.a.out, d.Bytes...)
 		return nil
 	default:
 		return fmt.Errorf("%w: unsupported RDATA type %T", ErrBadRecord, data)
@@ -206,26 +296,29 @@ func (e *encoder) name(n dnsname.Name) error {
 		return fmt.Errorf("%w: empty name", ErrBadRecord)
 	}
 	for !n.IsRoot() {
-		if off, ok := e.offsets[n]; ok {
+		off, found, slot := e.a.comp.find(n)
+		if found {
 			e.uint16(0xC000 | uint16(off))
 			return nil
 		}
-		if len(e.buf) < 0x3FFF {
-			e.offsets[n] = len(e.buf)
+		// Only offsets below 0x3FFF fit in a pointer; beyond that the
+		// suffix is emitted but not remembered, as the map did.
+		if slot >= 0 && len(e.a.out) < 0x3FFF {
+			e.a.comp.store(slot, n, len(e.a.out))
 		}
 		label := string(n)[:strings.IndexByte(string(n), '.')]
-		e.buf = append(e.buf, byte(len(label)))
-		e.buf = append(e.buf, label...)
+		e.a.out = append(e.a.out, byte(len(label)))
+		e.a.out = append(e.a.out, label...)
 		n = n.Parent()
 	}
-	e.buf = append(e.buf, 0)
+	e.a.out = append(e.a.out, 0)
 	return nil
 }
 
 func (e *encoder) uint16(v uint16) {
-	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+	e.a.out = binary.BigEndian.AppendUint16(e.a.out, v)
 }
 
 func (e *encoder) uint32(v uint32) {
-	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+	e.a.out = binary.BigEndian.AppendUint32(e.a.out, v)
 }

@@ -92,14 +92,37 @@ func (m *Message) AdditionalOfType(t Type) []RR {
 	return recordsOfType(m.Additional, t)
 }
 
+// recordsOfType counts matches first so the result is allocated exactly
+// once at size, and returns nil when nothing matches — referral
+// classification calls this on every delegation response.
 func recordsOfType(rrs []RR, t Type) []RR {
-	var out []RR
+	n := 0
+	for _, rr := range rrs {
+		if rr.Type() == t {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]RR, 0, n)
 	for _, rr := range rrs {
 		if rr.Type() == t {
 			out = append(out, rr)
 		}
 	}
 	return out
+}
+
+// hasType reports whether any record in rrs has type t, without
+// materialising the filtered slice.
+func hasType(rrs []RR, t Type) bool {
+	for _, rr := range rrs {
+		if rr.Type() == t {
+			return true
+		}
+	}
+	return false
 }
 
 // IsReferral reports whether m is a delegation response: no answers, but NS
@@ -109,7 +132,7 @@ func (m *Message) IsReferral() bool {
 	return m.Header.Response &&
 		m.Header.RCode == RCodeNoError &&
 		len(m.Answers) == 0 &&
-		len(m.AuthorityOfType(TypeNS)) > 0
+		hasType(m.Authority, TypeNS)
 }
 
 // String renders a dig-like multi-line summary, useful in logs and

@@ -1,0 +1,110 @@
+package dnswire
+
+import "unsafe"
+
+// Plain interface boxing (`RData(NSData{...})`) copies the payload to a
+// fresh heap cell — one allocation per decoded record, the last
+// allocations on the wire path. The decoder instead appends payloads to
+// per-type slabs on the arena and assembles the interface value by hand:
+// the itab word is taken from a real boxed value of the same concrete
+// type (itabs are canonicalized, so every (RData, NSData) pair shares
+// one), and the data word points at the slab cell. To every consumer —
+// type assertions, type switches, method calls, interface comparison —
+// the result is indistinguishable from ordinary boxing; the only
+// difference is where the cell lives, which is exactly the arena borrow
+// contract: valid until the next Decode or Finish, copied out by
+// cloneRData at the choke points.
+//
+// The GC treats the data word as an ordinary (interior) pointer, so a
+// retained RData keeps its slab alive even after the arena moves on.
+
+// iface mirrors the runtime layout of a non-empty interface value.
+type iface struct {
+	tab  unsafe.Pointer
+	data unsafe.Pointer
+}
+
+// itabFor extracts the itab shared by every RData holding concrete type
+// T, by boxing one zero value the ordinary way.
+func itabFor[T RData]() unsafe.Pointer {
+	var zero T
+	var d RData = zero
+	return (*iface)(unsafe.Pointer(&d)).tab
+}
+
+var (
+	nsItab     = itabFor[NSData]()
+	cnameItab  = itabFor[CNAMEData]()
+	ptrItab    = itabFor[PTRData]()
+	aItab      = itabFor[AData]()
+	aaaaItab   = itabFor[AAAAData]()
+	mxItab     = itabFor[MXData]()
+	txtItab    = itabFor[TXTData]()
+	soaItab    = itabFor[SOAData]()
+	csyncItab  = itabFor[CSYNCData]()
+	opaqueItab = itabFor[OpaqueData]()
+)
+
+// boxInto appends v to the slab and returns an RData for the stored
+// cell, allocating only when the slab itself grows.
+func boxInto[T RData](slab *[]T, tab unsafe.Pointer, v T) RData {
+	*slab = append(*slab, v)
+	var d RData
+	e := (*iface)(unsafe.Pointer(&d))
+	e.tab = tab
+	e.data = unsafe.Pointer(&(*slab)[len(*slab)-1])
+	return d
+}
+
+// rdataSlabs is the arena's payload storage, one slab per concrete
+// payload type so every cell is a properly typed, GC-scannable object.
+type rdataSlabs struct {
+	ns     []NSData
+	cname  []CNAMEData
+	ptr    []PTRData
+	a      []AData
+	aaaa   []AAAAData
+	mx     []MXData
+	txt    []TXTData
+	soa    []SOAData
+	csync  []CSYNCData
+	opaque []OpaqueData
+}
+
+// reset truncates all slabs for the next decode. Cells stay allocated;
+// their previous contents are dead under the borrow contract.
+func (s *rdataSlabs) reset() {
+	s.ns = s.ns[:0]
+	s.cname = s.cname[:0]
+	s.ptr = s.ptr[:0]
+	s.a = s.a[:0]
+	s.aaaa = s.aaaa[:0]
+	s.mx = s.mx[:0]
+	s.txt = s.txt[:0]
+	s.soa = s.soa[:0]
+	s.csync = s.csync[:0]
+	s.opaque = s.opaque[:0]
+}
+
+// recycle clears cell contents (dropping name and slice references a
+// pooled arena would otherwise pin) and reports whether the slabs are
+// small enough to retain.
+func (s *rdataSlabs) recycle() bool {
+	if cap(s.ns) > maxRetainedRRs || cap(s.cname) > maxRetainedRRs ||
+		cap(s.ptr) > maxRetainedRRs || cap(s.a) > maxRetainedRRs ||
+		cap(s.aaaa) > maxRetainedRRs || cap(s.mx) > maxRetainedRRs ||
+		cap(s.txt) > maxRetainedRRs || cap(s.soa) > maxRetainedRRs ||
+		cap(s.csync) > maxRetainedRRs || cap(s.opaque) > maxRetainedRRs {
+		return false
+	}
+	clear(s.ns[:cap(s.ns)])
+	clear(s.cname[:cap(s.cname)])
+	clear(s.ptr[:cap(s.ptr)])
+	clear(s.mx[:cap(s.mx)])
+	clear(s.txt[:cap(s.txt)])
+	clear(s.soa[:cap(s.soa)])
+	clear(s.csync[:cap(s.csync)])
+	clear(s.opaque[:cap(s.opaque)])
+	s.reset()
+	return true
+}

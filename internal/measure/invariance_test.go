@@ -8,6 +8,7 @@ import (
 
 	"govdns/internal/chaos"
 	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
 	"govdns/internal/miniworld"
 	"govdns/internal/resolver"
 	"govdns/internal/worldgen"
@@ -43,10 +44,18 @@ func scanWith(t *testing.T, tr resolver.Transport, roots []netip.Addr, domains [
 // scheduling noise of zero would let wall-clock pressure time out a
 // *live* exchange and break digest invariance for real.
 func scanTuned(t *testing.T, tr resolver.Transport, roots []netip.Addr, domains []dnsname.Name, workers, fanout int, adaptive bool, timeout time.Duration, retries int) []*DomainResult {
+	return scanPooled(t, tr, roots, domains, workers, fanout, adaptive, timeout, retries, nil)
+}
+
+// scanPooled is scanTuned with an explicit codec-arena pool on the
+// client (nil uses dnswire.DefaultPool), for the pooled-vs-unpooled
+// invariance check.
+func scanPooled(t *testing.T, tr resolver.Transport, roots []netip.Addr, domains []dnsname.Name, workers, fanout int, adaptive bool, timeout time.Duration, retries int, pool *dnswire.Pool) []*DomainResult {
 	t.Helper()
 	client := resolver.NewClient(tr)
 	client.Timeout = timeout
 	client.Retries = retries
+	client.WirePool = pool
 	it := resolver.NewIterator(client, roots)
 	it.AdaptiveOrder = adaptive
 	s := NewScanner(it)
@@ -147,6 +156,65 @@ func TestScanInvariancePersistentChaosReproducibleAndMonotone(t *testing.T) {
 	rerun := scanTuned(t, tr, active.Roots, active.QueryList, 1, 1, false, worldDeadline, 0)
 	if got := DigestHex(rerun); got != serial {
 		t.Errorf("serial persistent-chaos scan not reproducible: digest %s != %s", got, serial)
+	}
+}
+
+// TestScanInvariancePooledVsUnpooled: arena recycling on the wire path
+// is pure memory management, so a scan must digest identically whether
+// the client's codec arenas come from the shared default pool, a
+// dedicated pool, or a pool that never recycles (every exchange on a
+// fresh arena). Checked twice: a clean parallel scan, and a serial scan
+// under persistent content-keyed chaos — the latter pushes every decode
+// error path (mangled packets, corrupted IDs, truncation) through the
+// arena decoder, whose error strings feed the digest.
+func TestScanInvariancePooledVsUnpooled(t *testing.T) {
+	w := worldgen.Generate(worldgen.Config{Seed: 42, Scale: 0.002})
+	active := worldgen.Build(w)
+
+	pools := []struct {
+		name string
+		pool func() *dnswire.Pool
+	}{
+		{"default", func() *dnswire.Pool { return nil }},
+		{"dedicated", dnswire.NewPool},
+		{"norecycle", func() *dnswire.Pool { return &dnswire.Pool{NoRecycle: true} }},
+	}
+	rules := []chaos.Rule{
+		chaos.Persistent(chaos.Drop, 0.03),
+		chaos.Persistent(chaos.Truncate, 0.05),
+		chaos.Persistent(chaos.FlipRCode, 0.05),
+		chaos.Persistent(chaos.CorruptQID, 0.02),
+		chaos.Persistent(chaos.MismatchQuestion, 0.02),
+		chaos.Persistent(chaos.Mangle, 0.02),
+	}
+
+	var wantClean, wantChaos string
+	for _, pc := range pools {
+		pool := pc.pool()
+		clean := scanPooled(t, active.Net, active.Roots, active.QueryList, 8, 2, true, worldDeadline, 0, pool)
+		if got := DigestHex(clean); wantClean == "" {
+			wantClean = got
+		} else if got != wantClean {
+			t.Errorf("clean scan with %s pool: digest %s != %s", pc.name, got, wantClean)
+		}
+		if pc.name == "dedicated" {
+			// The pooled path must actually have engaged: arenas checked
+			// out and recycled, not silently bypassed.
+			if s := pool.Stats(); s.Checkouts == 0 || s.Recycles == 0 {
+				t.Errorf("dedicated pool never cycled an arena: %+v", s)
+			}
+		}
+
+		tr := chaos.Wrap(active.Net, 7, rules...)
+		damaged := scanPooled(t, tr, active.Roots, active.QueryList, 1, 1, false, worldDeadline, 0, pc.pool())
+		if tr.Stats().Total() == 0 {
+			t.Fatal("chaos injected nothing; the test is vacuous")
+		}
+		if got := DigestHex(damaged); wantChaos == "" {
+			wantChaos = got
+		} else if got != wantChaos {
+			t.Errorf("serial chaos scan with %s pool: digest %s != %s", pc.name, got, wantChaos)
+		}
 	}
 }
 

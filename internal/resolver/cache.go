@@ -51,6 +51,9 @@ func (c *hostCache) get(name dnsname.Name) (hostEntry, bool) {
 }
 
 func (c *hostCache) put(name dnsname.Name, e hostEntry) {
+	// Own the key: cache entries outlive any codec arena a caller's name
+	// might still be borrowing (a no-op copy for already-owned names).
+	name = name.Own()
 	s := &c.shards[shardIndex(name)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -118,6 +121,8 @@ func (c *zoneCache) get(name dnsname.Name) (zoneEntry, bool) {
 }
 
 func (c *zoneCache) put(name dnsname.Name, e zoneEntry) {
+	// Own the key; see hostCache.put.
+	name = name.Own()
 	s := &c.shards[shardIndex(name)]
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -75,6 +75,12 @@ type Client struct {
 	// response fails the attempt).
 	MaxDiscards int
 
+	// WirePool supplies the codec arenas queries encode and decode on.
+	// Defaults to dnswire.DefaultPool; set an explicit pool to isolate
+	// the client's arena traffic or to run with recycling disabled
+	// (dnswire.Pool.NoRecycle) in invariance tests.
+	WirePool *dnswire.Pool
+
 	nextID atomic.Uint32
 
 	// Load accounting (§ III-D: the paper tracked and limited the load
@@ -161,7 +167,16 @@ func (c *Client) Stats() Stats {
 // Stats call; afterwards the lazily created private registry has
 // already won and the call is a no-op.
 func (c *Client) SetMetrics(m *Metrics) {
-	c.metricsOnce.Do(func() { c.m = m })
+	c.metricsOnce.Do(func() {
+		c.m = m
+		// An explicitly configured pool joins the shared registry so its
+		// arena counters land next to the query-load counters. The shared
+		// DefaultPool keeps its own registry: it may serve several
+		// pipelines at once.
+		if c.WirePool != nil {
+			c.WirePool.AttachRegistry(m.reg)
+		}
+	})
 }
 
 // metrics returns the client's instruments, creating them on a private
@@ -181,6 +196,14 @@ func (c *Client) timeout() time.Duration {
 		return c.Timeout
 	}
 	return DefaultTimeout
+}
+
+// wirePool returns the arena pool queries run on.
+func (c *Client) wirePool() *dnswire.Pool {
+	if c.WirePool != nil {
+		return c.WirePool
+	}
+	return dnswire.DefaultPool
 }
 
 func (c *Client) retries() int {
@@ -228,7 +251,31 @@ func (c *Client) Query(ctx context.Context, server netip.Addr, name dnsname.Name
 // QueryTraced is Query plus the per-query fault trace. The trace is
 // meaningful even when err is non-nil: it records what the wire did to
 // this query.
-func (c *Client) QueryTraced(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (resp *dnswire.Message, tr Trace, err error) {
+func (c *Client) QueryTraced(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, Trace, error) {
+	a := c.wirePool().Get()
+	defer a.Finish()
+	resp, tr, err := c.QueryArenaTraced(ctx, a, server, name, qtype)
+	if resp != nil {
+		resp = resp.Owned()
+	}
+	return resp, tr, err
+}
+
+// QueryArena is Query on a caller-supplied codec arena. The response
+// borrows a: it is valid until the next decode on a or a.Finish,
+// whichever comes first, and anything retained past that must go through
+// Message.Owned, dnswire.CloneRRs, or dnsname.Name.Own. The iterator's
+// referral walk runs on this path — one arena per delegation step, zero
+// heap allocations per exchange.
+func (c *Client) QueryArena(ctx context.Context, a *dnswire.Arena, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	resp, _, err := c.QueryArenaTraced(ctx, a, server, name, qtype)
+	return resp, err
+}
+
+// QueryArenaTraced is QueryArena plus the per-query fault trace, and the
+// single implementation behind every query entry point. The response
+// borrows a (see QueryArena).
+func (c *Client) QueryArenaTraced(ctx context.Context, a *dnswire.Arena, server netip.Addr, name dnsname.Name, qtype dnswire.Type) (resp *dnswire.Message, tr Trace, err error) {
 	rec, parent := trace.From(ctx)
 	qspan := trace.NoSpan
 	if rec != nil {
@@ -255,7 +302,7 @@ func (c *Client) QueryTraced(ctx context.Context, server netip.Addr, name dnsnam
 			actx = trace.ContextWith(ctx, rec, aspan)
 			rejectsBefore = tr.Rejects()
 		}
-		resp, aerr := c.attempt(actx, server, name, qtype, &tr)
+		resp, aerr := c.attempt(actx, a, server, name, qtype, &tr)
 		if rec != nil {
 			if d := tr.Rejects() - rejectsBefore; d > 0 {
 				rec.Annotate(aspan, trace.Int("discarded", int64(d)))
@@ -298,10 +345,14 @@ func (c *Client) maxDiscards() int {
 // exhausts its discard budget, or hits the attempt deadline. Responses
 // that fail validation are counted by class and discarded — the socket
 // stays open for the real answer, as a UDP resolver's must.
-func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Name, qtype dnswire.Type, tr *Trace) (*dnswire.Message, error) {
+//
+// Query, wire, and every decoded response ride the caller's arena. The
+// encoded query stays valid across response decodes because Arena.Decode
+// leaves the encoder output and query slot untouched.
+func (c *Client) attempt(ctx context.Context, a *dnswire.Arena, server netip.Addr, name dnsname.Name, qtype dnswire.Type, tr *Trace) (*dnswire.Message, error) {
 	id := uint16(c.nextID.Add(1))
-	query := dnswire.NewQuery(id, name, qtype)
-	wire, err := dnswire.Encode(query)
+	query := a.NewQuery(id, name, qtype)
+	wire, err := a.Encode(query)
 	if err != nil {
 		return nil, fmt.Errorf("resolver: encoding query: %w", err)
 	}
@@ -336,7 +387,7 @@ func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Na
 			}
 			return nil, err
 		}
-		resp, reject := c.classify(query, server, respWire, tr)
+		resp, reject := c.classify(a, query, server, respWire, tr)
 		rec.EndSpan(xspan, reject)
 		if reject == nil {
 			m.received.Inc()
@@ -359,9 +410,9 @@ func (c *Client) attempt(ctx context.Context, server netip.Addr, name dnsname.Na
 // decoded message for an acceptable answer or a classified rejection
 // error. Counters (both aggregate and per-class, plus the trace) are
 // bumped for rejects.
-func (c *Client) classify(query *dnswire.Message, server netip.Addr, respWire []byte, tr *Trace) (*dnswire.Message, error) {
+func (c *Client) classify(a *dnswire.Arena, query *dnswire.Message, server netip.Addr, respWire []byte, tr *Trace) (*dnswire.Message, error) {
 	m := c.metrics()
-	resp, err := dnswire.Decode(respWire)
+	resp, err := a.Decode(respWire)
 	if err != nil {
 		m.malformed.Inc()
 		tr.Malformed++

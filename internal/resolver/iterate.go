@@ -119,7 +119,10 @@ func nsHosts(records []dnswire.RR) []dnsname.Name {
 			continue
 		}
 		seen[ns.Host] = true
-		out = append(out, ns.Host)
+		// The records may borrow a codec arena (zone builds pass referral
+		// sections straight off the wire); the host list outlives the
+		// packet — it is cached inside ZoneServers — so own each name here.
+		out = append(out, ns.Host.Own())
 	}
 	sort.Slice(out, func(i, j int) bool { return dnsname.Compare(out[i], out[j]) < 0 })
 	return out
@@ -297,7 +300,13 @@ func (it *Iterator) delegationStep(ctx context.Context, current *ZoneServers, na
 		}()
 	}
 
-	resp, _, err := it.queryAny(ctx, current, name, dnswire.TypeNS, depth)
+	// One codec arena per step: the response borrows it, and everything
+	// that outlives the step — the Delegation's record sections, the next
+	// zone's host names — is deep-copied at the choke points below.
+	a := it.client.wirePool().Get()
+	defer a.Finish()
+
+	resp, _, err := it.queryAny(ctx, a, current, name, dnswire.TypeNS, depth)
 	if err != nil {
 		return nil, nil, fmt.Errorf("querying servers of %q for %q: %w", current.Zone, name, err)
 	}
@@ -314,8 +323,8 @@ func (it *Iterator) delegationStep(ctx context.Context, current *ZoneServers, na
 	if ansNS := resp.AnswersOfType(dnswire.TypeNS); resp.Header.Authoritative && len(ansNS) > 0 {
 		return &Delegation{
 			Parent:        *current,
-			NSRecords:     ansNS,
-			Glue:          resp.AdditionalOfType(dnswire.TypeA),
+			NSRecords:     dnswire.CloneRRs(ansNS),
+			Glue:          dnswire.CloneRRs(resp.AdditionalOfType(dnswire.TypeA)),
 			Authoritative: true,
 		}, nil, nil
 	}
@@ -326,8 +335,8 @@ func (it *Iterator) delegationStep(ctx context.Context, current *ZoneServers, na
 		if owner == name {
 			return &Delegation{
 				Parent:    *current,
-				NSRecords: authNS,
-				Glue:      resp.AdditionalOfType(dnswire.TypeA),
+				NSRecords: dnswire.CloneRRs(authNS),
+				Glue:      dnswire.CloneRRs(resp.AdditionalOfType(dnswire.TypeA)),
 			}, nil, nil
 		}
 		// Intermediate zone cut: build its server set and descend.
@@ -348,6 +357,10 @@ func (it *Iterator) delegationStep(ctx context.Context, current *ZoneServers, na
 // cache (including negative entries for zones whose walk already failed)
 // and coalescing concurrent builds of the same zone into one.
 func (it *Iterator) zoneServers(ctx context.Context, zoneName dnsname.Name, nsRecords, glue []dnswire.RR, depth int) (*ZoneServers, error) {
+	// The zone name usually arrives borrowed (the owner of a referral's
+	// authority records); everything below retains it — cache key, flight
+	// key, zone-build span label, ZoneServers.Zone — so own it once here.
+	zoneName = zoneName.Own()
 	if e, ok := it.zones.get(zoneName); ok {
 		if e.err != nil {
 			it.m.negHits.Inc()
@@ -613,9 +626,16 @@ func (it *Iterator) lookup(ctx context.Context, host dnsname.Name, depth int) ([
 	if depth > maxDepth {
 		return nil, fmt.Errorf("%w: resolving %s", ErrDepth, host)
 	}
+	// One arena for the whole walk: each step's decode invalidates the
+	// previous response, which is exactly the loop's access pattern, and
+	// every value that escapes (addresses, the CNAME target, zone names)
+	// is copied or owned below.
+	a := it.client.wirePool().Get()
+	defer a.Finish()
+
 	current := it.cachedZone(host)
 	for step := 0; step < maxDepth; step++ {
-		resp, _, err := it.queryAny(ctx, current, host, dnswire.TypeA, depth)
+		resp, _, err := it.queryAny(ctx, a, current, host, dnswire.TypeA, depth)
 		if err != nil {
 			return nil, fmt.Errorf("resolving %q via %q: %w", host, current.Zone, err)
 		}
@@ -638,9 +658,10 @@ func (it *Iterator) lookup(ctx context.Context, host dnsname.Name, depth int) ([
 				return addrs, nil
 			}
 		}
-		// CNAME chase.
+		// CNAME chase. The target escapes into the host-resolution
+		// machinery (flight key, cache key, span label), so own it.
 		if cnames := resp.AnswersOfType(dnswire.TypeCNAME); len(cnames) > 0 {
-			target := cnames[0].Data.(dnswire.CNAMEData).Target
+			target := cnames[0].Data.(dnswire.CNAMEData).Target.Own()
 			return it.resolveHost(ctx, target, depth+1)
 		}
 		if resp.IsReferral() {
@@ -688,7 +709,8 @@ func traceFlightWait(ctx context.Context, layer string, name dnsname.Name) {
 // iterator behaves exactly like the fixed order); out-of-bailiwick hosts
 // whose addresses are not yet known are only resolved once every known
 // address has failed.
-func (it *Iterator) queryAny(ctx context.Context, zs *ZoneServers, name dnsname.Name, qtype dnswire.Type, depth int) (*dnswire.Message, netip.Addr, error) {
+// The returned message borrows a, like QueryArena's.
+func (it *Iterator) queryAny(ctx context.Context, a *dnswire.Arena, zs *ZoneServers, name dnsname.Name, qtype dnswire.Type, depth int) (*dnswire.Message, netip.Addr, error) {
 	type candidate struct {
 		host dnsname.Name
 		addr netip.Addr
@@ -733,7 +755,7 @@ func (it *Iterator) queryAny(ctx context.Context, zs *ZoneServers, name dnsname.
 	}
 	var fails []failure
 	try := func(addr netip.Addr) *dnswire.Message {
-		resp, err := it.client.Query(ctx, addr, name, qtype)
+		resp, err := it.client.QueryArena(ctx, a, addr, name, qtype)
 		if err != nil {
 			// A dead context says nothing about the server's health.
 			if ctx.Err() == nil {

@@ -183,6 +183,9 @@ func (n *Network) exchangeFrom(ctx context.Context, src, addr netip.Addr, query 
 	if !ok {
 		return nil, waitForTimeout(ctx)
 	}
+	// HandleWire runs the codec on a pooled arena and returns a fresh
+	// buffer whose ownership passes to the caller — wrapping layers (the
+	// chaos transport) rely on being allowed to mutate it in place.
 	resp := server.HandleWire(query)
 	if resp == nil {
 		return nil, waitForTimeout(ctx)
