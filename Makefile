@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench bench-pdns bench-wire chaos fuzz check
+.PHONY: build test race vet lint bench bench-pdns bench-wire bench-serve chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,16 @@ bench-pdns:
 bench-wire:
 	$(GO) run ./cmd/benchreport -bench 'Exchange|DecodeReferral|EncodeResponse|WireEncodeDecode' -benchtime 1s -benchout BENCH_3.json
 
+# bench-serve runs the authoritative serving-tier benchmarks and emits
+# BENCH_4.json: the repeated-query workload over the in-memory wire path
+# and a real loopback UDP socket, each with the response cache on and
+# off. The acceptance bar is cache-on ≥ 2x cache-off on the in-memory
+# pair with 0 allocs/op on the cached path (hard-gated by
+# TestServeCachedZeroAlloc in internal/authserver); the UDP pair records
+# the syscall-dominated absolute numbers.
+bench-serve:
+	$(GO) run ./cmd/benchreport -bench 'ServeInMemory|ServeUDP' -benchtime 1s -benchout BENCH_4.json
+
 # chaos is the focused fault-injection view of the tier-1 gate: the
 # chaos package tests plus the scan-invariance differential harness
 # (digest invariance across schedule shapes, per-fault-class transient
@@ -71,6 +81,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/dnswire
 	$(GO) test -run '^$$' -fuzz FuzzEncodeNames -fuzztime $(FUZZTIME) ./internal/dnswire
 	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime $(FUZZTIME) ./internal/dnswire
+	$(GO) test -run '^$$' -fuzz FuzzTCPFraming -fuzztime $(FUZZTIME) ./internal/authserver
 
 # check is the tier-1 verify: everything a PR must keep green. The
 # race target runs the whole tree — including the chaos and invariance

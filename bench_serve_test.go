@@ -1,0 +1,160 @@
+package govdns
+
+// Serving-tier benchmarks (see DESIGN.md § 11): the authoritative
+// server's per-query cost over the two transports the study exercises —
+// the in-memory wire path (HandleWireAppend, the same entry the simnet
+// and the UDP read loop use) and a real loopback UDP socket round trip.
+// Each transport runs the same repeated-query workload with the response
+// cache on and off; BENCH_4.json records the pairs, and the acceptance
+// bar is cache-on ≥ 2× cache-off on the in-memory pair at 0 allocs/op
+// for the cached path (the hard gate is TestServeCachedZeroAlloc in
+// internal/authserver, run by `make test`).
+//
+// Run: make bench-serve
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"testing"
+
+	"govdns/internal/authserver"
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/zone"
+)
+
+// benchServeZone is the serving fixture: routine singleton answers plus
+// a TXT-heavy name, so the uncached path pays a realistic render (name
+// compression, multi-record sections), not a degenerate one-record one.
+func benchServeZone(tb testing.TB) *zone.Zone {
+	tb.Helper()
+	z := zone.New("gov.br.")
+	records := []dnswire.RR{
+		{Name: "gov.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.SOAData{
+			MName: "ns1.gov.br.", RName: "hostmaster.gov.br.", Serial: 1}},
+		{Name: "gov.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NSData{Host: "ns1.gov.br."}},
+		{Name: "gov.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NSData{Host: "ns2.gov.br."}},
+		{Name: "ns1.gov.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AData{Addr: netip.MustParseAddr("198.51.100.1")}},
+		{Name: "ns2.gov.br.", Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AData{Addr: netip.MustParseAddr("198.51.100.2")}},
+		{Name: "www.gov.br.", Class: dnswire.ClassIN, TTL: 300, Data: dnswire.AData{Addr: netip.MustParseAddr("192.0.2.80")}},
+		{Name: "mail.gov.br.", Class: dnswire.ClassIN, TTL: 300, Data: dnswire.AData{Addr: netip.MustParseAddr("192.0.2.25")}},
+	}
+	for i := 0; i < 12; i++ {
+		records = append(records, dnswire.RR{
+			Name: "api.gov.br.", Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.TXTData{Strings: []string{fmt.Sprintf("v=bench; endpoint=%02d; some descriptive padding text", i)}},
+		})
+	}
+	for _, rr := range records {
+		z.MustAdd(rr)
+	}
+	return z
+}
+
+func benchServer(tb testing.TB, cached bool) *authserver.Server {
+	tb.Helper()
+	s := authserver.New("ns1.gov.br.")
+	s.AddZone(benchServeZone(tb))
+	if cached {
+		s.SetCache(authserver.NewResponseCache())
+	}
+	return s
+}
+
+// benchWorkload is the repeated-query stream: a small set of distinct
+// (name, type, EDNS) shapes cycled with varying IDs, the steady state a
+// busy authoritative sees once resolvers converge on the popular names.
+func benchWorkload(tb testing.TB) [][]byte {
+	tb.Helper()
+	shapes := []struct {
+		name  dnsname.Name
+		qtype dnswire.Type
+		edns  uint16
+	}{
+		{"www.gov.br.", dnswire.TypeA, 0},
+		{"api.gov.br.", dnswire.TypeTXT, 1232},
+		{"mail.gov.br.", dnswire.TypeA, 1232},
+		{"gov.br.", dnswire.TypeNS, 0},
+	}
+	queries := make([][]byte, 0, len(shapes))
+	for i, sh := range shapes {
+		q := dnswire.NewQuery(uint16(0x5000+i), sh.name, sh.qtype)
+		if sh.edns > 0 {
+			q.Additional = append(q.Additional, dnswire.OPTRecord(sh.edns))
+		}
+		wire, err := dnswire.Encode(q)
+		if err != nil {
+			tb.Fatalf("encode workload query %s: %v", sh.name, err)
+		}
+		queries = append(queries, wire)
+	}
+	return queries
+}
+
+func benchServeInMemory(b *testing.B, cached bool) {
+	s := benchServer(b, cached)
+	queries := benchWorkload(b)
+	dst := make([]byte, 0, 2048)
+	for _, q := range queries { // warm cache + arena pool
+		out, ok := s.HandleWireAppend(dst[:0], q)
+		if !ok {
+			b.Fatal("warmup query dropped")
+		}
+		dst = out
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, ok := s.HandleWireAppend(dst[:0], queries[i%len(queries)])
+		if !ok {
+			b.Fatal("query dropped")
+		}
+		dst = out
+	}
+}
+
+func BenchmarkServeInMemoryCached(b *testing.B)   { benchServeInMemory(b, true) }
+func BenchmarkServeInMemoryUncached(b *testing.B) { benchServeInMemory(b, false) }
+
+func benchServeUDP(b *testing.B, cached bool) {
+	us, err := authserver.ListenUDP("127.0.0.1:0", benchServer(b, cached))
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	defer func() { _ = us.Close() }()
+
+	// One persistent connected socket: the benchmark measures the serving
+	// round trip, not per-query dialing.
+	conn, err := net.Dial("udp", us.Addr().String())
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	queries := benchWorkload(b)
+	buf := make([]byte, 4096)
+	exchange := func(q []byte) {
+		if _, err := conn.Write(q); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			b.Fatalf("recv: %v", err)
+		}
+		if n < 12 || buf[0] != q[0] || buf[1] != q[1] {
+			b.Fatalf("response mismatch: %d bytes, id % x vs % x", n, buf[:2], q[:2])
+		}
+	}
+	for _, q := range queries { // warm cache + arena pool
+		exchange(q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exchange(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkServeUDPCached(b *testing.B)   { benchServeUDP(b, true) }
+func BenchmarkServeUDPUncached(b *testing.B) { benchServeUDP(b, false) }

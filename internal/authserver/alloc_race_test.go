@@ -1,0 +1,7 @@
+//go:build race
+
+package authserver
+
+// raceEnabled gates allocation-count assertions, which the race
+// detector's instrumentation would invalidate.
+const raceEnabled = true

@@ -1,0 +1,271 @@
+package authserver
+
+import (
+	"sync"
+	"time"
+
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/obs"
+)
+
+// TransportClass distinguishes the serving transports for cache keying
+// and payload-limit policy. UDP answers are bounded by the negotiated
+// EDNS0 buffer; TCP answers by the 16-bit length prefix.
+type TransportClass uint8
+
+// Transport classes.
+const (
+	TransportUDP TransportClass = iota
+	TransportTCP
+)
+
+// String returns the lowercase transport mnemonic.
+func (tc TransportClass) String() string {
+	if tc == TransportTCP {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// cacheKey identifies one cacheable rendered response. Beyond the
+// (qname, qtype, transport-class) triple the issue calls for, the key
+// folds in the *effective* payload limit and whether the query carried
+// an OPT record: two UDP queries advertising different EDNS0 buffers can
+// legitimately receive different bytes (different truncation points,
+// OPT echo present or absent), so they must not share an entry. Queries
+// whose advertised sizes clamp to the same effective limit do share one.
+type cacheKey struct {
+	name  dnsname.Name
+	qtype dnswire.Type
+	class TransportClass
+	limit uint16
+	opt   bool
+}
+
+// cacheEntry is a rendered response template: the wire bytes encoded
+// with ID zero and the RD bit clear, plus its expiry. A hit copies the
+// template and patches the two ID bytes and the RD bit back in — the
+// only header state that varies between queries sharing a key.
+type cacheEntry struct {
+	template []byte
+	expires  int64 // unixNano
+}
+
+// cacheFlight coalesces concurrent renders of one key, the resolver's
+// singleflight idiom reduced to the server's needs (no context, no
+// bound: rendering is local and fast, so followers always wait).
+type cacheFlight struct {
+	done     chan struct{}
+	template []byte // nil when the render proved uncacheable
+	ok       bool
+}
+
+// cacheShards keeps shard-lock contention negligible at serving
+// parallelism, mirroring the resolver-side cache layout.
+const cacheShards = 32
+
+// maxCacheTTL caps how long a rendered response may be served, guarding
+// against zones authored with absurd TTLs pinning stale data.
+const maxCacheTTL = 24 * time.Hour
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	flights map[cacheKey]*cacheFlight
+}
+
+// ResponseCache is a sharded, singleflight-protected, TTL-aware cache of
+// rendered wire responses. It sits between decode and render on the
+// serving hot path: a hit costs one shard-map lookup and one template
+// copy, with zero allocations once the destination buffer has warmed up.
+//
+// Entries expire at the minimum TTL of the records in the rendered
+// response (OPT pseudo-records excluded — their TTL field is flag
+// storage, not a lifetime). Responses carrying no real records (FORMERR,
+// REFUSED, NOTIMP, behaviour-injected failures) have no defined lifetime
+// and are never cached. Expired entries are evicted lazily on lookup and
+// in bulk by SweepExpired.
+type ResponseCache struct {
+	shards [cacheShards]cacheShard
+
+	// now is the clock, swappable in tests to force expiry.
+	now func() time.Time
+
+	metricsOnce sync.Once
+	hits        *obs.Counter
+	misses      *obs.Counter
+	coalesced   *obs.Counter
+	evictions   *obs.Counter
+}
+
+// NewResponseCache returns an empty cache.
+func NewResponseCache() *ResponseCache {
+	c := &ResponseCache{now: time.Now}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*cacheEntry)
+		c.shards[i].flights = make(map[cacheKey]*cacheFlight)
+	}
+	return c
+}
+
+// AttachRegistry resolves the cache's counters from r. First attachment
+// wins, matching the package-wide metrics idiom; later calls no-op so a
+// cache shared between servers reports to one registry.
+func (c *ResponseCache) AttachRegistry(r *obs.Registry) {
+	c.metricsOnce.Do(func() {
+		c.hits = r.Counter("authserver_cache_hits_total")
+		c.misses = r.Counter("authserver_cache_misses_total")
+		c.coalesced = r.Counter("authserver_cache_coalesced_total")
+		c.evictions = r.Counter("authserver_cache_evictions_total")
+	})
+}
+
+// shardFor hashes the key's name (FNV-1a, written out so the hot path
+// never allocates a hasher) and folds in the discriminating fields.
+func (c *ResponseCache) shardFor(k cacheKey) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.name); i++ {
+		h = (h ^ uint32(k.name[i])) * 16777619
+	}
+	h ^= uint32(k.qtype)<<16 | uint32(k.limit)
+	h ^= uint32(k.class) << 8
+	if k.opt {
+		h ^= 1 << 9
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// get returns the live template for k, or nil. Expired entries are
+// evicted on the way out.
+func (c *ResponseCache) get(k cacheKey) []byte {
+	sh := c.shardFor(k)
+	now := c.now().UnixNano()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[k]
+	if !ok {
+		c.misses.Inc()
+		return nil
+	}
+	if now >= e.expires {
+		delete(sh.entries, k)
+		c.evictions.Inc()
+		c.misses.Inc()
+		return nil
+	}
+	c.hits.Inc()
+	return e.template
+}
+
+// do renders the template for k via render and stores it when render
+// reports it cacheable (ttl > 0). Callers invoke do only after get
+// missed — get carries the hit/miss accounting — and do re-checks under
+// the shard lock, so concurrent callers for one key coalesce onto a
+// single render. ok reports whether the template was (already) stored.
+//
+// render must return a heap-owned template (no arena aliasing): the
+// bytes outlive the rendering exchange.
+func (c *ResponseCache) do(k cacheKey, render func() ([]byte, time.Duration)) (template []byte, ok bool) {
+	// Own the key's name before it can be stored in a map: on the serving
+	// path it aliases the decode arena's scratch until this point.
+	k.name = k.name.Own()
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if e, live := sh.entries[k]; live && c.now().UnixNano() < e.expires {
+		// Raced with another renderer that already finished.
+		sh.mu.Unlock()
+		c.hits.Inc()
+		return e.template, true
+	}
+	if f, inflight := sh.flights[k]; inflight {
+		sh.mu.Unlock()
+		c.coalesced.Inc()
+		<-f.done
+		return f.template, f.ok
+	}
+	f := &cacheFlight{done: make(chan struct{})}
+	sh.flights[k] = f
+	sh.mu.Unlock()
+
+	tmpl, ttl := render()
+	if ttl > maxCacheTTL {
+		ttl = maxCacheTTL
+	}
+	cacheable := tmpl != nil && ttl > 0
+	f.template, f.ok = tmpl, cacheable
+
+	sh.mu.Lock()
+	delete(sh.flights, k)
+	if cacheable {
+		sh.entries[k] = &cacheEntry{
+			template: tmpl,
+			expires:  c.now().Add(ttl).UnixNano(),
+		}
+	}
+	sh.mu.Unlock()
+	close(f.done)
+	return tmpl, cacheable
+}
+
+// Len returns the number of live entries (expired-but-unswept entries
+// included; Len is a diagnostic, not a promise).
+func (c *ResponseCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SweepExpired evicts every expired entry and reports how many went.
+// Serving loops may call it periodically; correctness never depends on
+// it because get evicts lazily.
+func (c *ResponseCache) SweepExpired() int {
+	now := c.now().UnixNano()
+	evicted := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if now >= e.expires {
+				delete(sh.entries, k)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+	return evicted
+}
+
+// minResponseTTL computes the cache lifetime of a rendered response: the
+// minimum TTL across all sections, excluding OPT pseudo-records (their
+// TTL packs EDNS0 flags, not seconds). A response with no real records
+// returns 0, meaning uncacheable.
+func minResponseTTL(m *dnswire.Message) time.Duration {
+	minTTL := uint32(0)
+	seen := false
+	scan := func(rrs []dnswire.RR) {
+		for _, rr := range rrs {
+			if rr.Type() == dnswire.TypeOPT {
+				continue
+			}
+			if !seen || rr.TTL < minTTL {
+				minTTL, seen = rr.TTL, true
+			}
+		}
+	}
+	scan(m.Answers)
+	scan(m.Authority)
+	scan(m.Additional)
+	if !seen {
+		return 0
+	}
+	return time.Duration(minTTL) * time.Second
+}

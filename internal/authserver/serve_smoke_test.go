@@ -1,0 +1,68 @@
+package authserver
+
+import (
+	"testing"
+	"time"
+
+	"govdns/internal/dnswire"
+)
+
+// TestServeCachedZeroAlloc pins the acceptance bar for the cached UDP
+// hot path: once the cache entry, arena pool, and destination buffer
+// have warmed up, answering a repeated query allocates nothing.
+func TestServeCachedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	s := New("ns1.gov.br.")
+	s.AddZone(testZone(t))
+	s.SetCache(NewResponseCache())
+
+	wire := confWire(t, "www.gov.br.", dnswire.TypeA, 42, true, 1232)
+	dst := make([]byte, 0, 1024)
+	for i := 0; i < 4; i++ { // warm: cache entry stored, arena pooled
+		out, ok := s.HandleWireAppend(dst[:0], wire)
+		if !ok {
+			t.Fatal("warmup query dropped")
+		}
+		dst = out
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		out, ok := s.HandleWireAppend(dst[:0], wire)
+		if !ok {
+			t.Fatal("query dropped")
+		}
+		dst = out
+	})
+	if allocs != 0 {
+		t.Errorf("cached UDP hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestServeQPSSmoke is the cheap serving-regression tier in make check:
+// a few thousand in-memory exchanges must clear a floor that is orders
+// of magnitude below real throughput (so the test never flakes on slow
+// CI) but catches a serving path that stopped being O(1)-ish per query.
+func TestServeQPSSmoke(t *testing.T) {
+	s := New("ns1.gov.br.")
+	s.AddZone(testZone(t))
+	s.SetCache(NewResponseCache())
+
+	wire := confWire(t, "www.gov.br.", dnswire.TypeA, 7, false, 0)
+	const n = 5000
+	dst := make([]byte, 0, 1024)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		out, ok := s.HandleWireAppend(dst[:0], wire)
+		if !ok {
+			t.Fatal("query dropped")
+		}
+		dst = out
+	}
+	elapsed := time.Since(start)
+	qps := float64(n) / elapsed.Seconds()
+	if qps < 10_000 {
+		t.Errorf("cached in-memory serving at %.0f qps, below the 10k smoke floor", qps)
+	}
+	t.Logf("cached in-memory smoke: %.0f qps over %d queries", qps, n)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"time"
 
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
@@ -69,15 +70,58 @@ type Server struct {
 	behavior    Behavior
 	zones       map[dnsname.Name]*zone.Zone
 	parkingAddr netip.Addr
+	pool        *dnswire.Pool
+	cache       *ResponseCache
+	ednsBufSize uint16
 }
 
-// New creates a healthy server with no zones.
+// New creates a healthy server with no zones, no response cache, and the
+// default EDNS0 buffer cap.
 func New(hostname dnsname.Name) *Server {
 	return &Server{
-		Hostname: hostname,
-		behavior: BehaviorHealthy,
-		zones:    make(map[dnsname.Name]*zone.Zone),
+		Hostname:    hostname,
+		behavior:    BehaviorHealthy,
+		zones:       make(map[dnsname.Name]*zone.Zone),
+		ednsBufSize: dnswire.DefaultEDNSBufSize,
 	}
+}
+
+// SetWirePool makes the server run its codec exchanges on p instead of
+// the package-shared pool, so tests can observe arena checkout/recycle
+// balance for one server in isolation.
+func (s *Server) SetWirePool(p *dnswire.Pool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool = p
+}
+
+// SetCache installs (or, with nil, removes) a response cache. A cache
+// may be shared between servers; keys never collide across zones because
+// they carry the full qname.
+func (s *Server) SetCache(c *ResponseCache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+}
+
+// Cache returns the installed response cache, nil when caching is off.
+func (s *Server) Cache() *ResponseCache {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cache
+}
+
+// SetEDNSBufSize sets the server's EDNS0 payload cap: the size it
+// advertises in echoed OPT records and the ceiling it clamps client
+// advertisements to. Values below the classic 512-byte limit are raised
+// to it — EDNS0 can only extend the protocol floor.
+func (s *Server) SetEDNSBufSize(n uint16) {
+	if n < dnswire.MaxUDPPayload {
+		n = dnswire.MaxUDPPayload
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ednsBufSize = n
 }
 
 // SetBehavior switches the server's failure behaviour.
@@ -103,8 +147,10 @@ func (s *Server) SetParkingTarget(addr netip.Addr) {
 }
 
 // AddZone makes the server authoritative for z. Adding a zone with an
-// origin already hosted replaces the previous copy (used to model zone
-// transfers and stale replicas).
+// origin already hosted atomically replaces the previous copy — the
+// mechanism AXFR-synced secondaries (SyncZone) use to install a fetched
+// zone, and what tests use to model stale replicas by installing an
+// older copy.
 func (s *Server) AddZone(z *zone.Zone) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -184,6 +230,22 @@ func (s *Server) respond(query, resp *dnswire.Message) *dnswire.Message {
 		return s.parkingResponse(query, resp, parking)
 	}
 
+	// Decision table for a healthy server. Each query lands in exactly
+	// one row, checked top to bottom:
+	//
+	//	condition                       | RCODE    | AA | sections
+	//	--------------------------------+----------+----+---------------------------
+	//	!=1 question / opcode != QUERY  | NOTIMP   |  0 | empty
+	//	class != IN                     | NOTIMP   |  0 | empty
+	//	qtype == AXFR (this path = UDP) | REFUSED  |  0 | empty (transfers are
+	//	                                |          |    | TCP-only; see xfr.go)
+	//	no hosted zone covers qname     | REFUSED  |  0 | empty (not authoritative)
+	//	name in a delegated subtree     | NOERROR  |  0 | authority: child NS;
+	//	                                |          |    | additional: glue (referral)
+	//	name+type exist                 | NOERROR  |  1 | answer: RRset;
+	//	                                |          |    | additional: A glue for NS/MX
+	//	name exists, type doesn't       | NOERROR  |  1 | authority: SOA (NODATA)
+	//	name doesn't exist              | NXDOMAIN |  1 | authority: SOA
 	if len(query.Questions) != 1 || query.Header.Opcode != dnswire.OpcodeQuery {
 		resp.Header.RCode = dnswire.RCodeNotImp
 		return resp
@@ -191,6 +253,12 @@ func (s *Server) respond(query, resp *dnswire.Message) *dnswire.Message {
 	q := query.Question()
 	if q.Class != dnswire.ClassIN {
 		resp.Header.RCode = dnswire.RCodeNotImp
+		return resp
+	}
+	if q.Type == dnswire.TypeAXFR {
+		// Zone transfers ride their own TCP streaming path (serveAXFR);
+		// an AXFR arriving here came over UDP or out of band.
+		resp.Header.RCode = dnswire.RCodeRefused
 		return resp
 	}
 	z, ok := s.zoneFor(q.Name)
@@ -252,10 +320,10 @@ func (s *Server) parkingResponse(query, resp *dnswire.Message, parking netip.Add
 // out. One pool for the package; servers share arenas freely.
 var wirePool = dnswire.NewPool()
 
-// HandleWire answers a wire-format query, exercising the full codec. A
-// nil return means the query was dropped. Undecodable queries produce a
-// FORMERR response when at least the 12-byte header was readable, and are
-// dropped otherwise.
+// HandleWire answers a wire-format query over the UDP transport class,
+// exercising the full codec. A nil return means the query was dropped.
+// Undecodable queries produce a FORMERR response when at least the
+// 12-byte header was readable, and are dropped otherwise.
 func (s *Server) HandleWire(wire []byte) []byte {
 	out, ok := s.HandleWireAppend(nil, wire)
 	if !ok {
@@ -270,7 +338,45 @@ func (s *Server) HandleWire(wire []byte) []byte {
 // time reuse a single response buffer across packets; the codec itself
 // runs entirely on a pooled arena.
 func (s *Server) HandleWireAppend(dst, wire []byte) (out []byte, ok bool) {
-	a := wirePool.Get()
+	return s.serveWire(dst, wire, TransportUDP)
+}
+
+// payloadLimit is the response size ceiling for one exchange: the full
+// 16-bit range over TCP; over UDP the classic 512 bytes, lifted to the
+// client's advertised EDNS0 buffer clamped into [512, server cap].
+func payloadLimit(tc TransportClass, hasOPT bool, advertised, serverCap uint16) int {
+	if tc == TransportTCP {
+		return dnswire.MaxTCPPayload
+	}
+	if !hasOPT {
+		return dnswire.MaxUDPPayload
+	}
+	limit := min(advertised, serverCap)
+	return int(max(limit, dnswire.MaxUDPPayload))
+}
+
+// serveWire is the transport-independent serving pipeline:
+//
+//	decode → negotiate EDNS0 → consult cache → render → size-bounded encode
+//
+// The decoded query borrows a pooled arena for the whole exchange; the
+// response is built in the arena's second message slot and encoded into
+// the arena's output buffer, so the only copy is the final append into
+// dst. Cached exchanges skip render+encode entirely: the stored template
+// is appended and its ID bytes and RD bit patched, which by construction
+// yields the exact bytes the uncached path would have produced.
+func (s *Server) serveWire(dst, wire []byte, tc TransportClass) (out []byte, ok bool) {
+	s.mu.RLock()
+	pool := s.pool
+	cache := s.cache
+	serverCap := s.ednsBufSize
+	behavior := s.behavior
+	s.mu.RUnlock()
+	if pool == nil {
+		pool = wirePool
+	}
+
+	a := pool.Get()
 	defer a.Finish()
 	query, err := a.Decode(wire)
 	if err != nil {
@@ -287,15 +393,95 @@ func (s *Server) HandleWireAppend(dst, wire []byte) (out []byte, ok bool) {
 		}
 		return append(dst, enc...), true
 	}
+
+	advertised, hasOPT := query.EDNS()
+	limit := payloadLimit(tc, hasOPT, advertised, serverCap)
+
+	// Cacheable: a healthy server answering an ordinary single-question
+	// IN query. Behaviour-injected failures, multi-question oddities, and
+	// meta qtypes render fresh every time — they are cheap, rare, or
+	// (AXFR) never answered on this path at all.
+	if cache != nil && behavior == BehaviorHealthy &&
+		len(query.Questions) == 1 && query.Header.Opcode == dnswire.OpcodeQuery {
+		q := query.Question()
+		if q.Class == dnswire.ClassIN && q.Type != dnswire.TypeAXFR {
+			key := cacheKey{
+				name:  q.Name,
+				qtype: q.Type,
+				class: tc,
+				limit: uint16(limit),
+				opt:   hasOPT,
+			}
+			// get before do: the hit path must not construct the render
+			// closure, or every cached exchange would allocate it.
+			tmpl := cache.get(key)
+			if tmpl == nil {
+				tmpl, _ = cache.do(key, func() ([]byte, time.Duration) {
+					return s.renderTemplate(a, query, hasOPT, serverCap, limit)
+				})
+			}
+			if tmpl != nil {
+				return appendPatched(dst, tmpl, query.Header.ID, query.Header.RecursionDesired), true
+			}
+			return dst, false
+		}
+	}
+
 	resp := s.respond(query, a.NewResponse(query))
 	if resp == nil {
 		return dst, false
 	}
-	enc, err := a.EncodeUDP(resp)
+	if hasOPT {
+		appendOPT(resp, serverCap)
+	}
+	enc, err := a.EncodeLimit(resp, limit)
 	if err != nil {
 		// Encoding our own response should never fail; drop the query
 		// rather than panic in a server loop.
 		return dst, false
 	}
 	return append(dst, enc...), true
+}
+
+// renderTemplate renders the cacheable form of the response to query:
+// encoded with ID zero and the RD bit clear — the only bytes that vary
+// between queries sharing a cache key — and copied off the arena so the
+// template owns its storage. ttl==0 marks the render uncacheable.
+func (s *Server) renderTemplate(a *dnswire.Arena, query *dnswire.Message, hasOPT bool, serverCap uint16, limit int) (template []byte, ttl time.Duration) {
+	resp := s.respond(query, a.NewResponse(query))
+	if resp == nil {
+		return nil, 0
+	}
+	resp.Header.ID = 0
+	resp.Header.RecursionDesired = false
+	if hasOPT {
+		appendOPT(resp, serverCap)
+	}
+	enc, err := a.EncodeLimit(resp, limit)
+	if err != nil {
+		return nil, 0
+	}
+	return append([]byte(nil), enc...), minResponseTTL(resp)
+}
+
+// appendOPT echoes an EDNS0 OPT record advertising the server's own
+// payload cap. The full slice expression forces the append to copy away
+// from any zone-owned backing array the additional section aliases.
+func appendOPT(resp *dnswire.Message, serverCap uint16) {
+	n := len(resp.Additional)
+	resp.Additional = append(resp.Additional[:n:n], dnswire.OPTRecord(serverCap))
+}
+
+// appendPatched appends a cached template to dst and patches in the
+// query's transaction ID (bytes 0-1) and RD bit (byte 2, bit 0). The
+// template was rendered with both zeroed, so OR-ing the bit suffices.
+func appendPatched(dst, template []byte, id uint16, rd bool) []byte {
+	base := len(dst)
+	out := append(dst, template...)
+	out[base] = byte(id >> 8)
+	out[base+1] = byte(id)
+	if rd {
+		out[base+2] |= 0x01
+	}
+	return out
 }

@@ -80,20 +80,32 @@ func (u *UDPServer) loop() {
 
 // UDPTransport is a resolver transport that sends queries over real UDP
 // sockets. Queries go to port 53 unless the server's IP has an entry in
-// PortOverride; tests and examples run UDPServer instances on high ports.
+// PortOverride (same IP, alternate port) or AddrOverride (full
+// redirection); tests and examples run UDPServer instances on loopback
+// high ports while the resolver keeps addressing servers by their
+// nominal (possibly simulated-topology) IPs.
 type UDPTransport struct {
 	// PortOverride maps a server IP to the UDP port serving it.
 	PortOverride map[netip.Addr]int
+	// AddrOverride maps a server IP to the socket actually serving it,
+	// taking precedence over PortOverride.
+	AddrOverride map[netip.Addr]netip.AddrPort
 }
 
 // Exchange implements the resolver transport over UDP.
 func (t *UDPTransport) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
-	port := 53
-	if p, ok := t.PortOverride[server]; ok {
-		port = p
+	target := ""
+	if ap, ok := t.AddrOverride[server]; ok {
+		target = ap.String()
+	} else {
+		port := 53
+		if p, ok := t.PortOverride[server]; ok {
+			port = p
+		}
+		target = net.JoinHostPort(server.String(), fmt.Sprint(port))
 	}
 	var d net.Dialer
-	conn, err := d.DialContext(ctx, "udp", net.JoinHostPort(server.String(), fmt.Sprint(port)))
+	conn, err := d.DialContext(ctx, "udp", target)
 	if err != nil {
 		return nil, fmt.Errorf("authserver: dial %s: %w", server, err)
 	}

@@ -1,0 +1,41 @@
+package dnswire
+
+import "govdns/internal/dnsname"
+
+// EDNS0 (RFC 6891) support, scoped to what the serving tier negotiates:
+// the UDP payload size carried in an OPT pseudo-record's CLASS field.
+// The OPT record rides the additional section with the root as its owner
+// name; its TTL packs the extended RCODE, version, and flags, all of
+// which this codebase leaves zero (plain RCODEs, version 0, DO clear),
+// and its RDATA carries options we neither send nor interpret. Decoded
+// OPT records travel through the generic OpaqueData path, so no slab or
+// clone machinery needed to learn a new shape.
+
+// DefaultEDNSBufSize is the payload size a reasonable initiator
+// advertises: the DNS-flag-day value chosen to avoid IP fragmentation.
+const DefaultEDNSBufSize = 1232
+
+// OPTRecord builds an EDNS0 OPT pseudo-record advertising the given UDP
+// payload size, with version 0, no flags, and no options — the shape
+// both the serving tier's echo and a minimal client advertisement use.
+func OPTRecord(udpSize uint16) RR {
+	return RR{
+		Name:  dnsname.Root,
+		Class: Class(udpSize),
+		TTL:   0,
+		Data:  OpaqueData{RRType: TypeOPT},
+	}
+}
+
+// EDNS returns the UDP payload size advertised by m's OPT pseudo-record,
+// or ok=false when the additional section carries none. Values below
+// MaxUDPPayload are returned as-is; clamping is the negotiating server's
+// policy, not the codec's.
+func (m *Message) EDNS() (udpSize uint16, ok bool) {
+	for _, rr := range m.Additional {
+		if rr.Type() == TypeOPT {
+			return uint16(rr.Class), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,182 @@
+package dnswire
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"govdns/internal/dnsname"
+)
+
+func TestOPTRecordRoundTrip(t *testing.T) {
+	q := NewQuery(7, "www.gov.br.", TypeA)
+	q.Additional = append(q.Additional, OPTRecord(4096))
+	wire, err := Encode(q)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	size, ok := got.EDNS()
+	if !ok || size != 4096 {
+		t.Fatalf("EDNS() = (%d, %v), want (4096, true)", size, ok)
+	}
+	if len(got.Additional) != 1 {
+		t.Fatalf("additional count = %d, want 1", len(got.Additional))
+	}
+	rr := got.Additional[0]
+	if rr.Name != dnsname.Root || rr.Type() != TypeOPT || rr.TTL != 0 {
+		t.Errorf("decoded OPT = %v, want root-owned TYPE41 TTL 0", rr)
+	}
+	// Re-encoding the decoded form must be bit-identical.
+	again, err := Encode(got)
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(wire, again) {
+		t.Error("OPT round trip not bit-identical")
+	}
+}
+
+func TestEDNSAbsent(t *testing.T) {
+	q := NewQuery(7, "www.gov.br.", TypeA)
+	if size, ok := q.EDNS(); ok || size != 0 {
+		t.Errorf("EDNS() on plain query = (%d, %v), want (0, false)", size, ok)
+	}
+}
+
+// bulkResponse builds a response whose answer section holds n A records
+// plus authority/additional padding, for truncation tests.
+func bulkResponse(t *testing.T, n int, withOPT bool) *Message {
+	t.Helper()
+	q := NewQuery(9, "big.gov.br.", TypeA)
+	m := NewResponse(q)
+	m.Header.Authoritative = true
+	for i := 0; i < n; i++ {
+		m.Answers = append(m.Answers, RR{
+			Name: "big.gov.br.", Class: ClassIN, TTL: 300,
+			Data: AData{Addr: netip.MustParseAddr(fmt.Sprintf("192.0.2.%d", i+1))},
+		})
+	}
+	m.Authority = append(m.Authority, RR{
+		Name: "gov.br.", Class: ClassIN, TTL: 3600,
+		Data: NSData{Host: "ns1.gov.br."},
+	})
+	m.Additional = append(m.Additional, RR{
+		Name: "ns1.gov.br.", Class: ClassIN, TTL: 3600,
+		Data: AData{Addr: netip.MustParseAddr("198.51.100.1")},
+	})
+	if withOPT {
+		m.Additional = append(m.Additional, OPTRecord(1232))
+	}
+	return m
+}
+
+func TestEncodeLimitFitsUnchanged(t *testing.T) {
+	m := bulkResponse(t, 3, true)
+	a := DefaultPool.Get()
+	defer a.Finish()
+	full, err := a.Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	fullCopy := append([]byte(nil), full...)
+	limited, err := a.EncodeLimit(m, MaxUDPPayload)
+	if err != nil {
+		t.Fatalf("EncodeLimit: %v", err)
+	}
+	if !bytes.Equal(fullCopy, limited) {
+		t.Error("EncodeLimit of a fitting message differs from Encode")
+	}
+}
+
+func TestEncodeLimitTruncatesAtRRBoundary(t *testing.T) {
+	m := bulkResponse(t, 60, true) // ~60 A records: well over 512 bytes
+	a := DefaultPool.Get()
+	defer a.Finish()
+	wire, err := a.EncodeLimit(m, MaxUDPPayload)
+	if err != nil {
+		t.Fatalf("EncodeLimit: %v", err)
+	}
+	if len(wire) > MaxUDPPayload {
+		t.Fatalf("EncodeLimit produced %d bytes > %d", len(wire), MaxUDPPayload)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("truncated message does not decode: %v", err)
+	}
+	if !got.Header.Truncated {
+		t.Error("TC bit clear on truncated message")
+	}
+	if len(got.Questions) != 1 {
+		t.Errorf("question count = %d, want 1 (questions are never dropped)", len(got.Questions))
+	}
+	if len(got.Answers) == 0 || len(got.Answers) >= 60 {
+		t.Errorf("answer count = %d, want a proper non-empty prefix of 60", len(got.Answers))
+	}
+	// Kept answers must be the untouched prefix of the original set.
+	for i, rr := range got.Answers {
+		if !rr.Equal(m.Answers[i]) {
+			t.Fatalf("answer %d mutated by truncation: %v != %v", i, rr, m.Answers[i])
+		}
+	}
+	// The OPT tail survives even though plain additional records dropped.
+	if size, ok := got.EDNS(); !ok || size != 1232 {
+		t.Errorf("EDNS() on truncated message = (%d, %v), want (1232, true)", size, ok)
+	}
+	for _, rr := range got.Additional {
+		if rr.Type() != TypeOPT {
+			t.Errorf("plain additional record %v survived while answers were truncated", rr)
+		}
+	}
+}
+
+func TestEncodeLimitDropsSectionsInOrder(t *testing.T) {
+	// A limit that fits the answers but not the padding: additional
+	// drops before authority, authority before answers.
+	m := bulkResponse(t, 4, false)
+	a := DefaultPool.Get()
+	defer a.Finish()
+	full, err := a.Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Choose a limit excluding only the final (additional) record.
+	limit := len(full) - 1
+	wire, err := a.EncodeLimit(m, limit)
+	if err != nil {
+		t.Fatalf("EncodeLimit: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Answers) != 4 || len(got.Authority) != 1 || len(got.Additional) != 0 {
+		t.Errorf("sections = %d/%d/%d, want 4/1/0 (additional drops first)",
+			len(got.Answers), len(got.Authority), len(got.Additional))
+	}
+	if !got.Header.Truncated {
+		t.Error("TC bit clear")
+	}
+}
+
+func TestEncodeLimitTCPCeiling(t *testing.T) {
+	m := bulkResponse(t, 60, true)
+	a := DefaultPool.Get()
+	defer a.Finish()
+	wire, err := a.EncodeLimit(m, MaxTCPPayload)
+	if err != nil {
+		t.Fatalf("EncodeLimit: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Header.Truncated || len(got.Answers) != 60 {
+		t.Errorf("TCP-limit encode truncated (TC=%v, %d answers), want complete",
+			got.Header.Truncated, len(got.Answers))
+	}
+}

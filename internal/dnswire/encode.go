@@ -149,6 +149,85 @@ func (a *Arena) EncodeUDP(m *Message) ([]byte, error) {
 	return a.Encode(&truncated)
 }
 
+// EncodeLimit serialises m for a transport whose payload limit is max
+// bytes. A message that fits encodes bit-identically to Encode.
+// Otherwise the TC bit is set and whole records are dropped — the
+// additional section first, then authority, then answers, each losing
+// records from its tail — until the message fits, so the truncated
+// output still decodes cleanly and every surviving RRset prefix is
+// intact. A trailing OPT pseudo-record survives truncation (the client
+// must still learn the responder's EDNS0 buffer size); the question
+// section is never dropped, which cannot overflow any max >=
+// MaxUDPPayload. The result borrows the arena like Encode's.
+//
+// This is the RFC-faithful alternative to EncodeUDP's empty-all-sections
+// truncation: EncodeUDP keeps the legacy resolver-facing behaviour (its
+// output is pinned by scan digests), EncodeLimit is the serving tier's
+// encoder for negotiated EDNS0 limits and TCP.
+func (a *Arena) EncodeLimit(m *Message, max int) ([]byte, error) {
+	wire, err := a.Encode(m)
+	if err != nil || len(wire) <= max {
+		return wire, err
+	}
+
+	// Split a trailing OPT off the additional section so it can be
+	// re-appended after the droppable records. (The serving tier always
+	// places its OPT last; an OPT anywhere else is droppable like any
+	// other additional record.)
+	var opt []RR
+	add := m.Additional
+	if n := len(add); n > 0 && add[n-1].Type() == TypeOPT {
+		opt = add[n-1 : n : n]
+		add = add[: n-1 : n-1]
+	}
+
+	// encodeKept serialises m with only the first k records (in
+	// answer/authority/additional section order) plus the OPT tail.
+	// Dropping from the tail keeps every surviving record's compression
+	// context intact, so encoded size is monotone in k.
+	encodeKept := func(k int) ([]byte, error) {
+		t := Message{Header: m.Header, Questions: m.Questions}
+		t.Header.Truncated = true
+		na := min(k, len(m.Answers))
+		k -= na
+		nu := min(k, len(m.Authority))
+		k -= nu
+		nd := min(k, len(add))
+		t.Answers = m.Answers[:na]
+		t.Authority = m.Authority[:nu]
+		switch {
+		case opt == nil:
+			t.Additional = add[:nd]
+		case nd == len(add):
+			t.Additional = m.Additional // contiguous: plain records + OPT
+		case nd == 0:
+			t.Additional = opt
+		default:
+			t.Additional = append(append([]RR(nil), add[:nd]...), opt...)
+		}
+		return a.Encode(&t)
+	}
+
+	// Binary-search the largest record count that fits. lo is always a
+	// known-fitting count (0 fits for any practical limit; if even the
+	// header+question+OPT overflow max, best effort returns that).
+	total := len(m.Answers) + len(m.Authority) + len(add)
+	lo, hi := 0, total
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		w, err := encodeKept(mid)
+		if err != nil {
+			return nil, err
+		}
+		if len(w) <= max {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return encodeKept(lo)
+}
+
 func (e *encoder) message(m *Message) error {
 	e.header(m)
 	for _, q := range m.Questions {

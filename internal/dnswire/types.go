@@ -20,6 +20,13 @@ const (
 	TypeMX    Type = 15
 	TypeTXT   Type = 16
 	TypeAAAA  Type = 28
+	// TypeOPT is the EDNS0 OPT pseudo-record (RFC 6891). It never lives
+	// in a zone; it rides the additional section to negotiate the UDP
+	// payload size (see edns.go).
+	TypeOPT Type = 41
+	// TypeAXFR is the full-zone-transfer QTYPE (meta query type only;
+	// answered over TCP, see internal/authserver xfr.go).
+	TypeAXFR Type = 252
 	// TypeANY is the QTYPE "*" (meta query type only).
 	TypeANY Type = 255
 )
@@ -45,6 +52,10 @@ func (t Type) String() string {
 		return "AAAA"
 	case TypeCSYNC:
 		return "CSYNC"
+	case TypeOPT:
+		return "OPT"
+	case TypeAXFR:
+		return "AXFR"
 	case TypeANY:
 		return "ANY"
 	default:
@@ -74,6 +85,10 @@ func ParseType(s string) (Type, bool) {
 		return TypeAAAA, true
 	case "CSYNC":
 		return TypeCSYNC, true
+	case "OPT":
+		return TypeOPT, true
+	case "AXFR":
+		return TypeAXFR, true
 	case "ANY":
 		return TypeANY, true
 	default:
@@ -147,4 +162,10 @@ const (
 // MaxUDPPayload is the classic DNS-over-UDP payload limit. The codec
 // truncates answers beyond this and sets the TC bit, which the resolver
 // surfaces as an error (the study's lookups all fit comfortably).
+// EDNS0 raises the limit per-exchange (see edns.go); TC-bit fallback to
+// TCP lifts it to MaxTCPPayload.
 const MaxUDPPayload = 512
+
+// MaxTCPPayload is the DNS message size limit over TCP, fixed by the
+// two-byte length prefix of RFC 1035 §4.2.2 framing.
+const MaxTCPPayload = 0xFFFF

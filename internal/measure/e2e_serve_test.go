@@ -1,0 +1,123 @@
+package measure
+
+// End-to-end differential for the serving tier: the chaos-profiled
+// scanner runs twice over the same miniworld servers — once through the
+// in-memory simulated network, once through real UDP sockets fronting
+// the same authserver instances — and the scan digests must be
+// bit-identical. Anything the socket path adds (kernel buffers, real
+// read deadlines, the UDP serving loop's buffer reuse) must be invisible
+// to the measurement.
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"govdns/internal/authserver"
+	"govdns/internal/chaos"
+	"govdns/internal/dnsname"
+	"govdns/internal/miniworld"
+	"govdns/internal/simnet"
+)
+
+// normalizedUDP adapts the real-socket transport to simnet's failure
+// semantics so error *text* — which feeds the digest — matches exactly:
+// any socket-level failure (read timeout above all) blocks until the
+// context expires and then reports simnet's dropped-packet error, byte
+// for byte. Addresses with no socket behave like simnet blackholes.
+type normalizedUDP struct {
+	inner *authserver.UDPTransport
+}
+
+func (n *normalizedUDP) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	if _, ok := n.inner.AddrOverride[server]; !ok {
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: %v", simnet.ErrDropped, ctx.Err())
+	}
+	resp, err := n.inner.Exchange(ctx, server, query)
+	if err != nil {
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: %v", simnet.ErrDropped, ctx.Err())
+	}
+	return resp, nil
+}
+
+// serveWorldUDP stands every miniworld server up on a loopback UDP
+// socket and returns the normalized transport addressing them by their
+// simulated-topology IPs.
+func serveWorldUDP(t *testing.T, w *miniworld.World) *normalizedUDP {
+	t.Helper()
+	override := make(map[netip.Addr]netip.AddrPort)
+	for _, ep := range w.ServerEndpoints() {
+		if _, dup := override[ep.Addr]; dup {
+			continue
+		}
+		us, err := authserver.ListenUDP("127.0.0.1:0", ep.Server)
+		if err != nil {
+			t.Fatalf("listen for %s at %s: %v", ep.Hostname, ep.Addr, err)
+		}
+		t.Cleanup(func() { _ = us.Close() })
+		ap, err := netip.ParseAddrPort(us.Addr().String())
+		if err != nil {
+			t.Fatalf("parse bound addr %s: %v", us.Addr(), err)
+		}
+		override[ep.Addr] = ap
+	}
+	return &normalizedUDP{inner: &authserver.UDPTransport{AddrOverride: override}}
+}
+
+// e2eDeadline leaves loopback exchanges far from scheduling noise while
+// keeping the dead-server probes (which pay it in full) cheap enough for
+// tier-1.
+const e2eDeadline = 100 * time.Millisecond
+
+func TestScanDigestRealUDPServing(t *testing.T) {
+	w := miniworld.Build()
+	domains := miniworld.Domains()
+
+	// Clean differential: simulated network vs real sockets.
+	simClean := scanTuned(t, w.Net, w.Roots, domains, 1, 1, true, e2eDeadline, 1)
+	realClean := scanTuned(t, serveWorldUDP(t, w), w.Roots, domains, 1, 1, true, e2eDeadline, 1)
+	if sim, real := DigestHex(simClean), DigestHex(realClean); sim != real {
+		t.Errorf("clean scan digest over real UDP sockets = %s, want simnet's %s", real, sim)
+		for i, r := range realClean {
+			t.Logf("  real %s: class=%s err=%q | sim err=%q",
+				r.Domain, r.Classify(), r.Err, simClean[i].Err)
+		}
+	}
+
+	// Chaos differential: the same content-keyed fault schedule wrapped
+	// around both transports. Only timing-independent classes, so the
+	// draw sequence — and each damaged response — is a pure function of
+	// the serial query stream both runs share.
+	profile := map[dnsname.Name][]chaos.Rule{
+		"ns1.city.gov.br.":   {chaos.Persistent(chaos.Truncate, 1)},
+		"ns2.city.gov.br.":   {chaos.Persistent(chaos.CorruptQID, 1)},
+		"ns1.single.gov.br.": {chaos.Persistent(chaos.Drop, 1)},
+		"ns1.provider.com.":  {chaos.Persistent(chaos.FlipRCode, 1)},
+	}
+	const chaosSeed = 11
+
+	simTr := chaos.Wrap(w.Net, chaosSeed, w.ChaosRules(profile)...)
+	simChaos := scanTuned(t, simTr, w.Roots, domains, 1, 1, true, e2eDeadline, 1)
+	if simTr.Stats().Total() == 0 {
+		t.Fatal("chaos injected nothing on the simnet run; the test is vacuous")
+	}
+
+	realTr := chaos.Wrap(serveWorldUDP(t, w), chaosSeed, w.ChaosRules(profile)...)
+	realChaos := scanTuned(t, realTr, w.Roots, domains, 1, 1, true, e2eDeadline, 1)
+	if realTr.Stats().Total() == 0 {
+		t.Fatal("chaos injected nothing on the real-socket run; the test is vacuous")
+	}
+
+	if sim, real := DigestHex(simChaos), DigestHex(realChaos); sim != real {
+		t.Errorf("chaos scan digest over real UDP sockets = %s, want simnet's %s", real, sim)
+		for i, r := range realChaos {
+			t.Logf("  real %s: class=%s err=%q faults=%+v | sim class=%s err=%q",
+				r.Domain, r.Classify(), r.Err, r.Faults,
+				simChaos[i].Classify(), simChaos[i].Err)
+		}
+	}
+}

@@ -296,6 +296,15 @@ func (w *World) AddrsOf(hostname dnsname.Name) []netip.Addr {
 // name order so the rule order — and with it every fault decision — is
 // deterministic. Unknown hostnames panic, per AddrsOf.
 func (w *World) ChaosProfile(seed int64, profile map[dnsname.Name][]chaos.Rule) *chaos.Transport {
+	return chaos.Wrap(w.Net, seed, w.ChaosRules(profile)...)
+}
+
+// ChaosRules resolves a name-keyed fault profile into the flat,
+// deterministically ordered rule list ChaosProfile wraps the in-memory
+// network with. Exposed so differential tests can apply the *same*
+// schedule to a different underlying transport — e.g. the real-socket
+// serving tier — and compare digests against the simnet run.
+func (w *World) ChaosRules(profile map[dnsname.Name][]chaos.Rule) []chaos.Rule {
 	hosts := make([]dnsname.Name, 0, len(profile))
 	for host := range profile {
 		hosts = append(hosts, host)
@@ -309,7 +318,32 @@ func (w *World) ChaosProfile(seed int64, profile map[dnsname.Name][]chaos.Rule) 
 			rules = append(rules, r)
 		}
 	}
-	return chaos.Wrap(w.Net, seed, rules...)
+	return rules
+}
+
+// ServerEndpoints returns every (hostname, address, server) attachment in
+// the world, hostnames sorted, addresses in attachment order — the
+// inventory a test needs to stand the same world up on real sockets.
+func (w *World) ServerEndpoints() []ServerEndpoint {
+	hosts := make([]dnsname.Name, 0, len(w.Servers))
+	for host := range w.Servers {
+		hosts = append(hosts, host)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return dnsname.Compare(hosts[i], hosts[j]) < 0 })
+	var out []ServerEndpoint
+	for _, host := range hosts {
+		for _, addr := range w.hostAddrs[host] {
+			out = append(out, ServerEndpoint{Hostname: host, Addr: addr, Server: w.Servers[host]})
+		}
+	}
+	return out
+}
+
+// ServerEndpoint is one (hostname, address, server) attachment.
+type ServerEndpoint struct {
+	Hostname dnsname.Name
+	Addr     netip.Addr
+	Server   *authserver.Server
 }
 
 // AddHostedChildren delegates n extra gov.br children to the third-party

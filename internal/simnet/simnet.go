@@ -185,7 +185,11 @@ func (n *Network) exchangeFrom(ctx context.Context, src, addr netip.Addr, query 
 	}
 	// HandleWire runs the codec on a pooled arena and returns a fresh
 	// buffer whose ownership passes to the caller — wrapping layers (the
-	// chaos transport) rely on being allowed to mutate it in place.
+	// chaos transport) rely on being allowed to mutate it in place. The
+	// real socket loops take the other side of that trade: they call
+	// HandleWireAppend into one buffer reused across packets, which is
+	// safe only because each response is written out before the next
+	// read (the aliasing suites in internal/authserver pin this).
 	resp := server.HandleWire(query)
 	if resp == nil {
 		return nil, waitForTimeout(ctx)
