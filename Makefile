@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench bench-pdns bench-wire bench-serve chaos fuzz check
+.PHONY: build test race vet lint bench bench-pdns bench-wire bench-serve bench-stream chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,16 @@ bench-wire:
 bench-serve:
 	$(GO) run ./cmd/benchreport -bench 'ServeInMemory|ServeUDP' -benchtime 1s -benchout BENCH_4.json
 
+# bench-stream compares the streaming scan path against the slice
+# reference at a raised scale tier (Scale=0.05 vs the pipeline bench's
+# 0.02): identical measurement and serialization work, but the slice
+# side retains every result until the final WriteJSONL while the stream
+# side holds only the bounded reorder window. BENCH_5.json records
+# throughput parity (acceptance: stream within 5% of slice) and the
+# retained-bytes/op collapse.
+bench-stream:
+	$(GO) run ./cmd/benchreport -bench ScanStream -benchtime 2x -benchout BENCH_5.json
+
 # chaos is the focused fault-injection view of the tier-1 gate: the
 # chaos package tests plus the scan-invariance differential harness
 # (digest invariance across schedule shapes, per-fault-class transient
@@ -82,6 +92,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzEncodeNames -fuzztime $(FUZZTIME) ./internal/dnswire
 	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime $(FUZZTIME) ./internal/dnswire
 	$(GO) test -run '^$$' -fuzz FuzzTCPFraming -fuzztime $(FUZZTIME) ./internal/authserver
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointReader -fuzztime $(FUZZTIME) ./internal/measure
 
 # check is the tier-1 verify: everything a PR must keep green. The
 # race target runs the whole tree — including the chaos and invariance

@@ -16,16 +16,29 @@
 //	govscan -sim -chaos persistent:0.05 -stats -out chaotic.jsonl
 //	govscan -real -domains domains.txt -concurrency 16 -timeout 2s
 //	govscan -summarize scan.jsonl
+//
+// With -checkpoint the scan streams: results are emitted to -out in
+// input order as workers finish (bounded memory, no in-RAM result
+// slice), and a crash-safe checkpoint is written periodically. A killed
+// scan restarted with -resume continues at the checkpoint and produces
+// output — and a canonical digest — bit-identical to an uninterrupted
+// run:
+//
+//	govscan -sim -scale 1.0 -out scan.jsonl -checkpoint scan.ckpt
+//	govscan -sim -scale 1.0 -out scan.jsonl -checkpoint scan.ckpt -resume
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"govdns/internal/authserver"
@@ -82,15 +95,30 @@ func run() error {
 	traceErrors := flag.Int("trace-errors", 0,
 		"with -trace: ring-buffer bound on Error/Transient exemplars (default 512)")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL scan and exit")
+	checkpointPath := flag.String("checkpoint", "",
+		"stream results to -out with periodic crash-safe checkpoints at this path; a killed scan restarted with -resume continues where it left off")
+	resume := flag.Bool("resume", false,
+		"with -checkpoint: resume an interrupted streaming scan, validating the checkpoint and extending -out in place")
+	checkpointEvery := flag.Int("checkpoint-every", 0,
+		"with -checkpoint: results between checkpoint records (default 256)")
 	flag.Parse()
 
 	if *summarize != "" {
 		return summarizeFile(*summarize)
 	}
 
+	streaming := *checkpointPath != ""
+	if streaming && *out == "" {
+		return fmt.Errorf("-checkpoint requires -out (a resumable scan needs a seekable output file)")
+	}
+	if *resume && !streaming {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+
 	var transport resolver.Transport
 	var roots []netip.Addr
 	var domains []dnsname.Name
+	var world *worldgen.World
 	var err error
 
 	switch {
@@ -106,27 +134,44 @@ func run() error {
 			return fmt.Errorf("-real requires -domains")
 		}
 	case *sim:
-		world := worldgen.Generate(worldgen.Config{Seed: *seed, Scale: *scale})
+		world = worldgen.Generate(worldgen.Config{Seed: *seed, Scale: *scale})
 		active := worldgen.Build(world)
 		transport = active.Net
 		roots = active.Roots
 		if *timeout == 0 {
 			*timeout = 25 * time.Millisecond
 		}
-		if *domainsPath == "" {
+		if *domainsPath == "" && !streaming {
 			domains = active.QueryList
 		}
 	default:
 		return fmt.Errorf("pick -sim or -real")
 	}
 
-	if *domainsPath != "" {
+	// The streaming path pulls domains from an iterator (the worldgen
+	// query stream, or the list file read line by line) so the input is
+	// never materialized as one slice; the batch path keeps its slice.
+	var src measure.DomainSource
+	srcTotal := 0
+	var srcErr func() error
+	switch {
+	case *domainsPath != "" && streaming:
+		fs, err := openFileSource(*domainsPath)
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		src, srcErr = fs.Next, fs.Err
+	case *domainsPath != "":
 		domains, err = readDomains(*domainsPath)
 		if err != nil {
 			return err
 		}
+	case streaming:
+		qs := worldgen.NewQueryStream(world)
+		src, srcTotal = qs.Next, qs.Len()
 	}
-	if len(domains) == 0 {
+	if !streaming && len(domains) == 0 {
 		return fmt.Errorf("no domains to scan")
 	}
 
@@ -187,17 +232,57 @@ func run() error {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "scanning %d domains (timeout %v, concurrency %d, fanout %d)\n",
-		len(domains), *timeout, *concurrency, *fanout)
+	if streaming {
+		fmt.Fprintf(os.Stderr, "streaming scan (timeout %v, concurrency %d, fanout %d) -> %s [checkpoint %s]\n",
+			*timeout, *concurrency, *fanout, *out, *checkpointPath)
+	} else {
+		fmt.Fprintf(os.Stderr, "scanning %d domains (timeout %v, concurrency %d, fanout %d)\n",
+			len(domains), *timeout, *concurrency, *fanout)
+	}
 	ctx := context.Background()
+	if streaming {
+		// A streaming scan is built to be killed: an interrupt cancels
+		// the scan cleanly so Finish writes a final checkpoint covering
+		// the emitted prefix (a hard kill loses at most the window since
+		// the last periodic checkpoint).
+		sctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		ctx = sctx
+	}
 	if *progressEvery > 0 {
-		progressCtx, stopProgress := context.WithCancel(ctx)
+		progressCtx, stopProgress := context.WithCancel(context.Background())
 		defer stopProgress()
 		rep := &measure.ProgressReporter{Metrics: scanner.Metrics, Interval: *progressEvery, W: os.Stderr}
 		go rep.Run(progressCtx)
 	}
 	start := time.Now()
-	results := scanner.Scan(ctx, domains)
+	var results []*measure.DomainResult
+	if streaming {
+		// The scan key names this scan's identity; a checkpoint from a
+		// different world, domain list, or chaos profile must refuse to
+		// extend this output.
+		scanKey := fmt.Sprintf("domains=%s chaos=%s", *domainsPath, *chaosSpec)
+		if *domainsPath == "" {
+			scanKey = fmt.Sprintf("sim seed=%d scale=%g chaos=%s", *seed, *scale, *chaosSpec)
+		}
+		cfg := measure.StreamConfig{
+			CheckpointPath:  *checkpointPath,
+			CheckpointEvery: *checkpointEvery,
+			ScanKey:         scanKey,
+			Metrics:         scanner.Metrics,
+		}
+		scanner.Metrics.SetTotal(srcTotal)
+		if err := runStream(ctx, scanner, src, cfg, *out, *resume); err != nil {
+			return err
+		}
+		if srcErr != nil {
+			if err := srcErr(); err != nil {
+				return err
+			}
+		}
+	} else {
+		results = scanner.Scan(ctx, domains)
+	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 	if *showStats {
 		st := it.Stats()
@@ -235,6 +320,11 @@ func run() error {
 			offered, slow, errsN, flipped, *tracePath)
 	}
 
+	if streaming {
+		// The results went to -out as they completed; nothing is held in
+		// memory to summarize. `govscan -summarize <out>` reads it back.
+		return nil
+	}
 	dest := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -254,6 +344,101 @@ func run() error {
 	printSummary(results)
 	return nil
 }
+
+// runStream executes the streaming scan against a fresh or resumed
+// StreamWriter and reports the emitted count and canonical digest. A
+// cancelled scan (interrupt) is not an error: the checkpoint makes it
+// resumable, and saying so beats a stack trace.
+func runStream(ctx context.Context, scanner *measure.Scanner, src measure.DomainSource, cfg measure.StreamConfig, outPath string, resume bool) error {
+	if resume {
+		// Resuming before the first checkpoint ever landed is a fresh
+		// start — unless output already exists, which would be silently
+		// clobbered; make that case explicit.
+		if _, err := os.Stat(cfg.CheckpointPath); errors.Is(err, os.ErrNotExist) {
+			if _, oerr := os.Stat(outPath); oerr == nil {
+				return fmt.Errorf("-resume: no checkpoint at %s but %s exists; remove it or drop -resume", cfg.CheckpointPath, outPath)
+			}
+			resume = false
+		}
+	}
+	var sw *measure.StreamWriter
+	if resume {
+		var info measure.ResumeInfo
+		var err error
+		sw, info, err = measure.ResumeStream(outPath, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "resuming: %d results already on disk (%d salvaged past the checkpoint, %d torn bytes dropped)\n",
+			info.Emitted, info.Salvaged, info.DroppedBytes)
+	} else {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "govscan: closing output: %v\n", cerr)
+			}
+		}()
+		sw = measure.NewStreamWriter(f, cfg)
+	}
+	defer func() { _ = sw.Close() }()
+	err := scanner.ScanStream(ctx, src, sw)
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "streamed %d results -> %s (digest %s)\n", sw.Emitted(), outPath, sw.DigestHex())
+		return nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "interrupted after %d results; checkpoint at %s covers them — rerun with -resume to continue\n",
+			sw.Emitted(), cfg.CheckpointPath)
+		return nil
+	default:
+		return err
+	}
+}
+
+// fileSource streams a domain list file line by line, so a very large
+// list never materializes in memory. A parse error stops the stream;
+// Err reports it after the scan drains.
+type fileSource struct {
+	f      *os.File
+	sc     *bufio.Scanner
+	path   string
+	lineNo int
+	err    error
+}
+
+func openFileSource(path string) (*fileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &fileSource{f: f, sc: bufio.NewScanner(f), path: path}, nil
+}
+
+func (fs *fileSource) Next() (dnsname.Name, bool) {
+	for fs.err == nil && fs.sc.Scan() {
+		fs.lineNo++
+		line := fs.sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name, err := dnsname.Parse(line)
+		if err != nil {
+			fs.err = fmt.Errorf("%s:%d: %w", fs.path, fs.lineNo, err)
+			return "", false
+		}
+		return name, true
+	}
+	if fs.err == nil {
+		fs.err = fs.sc.Err()
+	}
+	return "", false
+}
+
+func (fs *fileSource) Err() error   { return fs.err }
+func (fs *fileSource) Close() error { return fs.f.Close() }
 
 func readDomains(path string) ([]dnsname.Name, error) {
 	f, err := os.Open(path)

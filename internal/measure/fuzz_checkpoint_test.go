@@ -1,0 +1,103 @@
+package measure
+
+// FuzzCheckpointReader throws arbitrary bytes at the resume path as
+// both the checkpoint record and the output tail past the checkpointed
+// prefix: torn and truncated checkpoints, garbage JSON, bit-flipped
+// states, half-written JSONL lines. The contract under fuzz is the one
+// LoadCheckpoint documents — corruption is an explicit error, never a
+// silent skip — and on the accept side every byte kept must be
+// accounted for: the archive parses, the counts match ResumeInfo, and
+// resuming a second time finds a fully-checkpointed archive with
+// nothing further to salvage or drop.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func FuzzCheckpointReader(f *testing.F) {
+	results := goldenResults()
+	base := f.TempDir()
+	baseOut := filepath.Join(base, "scan.jsonl")
+	baseCk := filepath.Join(base, "scan.ckpt")
+	writeCheckpointedPrefix(f, baseOut, baseCk, "fuzz", results, 2)
+	prefix, err := os.ReadFile(baseOut)
+	if err != nil {
+		f.Fatal(err)
+	}
+	validCk, err := os.ReadFile(baseCk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tailLine := canonicalJSONL(f, results[2:3])
+
+	f.Add(validCk, tailLine)                          // clean salvage
+	f.Add(validCk, tailLine[:len(tailLine)/2])        // torn tail
+	f.Add(validCk, []byte(nil))                       // exact checkpoint
+	f.Add(validCk, []byte("not a result line\n"))     // garbage tail
+	f.Add(validCk[:len(validCk)/2], tailLine)         // torn checkpoint
+	f.Add([]byte("{}"), []byte(nil))                  // empty object
+	f.Add([]byte(nil), tailLine)                      // empty checkpoint
+	mutated := append([]byte(nil), validCk...)
+	mutated[len(mutated)/2] ^= 0x20
+	f.Add(mutated, tailLine) // bit-flipped state
+
+	f.Fuzz(func(t *testing.T, ckpt, tail []byte) {
+		dir := t.TempDir()
+		outPath := filepath.Join(dir, "scan.jsonl")
+		ckPath := filepath.Join(dir, "scan.ckpt")
+		if err := os.WriteFile(outPath, append(append([]byte(nil), prefix...), tail...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ckPath, ckpt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := StreamConfig{CheckpointPath: ckPath, ScanKey: "fuzz"}
+		sw, info, err := ResumeStream(outPath, cfg)
+		if err != nil {
+			return // loud rejection is a correct outcome for corrupted input
+		}
+		defer sw.Close()
+		if sw.Emitted() != info.Emitted {
+			t.Fatalf("writer cursor %d != ResumeInfo.Emitted %d", sw.Emitted(), info.Emitted)
+		}
+		if info.Salvaged < 0 || info.DroppedBytes < 0 || info.Emitted < info.Salvaged {
+			t.Fatalf("impossible ResumeInfo: %+v", info)
+		}
+		if err := sw.Finish(); err != nil {
+			t.Fatalf("Finish after accepted resume: %v", err)
+		}
+		data, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("accepted archive does not parse: %v", err)
+		}
+		if len(loaded) != info.Emitted {
+			t.Fatalf("archive holds %d results, resume reported %d", len(loaded), info.Emitted)
+		}
+		digest := sw.DigestHex()
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Idempotence: the post-Finish checkpoint covers the whole
+		// archive, so a second resume has nothing to salvage or drop
+		// and reconstructs the same digest state.
+		sw2, info2, err := ResumeStream(outPath, cfg)
+		if err != nil {
+			t.Fatalf("second resume rejected what the first accepted: %v", err)
+		}
+		defer sw2.Close()
+		if info2.Emitted != info.Emitted || info2.Salvaged != 0 || info2.DroppedBytes != 0 {
+			t.Fatalf("second resume not a fixed point: %+v after %+v", info2, info)
+		}
+		if sw2.DigestHex() != digest {
+			t.Fatalf("digest changed across idempotent resume: %s != %s", sw2.DigestHex(), digest)
+		}
+	})
+}

@@ -64,6 +64,25 @@ func scanPooled(t *testing.T, tr resolver.Transport, roots []netip.Addr, domains
 	return s.Scan(context.Background(), domains)
 }
 
+// assertResultInvariants checks the shape every DomainResult must hold
+// no matter how the scan ended — completed, degraded, or cancelled:
+// non-nil, at least one round attempted, and a non-nil Addrs map.
+// Downstream analyses rely on these without re-checking per result.
+func assertResultInvariants(t *testing.T, results []*DomainResult) {
+	t.Helper()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		if r.Rounds < 1 {
+			t.Errorf("%s: Rounds = %d, want >= 1", r.Domain, r.Rounds)
+		}
+		if r.Addrs == nil {
+			t.Errorf("%s: nil Addrs map", r.Domain)
+		}
+	}
+}
+
 // worldDeadline is the per-query deadline for worldgen-scale scans —
 // the simulator's default, far enough from scheduling noise that a
 // *live* exchange cannot time out just because hundreds of goroutines
@@ -80,6 +99,7 @@ func TestScanInvarianceAcrossConfigs(t *testing.T) {
 	var want string
 	for _, cfg := range scanConfigs {
 		results := scanTuned(t, active.Net, active.Roots, active.QueryList, cfg.workers, cfg.fanout, true, worldDeadline, 0)
+		assertResultInvariants(t, results)
 		got := DigestHex(results)
 		if want == "" {
 			want = got
@@ -139,10 +159,8 @@ func TestScanInvariancePersistentChaosReproducibleAndMonotone(t *testing.T) {
 		if cfg.workers == 1 && cfg.fanout == 1 {
 			serial = DigestHex(results)
 		}
+		assertResultInvariants(t, results)
 		for _, r := range results {
-			if r == nil {
-				t.Fatal("nil result in scan output")
-			}
 			if c := r.Classify(); c == ClassHealthy && cleanClass[r.Domain] != ClassHealthy {
 				t.Errorf("config (workers=%d fanout=%d): %s classified healthy under chaos but %s clean",
 					cfg.workers, cfg.fanout, r.Domain, cleanClass[r.Domain])

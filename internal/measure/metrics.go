@@ -37,6 +37,16 @@ type ScanMetrics struct {
 	secondRounds *obs.Counter
 	probeQueries *obs.Counter
 
+	// Streaming-path instruments (ScanStream + StreamWriter): results
+	// flushed to the output in order, the high-water mark of the
+	// out-of-order reorder buffer, checkpoint records written, and
+	// domains skipped on resume because a previous run already emitted
+	// them.
+	streamed     *obs.Counter
+	bufferHigh   *obs.Gauge
+	checkpoints  *obs.Counter
+	resumedSkips *obs.Counter
+
 	// sent is the resolver's own query counter on the same registry,
 	// read (never written) by the progress reporter for its QPS line.
 	sent *obs.Counter
@@ -60,6 +70,10 @@ func NewScanMetrics(r *obs.Registry) *ScanMetrics {
 		transients:   r.Counter("scan_transient_domains_total"),
 		secondRounds: r.Counter("scan_second_rounds_total"),
 		probeQueries: r.Counter("scan_probe_queries_total"),
+		streamed:     r.Counter("scan_results_streamed_total"),
+		bufferHigh:   r.Gauge("scan_stream_buffer_highwater"),
+		checkpoints:  r.Counter("scan_checkpoints_written_total"),
+		resumedSkips: r.Counter("scan_resumed_skips_total"),
 		sent:         r.Counter("resolver_sent_total"),
 	}
 }
@@ -128,6 +142,40 @@ func (m *ScanMetrics) setTotal(n int) {
 		return
 	}
 	m.domainsTotal.Set(int64(n))
+}
+
+// SetTotal records the expected domain count for progress reporting.
+// Scan sets it itself from its slice; streaming callers that know their
+// source's length (e.g. a worldgen QueryStream) set it here, since
+// ScanStream cannot know how long its iterator runs.
+func (m *ScanMetrics) SetTotal(n int) { m.setTotal(n) }
+
+func (m *ScanMetrics) recordStreamed() {
+	if m == nil {
+		return
+	}
+	m.streamed.Inc()
+}
+
+func (m *ScanMetrics) recordBufferHighwater(n int) {
+	if m == nil {
+		return
+	}
+	m.bufferHigh.Set(int64(n))
+}
+
+func (m *ScanMetrics) recordCheckpoint() {
+	if m == nil {
+		return
+	}
+	m.checkpoints.Inc()
+}
+
+func (m *ScanMetrics) recordResumedSkip() {
+	if m == nil {
+		return
+	}
+	m.resumedSkips.Inc()
 }
 
 // ProgressReporter periodically prints one-line scan progress — domains

@@ -206,12 +206,7 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 	// on an unresolvable name overlaps its siblings' probes instead of
 	// gating them. Results land in pre-sized per-host slices by index,
 	// so the fan-out changes nothing about result ordering.
-	glue := make(map[dnsname.Name][]netip.Addr)
-	for _, rr := range deleg.Glue {
-		if a, ok := rr.Data.(dnswire.AData); ok {
-			glue[rr.Name] = append(glue[rr.Name], a.Addr)
-		}
-	}
+	glue := glueAddrs(deleg.Glue)
 	client := s.Iterator.Client()
 	resolved := make([][]netip.Addr, len(r.ParentNS))
 	perHost := make([][]ServerResponse, len(r.ParentNS))
@@ -227,7 +222,6 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 		}
 		var fetchErr error
 		if addrs, ok := glue[host]; ok {
-			sort.Slice(addrs, func(a, b int) bool { return addrs[a].Less(addrs[b]) })
 			resolved[i] = addrs
 			if rec != nil {
 				rec.Annotate(fspan, trace.Bool("glue", true))
@@ -294,6 +288,27 @@ func (s *Scanner) scanOnce(ctx context.Context, domain dnsname.Name) *DomainResu
 	// picture.
 	s.queryChildOnlyHosts(ctx, r)
 	return r
+}
+
+// glueAddrs builds the per-host address map from a referral's glue
+// records. Each slice is sorted into netip.Addr.Less order here, once,
+// before the per-host fan-out aliases the map's slices: sorting lazily
+// inside the workers would run two concurrent in-place sorts on the
+// same slice whenever one host appears twice in ParentNS.
+func glueAddrs(rrs []dnswire.RR) map[dnsname.Name][]netip.Addr {
+	if len(rrs) == 0 {
+		return nil
+	}
+	glue := make(map[dnsname.Name][]netip.Addr)
+	for _, rr := range rrs {
+		if a, ok := rr.Data.(dnswire.AData); ok {
+			glue[rr.Name] = append(glue[rr.Name], a.Addr)
+		}
+	}
+	for _, addrs := range glue {
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	}
+	return glue
 }
 
 // faultAttrs renders one probe's per-query fault trace as span
@@ -415,8 +430,122 @@ feed:
 	cancelMsg := fmt.Errorf("scan cancelled: %w", cancelErr).Error()
 	for i, r := range results {
 		if r == nil {
-			results[i] = &DomainResult{Domain: domains[i], Err: cancelMsg}
+			results[i] = cancelledResult(domains[i], cancelMsg)
 		}
 	}
 	return results
+}
+
+// cancelledResult fills a slot whose domain was never scanned. It holds
+// the invariants every scanned result holds — Rounds >= 1 and a non-nil
+// Addrs map — so downstream consumers (aggregations that write into
+// Addrs, JSONL round-trips, the invariance harness) never special-case
+// cancellation.
+func cancelledResult(domain dnsname.Name, msg string) *DomainResult {
+	return &DomainResult{
+		Domain: domain,
+		Addrs:  make(map[dnsname.Name][]netip.Addr),
+		Rounds: 1,
+		Err:    msg,
+	}
+}
+
+// DomainSource feeds domains to ScanStream one at a time, in canonical
+// scan order, returning ok=false when exhausted. Sources are pulled
+// from a single goroutine, so they need no locking. worldgen's
+// QueryStream.Next satisfies this signature directly.
+type DomainSource func() (dnsname.Name, bool)
+
+// SliceSource adapts a domain slice to a DomainSource.
+func SliceSource(domains []dnsname.Name) DomainSource {
+	i := 0
+	return func() (dnsname.Name, bool) {
+		if i >= len(domains) {
+			return "", false
+		}
+		d := domains[i]
+		i++
+		return d, true
+	}
+}
+
+// ScanStream measures every domain the source yields and emits results
+// to sw in input order, holding only a bounded out-of-order window in
+// memory. It is the streaming counterpart of Scan — the reference
+// implementation it stays differentially pinned against: a completed
+// stream's bytes and digest are bit-identical to WriteJSONL/Digest over
+// Scan's slice for the same input.
+//
+// When sw was opened with ResumeStream, the first sw.Emitted() domains
+// from the source are skipped without scanning (counted as resumed
+// skips) and emission continues where the interrupted scan left off.
+//
+// On cancellation the output stops at the last contiguous genuinely
+// measured result: a result observed after ctx is done is discarded
+// rather than emitted, because a dead context poisons any still-running
+// measurement and "scan cancelled" artifacts must never reach an
+// archive a resumed scan will extend. ScanStream then returns ctx's
+// error; Finish has still flushed and checkpointed the clean prefix, so
+// a follow-up ResumeStream continues from it.
+func (s *Scanner) ScanStream(ctx context.Context, src DomainSource, sw *StreamWriter) error {
+	workers := s.Concurrency
+	if workers <= 0 {
+		workers = DefaultConcurrency
+	}
+	// Cancellation must release workers blocked in Offer even after the
+	// feed loop below has already returned — without this, a dropped
+	// result's gap would leave the writer waiting for a line that will
+	// never arrive.
+	stopCancel := context.AfterFunc(ctx, sw.Cancel)
+	defer stopCancel()
+
+	type job struct {
+		idx    int
+		domain dnsname.Name
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := s.ScanDomain(ctx, j.domain)
+				if ctx.Err() != nil {
+					// The measurement may have been cut short by the
+					// cancel; dropping it leaves a gap at j.idx, which
+					// caps the contiguous prefix Finish keeps.
+					continue
+				}
+				sw.Offer(j.idx, r)
+			}
+		}()
+	}
+
+	skip := sw.Emitted()
+	idx := 0
+feed:
+	for {
+		d, ok := src()
+		if !ok {
+			break
+		}
+		if idx < skip {
+			idx++
+			s.Metrics.recordResumedSkip()
+			continue
+		}
+		select {
+		case jobs <- job{idx: idx, domain: d}:
+			idx++
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := sw.Finish(); err != nil {
+		return err
+	}
+	return ctx.Err()
 }

@@ -3,10 +3,14 @@ package measure
 import (
 	"bytes"
 	"context"
+	"net/netip"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
 	"govdns/internal/miniworld"
 	"govdns/internal/resolver"
 )
@@ -208,6 +212,83 @@ func TestScanCancelledContext(t *testing.T) {
 		if r == nil {
 			t.Fatal("nil result after cancellation")
 		}
+		// Cancelled slots are normalized like every other result:
+		// downstream code may range over Addrs and divide by Rounds
+		// without special-casing an aborted scan.
+		if r.Rounds < 1 {
+			t.Errorf("%s: Rounds = %d after cancellation, want >= 1", r.Domain, r.Rounds)
+		}
+		if r.Addrs == nil {
+			t.Errorf("%s: nil Addrs map after cancellation", r.Domain)
+		}
+		if r.Err == "" {
+			t.Errorf("%s: cancelled result carries no error", r.Domain)
+		}
+	}
+}
+
+// TestScanMultiGlueChild pins the glue-handling fix: a delegation whose
+// single NS host carries several glue A records (inserted at the parent
+// in descending address order) must surface them in canonical
+// netip.Addr.Less order, sorted once when the glue map is built — not
+// per fan-out worker, where concurrent sorts of the shared slice raced.
+// Runs with fan-out > 1 so `make race` exercises the concurrent reads.
+func TestScanMultiGlueChild(t *testing.T) {
+	w := miniworld.Build()
+	child := w.AddMultiGlueChild()
+	c := resolver.NewClient(w.Net)
+	c.Timeout = 20 * time.Millisecond
+	c.Retries = 1
+	s := NewScanner(resolver.NewIterator(c, w.Roots))
+	s.PerDomainParallelism = 4
+
+	r := s.ScanDomain(scanCtx(t), child)
+	if r.Err != "" {
+		t.Fatalf("scan failed: %s", r.Err)
+	}
+	got := r.Addrs["ns1.multiglue.gov.br."]
+	want := []netip.Addr{miniworld.MultiGlueLowAddr, miniworld.MultiGlueHighAddr}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("glue addrs = %v, want %v (Less order)", got, want)
+	}
+	if !r.Responsive() {
+		t.Errorf("multi-glue child unresponsive: %+v", r.Servers)
+	}
+	// The same scan must serialize and digest stably regardless of the
+	// order glue arrived in.
+	if d1, d2 := DigestHex([]*DomainResult{r}), DigestHex([]*DomainResult{r}); d1 != d2 {
+		t.Errorf("digest unstable: %s != %s", d1, d2)
+	}
+}
+
+// TestGlueAddrsSortsOnce checks the map constructor directly: duplicate
+// host RRs append to one shared slice that must come out sorted, and
+// concurrent readers (as in fanEach) must find it already ordered.
+func TestGlueAddrsSortsOnce(t *testing.T) {
+	host := dnsname.Name("ns1.multiglue.gov.br.")
+	rrs := []dnswire.RR{
+		{Name: host, Class: dnswire.ClassIN, TTL: 300, Data: dnswire.AData{Addr: netip.MustParseAddr("4.5.0.9")}},
+		{Name: host, Class: dnswire.ClassIN, TTL: 300, Data: dnswire.AData{Addr: netip.MustParseAddr("4.5.0.1")}},
+		{Name: host, Class: dnswire.ClassIN, TTL: 300, Data: dnswire.AData{Addr: netip.MustParseAddr("4.5.0.5")}},
+	}
+	glue := glueAddrs(rrs)
+	addrs := glue[host]
+	if len(addrs) != 3 {
+		t.Fatalf("glue[%s] = %v, want 3 addrs", host, addrs)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !sort.SliceIsSorted(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) }) {
+				t.Errorf("glue slice not pre-sorted: %v", addrs)
+			}
+		}()
+	}
+	wg.Wait()
+	if glueAddrs(nil) != nil {
+		t.Error("glueAddrs(nil) != nil")
 	}
 }
 

@@ -29,6 +29,10 @@ func goldenResults() []*DomainResult {
 			Addrs: map[dnsname.Name][]netip.Addr{
 				"ns1.city.gov.br.": {netip.MustParseAddr("4.0.0.1")},
 				"ns2.city.gov.br.": {netip.MustParseAddr("4.0.1.1")},
+				// Multi-address host whose netip.Addr.Less order differs
+				// from lexicographic string order ("10.0.0.1" < "9.0.0.2"
+				// as strings): pins the canonical address order on disk.
+				"ns3.city.gov.br.": {netip.MustParseAddr("9.0.0.2"), netip.MustParseAddr("10.0.0.1")},
 			},
 			Servers: []ServerResponse{
 				{Host: "ns1.city.gov.br.", Addr: netip.MustParseAddr("4.0.0.1"),
@@ -130,6 +134,41 @@ func TestJSONLFieldRoundTrip(t *testing.T) {
 		if got.Classify() != want.Classify() {
 			t.Errorf("%s: Classify() = %s after round trip, want %s", want.Domain, got.Classify(), want.Classify())
 		}
+	}
+}
+
+// TestJSONLWriteReadWriteByteIdentity pins the canonicalization fix:
+// serialization sorts addresses by netip.Addr.Less (not string order)
+// and deserialization re-sorts, so write→read→write is byte-identical
+// and the digest survives a round trip — even when the in-memory
+// result arrives with addresses out of order, as a legacy
+// lexicographically-sorted archive would after loading.
+func TestJSONLWriteReadWriteByteIdentity(t *testing.T) {
+	results := goldenResults()
+	// Present one multi-address host in reversed (former lexicographic)
+	// order: the writer must canonicalize rather than trust the caller.
+	results[0].Addrs["ns3.city.gov.br."] = []netip.Addr{
+		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("9.0.0.2"),
+	}
+
+	var first bytes.Buffer
+	if err := WriteJSONL(&first, results); err != nil {
+		t.Fatalf("first WriteJSONL: %v", err)
+	}
+	loaded, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	var second bytes.Buffer
+	if err := WriteJSONL(&second, loaded); err != nil {
+		t.Fatalf("second WriteJSONL: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("write→read→write not byte-identical:\nfirst:\n%s\nsecond:\n%s",
+			first.Bytes(), second.Bytes())
+	}
+	if got, want := DigestHex(loaded), DigestHex(results); got != want {
+		t.Errorf("digest changed across round trip: %s != %s", got, want)
 	}
 }
 

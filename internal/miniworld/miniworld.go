@@ -375,6 +375,47 @@ func (w *World) AddHostedChildren(n int) []dnsname.Name {
 	return names
 }
 
+// Addresses of multiglue.gov.br's nameserver (see AddMultiGlueChild).
+// The numerically higher address is deliberately added to the parent
+// zone first, so any code path that trusts glue record order instead of
+// canonicalizing surfaces immediately.
+var (
+	MultiGlueHighAddr = netip.MustParseAddr("4.5.0.9")
+	MultiGlueLowAddr  = netip.MustParseAddr("4.5.0.1")
+)
+
+// AddMultiGlueChild delegates multiglue.gov.br to a single nameserver
+// that is glued at two addresses — inserted in descending order — and
+// lists the NS record twice in the parent zone (the duplicate collapses
+// at the zone layer, as RFC zones dedupe identical RRsets, but the
+// referral still carries one host with a multi-address glue slice).
+// This is the regression shape for the shared-glue-slice sort: the
+// scanner must sort the slice once at map construction, not inside the
+// per-host fan-out, and the result's Addrs must come out in
+// netip.Addr.Less order regardless of glue record order. Returns the
+// child name.
+func (w *World) AddMultiGlueChild() dnsname.Name {
+	gov, ok := w.Servers["ns1.gov.br."].ZoneByOrigin("gov.br.")
+	if !ok {
+		panic("miniworld: gov.br zone missing")
+	}
+	child := dnsname.MustParse("multiglue.gov.br")
+	host := dnsname.MustParse("ns1.multiglue.gov.br")
+	gov.MustAdd(ns(child, host))
+	// The duplicate NS record is absorbed by zone.Add's identical-RR
+	// dedupe; adding it documents the duplicate-host delegation shape
+	// the glue sort must stay robust to.
+	_ = gov.Add(ns(child, host))
+	gov.MustAdd(a(host, MultiGlueHighAddr))
+	gov.MustAdd(a(host, MultiGlueLowAddr))
+
+	z := childZone(child, map[dnsname.Name]netip.Addr{host: MultiGlueHighAddr})
+	z.MustAdd(a(host, MultiGlueLowAddr))
+	w.serve(host, MultiGlueHighAddr, z)
+	w.serve(host, MultiGlueLowAddr, z)
+	return child
+}
+
 // SlowNSAddr is the address of slow-provider.com's only nameserver,
 // which never responds (see BreakIntermediateZoneTransient).
 var SlowNSAddr = netip.MustParseAddr("5.1.0.1")

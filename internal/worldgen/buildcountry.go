@@ -342,16 +342,14 @@ func (a *Active) buildRegistrarState() {
 	a.Reg.MarkRegistered(dnsname.MustParse("ddos-shield.net"))
 }
 
-// buildQueryList assembles the scanner's input: every name with passive
-// activity reaching the final study year, plus ghost children.
+// buildQueryList assembles the scanner's input by draining a
+// QueryStream — the single source of truth for scan order, shared with
+// the streaming scan path, so slice and stream scans see identical
+// input by construction.
 func (a *Active) buildQueryList() {
-	for _, d := range a.World.Domains {
-		if d.Died == 0 || d.Died >= a.World.Cfg.EndYear-2 {
-			a.QueryList = append(a.QueryList, d.Name)
-		}
+	qs := NewQueryStream(a.World)
+	a.QueryList = make([]dnsname.Name, 0, qs.Len())
+	for n, ok := qs.Next(); ok; n, ok = qs.Next() {
+		a.QueryList = append(a.QueryList, n)
 	}
-	a.QueryList = append(a.QueryList, a.World.GhostNames...)
-	sort.Slice(a.QueryList, func(i, j int) bool {
-		return dnsname.Compare(a.QueryList[i], a.QueryList[j]) < 0
-	})
 }
