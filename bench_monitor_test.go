@@ -1,0 +1,138 @@
+package govdns
+
+// BenchmarkMonitorEpoch pins the monitoring daemon's per-epoch overhead
+// (DESIGN.md § 14) with three rungs over the same worldgen population,
+// 5ms-RTT latency model, and fresh per-epoch scanner:
+//
+//	bare     the raw checkpointed streaming scan the monitor wraps
+//	traced   bare plus the flight recorder the daemon mandates (every
+//	         domain records its span tree so alerts can retain it) —
+//	         the span-recording cost, pre-existing trace subsystem
+//	monitor  a full Monitor.RunEpoch with a baseline installed: per-
+//	         result summarization and diffing, alert-log flushing on
+//	         every checkpoint, atomic state/trace writes at epoch end
+//
+// The acceptance bar is monitor within 3% of traced: the monitor
+// layer's own machinery must be invisible next to measurement latency.
+// The bare/traced gap is the recording cost a -trace govscan run pays
+// identically; it is reported here so the daemon's total cost over a
+// trace-less scan stays visible rather than hidden in the comparator.
+//
+// Run: make bench-monitor (writes BENCH_6.json)
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"govdns/internal/measure"
+	"govdns/internal/monitor"
+	"govdns/internal/resolver"
+	"govdns/internal/trace"
+	"govdns/internal/worldgen"
+)
+
+var (
+	monitorBenchOnce   sync.Once
+	monitorBenchActive *worldgen.Active
+)
+
+func monitorBenchWorld(b *testing.B) *worldgen.Active {
+	b.Helper()
+	monitorBenchOnce.Do(func() {
+		w := worldgen.Generate(worldgen.Config{Seed: 42, Scale: 0.002})
+		monitorBenchActive = worldgen.Build(w)
+	})
+	return monitorBenchActive
+}
+
+// newMonitorBenchScanner builds the fresh per-epoch scanner both sides
+// pay for: re-measuring an epoch requires cold resolver caches.
+func newMonitorBenchScanner(active *worldgen.Active) *measure.Scanner {
+	client := resolver.NewClient(&benchLatencyTransport{active.Net, 5 * time.Millisecond})
+	client.Timeout = 25 * time.Millisecond
+	client.Retries = 1
+	sc := measure.NewScanner(resolver.NewIterator(client, active.Roots))
+	sc.Concurrency = measure.DefaultConcurrency
+	sc.PerDomainParallelism = measure.DefaultPerDomainParallelism
+	return sc
+}
+
+func BenchmarkMonitorEpoch(b *testing.B) {
+	active := monitorBenchWorld(b)
+	ctx := context.Background()
+
+	// bareEpoch runs one checkpointed streaming scan, optionally with a
+	// fresh flight recorder attached (the "traced" rung).
+	bareEpoch := func(b *testing.B, dir string, i int, traced bool) {
+		b.Helper()
+		out, err := os.Create(filepath.Join(dir, fmt.Sprintf("epoch-%d.jsonl", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw := measure.NewStreamWriter(out, measure.StreamConfig{
+			CheckpointPath:  filepath.Join(dir, fmt.Sprintf("epoch-%d.ckpt", i)),
+			CheckpointEvery: 256,
+			ScanKey:         "bench",
+		})
+		sc := newMonitorBenchScanner(active)
+		if traced {
+			sc.Trace = trace.NewFlightRecorder(trace.Config{Pinned: 1024})
+		}
+		if err := sc.ScanStream(ctx, measure.SliceSource(active.QueryList), sw); err != nil {
+			b.Fatal(err)
+		}
+		if sw.Emitted() != len(active.QueryList) {
+			b.Fatalf("emitted %d of %d", sw.Emitted(), len(active.QueryList))
+		}
+		if err := out.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("bare", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			bareEpoch(b, dir, i, false)
+		}
+		b.ReportMetric(float64(len(active.QueryList)), "domains/op")
+	})
+
+	b.Run("traced", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			bareEpoch(b, dir, i, true)
+		}
+		b.ReportMetric(float64(len(active.QueryList)), "domains/op")
+	})
+
+	b.Run("monitor", func(b *testing.B) {
+		m, err := monitor.Open(monitor.Config{
+			StateDir: b.TempDir(), ScanKey: "bench", CheckpointEvery: 256,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		// Untimed baseline epoch: timed epochs must run with the differ
+		// active, which is the steady state of a long-lived daemon.
+		if _, err := m.RunEpoch(ctx, newMonitorBenchScanner(active), measure.SliceSource(active.QueryList)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := m.RunEpoch(ctx, newMonitorBenchScanner(active), measure.SliceSource(active.QueryList))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Domains != len(active.QueryList) {
+				b.Fatalf("epoch covered %d of %d", rep.Domains, len(active.QueryList))
+			}
+		}
+		b.ReportMetric(float64(len(active.QueryList)), "domains/op")
+	})
+}

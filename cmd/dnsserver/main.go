@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +25,7 @@ import (
 	"govdns/internal/authserver"
 	"govdns/internal/dnsname"
 	"govdns/internal/dnswire"
+	"govdns/internal/obs"
 	"govdns/internal/zone"
 )
 
@@ -43,6 +45,7 @@ func run() error {
 	cache := flag.Bool("cache", true, "enable the TTL-aware response cache")
 	ednsBuf := flag.Uint("edns-buf", uint(dnswire.DefaultEDNSBufSize), "advertised EDNS0 UDP payload cap")
 	tcpIdle := flag.Duration("tcp-idle", authserver.DefaultTCPIdleTimeout, "idle timeout for TCP connections")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, /readyz, and pprof on this address, e.g. :9090")
 	flag.Parse()
 
 	if *origin == "" || (*zonePath == "") == (*xfr == "") {
@@ -56,8 +59,25 @@ func run() error {
 
 	server := authserver.New(originName.MustPrepend("ns1"))
 	server.SetEDNSBufSize(uint16(min(*ednsBuf, 0xFFFF)))
+	reg := obs.NewRegistry()
 	if *cache {
-		server.SetCache(authserver.NewResponseCache())
+		rc := authserver.NewResponseCache()
+		rc.AttachRegistry(reg)
+		server.SetCache(rc)
+	}
+
+	// Readiness flips on once the zone is loaded and the listeners are
+	// up; liveness is process-up (a wedged zone transfer never gets
+	// here, so the probe surface reports it as not-ready, not not-live).
+	health := obs.NewHealth()
+	if *metricsAddr != "" {
+		go func() {
+			srv := &http.Server{Addr: *metricsAddr, Handler: obs.HandlerWith(reg, health)}
+			fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics /healthz /readyz (pprof under /debug/pprof/)\n", *metricsAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "dnsserver: metrics server: %v\n", err)
+			}
+		}()
 	}
 
 	switch {
@@ -105,6 +125,7 @@ func run() error {
 	z, _ := server.ZoneByOrigin(originName)
 	fmt.Printf("serving %s (%d records) on %s (%s, edns-buf %d, cache %v)\n",
 		originName, z.Len(), udp.Addr(), transports, *ednsBuf, *cache)
+	health.SetReady(true)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -223,9 +223,13 @@ func run() error {
 	}
 
 	if *metricsAddr != "" {
+		// Readiness means "the scan is underway": world built, transports
+		// wired, workers about to start. Liveness is process-up.
+		health := obs.NewHealth()
+		health.SetReady(true)
 		go func() {
-			srv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(reg)}
-			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof under /debug/pprof/)\n", *metricsAddr)
+			srv := &http.Server{Addr: *metricsAddr, Handler: obs.HandlerWith(reg, health)}
+			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics /healthz /readyz (pprof under /debug/pprof/)\n", *metricsAddr)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "govscan: metrics server: %v\n", err)
 			}

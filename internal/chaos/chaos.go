@@ -252,7 +252,7 @@ func (t *Transport) metrics() {
 
 func (t *Transport) bind(r *obs.Registry) {
 	t.exchanges = r.Counter("chaos_exchanges_total")
-	vec := r.CounterVec("chaos_injected_total")
+	vec := r.CounterVecKeyed("chaos_injected_total", "class")
 	for c := Class(0); c < numClasses; c++ {
 		t.injected[c] = vec.With(c.String())
 	}

@@ -33,13 +33,13 @@ func FuzzCheckpointReader(f *testing.F) {
 	}
 	tailLine := canonicalJSONL(f, results[2:3])
 
-	f.Add(validCk, tailLine)                          // clean salvage
-	f.Add(validCk, tailLine[:len(tailLine)/2])        // torn tail
-	f.Add(validCk, []byte(nil))                       // exact checkpoint
-	f.Add(validCk, []byte("not a result line\n"))     // garbage tail
-	f.Add(validCk[:len(validCk)/2], tailLine)         // torn checkpoint
-	f.Add([]byte("{}"), []byte(nil))                  // empty object
-	f.Add([]byte(nil), tailLine)                      // empty checkpoint
+	f.Add(validCk, tailLine)                      // clean salvage
+	f.Add(validCk, tailLine[:len(tailLine)/2])    // torn tail
+	f.Add(validCk, []byte(nil))                   // exact checkpoint
+	f.Add(validCk, []byte("not a result line\n")) // garbage tail
+	f.Add(validCk[:len(validCk)/2], tailLine)     // torn checkpoint
+	f.Add([]byte("{}"), []byte(nil))              // empty object
+	f.Add([]byte(nil), tailLine)                  // empty checkpoint
 	mutated := append([]byte(nil), validCk...)
 	mutated[len(mutated)/2] ^= 0x20
 	f.Add(mutated, tailLine) // bit-flipped state

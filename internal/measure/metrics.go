@@ -46,6 +46,7 @@ type ScanMetrics struct {
 	bufferHigh   *obs.Gauge
 	checkpoints  *obs.Counter
 	resumedSkips *obs.Counter
+	lastCkptNS   *obs.Gauge
 
 	// sent is the resolver's own query counter on the same registry,
 	// read (never written) by the progress reporter for its QPS line.
@@ -74,6 +75,7 @@ func NewScanMetrics(r *obs.Registry) *ScanMetrics {
 		bufferHigh:   r.Gauge("scan_stream_buffer_highwater"),
 		checkpoints:  r.Counter("scan_checkpoints_written_total"),
 		resumedSkips: r.Counter("scan_resumed_skips_total"),
+		lastCkptNS:   r.Gauge("scan_last_checkpoint_unix_ns"),
 		sent:         r.Counter("resolver_sent_total"),
 	}
 }
@@ -169,6 +171,7 @@ func (m *ScanMetrics) recordCheckpoint() {
 		return
 	}
 	m.checkpoints.Inc()
+	m.lastCkptNS.Set(time.Now().UnixNano())
 }
 
 func (m *ScanMetrics) recordResumedSkip() {
@@ -236,7 +239,8 @@ func (p *ProgressReporter) report(st *progressState, now time.Time) {
 	m := p.Metrics
 	fmt.Fprintln(p.W, progressLine(st, now,
 		m.domainsDone.Load(), m.domainsTotal.Load(),
-		m.sent.Load(), m.errDomains.Load(), m.transients.Load()))
+		m.sent.Load(), m.errDomains.Load(), m.transients.Load(),
+		m.streamed.Load(), m.bufferHigh.Load(), m.lastCkptNS.Load()))
 }
 
 // progressLine advances st to now and renders one progress report. The
@@ -246,7 +250,11 @@ func (p *ProgressReporter) report(st *progressState, now time.Time) {
 // the cumulative average still remembers the fast early phase and
 // promises an ETA the scan cannot meet, while the EWMA converges to
 // the current rate within a few tau.
-func progressLine(st *progressState, now time.Time, done uint64, total int64, sent, errs, trans uint64) string {
+// The streamed-path tail (emitted count, reorder-buffer highwater,
+// checkpoint age) appears only when the stream writer is active —
+// results have been emitted or a checkpoint exists — so the slice
+// path's line is unchanged.
+func progressLine(st *progressState, now time.Time, done uint64, total int64, sent, errs, trans, streamed uint64, bufHigh, ckptNS int64) string {
 	window := now.Sub(st.lastAt).Seconds()
 	if window <= 0 {
 		window = 1
@@ -275,6 +283,14 @@ func progressLine(st *progressState, now time.Time, done uint64, total int64, se
 		}
 		return 100 * float64(n) / float64(done)
 	}
-	return fmt.Sprintf("scan: %d/%d domains (%.1f/s, %.0f qps) errors %.1f%% transient %.1f%% eta %s",
+	line := fmt.Sprintf("scan: %d/%d domains (%.1f/s, %.0f qps) errors %.1f%% transient %.1f%% eta %s",
 		done, total, domRate, qps, pct(errs), pct(trans), eta)
+	if streamed > 0 || ckptNS > 0 {
+		age := "none"
+		if ckptNS > 0 {
+			age = now.Sub(time.Unix(0, ckptNS)).Round(time.Second).String()
+		}
+		line += fmt.Sprintf(" | stream %d emitted buf %d ckpt age %s", streamed, bufHigh, age)
+	}
+	return line
 }

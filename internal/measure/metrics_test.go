@@ -221,7 +221,7 @@ func TestProgressETAEWMA(t *testing.T) {
 	// A zero-progress first window primes the rate at 0: no basis for
 	// an ETA yet.
 	now = now.Add(tick)
-	line := progressLine(st, now, done, total, 0, 0, 0)
+	line := progressLine(st, now, done, total, 0, 0, 0, 0, 0, 0)
 	if !strings.Contains(line, "eta ?") {
 		t.Errorf("zero-progress line should have no ETA: %q", line)
 	}
@@ -231,7 +231,7 @@ func TestProgressETAEWMA(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		done += 50
 		now = now.Add(tick)
-		line = progressLine(st, now, done, total, 0, 0, 0)
+		line = progressLine(st, now, done, total, 0, 0, 0, 0, 0, 0)
 	}
 	if st.rate < 4.5 || st.rate > 5.0 {
 		t.Fatalf("fast-phase rate = %.2f, want ~5/s", st.rate)
@@ -242,7 +242,7 @@ func TestProgressETAEWMA(t *testing.T) {
 	for i := 0; i < 36; i++ {
 		done += 5
 		now = now.Add(tick)
-		line = progressLine(st, now, done, total, 0, 0, 0)
+		line = progressLine(st, now, done, total, 0, 0, 0, 0, 0, 0)
 	}
 	if st.rate < 0.5 || st.rate > 0.6 {
 		t.Errorf("slow-phase rate = %.3f/s, want ~0.5/s (EWMA must forget the fast phase)", st.rate)
@@ -265,7 +265,7 @@ func TestProgressETAEWMA(t *testing.T) {
 
 	// Finished scans stop predicting.
 	now = now.Add(tick)
-	line = progressLine(st, now, total, total, 0, 0, 0)
+	line = progressLine(st, now, total, total, 0, 0, 0, 0, 0, 0)
 	if !strings.Contains(line, "eta ?") {
 		t.Errorf("completed scan should print no ETA: %q", line)
 	}
@@ -277,7 +277,7 @@ func TestProgressETAEWMA(t *testing.T) {
 func TestProgressLineCounters(t *testing.T) {
 	base := time.Unix(1700000000, 0)
 	st := &progressState{lastAt: base}
-	line := progressLine(st, base.Add(10*time.Second), 40, 100, 800, 10, 5)
+	line := progressLine(st, base.Add(10*time.Second), 40, 100, 800, 10, 5, 0, 0, 0)
 	for _, want := range []string{"40/100 domains", "(4.0/s, 80 qps)", "errors 25.0%", "transient 12.5%"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("line %q missing %q", line, want)
@@ -285,8 +285,46 @@ func TestProgressLineCounters(t *testing.T) {
 	}
 	// Same timestamp again: window clamps to 1s instead of dividing by
 	// zero; deltas are zero so rates read 0.
-	line = progressLine(st, base.Add(10*time.Second), 40, 100, 800, 10, 5)
+	line = progressLine(st, base.Add(10*time.Second), 40, 100, 800, 10, 5, 0, 0, 0)
 	if !strings.Contains(line, "(0.0/s, 0 qps)") {
 		t.Errorf("zero-window line = %q", line)
+	}
+}
+
+// TestProgressLineStreamed: the streamed-path tail appears only when the
+// stream writer has been active, and the checkpoint age is computed from
+// the synthetic clock, not the wall clock.
+func TestProgressLineStreamed(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+
+	// Slice path: no streamed results, no checkpoint — no tail.
+	st := &progressState{lastAt: base}
+	line := progressLine(st, base.Add(10*time.Second), 40, 100, 0, 0, 0, 0, 0, 0)
+	if strings.Contains(line, "stream") || strings.Contains(line, "ckpt") {
+		t.Errorf("slice-path line grew a streaming tail: %q", line)
+	}
+
+	// Streaming with a checkpoint 73s ago on the synthetic clock.
+	st = &progressState{lastAt: base}
+	now := base.Add(10 * time.Second)
+	ckptNS := now.Add(-73 * time.Second).UnixNano()
+	line = progressLine(st, now, 40, 100, 0, 0, 0, 37, 9, ckptNS)
+	if want := "| stream 37 emitted buf 9 ckpt age 1m13s"; !strings.Contains(line, want) {
+		t.Errorf("line %q missing %q", line, want)
+	}
+
+	// Streaming before the first checkpoint: tail present, age "none".
+	st = &progressState{lastAt: base}
+	line = progressLine(st, now, 40, 100, 0, 0, 0, 5, 2, 0)
+	if want := "| stream 5 emitted buf 2 ckpt age none"; !strings.Contains(line, want) {
+		t.Errorf("line %q missing %q", line, want)
+	}
+
+	// Resume-only window: checkpoint exists but nothing emitted yet this
+	// run (the writer re-checkpointed on resume) — tail still shown.
+	st = &progressState{lastAt: base}
+	line = progressLine(st, now, 0, 100, 0, 0, 0, 0, 0, ckptNS)
+	if !strings.Contains(line, "stream 0 emitted") {
+		t.Errorf("resume-only line missing tail: %q", line)
 	}
 }

@@ -48,6 +48,14 @@ type Scanner struct {
 	// purely passive: a traced scan's digest is bit-identical to an
 	// untraced one.
 	Trace *trace.FlightRecorder
+	// TracePin, when non-nil alongside Trace, is consulted once per
+	// scanned domain with its finished result; returning true pins the
+	// domain's trace into the flight recorder's pinned ring whatever the
+	// built-in retention criteria say. The monitoring daemon sets it to
+	// its alert predicate so every alerted domain keeps a complete span
+	// tree. It runs on worker goroutines: it must be safe for concurrent
+	// use and must not mutate the result.
+	TracePin func(*DomainResult) bool
 }
 
 // DefaultConcurrency is the scanner's default worker count. Scans are
@@ -138,7 +146,8 @@ func (s *Scanner) ScanDomain(ctx context.Context, domain dnsname.Name) *DomainRe
 		class := r.Classify().String()
 		rec.Annotate(root, trace.Str("class", class))
 		rec.EndSpan(root, nil)
-		s.Trace.Offer(rec.Finish(class, r.Rounds, r.Err, r.ErrTransient, classChanged))
+		pin := s.TracePin != nil && s.TracePin(r)
+		s.Trace.OfferPin(rec.Finish(class, r.Rounds, r.Err, r.ErrTransient, classChanged), pin)
 	}
 	return r
 }

@@ -58,6 +58,13 @@ type StreamConfig struct {
 	// OnResult, when non-nil, observes each result as it is emitted, in
 	// emission order. It runs under the writer's lock: keep it cheap.
 	OnResult func(*DomainResult)
+	// OnCheckpoint, when non-nil, fires after each checkpoint record
+	// lands durably, with the emitted count it covers. It runs under the
+	// writer's lock, after the output has been flushed and fsynced and
+	// the checkpoint atomically replaced — the hook a dependent durable
+	// stream (the monitor's alert log) uses to commit exactly the
+	// records whose scan results are now crash-safe.
+	OnCheckpoint func(emitted int)
 }
 
 func (c *StreamConfig) maxBuffer() int {
@@ -366,6 +373,9 @@ func (sw *StreamWriter) checkpointLocked() {
 	}
 	sw.sinceCkpt = 0
 	sw.cfg.Metrics.recordCheckpoint()
+	if sw.cfg.OnCheckpoint != nil {
+		sw.cfg.OnCheckpoint(sw.next)
+	}
 }
 
 // writeFileAtomic writes data so a crash at any instant leaves either

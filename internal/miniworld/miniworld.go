@@ -490,6 +490,49 @@ func (w *World) BreakIntermediateZone(m int) []dnsname.Name {
 	return names
 }
 
+// EvilNSAddr is where HijackCity's out-of-bailiwick nameserver lives.
+var EvilNSAddr = netip.MustParseAddr("6.6.6.1")
+
+// HijackCity rewrites city.gov.br's delegation in the gov.br zone to a
+// single nameserver under evil-ops.com — out of bailiwick, absent from
+// the provider catalog, hosting nothing else — and serves the child
+// zone from that server so the domain still classifies healthy. The
+// § VI-C takeover pattern in miniature: nothing about the domain's
+// *health* changes, only who answers for it, which is exactly the
+// signal the monitor's hijack heuristic must catch without a
+// classification flip to lean on. Returns the evil NS hostname.
+func (w *World) HijackCity() dnsname.Name {
+	gov, ok := w.Servers["ns1.gov.br."].ZoneByOrigin("gov.br.")
+	if !ok {
+		panic("miniworld: gov.br zone missing")
+	}
+	gov.Remove("city.gov.br.", dnswire.TypeNS)
+	gov.Remove("ns1.city.gov.br.", dnswire.TypeA)
+	gov.Remove("ns2.city.gov.br.", dnswire.TypeA)
+	evil := dnsname.MustParse("ns1.evil-ops.com")
+	gov.MustAdd(ns("city.gov.br.", evil))
+
+	com, ok := w.Servers["a.gtld-servers.com."].ZoneByOrigin("com.")
+	if !ok {
+		panic("miniworld: com zone missing")
+	}
+	com.MustAdd(ns("evil-ops.com.", evil))
+	com.MustAdd(a(evil, EvilNSAddr))
+
+	eo := zone.New("evil-ops.com.")
+	eo.MustAdd(soa("evil-ops.com.", evil))
+	eo.MustAdd(ns("evil-ops.com.", evil))
+	eo.MustAdd(a(evil, EvilNSAddr))
+	srv := w.serve(evil, EvilNSAddr, eo)
+
+	city := zone.New("city.gov.br.")
+	city.MustAdd(soa("city.gov.br.", evil))
+	city.MustAdd(ns("city.gov.br.", evil))
+	city.MustAdd(a("www.city.gov.br.", netip.MustParseAddr("192.0.2.66")))
+	srv.AddZone(city)
+	return evil
+}
+
 // Domains returns the fixture's government child domains.
 func Domains() []dnsname.Name {
 	return []dnsname.Name{

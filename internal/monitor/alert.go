@@ -1,0 +1,278 @@
+// The alert stream: the monitor's durable, append-only record of every
+// epoch-over-epoch change worth a human's attention.
+//
+// Alerts are deterministic artifacts, not log lines: they carry no
+// timestamps or durations, only what the differ derived from two
+// epochs' canonical scan results, plus a dense global sequence number.
+// Two monitor runs over the same world therefore produce bit-identical
+// alert logs whatever the concurrency, and a killed-and-resumed daemon
+// reconverges on exactly the bytes an uninterrupted one would have
+// written — the same contract the scan archive itself keeps.
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"govdns/internal/dnsname"
+)
+
+// Severity ranks an alert for triage routing.
+type Severity int
+
+const (
+	// SevInfo: a change worth recording, not worth waking anyone —
+	// upgrades, address rotations, new fault signatures.
+	SevInfo Severity = iota
+	// SevWarning: service degradation or unexplained churn.
+	SevWarning
+	// SevCritical: the domain lost service entirely, or its delegation
+	// moved in the pattern prior hijacks followed.
+	SevCritical
+)
+
+var severityNames = map[Severity]string{
+	SevInfo: "info", SevWarning: "warning", SevCritical: "critical",
+}
+
+func (s Severity) String() string {
+	if name, ok := severityNames[s]; ok {
+		return name
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its name; the alert log is read
+// by humans and shell pipelines before it is read by Go.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	name, ok := severityNames[s]
+	if !ok {
+		return nil, fmt.Errorf("monitor: unknown severity %d", int(s))
+	}
+	return json.Marshal(name)
+}
+
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for sev, n := range severityNames {
+		if n == name {
+			*s = sev
+			return nil
+		}
+	}
+	return fmt.Errorf("monitor: unknown severity %q", name)
+}
+
+// Finding is one concrete observation inside an alert. Kind is a
+// closed vocabulary (see diff.go): "class-flip", "ns-churn",
+// "hijack-pattern", "addr-change", "transient", "error",
+// "fault-signature", "new-domain".
+type Finding struct {
+	Kind     string   `json:"kind"`
+	Severity Severity `json:"severity"`
+	Detail   string   `json:"detail"`
+}
+
+// Alert aggregates one domain's findings for one epoch. Seq is dense
+// and global across the whole alert log; Severity is the maximum over
+// Findings.
+type Alert struct {
+	Seq       uint64       `json:"seq"`
+	Epoch     int          `json:"epoch"`
+	Domain    dnsname.Name `json:"domain"`
+	Severity  Severity     `json:"severity"`
+	PrevClass string       `json:"prev_class,omitempty"`
+	Class     string       `json:"class"`
+	Findings  []Finding    `json:"findings"`
+}
+
+func (a *Alert) validate() error {
+	if a.Domain == "" {
+		return errors.New("empty domain")
+	}
+	if a.Class == "" {
+		return errors.New("empty class")
+	}
+	if len(a.Findings) == 0 {
+		return errors.New("no findings")
+	}
+	max := SevInfo
+	for _, f := range a.Findings {
+		if f.Kind == "" {
+			return errors.New("finding with empty kind")
+		}
+		if _, ok := severityNames[f.Severity]; !ok {
+			return fmt.Errorf("finding with unknown severity %d", int(f.Severity))
+		}
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	if a.Severity != max {
+		return fmt.Errorf("severity %s != max finding severity %s", a.Severity, max)
+	}
+	return nil
+}
+
+// marshalLine renders the alert's canonical log line, newline included.
+func (a *Alert) marshalLine() ([]byte, error) {
+	b, err := json.Marshal(a)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// sameAlert compares two alerts by their canonical encoding — the
+// equality the bit-identical log contract is stated in.
+func sameAlert(a, b *Alert) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
+}
+
+// ReadAlerts strictly decodes an alert log: every line must be a valid
+// alert, unknown fields are rejected, sequence numbers must be dense
+// from the first record's, and epochs must be non-decreasing. Strict
+// because the log is the daemon's recovery substrate — a reader that
+// shrugs at a malformed line would let corruption propagate into the
+// reconciled stream.
+func ReadAlerts(r io.Reader) ([]*Alert, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Alert
+	for lineNo := 1; len(data) > 0; lineNo++ {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("alert log line %d: unterminated line", lineNo)
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		a := new(Alert)
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(a); err != nil {
+			return nil, fmt.Errorf("alert log line %d: %w", lineNo, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("alert log line %d: trailing data after alert", lineNo)
+		}
+		if err := a.validate(); err != nil {
+			return nil, fmt.Errorf("alert log line %d: %w", lineNo, err)
+		}
+		if a.Seq != uint64(len(out)) {
+			return nil, fmt.Errorf("alert log line %d: seq %d, want dense %d", lineNo, a.Seq, len(out))
+		}
+		if len(out) > 0 && a.Epoch < out[len(out)-1].Epoch {
+			return nil, fmt.Errorf("alert log line %d: epoch %d after epoch %d", lineNo, a.Epoch, out[len(out)-1].Epoch)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AlertLog is the durable append-only alert stream on disk. Appends are
+// fsynced; the monitor calls Append only from the stream writer's
+// checkpoint hook, so the log never runs ahead of the crash-safe scan
+// prefix — the invariant resume reconciliation depends on.
+type AlertLog struct {
+	f    *os.File
+	path string
+	next uint64
+}
+
+// OpenAlertLog opens (creating if absent) the alert stream at path and
+// strictly validates the existing content. A torn final line — a crash
+// landed mid-write, leaving bytes after the last newline — is truncated
+// away: the alert it held is covered by the scan checkpoint and will be
+// regenerated by resume reconciliation. Any other malformation is an
+// error, never a repair.
+func OpenAlertLog(path string) (*AlertLog, []*Alert, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	valid := data
+	if i := bytes.LastIndexByte(data, '\n'); i+1 < len(data) {
+		valid = data[:i+1]
+	}
+	alerts, err := ReadAlerts(bytes.NewReader(valid))
+	if err != nil {
+		return nil, nil, fmt.Errorf("monitor: %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(valid) < len(data) {
+		if err := f.Truncate(int64(len(valid))); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("monitor: truncating torn alert tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(len(valid)), io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	return &AlertLog{f: f, path: path, next: uint64(len(alerts))}, alerts, nil
+}
+
+// NextSeq is the sequence number the next appended alert must carry.
+func (l *AlertLog) NextSeq() uint64 { return l.next }
+
+// Append durably appends alerts — one canonical JSON line each, then
+// one fsync for the batch — enforcing the dense-sequence contract.
+func (l *AlertLog) Append(alerts []*Alert) error {
+	if len(alerts) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	next := l.next
+	for _, a := range alerts {
+		if a.Seq != next {
+			return fmt.Errorf("monitor: appending seq %d, log expects %d", a.Seq, next)
+		}
+		if err := a.validate(); err != nil {
+			return fmt.Errorf("monitor: refusing to log invalid alert seq %d: %w", a.Seq, err)
+		}
+		line, err := a.marshalLine()
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		next++
+	}
+	if _, err := l.f.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.next = next
+	return nil
+}
+
+// Close releases the underlying file.
+func (l *AlertLog) Close() error { return l.f.Close() }
+
+// WriteAlert renders an alert for a terminal: one header line, one
+// indented line per finding. Shared by `govmon tail` and the demo.
+func WriteAlert(w io.Writer, a *Alert) {
+	classes := a.Class
+	if a.PrevClass != "" && a.PrevClass != a.Class {
+		classes = a.PrevClass + " -> " + a.Class
+	}
+	fmt.Fprintf(w, "#%d epoch %d [%s] %s (%s)\n", a.Seq, a.Epoch, a.Severity, a.Domain, classes)
+	for _, f := range a.Findings {
+		fmt.Fprintf(w, "  %-15s %-8s %s\n", f.Kind, f.Severity.String(), f.Detail)
+	}
+}

@@ -1,0 +1,137 @@
+package monitor
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"govdns/internal/dnsname"
+	"testing"
+)
+
+func testAlert(seq uint64, epoch int, domain string) *Alert {
+	return &Alert{
+		Seq: seq, Epoch: epoch, Domain: dnsname.MustParse(domain),
+		Severity: SevWarning, PrevClass: "healthy", Class: "partially-lame",
+		Findings: []Finding{
+			{Kind: "class-flip", Severity: SevWarning, Detail: "healthy -> partially-lame"},
+			{Kind: "addr-change", Severity: SevInfo, Detail: "ns1 moved"},
+		},
+	}
+}
+
+func logLines(t *testing.T, alerts ...*Alert) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, a := range alerts {
+		line, err := a.marshalLine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+	}
+	return buf.Bytes()
+}
+
+func TestReadAlertsStrict(t *testing.T) {
+	good := logLines(t, testAlert(0, 1, "a.gov.br."), testAlert(1, 1, "b.gov.br."), testAlert(2, 2, "c.gov.br."))
+
+	alerts, err := ReadAlerts(bytes.NewReader(good))
+	if err != nil || len(alerts) != 3 {
+		t.Fatalf("valid log: got %d alerts, err %v", len(alerts), err)
+	}
+
+	reject := func(name string, data []byte, wantSub string) {
+		t.Helper()
+		if _, err := ReadAlerts(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q lacks %q", name, err, wantSub)
+		}
+	}
+
+	reject("gapped seq", logLines(t, testAlert(0, 1, "a.gov.br."), testAlert(2, 1, "b.gov.br.")), "seq")
+	reject("decreasing epoch", logLines(t, testAlert(0, 2, "a.gov.br."), testAlert(1, 1, "b.gov.br.")), "epoch")
+	reject("unterminated line", good[:len(good)-1], "unterminated")
+	reject("unknown field", []byte(`{"seq":0,"epoch":1,"domain":"a.gov.br.","severity":"info","class":"healthy","bogus":1,"findings":[{"kind":"x","severity":"info","detail":"d"}]}`+"\n"), "")
+	reject("bad severity", []byte(`{"seq":0,"epoch":1,"domain":"a.gov.br.","severity":"meh","class":"healthy","findings":[{"kind":"x","severity":"info","detail":"d"}]}`+"\n"), "severity")
+	reject("no findings", []byte(`{"seq":0,"epoch":1,"domain":"a.gov.br.","severity":"info","class":"healthy","findings":[]}`+"\n"), "finding")
+	reject("severity below max finding", logLines(t, &Alert{
+		Seq: 0, Epoch: 1, Domain: dnsname.MustParse("a.gov.br."), Severity: SevInfo, Class: "healthy",
+		Findings: []Finding{{Kind: "x", Severity: SevCritical, Detail: "d"}},
+	}), "severity")
+}
+
+func TestAlertLogAppendAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alerts.jsonl")
+	log, loaded, err := OpenAlertLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 0 || log.NextSeq() != 0 {
+		t.Fatalf("fresh log: %d alerts, next seq %d", len(loaded), log.NextSeq())
+	}
+	if err := log.Append([]*Alert{testAlert(0, 1, "a.gov.br."), testAlert(1, 1, "b.gov.br.")}); err != nil {
+		t.Fatal(err)
+	}
+	// Dense-seq enforcement: an append that skips a sequence number is a
+	// programming error, not a log entry.
+	if err := log.Append([]*Alert{testAlert(7, 1, "c.gov.br.")}); err == nil {
+		t.Error("append with gapped seq accepted")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, loaded, err := OpenAlertLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(loaded) != 2 || log2.NextSeq() != 2 {
+		t.Fatalf("reopened log: %d alerts, next seq %d, want 2/2", len(loaded), log2.NextSeq())
+	}
+}
+
+func TestOpenAlertLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alerts.jsonl")
+	whole := logLines(t, testAlert(0, 1, "a.gov.br."), testAlert(1, 1, "b.gov.br."))
+	if err := os.WriteFile(path, append(append([]byte{}, whole...), []byte(`{"seq":2,"ep`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, loaded, err := OpenAlertLog(path)
+	if err != nil {
+		t.Fatalf("torn tail not recovered: %v", err)
+	}
+	defer log.Close()
+	if len(loaded) != 2 || log.NextSeq() != 2 {
+		t.Fatalf("after truncating torn tail: %d alerts, next seq %d", len(loaded), log.NextSeq())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, whole) {
+		t.Errorf("torn bytes not truncated from disk:\n%q", data)
+	}
+
+	// A corrupt *complete* line is not a torn tail — it must refuse.
+	if err := os.WriteFile(path, append(append([]byte{}, whole...), []byte("{\"seq\":9}\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenAlertLog(path); err == nil {
+		t.Error("corrupt terminated line accepted as torn tail")
+	}
+}
+
+func TestWriteAlertRendering(t *testing.T) {
+	var buf bytes.Buffer
+	WriteAlert(&buf, testAlert(4, 2, "city.gov.br."))
+	out := buf.String()
+	for _, want := range []string{"#4", "epoch 2", "[warning]", "city.gov.br.", "class-flip", "healthy -> partially-lame"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered alert lacks %q:\n%s", want, out)
+		}
+	}
+}

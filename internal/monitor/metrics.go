@@ -1,0 +1,84 @@
+package monitor
+
+import (
+	"time"
+
+	"govdns/internal/obs"
+)
+
+// Metrics holds the daemon's own instruments, layered on top of the
+// per-scan ScanMetrics the scanner already records. Every handle is
+// obs-nil-safe, so an unmonitored Monitor (nil Registry) pays only nil
+// checks.
+//
+//	monitor_epoch_duration          whole-epoch wall clock (histogram)
+//	monitor_epochs_completed_total  epochs that ran to completion
+//	monitor_epoch_failures_total    epochs that errored or were cancelled
+//	monitor_consecutive_failures    current failure streak (liveness input)
+//	monitor_alerts_total{severity}  alerts emitted, by severity
+//	monitor_flips_total{class}      classification flips, by new class
+//	monitor_alert_backlog           alerts buffered awaiting the next
+//	                                checkpoint flush
+//	monitor_last_epoch_unix_ns      completion time of the last epoch
+type Metrics struct {
+	epochDuration *obs.Histogram
+	epochs        *obs.Counter
+	failures      *obs.Counter
+	consecutive   *obs.Gauge
+	alerts        *obs.CounterVec
+	flips         *obs.CounterVec
+	backlog       *obs.Gauge
+	lastEpochNS   *obs.Gauge
+}
+
+// NewMetrics binds the monitor instruments on r (nil r yields no-op
+// instruments, per obs's contract).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		epochDuration: r.Histogram("monitor_epoch_duration"),
+		epochs:        r.Counter("monitor_epochs_completed_total"),
+		failures:      r.Counter("monitor_epoch_failures_total"),
+		consecutive:   r.Gauge("monitor_consecutive_failures"),
+		alerts:        r.CounterVecKeyed("monitor_alerts_total", "severity"),
+		flips:         r.CounterVecKeyed("monitor_flips_total", "class"),
+		backlog:       r.Gauge("monitor_alert_backlog"),
+		lastEpochNS:   r.Gauge("monitor_last_epoch_unix_ns"),
+	}
+}
+
+func (m *Metrics) recordAlert(a *Alert) {
+	if m == nil {
+		return
+	}
+	m.alerts.With(a.Severity.String()).Inc()
+	for _, f := range a.Findings {
+		if f.Kind == "class-flip" {
+			m.flips.With(a.Class).Inc()
+		}
+	}
+}
+
+func (m *Metrics) setBacklog(n int) {
+	if m == nil {
+		return
+	}
+	m.backlog.Set(int64(n))
+}
+
+func (m *Metrics) recordEpoch(start time.Time, consecutiveFailures int) {
+	if m == nil {
+		return
+	}
+	m.epochDuration.ObserveSince(start)
+	m.epochs.Inc()
+	m.consecutive.Set(int64(consecutiveFailures))
+	m.lastEpochNS.Set(time.Now().UnixNano())
+}
+
+func (m *Metrics) recordFailure(consecutiveFailures int) {
+	if m == nil {
+		return
+	}
+	m.failures.Inc()
+	m.consecutive.Set(int64(consecutiveFailures))
+}

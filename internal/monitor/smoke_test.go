@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"govdns/internal/measure"
+	"govdns/internal/miniworld"
+	"govdns/internal/trace"
+)
+
+// TestMonitorSmoke is the end-to-end drill `make monitor-smoke` runs:
+// two epochs over the hand-crafted miniworld with one injected NS
+// hijack between them. It must produce exactly one alert — critical,
+// for the hijacked domain — and that domain must carry a complete
+// retained span tree in the epoch's trace archive.
+func TestMonitorSmoke(t *testing.T) {
+	dir := t.TempDir()
+	w := miniworld.Build()
+	domains := miniworld.Domains()
+	m, err := Open(Config{StateDir: dir, ScanKey: "smoke", CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx := context.Background()
+	rep0, err := m.RunEpoch(ctx, epochScanner(w, 4, nil), measure.SliceSource(domains))
+	if err != nil {
+		t.Fatalf("baseline epoch: %v", err)
+	}
+	if len(rep0.Alerts) != 0 {
+		t.Fatalf("baseline epoch alerted: %+v", rep0.Alerts)
+	}
+
+	w.HijackCity()
+
+	rep1, err := m.RunEpoch(ctx, epochScanner(w, 4, nil), measure.SliceSource(domains))
+	if err != nil {
+		t.Fatalf("incident epoch: %v", err)
+	}
+	if len(rep1.Alerts) != 1 {
+		t.Fatalf("incident epoch produced %d alerts, want exactly 1: %+v", len(rep1.Alerts), rep1.Alerts)
+	}
+	a := rep1.Alerts[0]
+	if a.Domain != "city.gov.br." || a.Severity != SevCritical {
+		t.Errorf("alert = %s [%s], want city.gov.br. [critical]", a.Domain, a.Severity)
+	}
+	if !hasKind(a, "hijack-pattern") || !hasKind(a, "ns-churn") {
+		t.Errorf("alert kinds %v, want hijack-pattern and ns-churn", findingKinds(a))
+	}
+	// The hijack replaces the delegation but the evil operator answers
+	// correctly, so classification never flips — exactly the incident a
+	// class-only monitor misses.
+	if a.PrevClass != "healthy" || a.Class != "healthy" {
+		t.Errorf("classes %s -> %s, want healthy -> healthy", a.PrevClass, a.Class)
+	}
+
+	// The alerted domain must carry a complete retained span tree.
+	f, err := os.Open(m.TracesPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	traces, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var city *trace.DomainTrace
+	for _, dt := range traces {
+		if dt.Domain == "city.gov.br." {
+			city = dt
+		}
+	}
+	if city == nil {
+		t.Fatalf("no retained trace for alerted domain among %d traces", len(traces))
+	}
+	pinned := false
+	for _, r := range city.RetainedFor {
+		if r == trace.RetainPinned {
+			pinned = true
+		}
+	}
+	if !pinned {
+		t.Errorf("city trace retained for %v, want %q bucket", city.RetainedFor, trace.RetainPinned)
+	}
+	assertCompleteTree(t, city)
+
+	// The triage renderer surfaces the hijack inline.
+	var buf bytes.Buffer
+	WriteAlert(&buf, a)
+	if !strings.Contains(buf.String(), "hijack-pattern") {
+		t.Errorf("rendered alert lacks hijack-pattern:\n%s", buf.String())
+	}
+	if err := trace.RenderTree(&buf, city); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertCompleteTree mirrors the measure trace suite's completeness
+// assertions: nothing dropped, every span ended, a single domain root,
+// and parents always preceding children.
+func assertCompleteTree(t *testing.T, dt *trace.DomainTrace) {
+	t.Helper()
+	if dt.DroppedSpans != 0 {
+		t.Errorf("trace dropped %d spans", dt.DroppedSpans)
+	}
+	if len(dt.Spans) == 0 {
+		t.Fatal("trace has no spans")
+	}
+	for i, sp := range dt.Spans {
+		if !sp.Ended() {
+			t.Errorf("span %d (%s) never ended", i, sp.Name)
+		}
+		if i == 0 {
+			if sp.Kind != trace.KindDomain || sp.Parent != trace.NoSpan {
+				t.Errorf("span 0 = kind %s parent %d, want domain root", sp.Kind, sp.Parent)
+			}
+			continue
+		}
+		if sp.Parent < 0 || int(sp.Parent) >= i {
+			t.Errorf("span %d has parent %d, not an earlier span", i, sp.Parent)
+		}
+	}
+}

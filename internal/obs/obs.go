@@ -91,8 +91,18 @@ func (g *Gauge) Load() int64 {
 // With are stable and may be cached by callers for a lock-free hot path.
 type CounterVec struct {
 	name string
+	key  string // Prometheus label key; "" renders as "label"
 	mu   sync.RWMutex
 	m    map[string]*Counter
+}
+
+// labelKey returns the Prometheus label key the vec's members are
+// exposed under.
+func (v *CounterVec) labelKey() string {
+	if v == nil || v.key == "" {
+		return "label"
+	}
+	return v.key
 }
 
 // With returns the counter for the given label value, creating it on
@@ -196,10 +206,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // CounterVec returns the labelled counter family registered under name.
 func (r *Registry) CounterVec(name string) *CounterVec {
+	return r.CounterVecKeyed(name, "")
+}
+
+// CounterVecKeyed is CounterVec with an explicit Prometheus label key
+// ("class", "severity", ...), used by the text exposition; the JSON
+// snapshot flattens members as name{label} regardless. Get-or-create is
+// first-wins: the key of the first registration sticks, and "" falls
+// back to the generic key "label".
+func (r *Registry) CounterVecKeyed(name, key string) *CounterVec {
 	if r == nil {
 		return nil
 	}
-	v, ok := r.lookup(name, func() any { return &CounterVec{name: name} }).(*CounterVec)
+	v, ok := r.lookup(name, func() any { return &CounterVec{name: name, key: key} }).(*CounterVec)
 	if !ok {
 		panic(fmt.Sprintf("obs: %q is not a counter vec", name))
 	}

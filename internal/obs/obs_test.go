@@ -69,12 +69,12 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}{
 		{0, 0},
 		{-time.Second, 0},
-		{500 * time.Nanosecond, 0},   // sub-µs
-		{time.Microsecond, 1},        // [1µs, 2µs)
-		{1999 * time.Nanosecond, 1},  // still 1µs when truncated
-		{2 * time.Microsecond, 2},    // [2µs, 4µs)
-		{3 * time.Microsecond, 2},    //
-		{4 * time.Microsecond, 3},    // [4µs, 8µs)
+		{500 * time.Nanosecond, 0},  // sub-µs
+		{time.Microsecond, 1},       // [1µs, 2µs)
+		{1999 * time.Nanosecond, 1}, // still 1µs when truncated
+		{2 * time.Microsecond, 2},   // [2µs, 4µs)
+		{3 * time.Microsecond, 2},   //
+		{4 * time.Microsecond, 3},   // [4µs, 8µs)
 		{1024 * time.Microsecond, 11},
 		{time.Hour, bucketIndex(time.Hour)},
 	}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePromGolden pins the Prometheus exposition byte-for-byte for a
+// registry covering every instrument kind: counters, a keyed vec with a
+// label value needing escaping, a gauge, and a duration histogram whose
+// buckets must come out cumulative with an exact +Inf/_sum/_count
+// tail. The exposition is a public wire contract (scrapers parse it);
+// any byte drift is a deliberate format change, not noise.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scan_domains_done_total").Add(42)
+	r.Gauge("scan_domains_total").Set(100)
+	vec := r.CounterVecKeyed("chaos_injected_total", "class")
+	vec.With("drop").Add(7)
+	vec.With(`weird"label\n`).Inc()
+	h := r.Histogram("scan_domain_duration")
+	h.Observe(500 * time.Nanosecond) // bucket le=1µs
+	h.Observe(3 * time.Microsecond)  // bucket le=4µs
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Millisecond) // bucket le=131072µs
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	want := strings.Join([]string{
+		`# TYPE chaos_injected_total counter`,
+		`chaos_injected_total{class="drop"} 7`,
+		`chaos_injected_total{class="weird\"label\\n"} 1`,
+		`# TYPE scan_domain_duration_seconds histogram`,
+		`scan_domain_duration_seconds_bucket{le="1e-06"} 1`,
+		`scan_domain_duration_seconds_bucket{le="4e-06"} 3`,
+		`scan_domain_duration_seconds_bucket{le="0.131072"} 4`,
+		`scan_domain_duration_seconds_bucket{le="+Inf"} 4`,
+		`scan_domain_duration_seconds_sum 0.1000065`,
+		`scan_domain_duration_seconds_count 4`,
+		`# TYPE scan_domains_done_total counter`,
+		`scan_domains_done_total 42`,
+		`# TYPE scan_domains_total gauge`,
+		`scan_domains_total 100`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Determinism: a second render of the same state is bit-identical.
+	var again bytes.Buffer
+	if err := r.WriteProm(&again); err != nil {
+		t.Fatalf("WriteProm again: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of the same registry state differ")
+	}
+}
+
+// TestWritePromCumulativeBuckets checks the histogram invariant a
+// scraper depends on: bucket counts are non-decreasing in le order and
+// the +Inf bucket equals _count.
+func TestWritePromCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	var last uint64
+	var infSeen bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "h_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if n < last {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = n
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if n != h.Count() {
+				t.Errorf("+Inf bucket %d != count %d", n, h.Count())
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("no +Inf bucket emitted")
+	}
+}
+
+// TestWritePromNil: a nil registry writes nothing and does not panic.
+func TestWritePromNil(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("nil WriteProm: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}
+
+// TestHandlerPromFormat: /metrics?format=prom serves the exposition with
+// the versioned content type, while bare /metrics stays JSON.
+func TestHandlerPromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if want := "# TYPE c_total counter\nc_total 1\n"; buf.String() != want {
+		t.Errorf("body %q, want %q", buf.String(), want)
+	}
+
+	jresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET json: %v", err)
+	}
+	defer jresp.Body.Close()
+	if ct := jresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type %q", ct)
+	}
+}

@@ -74,7 +74,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		coalesced:          r.Counter("resolver_coalesced_waits_total"),
 		bypassed:           r.Counter("resolver_flight_bypasses_total"),
 		rtt:                r.Histogram("resolver_attempt_rtt"),
-		outcomes:           r.CounterVec("resolver_server_outcome_total"),
+		outcomes:           r.CounterVecKeyed("resolver_server_outcome_total", "outcome"),
 		servers:            make(map[netip.Addr]*serverCounters),
 	}
 }

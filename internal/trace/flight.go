@@ -5,10 +5,11 @@
 // traces a triage session would actually open: the N slowest domains
 // (scan-latency outliers), every domain that ended in an error or a
 // transient fault (ring buffer — the paper's Error/Transient buckets),
-// and every domain whose classification changed between rounds (the
-// digest-divergence suspects). Everything else is offered, counted,
-// and dropped; the per-domain arena it occupied is garbage the moment
-// Offer returns.
+// every domain whose classification changed between rounds (the
+// digest-divergence suspects), and every trace the caller explicitly
+// pinned (OfferPin — the monitoring daemon's alert-worthy domains).
+// Everything else is offered, counted, and dropped; the per-domain
+// arena it occupied is garbage the moment Offer returns.
 package trace
 
 import (
@@ -25,9 +26,10 @@ const (
 	RetainSlowest   = "slowest"
 	RetainError     = "error"
 	RetainClassFlip = "class-flip"
+	RetainPinned    = "pinned"
 )
 
-// Config bounds the flight recorder's three retention buckets.
+// Config bounds the flight recorder's four retention buckets.
 type Config struct {
 	// Slowest is how many slowest-domain exemplars to keep (default 16).
 	Slowest int
@@ -35,6 +37,13 @@ type Config struct {
 	Errors int
 	// Flipped bounds the classification-changed ring buffer (default 128).
 	Flipped int
+	// Pinned bounds the caller-pinned ring buffer (default 256): traces
+	// retained because the caller's own predicate — not the recorder's
+	// built-in criteria — demanded them via OfferPin. The monitoring
+	// daemon pins every alert-worthy domain here so each alert links to
+	// a complete trace even when the domain was fast, error-free, and
+	// stable within the epoch.
+	Pinned int
 	// SpanLimit caps spans per domain (default DefaultSpanLimit).
 	SpanLimit int
 }
@@ -49,6 +58,9 @@ func (c Config) withDefaults() Config {
 	if c.Flipped <= 0 {
 		c.Flipped = 128
 	}
+	if c.Pinned <= 0 {
+		c.Pinned = 256
+	}
 	if c.SpanLimit <= 0 {
 		c.SpanLimit = DefaultSpanLimit
 	}
@@ -62,13 +74,15 @@ func (c Config) withDefaults() Config {
 type FlightRecorder struct {
 	cfg Config
 
-	mu      sync.Mutex
-	slowest []*DomainTrace // sorted descending by Duration, len <= cfg.Slowest
-	errs    []*DomainTrace // ring buffer
-	errNext int
-	flipped []*DomainTrace // ring buffer
+	mu       sync.Mutex
+	slowest  []*DomainTrace // sorted descending by Duration, len <= cfg.Slowest
+	errs     []*DomainTrace // ring buffer
+	errNext  int
+	flipped  []*DomainTrace // ring buffer
 	flipNext int
-	offered uint64
+	pinned   []*DomainTrace // ring buffer
+	pinNext  int
+	offered  uint64
 
 	// arenas recycles the span slices of traces Offer declined to
 	// retain: at scan scale almost every offer is dropped, and without
@@ -83,6 +97,7 @@ type FlightRecorder struct {
 	gSlowest      *obs.Gauge
 	gErrors       *obs.Gauge
 	gFlipped      *obs.Gauge
+	gPinned       *obs.Gauge
 }
 
 // NewFlightRecorder builds a flight recorder; zero-value Config fields
@@ -99,6 +114,7 @@ func NewFlightRecorder(cfg Config) *FlightRecorder {
 //	trace_retained_slowest         current slowest-bucket occupancy
 //	trace_retained_errors          current error-ring occupancy
 //	trace_retained_flipped         current class-flip-ring occupancy
+//	trace_retained_pinned          current caller-pinned-ring occupancy
 func (f *FlightRecorder) AttachRegistry(reg *obs.Registry) {
 	if f == nil || reg == nil {
 		return
@@ -111,6 +127,7 @@ func (f *FlightRecorder) AttachRegistry(reg *obs.Registry) {
 	f.gSlowest = reg.Gauge("trace_retained_slowest")
 	f.gErrors = reg.Gauge("trace_retained_errors")
 	f.gFlipped = reg.Gauge("trace_retained_flipped")
+	f.gPinned = reg.Gauge("trace_retained_pinned")
 }
 
 // NewRecorder starts a per-domain recorder, or nil when f is nil so
@@ -130,6 +147,15 @@ func (f *FlightRecorder) NewRecorder(domain dnsname.Name) *Recorder {
 // is among the slowest seen so far, ended Error/Transient, or changed
 // classification between rounds; otherwise it is dropped.
 func (f *FlightRecorder) Offer(dt *DomainTrace) {
+	f.OfferPin(dt, false)
+}
+
+// OfferPin is Offer with a caller-side retention demand: pin forces the
+// trace into the pinned ring whatever the built-in criteria say. This
+// is the targeted-retention API the monitoring daemon keys by its
+// alert predicate — the recorder stays ignorant of what "alert-worthy"
+// means, the caller stays ignorant of retention bookkeeping.
+func (f *FlightRecorder) OfferPin(dt *DomainTrace, pin bool) {
 	if f == nil || dt == nil {
 		return
 	}
@@ -172,6 +198,15 @@ func (f *FlightRecorder) Offer(dt *DomainTrace) {
 		}
 		retained = true
 	}
+	if pin {
+		if len(f.pinned) < f.cfg.Pinned {
+			f.pinned = append(f.pinned, dt)
+		} else {
+			f.pinned[f.pinNext] = dt
+			f.pinNext = (f.pinNext + 1) % f.cfg.Pinned
+		}
+		retained = true
+	}
 	if retained {
 		f.mRetained.Inc()
 	} else {
@@ -186,6 +221,7 @@ func (f *FlightRecorder) Offer(dt *DomainTrace) {
 	f.gSlowest.Set(int64(len(f.slowest)))
 	f.gErrors.Set(int64(len(f.errs)))
 	f.gFlipped.Set(int64(len(f.flipped)))
+	f.gPinned.Set(int64(len(f.pinned)))
 }
 
 // Counts reports current bucket occupancy and the total offered.
@@ -198,6 +234,16 @@ func (f *FlightRecorder) Counts() (slowest, errors, flipped int, offered uint64)
 	return len(f.slowest), len(f.errs), len(f.flipped), f.offered
 }
 
+// PinnedCount reports the pinned ring's occupancy.
+func (f *FlightRecorder) PinnedCount() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pinned)
+}
+
 // Retained returns the deduplicated set of retained traces, each
 // annotated with the buckets that kept it, sorted by (Domain, Start)
 // so exports are deterministic for a deterministic scan.
@@ -208,7 +254,7 @@ func (f *FlightRecorder) Retained() []*DomainTrace {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	reasons := make(map[*DomainTrace][]string)
-	order := make([]*DomainTrace, 0, len(f.slowest)+len(f.errs)+len(f.flipped))
+	order := make([]*DomainTrace, 0, len(f.slowest)+len(f.errs)+len(f.flipped)+len(f.pinned))
 	add := func(dts []*DomainTrace, reason string) {
 		for _, dt := range dts {
 			if _, ok := reasons[dt]; !ok {
@@ -220,6 +266,7 @@ func (f *FlightRecorder) Retained() []*DomainTrace {
 	add(f.slowest, RetainSlowest)
 	add(f.errs, RetainError)
 	add(f.flipped, RetainClassFlip)
+	add(f.pinned, RetainPinned)
 	for _, dt := range order {
 		dt.RetainedFor = reasons[dt]
 	}

@@ -274,3 +274,47 @@ func TestKindStringRoundTrip(t *testing.T) {
 		t.Error("unknown kind name must not resolve")
 	}
 }
+
+// TestFlightRecorderPinned covers the caller-keyed retention bucket:
+// OfferPin(dt, true) retains a trace every built-in criterion would
+// drop, the pinned ring wraps at Config.Pinned, an unpinned OfferPin is
+// exactly Offer, and the trace_retained_pinned gauge tracks occupancy.
+func TestFlightRecorderPinned(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewFlightRecorder(Config{Slowest: 1, Pinned: 2})
+	f.AttachRegistry(reg)
+	f.Offer(mkTrace("slow", 50*time.Millisecond, "", false, false))
+	// Fast, clean, stable traces: without a pin they are dropped.
+	f.OfferPin(mkTrace("p1", time.Millisecond, "", false, false), true)
+	f.OfferPin(mkTrace("p2", time.Millisecond, "", false, false), true)
+	f.OfferPin(mkTrace("p3", time.Millisecond, "", false, false), true) // ring wraps: evicts p1
+	f.OfferPin(mkTrace("un", time.Millisecond, "", false, false), false)
+
+	if n := f.PinnedCount(); n != 2 {
+		t.Fatalf("PinnedCount = %d, want 2", n)
+	}
+	byDomain := map[string]*DomainTrace{}
+	for _, dt := range f.Retained() {
+		byDomain[string(dt.Domain)] = dt
+	}
+	for _, domain := range []string{"dp2.gov.", "dp3.gov."} {
+		dt := byDomain[domain]
+		if dt == nil {
+			t.Errorf("%s not retained", domain)
+			continue
+		}
+		if fmt.Sprint(dt.RetainedFor) != fmt.Sprint([]string{RetainPinned}) {
+			t.Errorf("%s RetainedFor = %v, want [%s]", domain, dt.RetainedFor, RetainPinned)
+		}
+	}
+	if byDomain["dp1.gov."] != nil {
+		t.Error("p1 should have been evicted by the pinned ring wrap")
+	}
+	if byDomain["dun.gov."] != nil {
+		t.Error("unpinned fast trace must be dropped")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["trace_retained_pinned"]; got != 2 {
+		t.Errorf("trace_retained_pinned = %d, want 2", got)
+	}
+}
