@@ -147,10 +147,12 @@ func runDaemon(args []string) error {
 			health.SetReady(true)
 			completed++
 		case errors.Is(err, context.Canceled):
-			fmt.Fprintf(os.Stderr, "epoch %d interrupted; state at %s resumes it\n", rep.Epoch, *stateDir)
+			// rep is nil on error; m.Epoch() still names the interrupted
+			// epoch because a failed RunEpoch does not advance it.
+			fmt.Fprintf(os.Stderr, "epoch %d interrupted; state at %s resumes it\n", m.Epoch(), *stateDir)
 			return nil
 		default:
-			fmt.Fprintf(os.Stderr, "epoch %d failed (streak %d): %v\n", rep.Epoch, m.ConsecutiveFailures(), err)
+			fmt.Fprintf(os.Stderr, "epoch %d failed (streak %d): %v\n", m.Epoch(), m.ConsecutiveFailures(), err)
 		}
 		if *epochs > 0 && completed >= *epochs {
 			return nil

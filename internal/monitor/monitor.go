@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"govdns/internal/dnsname"
@@ -104,7 +105,9 @@ type Monitor struct {
 	// process, an epoch never ends with unflushed alerts.
 	logged []*Alert
 
-	consecutiveFailures int
+	// consecutiveFailures is atomic because the daemon's liveness probe
+	// reads it from the HTTP goroutine while RunEpoch updates it.
+	consecutiveFailures atomic.Int64
 	// flight is the current/most recent epoch's recorder, kept so the
 	// daemon can report retention counts after an epoch.
 	flight *trace.FlightRecorder
@@ -161,7 +164,38 @@ func Open(cfg Config) (*Monitor, error) {
 		}
 		m.differ.SetBaseline(base)
 	}
+	if err := m.removeStaleCheckpoints(); err != nil {
+		_ = alog.Close()
+		return nil, err
+	}
 	return m, nil
+}
+
+// removeStaleCheckpoints deletes checkpoints of epochs the state has
+// already advanced past. A crash between writing state.json
+// (NextEpoch=N+1) and removing epoch-N.ckpt orphans that file: no
+// resume of epoch N ever happens once the state points beyond it, so
+// without this sweep the directory accumulates dead checkpoints. The
+// current epoch's checkpoint (K == nextEpoch) is live resume state and
+// is left alone.
+func (m *Monitor) removeStaleCheckpoints() error {
+	matches, err := filepath.Glob(filepath.Join(m.cfg.StateDir, "epoch-*.ckpt"))
+	if err != nil {
+		return err
+	}
+	for _, path := range matches {
+		var k int
+		if n, err := fmt.Sscanf(filepath.Base(path), "epoch-%d.ckpt", &k); err != nil || n != 1 {
+			continue
+		}
+		if k >= m.nextEpoch {
+			continue
+		}
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("monitor: removing stale checkpoint %s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // Close releases the alert log.
@@ -171,8 +205,9 @@ func (m *Monitor) Close() error { return m.alog.Close() }
 func (m *Monitor) Epoch() int { return m.nextEpoch }
 
 // ConsecutiveFailures reports the current failed-epoch streak — the
-// daemon's liveness-check input.
-func (m *Monitor) ConsecutiveFailures() int { return m.consecutiveFailures }
+// daemon's liveness-check input. Unlike the rest of Monitor it is safe
+// to call concurrently (health probes poll it while an epoch runs).
+func (m *Monitor) ConsecutiveFailures() int { return int(m.consecutiveFailures.Load()) }
 
 // Flight is the most recent epoch's flight recorder (nil before the
 // first RunEpoch).
@@ -357,22 +392,23 @@ func (m *Monitor) RunEpoch(ctx context.Context, scanner *measure.Scanner, src me
 		return nil, err
 	}
 	// The checkpoint is now garbage (the epoch is complete); removing
-	// it is what marks the epoch done for resume detection. Crash
-	// between the state write and this remove is benign: the ckpt's
-	// final record covers the whole archive, so a "resume" re-verifies
-	// the full prefix, finds no missing work, and completes again.
+	// it is what marks the epoch done for resume detection. The order
+	// matters: state first, then remove. A crash in between only
+	// orphans the file — state.json already points past this epoch, so
+	// no restart resumes it, and Open sweeps stale checkpoints. The
+	// reverse order would be a real bug (remove first and a crash
+	// re-runs the epoch from scratch, re-emitting its alerts).
 	_ = os.Remove(m.ckptPath(epoch))
 
 	m.nextEpoch = epoch + 1
 	m.differ.SetBaseline(summaries)
-	m.consecutiveFailures = 0
+	m.consecutiveFailures.Store(0)
 	m.metrics.recordEpoch(start, 0)
 	return rep, nil
 }
 
 func (m *Monitor) fail() {
-	m.consecutiveFailures++
-	m.metrics.recordFailure(m.consecutiveFailures)
+	m.metrics.recordFailure(int(m.consecutiveFailures.Add(1)))
 }
 
 // resumeEpoch reopens an interrupted epoch's stream and reconciles the

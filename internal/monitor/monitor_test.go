@@ -265,6 +265,49 @@ func TestMonitorKillResumeAlertLog(t *testing.T) {
 	}
 }
 
+// TestMonitorStaleCheckpointSweep: a crash between advancing state.json
+// and removing the finished epoch's checkpoint orphans the ckpt file —
+// no resume ever consults an epoch the state has passed. Open must sweep
+// such stale checkpoints while leaving the current epoch's (live resume
+// state) untouched.
+func TestMonitorStaleCheckpointSweep(t *testing.T) {
+	dir := t.TempDir()
+	w, domains := monitorWorld()
+	m, err := Open(Config{StateDir: dir, ScanKey: "miniworld"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunEpoch(context.Background(), epochScanner(w, 4, nil), measure.SliceSource(domains)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recreate the orphan the crash window leaves behind (epoch 0 is
+	// complete; state.json already says next_epoch=1), plus a live
+	// checkpoint for the in-progress epoch 1.
+	stale := filepath.Join(dir, "epoch-0.ckpt")
+	live := filepath.Join(dir, "epoch-1.ckpt")
+	for _, p := range []string{stale, live} {
+		if err := os.WriteFile(p, []byte("ckpt"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m2, err := Open(Config{StateDir: dir, ScanKey: "miniworld"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale %s survived Open (err=%v), want swept", stale, err)
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Errorf("live %s: %v, want kept for resume", live, err)
+	}
+}
+
 // TestMonitorStateGuards: a state dir refuses to serve a different scan
 // key, and a completed state reopens at the right epoch with its
 // baseline loaded.
