@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench bench-pdns bench-wire bench-serve bench-stream bench-monitor chaos fuzz monitor-smoke check
+.PHONY: build test race vet lint bench bench-pdns bench-wire bench-serve bench-stream bench-monitor bench-udp chaos fuzz monitor-smoke check
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,21 @@ bench-stream:
 # keeps the recording cost visible instead of hidden in the comparator.
 bench-monitor:
 	$(GO) run ./cmd/benchreport -bench MonitorEpoch -benchtime 10x -benchout BENCH_6.json
+
+# bench-udp races the two real-network transports at matched
+# concurrency over the same loopback serving pool and emits
+# BENCH_7.json: one dialed socket per exchange (the portable reference
+# path, govscan -transport=dial) against udpx.BatchTransport's shared
+# sockets, sendmmsg/recvmmsg batches, and QID demultiplexing (the
+# default). The acceptance bar is batch ≥ 3x dial qps at 0 allocs/op
+# on the batch side (hard-gated by TestBatchExchangeZeroAlloc in
+# internal/udpx, run by `make test`); the reported syscalls/query and
+# dgrams/recvbatch metrics come from the transport's own udpx_*
+# counters. The digest differential pinning batch == dial bit-identical
+# lives in internal/measure (TestScanDigestBatchVsDial, run by `make
+# test` and `make race`).
+bench-udp:
+	$(GO) run ./cmd/benchreport -bench 'TransportDialUDP|TransportBatchUDP' -benchtime 3s -benchout BENCH_7.json
 
 # monitor-smoke is the end-to-end daemon drill: two epochs over the
 # miniworld with an NS hijack injected between them must produce exactly

@@ -1,0 +1,200 @@
+package govdns
+
+// Real-network transport benchmarks (see DESIGN.md § 15): the
+// dial-per-exchange reference transport against udpx.BatchTransport at
+// matched concurrency, over the same pool of loopback authoritative
+// servers. Both sides run the identical workload — benchUDPWorkers
+// goroutines, each cycling cached queries across benchUDPServers
+// UDPServer instances — so the only variable is the client transport:
+// per-query socket setup plus a connect/send/recv/close syscall
+// sequence (dial) versus shared sockets, sendmmsg/recvmmsg batches,
+// and QID demultiplexing (batch).
+//
+// BENCH_7.json records ns/op, allocs/op, a qps metric, and — for the
+// batched side, from the udpx_* obs counters — the measured
+// syscalls/query and mean datagrams-per-batch. Acceptance bars:
+// BenchmarkTransportBatchUDP ≥ 3× the qps of BenchmarkTransportDialUDP,
+// at 0 allocs/op steady state on the batch hot path (the hard gate is
+// TestBatchExchangeZeroAlloc in internal/udpx, run by `make test`).
+//
+// Run: make bench-udp
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"govdns/internal/authserver"
+	"govdns/internal/dnsname"
+	"govdns/internal/dnswire"
+	"govdns/internal/resolver"
+	"govdns/internal/udpx"
+)
+
+const (
+	// benchUDPServers is the loopback serving-pool size: enough distinct
+	// destinations that the batched transport spreads load across its
+	// socket pool and per-destination QID spaces, as a real scan does.
+	benchUDPServers = 8
+	// benchUDPWorkers is the matched concurrency: the in-flight exchange
+	// count both transports sustain. High enough that the batch side has
+	// whole batches to coalesce, low enough that the dial side is not
+	// drowned in its own socket churn.
+	benchUDPWorkers = 128
+)
+
+// benchUDPWorld stands up the serving pool — cached authoritative
+// servers on loopback sockets, several read loops each so serving is
+// not the bottleneck being measured — and returns the simulated-IP →
+// bound-socket override map clients address them through.
+func benchUDPWorld(b *testing.B) map[netip.Addr]netip.AddrPort {
+	b.Helper()
+	override := make(map[netip.Addr]netip.AddrPort, benchUDPServers)
+	for i := 0; i < benchUDPServers; i++ {
+		us, err := authserver.ListenUDPReaders("127.0.0.1:0", benchServer(b, true), 2)
+		if err != nil {
+			b.Fatalf("listen server %d: %v", i, err)
+		}
+		b.Cleanup(func() { _ = us.Close() })
+		ap, err := netip.ParseAddrPort(us.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		override[netip.MustParseAddr(fmt.Sprintf("192.0.2.%d", 10+i))] = ap
+	}
+	return override
+}
+
+// benchUDPWorkload is the transport workload: small-answer shapes
+// only (A and NS singletons, no TXT fan-out), so the bytes moved per
+// query stay close to a real scan's referral traffic and the
+// measurement weighs the transports' per-query machinery rather than
+// response rendering and kernel copy costs both sides share.
+func benchUDPWorkload(tb testing.TB) [][]byte {
+	tb.Helper()
+	shapes := []struct {
+		name  dnsname.Name
+		qtype dnswire.Type
+	}{
+		{"www.gov.br.", dnswire.TypeA},
+		{"mail.gov.br.", dnswire.TypeA},
+		{"ns1.gov.br.", dnswire.TypeA},
+		{"gov.br.", dnswire.TypeNS},
+	}
+	queries := make([][]byte, 0, len(shapes))
+	for i, sh := range shapes {
+		wire, err := dnswire.Encode(dnswire.NewQuery(uint16(0x6000+i), sh.name, sh.qtype))
+		if err != nil {
+			tb.Fatalf("encode workload query %s: %v", sh.name, err)
+		}
+		queries = append(queries, wire)
+	}
+	return queries
+}
+
+// benchExchangeUDP drives tr with the matched workload: every worker
+// draws the next (server, query) pair from a shared counter, exchanges,
+// sanity-checks the response header, and releases the buffer if the
+// transport pools them. Reports qps alongside the standard ns/op.
+func benchExchangeUDP(b *testing.B, tr resolver.Transport, servers []netip.Addr) {
+	queries := benchUDPWorkload(b)
+	releaser, _ := tr.(resolver.ResponseReleaser)
+	// Real scans always run exchanges under a context deadline; carry
+	// one (far enough away never to fire) so both transports pay their
+	// deadline machinery — per-socket SetDeadline on dial, the shared
+	// timer wheel on batch — instead of skipping it.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+	defer cancel()
+
+	warm := func(n int) {
+		for i := 0; i < n; i++ {
+			resp, err := tr.Exchange(ctx, servers[i%len(servers)], queries[i%len(queries)])
+			if err != nil {
+				b.Fatalf("warmup exchange: %v", err)
+			}
+			if releaser != nil {
+				releaser.ReleaseResponse(resp)
+			}
+		}
+	}
+	warm(4 * benchUDPServers * len(queries))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(benchUDPWorkers)
+	for w := 0; w < benchUDPWorkers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				resp, err := tr.Exchange(ctx, servers[i%int64(len(servers))], queries[i%int64(len(queries))])
+				if err != nil {
+					b.Errorf("exchange %d: %v", i, err)
+					return
+				}
+				if len(resp) < 12 {
+					b.Errorf("runt response: %d bytes", len(resp))
+				}
+				if releaser != nil {
+					releaser.ReleaseResponse(resp)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+}
+
+func sortedServers(override map[netip.Addr]netip.AddrPort) []netip.Addr {
+	servers := make([]netip.Addr, 0, len(override))
+	for a := range override {
+		servers = append(servers, a)
+	}
+	for i := 1; i < len(servers); i++ { // insertion sort: deterministic order
+		for j := i; j > 0 && servers[j].Less(servers[j-1]); j-- {
+			servers[j], servers[j-1] = servers[j-1], servers[j]
+		}
+	}
+	return servers
+}
+
+// BenchmarkTransportDialUDP is the reference side: one dialed socket per
+// exchange, the slow portable path real scans can fall back to with
+// govscan -transport=dial.
+func BenchmarkTransportDialUDP(b *testing.B) {
+	override := benchUDPWorld(b)
+	tr := &authserver.UDPTransport{AddrOverride: override}
+	benchExchangeUDP(b, tr, sortedServers(override))
+}
+
+// BenchmarkTransportBatchUDP is the batched side: the default
+// real-network transport. Beyond qps, it reports the measured
+// syscalls/query ((send+recv datagrams − syscalls saved) / exchanges)
+// and the mean receive batch size from the transport's own counters.
+func BenchmarkTransportBatchUDP(b *testing.B) {
+	override := benchUDPWorld(b)
+	tr, err := udpx.New(udpx.Config{AddrOverride: override})
+	if err != nil {
+		b.Fatalf("udpx.New: %v", err)
+	}
+	defer func() { _ = tr.Close() }()
+	benchExchangeUDP(b, tr, sortedServers(override))
+	s := tr.Stats()
+	if s.Exchanges > 0 {
+		syscalls := float64(s.SendDatagrams+s.RecvDatagrams) - float64(s.SyscallsSaved)
+		b.ReportMetric(syscalls/float64(s.Exchanges), "syscalls/query")
+	}
+	if s.RecvBatches > 0 {
+		b.ReportMetric(float64(s.RecvDatagrams)/float64(s.RecvBatches), "dgrams/recvbatch")
+	}
+}

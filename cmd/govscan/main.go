@@ -50,6 +50,7 @@ import (
 	"govdns/internal/resolver"
 	"govdns/internal/stats"
 	"govdns/internal/trace"
+	"govdns/internal/udpx"
 	"govdns/internal/worldgen"
 )
 
@@ -81,6 +82,8 @@ func run() error {
 		"per-domain parallelism: concurrent NS-host resolutions and per-address probes within one domain (1 = serial)")
 	showStats := flag.Bool("stats", false, "print resolver cache/coalescing statistics after the scan")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (default 25ms sim, 2s real)")
+	transportKind := flag.String("transport", "batch",
+		"real-network UDP transport: batch (shared socket pool, sendmmsg/recvmmsg-style batching, QID demux) or dial (one socket per query; the slow portable reference path)")
 	qps := flag.Float64("qps", 0, "global query rate limit (0 = unlimited; recommended for -real)")
 	chaosSpec := flag.String("chaos", "",
 		"fault-injection profile: off, transient, persistent[:prob], flap[:len], or one class drop|delay|dup|truncate|qid|question|mangle|rcode[:prob]; seeded by -seed")
@@ -121,14 +124,27 @@ func run() error {
 	var world *worldgen.World
 	var err error
 
+	var batchTr *udpx.BatchTransport
 	switch {
 	case *real:
-		transport = &authserver.UDPTransport{}
-		for _, s := range realRoots {
-			roots = append(roots, netip.MustParseAddr(s))
-		}
 		if *timeout == 0 {
 			*timeout = 2 * time.Second
+		}
+		switch *transportKind {
+		case "batch":
+			batchTr, err = udpx.New(udpx.Config{Timeout: *timeout})
+			if err != nil {
+				return fmt.Errorf("batch transport: %w", err)
+			}
+			defer func() { _ = batchTr.Close() }()
+			transport = batchTr
+		case "dial":
+			transport = &authserver.UDPTransport{}
+		default:
+			return fmt.Errorf("-transport must be batch or dial, not %q", *transportKind)
+		}
+		for _, s := range realRoots {
+			roots = append(roots, netip.MustParseAddr(s))
 		}
 		if *domainsPath == "" {
 			return fmt.Errorf("-real requires -domains")
@@ -199,6 +215,11 @@ func run() error {
 	reg := obs.NewRegistry()
 	if chaosTr != nil {
 		chaosTr.AttachRegistry(reg)
+	}
+	if batchTr != nil {
+		// udpx_* batching/demux counters land next to the resolver's on
+		// the shared registry (first-wins, before the first exchange).
+		batchTr.AttachRegistry(reg)
 	}
 	client := resolver.NewClient(transport)
 	client.Timeout = *timeout

@@ -7,14 +7,43 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"unsafe"
+
+	"govdns/internal/udpx"
 )
 
+// udpBufSize is the datagram buffer size shared by the server read loop
+// and the dial transport's receive path.
+const udpBufSize = 4096
+
+// udpBuf is the pooled datagram buffer: a pointer to a fixed-size array
+// checks in and out of the pool without allocating, and the slice
+// handed around is recovered back to its array on return (capacity is
+// the proof the slice still spans the original allocation).
+type udpBuf [udpBufSize]byte
+
+var udpBufPool = sync.Pool{New: func() any { return new(udpBuf) }}
+
+func getUDPBuf() []byte {
+	arr := udpBufPool.Get().(*udpBuf)
+	return arr[:udpBufSize]
+}
+
+func putUDPBuf(buf []byte) {
+	if cap(buf) != udpBufSize {
+		return
+	}
+	arr := (*udpBuf)(unsafe.Pointer(unsafe.SliceData(buf[:udpBufSize])))
+	udpBufPool.Put(arr)
+}
+
 // UDPServer serves one authoritative Server over a real UDP socket. It is
-// used by cmd/dnsserver and the live-resolution example; the bulk study
-// runs over the in-memory network instead.
+// used by cmd/dnsserver, the live-resolution example, and the loopback
+// serving tier behind the e2e differential and UDP-transport benchmarks;
+// the bulk study runs over the in-memory network instead.
 type UDPServer struct {
 	server *Server
-	conn   net.PacketConn
+	conn   *net.UDPConn
 
 	mu     sync.Mutex
 	closed bool
@@ -24,20 +53,38 @@ type UDPServer struct {
 // ListenUDP binds addr (e.g. "127.0.0.1:5353") and starts answering
 // queries with s until Close is called.
 func ListenUDP(addr string, s *Server) (*UDPServer, error) {
-	conn, err := net.ListenPacket("udp", addr)
+	return ListenUDPReaders(addr, s, 1)
+}
+
+// ListenUDPReaders is ListenUDP with an explicit read-loop count. One
+// loop is plenty for the study's own serving needs; the transport
+// benchmarks raise it so the serving side is not the bottleneck being
+// measured when a batched client slams one socket.
+func ListenUDPReaders(addr string, s *Server, readers int) (*UDPServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("authserver: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
 	if err != nil {
 		return nil, fmt.Errorf("authserver: listen %s: %w", addr, err)
 	}
+	_ = conn.SetReadBuffer(1 << 20)
+	if readers < 1 {
+		readers = 1
+	}
 	u := &UDPServer{server: s, conn: conn}
-	u.wg.Add(1)
-	go u.loop()
+	u.wg.Add(readers)
+	for i := 0; i < readers; i++ {
+		go u.loop()
+	}
 	return u, nil
 }
 
 // Addr returns the bound address, useful when listening on port 0.
 func (u *UDPServer) Addr() net.Addr { return u.conn.LocalAddr() }
 
-// Close stops the server and waits for the read loop to exit.
+// Close stops the server and waits for the read loops to exit.
 func (u *UDPServer) Close() error {
 	u.mu.Lock()
 	if u.closed {
@@ -51,12 +98,34 @@ func (u *UDPServer) Close() error {
 	return err
 }
 
+// udpServeBatch is the serving loop's batch bound: queries in per
+// recvmmsg round, responses out per sendmmsg round (udpx.PacketConn
+// degrades both to one datagram per syscall where the batched calls
+// are unavailable).
+const udpServeBatch = 32
+
+// loop is one read loop: whole batches of queries come up in one
+// batched receive into loop-owned buffers reused across rounds, each
+// query is answered in place (the handler decodes onto a pooled codec
+// arena; responses land in loop-owned buffers reused across rounds),
+// and the batch of responses goes out in one batched send. Steady
+// state is allocation-free, gated by TestUDPServerLoopZeroAlloc; the
+// AddrPort-based fallbacks keep even the portable path free of the
+// per-datagram net.Addr allocation the net.PacketConn interface
+// forces.
 func (u *UDPServer) loop() {
 	defer u.wg.Done()
-	buf := make([]byte, 4096)
-	var resp []byte
+	pc := udpx.NewPacketConn(u.conn, udpServeBatch, false)
+	bufs := make([][]byte, udpServeBatch)
+	for i := range bufs {
+		bufs[i] = make([]byte, udpBufSize)
+	}
+	sizes := make([]int, udpServeBatch)
+	addrs := make([]netip.AddrPort, udpServeBatch)
+	resps := make([][]byte, udpServeBatch)
+	outAddrs := make([]netip.AddrPort, udpServeBatch)
 	for {
-		n, peer, err := u.conn.ReadFrom(buf)
+		n, err := pc.ReadBatch(bufs, sizes, addrs)
 		if err != nil {
 			u.mu.Lock()
 			closed := u.closed
@@ -66,20 +135,37 @@ func (u *UDPServer) loop() {
 			}
 			continue
 		}
-		// The handler decodes the query onto a codec arena before
-		// returning, and the response lands in a loop-owned buffer reused
-		// across packets — neither needs a per-packet allocation.
-		out, ok := u.server.HandleWireAppend(resp[:0], buf[:n])
-		if ok {
-			resp = out
+		m := 0
+		for i := 0; i < n; i++ {
+			if !addrs[i].IsValid() {
+				continue
+			}
+			out, ok := u.server.HandleWireAppend(resps[m][:0], bufs[i][:sizes[i]])
+			if ok {
+				resps[m] = out
+				outAddrs[m] = addrs[i]
+				m++
+			}
+		}
+		if m > 0 {
 			// Best effort; a lost response is a normal UDP condition.
-			_, _ = u.conn.WriteTo(resp, peer)
+			pc.WriteBatch(resps[:m], outAddrs[:m])
 		}
 	}
 }
 
 // UDPTransport is a resolver transport that sends queries over real UDP
-// sockets. Queries go to port 53 unless the server's IP has an entry in
+// sockets, one dialed socket per exchange. It is the slow, portable
+// reference path: every query pays socket setup and teardown and a
+// connect/send/recv syscall sequence, which is exactly why it makes a
+// trustworthy oracle for udpx.BatchTransport — the e2e differential
+// suite pins the batched path's scan digests against this one's
+// (internal/measure), and `make bench-udp` records the throughput gap
+// that buys. Real-network scans default to the batched transport
+// (govscan -transport=batch); this path remains selectable with
+// -transport=dial.
+//
+// Queries go to port 53 unless the server's IP has an entry in
 // PortOverride (same IP, alternate port) or AddrOverride (full
 // redirection); tests and examples run UDPServer instances on loopback
 // high ports while the resolver keeps addressing servers by their
@@ -92,7 +178,9 @@ type UDPTransport struct {
 	AddrOverride map[netip.Addr]netip.AddrPort
 }
 
-// Exchange implements the resolver transport over UDP.
+// Exchange implements the resolver transport over UDP. The returned
+// buffer comes from the shared datagram pool; the resolver returns it
+// through ReleaseResponse once decoded.
 func (t *UDPTransport) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
 	target := ""
 	if ap, ok := t.AddrOverride[server]; ok {
@@ -119,10 +207,16 @@ func (t *UDPTransport) Exchange(ctx context.Context, server netip.Addr, query []
 	if _, err := conn.Write(query); err != nil {
 		return nil, fmt.Errorf("authserver: send: %w", err)
 	}
-	buf := make([]byte, 4096)
+	buf := getUDPBuf()
 	n, err := conn.Read(buf)
 	if err != nil {
+		putUDPBuf(buf)
 		return nil, fmt.Errorf("authserver: receive: %w", err)
 	}
 	return buf[:n], nil
 }
+
+// ReleaseResponse returns a buffer handed out by Exchange to the
+// datagram pool (resolver.ResponseReleaser). Foreign buffers are
+// recognized by capacity and left to the GC.
+func (t *UDPTransport) ReleaseResponse(buf []byte) { putUDPBuf(buf) }

@@ -77,3 +77,57 @@ func TestUDPTransportTimeout(t *testing.T) {
 		t.Errorf("Exchange took %v, deadline not honored", elapsed)
 	}
 }
+
+// TestUDPServerLoopZeroAlloc is the allocs/op regression gate for the
+// UDP read loop: once the datagram pool, the loop-owned response
+// buffer, and the server's cache/arena pools have warmed up, a full
+// client round trip over a real loopback socket must not allocate.
+// AllocsPerRun counts process-wide mallocs, so the gate holds only
+// because every party — the read loop (pooled receive buffers, reused
+// response buffer, AddrPort read/write APIs), the cached serving path,
+// and the probe client below — is allocation-free in steady state.
+func TestUDPServerLoopZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	s := New("ns1.gov.br.")
+	s.AddZone(testZone(t))
+	s.SetCache(NewResponseCache())
+	udp, err := ListenUDP("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer func() { _ = udp.Close() }()
+	srv, err := netip.ParseAddrPort(udp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	wire := confWire(t, "www.gov.br.", dnswire.TypeA, 42, true, 1232)
+	resp := make([]byte, udpBufSize)
+	roundTrip := func() {
+		if _, err := conn.WriteToUDPAddrPort(wire, srv); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, _, err := conn.ReadFromUDPAddrPort(resp)
+		if err != nil {
+			t.Fatalf("receive: %v", err)
+		}
+		if n < 12 || resp[0] != wire[0] || resp[1] != wire[1] {
+			t.Fatalf("bad response: %d bytes", n)
+		}
+	}
+	for i := 0; i < 50; i++ { // warm: datagram pool, response buffer, cache entry
+		roundTrip()
+	}
+	if allocs := testing.AllocsPerRun(200, roundTrip); allocs != 0 {
+		t.Errorf("UDP serving loop allocates %.2f/op in steady state, want 0", allocs)
+	}
+}

@@ -210,6 +210,10 @@ type Transport struct {
 	// into the per-server replay buffer.
 	needLast bool
 
+	// releaser is the inner transport's buffer-release hook, cached at
+	// Wrap (see ReleaseResponse).
+	releaser interface{ ReleaseResponse([]byte) }
+
 	// Counters live on an obs.Registry — a private one by default, or
 	// the shared pipeline registry when AttachRegistry runs first —
 	// so chaos injection shows up next to resolver and scanner metrics
@@ -235,7 +239,21 @@ func Wrap(inner Inner, seed int64, rules ...Rule) *Transport {
 			t.needLast = true
 		}
 	}
+	t.releaser, _ = inner.(interface{ ReleaseResponse([]byte) })
 	return t
+}
+
+// ReleaseResponse forwards a pooled response buffer to the inner
+// transport that produced it (resolver.ResponseReleaser, duck-typed to
+// keep chaos free of a resolver import). Injections mutate pooled
+// buffers in place and pass them through, so releasing through the
+// chaos layer is releasing the inner transport's buffer; the one copy
+// chaos itself makes — the Duplicate rule's replay buffer — is private,
+// and pooling transports recognize and skip foreign buffers anyway.
+func (t *Transport) ReleaseResponse(buf []byte) {
+	if t.releaser != nil {
+		t.releaser.ReleaseResponse(buf)
+	}
 }
 
 // AttachRegistry binds the transport's counters onto r

@@ -1,0 +1,196 @@
+package measure
+
+// End-to-end differential for the batched UDP transport: the same
+// miniworld loopback serving tier is scanned through the
+// dial-per-exchange reference transport and through udpx.BatchTransport
+// — shared sockets, sendmmsg/recvmmsg batching, QID rewriting, timer
+// wheel — and the scan digests must be bit-identical, clean and under
+// content-keyed chaos, and across a kill/checkpoint/resume. Everything
+// the batched path does differently (its own wire transaction IDs, the
+// demux table, pooled buffers recycled through ReleaseResponse) must be
+// invisible to the measurement.
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"govdns/internal/authserver"
+	"govdns/internal/chaos"
+	"govdns/internal/dnsname"
+	"govdns/internal/miniworld"
+	"govdns/internal/resolver"
+	"govdns/internal/simnet"
+	"govdns/internal/udpx"
+)
+
+// normalizedBatch adapts udpx.BatchTransport to simnet's failure
+// semantics, exactly as normalizedUDP does for the dial transport: any
+// transport-level failure blocks until the context expires and then
+// reports simnet's dropped-packet error byte for byte, and addresses
+// with no serving socket behave like simnet blackholes. Buffer releases
+// forward to the pooled transport.
+type normalizedBatch struct {
+	inner    *udpx.BatchTransport
+	override map[netip.Addr]netip.AddrPort
+}
+
+func (n *normalizedBatch) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	if _, ok := n.override[server]; !ok {
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: %v", simnet.ErrDropped, ctx.Err())
+	}
+	resp, err := n.inner.Exchange(ctx, server, query)
+	if err != nil {
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: %v", simnet.ErrDropped, ctx.Err())
+	}
+	return resp, nil
+}
+
+func (n *normalizedBatch) ReleaseResponse(buf []byte) { n.inner.ReleaseResponse(buf) }
+
+var _ resolver.ResponseReleaser = (*normalizedBatch)(nil)
+
+// batchOver builds a normalized batch transport over an
+// already-standing override map. portable forces the per-datagram
+// syscall loops so both I/O paths face the differential.
+func batchOver(t *testing.T, override map[netip.Addr]netip.AddrPort, portable bool) *normalizedBatch {
+	t.Helper()
+	tr, err := udpx.New(udpx.Config{
+		AddrOverride: override,
+		Portable:     portable,
+		// The resolver's attempt context carries the real deadline; the
+		// wheel is the backstop right behind it.
+		Timeout: 2 * e2eDeadline,
+	})
+	if err != nil {
+		t.Fatalf("udpx.New: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	return &normalizedBatch{inner: tr, override: override}
+}
+
+// batchChaosProfile is the serving-tier differential's content-keyed
+// fault schedule, reused verbatim: timing-independent classes only, so
+// under a serial scan the draw sequence is a pure function of the query
+// stream every transport shares.
+func batchChaosProfile() map[dnsname.Name][]chaos.Rule {
+	return map[dnsname.Name][]chaos.Rule{
+		"ns1.city.gov.br.":   {chaos.Persistent(chaos.Truncate, 1)},
+		"ns2.city.gov.br.":   {chaos.Persistent(chaos.CorruptQID, 1)},
+		"ns1.single.gov.br.": {chaos.Persistent(chaos.Drop, 1)},
+		"ns1.provider.com.":  {chaos.Persistent(chaos.FlipRCode, 1)},
+	}
+}
+
+const batchChaosSeed = 11
+
+// TestScanDigestBatchVsDial is the tentpole differential: over one
+// shared set of loopback servers, the dial-per-exchange scan and the
+// batched scan must produce bit-identical digests — clean, and under
+// the content-keyed chaos profile. The batched run covers both of its
+// I/O paths: the OS sendmmsg/recvmmsg batches and the portable
+// per-datagram loops.
+func TestScanDigestBatchVsDial(t *testing.T) {
+	w := miniworld.Build()
+	domains := miniworld.Domains()
+	override := serveWorldOverride(t, w)
+	rules := w.ChaosRules(batchChaosProfile())
+
+	dial := &normalizedUDP{inner: &authserver.UDPTransport{AddrOverride: override}}
+	dialClean := scanTuned(t, dial, w.Roots, domains, 1, 1, true, e2eDeadline, 1)
+	wantClean := DigestHex(dialClean)
+
+	dialChaosTr := chaos.Wrap(dial, batchChaosSeed, rules...)
+	dialChaos := scanTuned(t, dialChaosTr, w.Roots, domains, 1, 1, true, e2eDeadline, 1)
+	if dialChaosTr.Stats().Total() == 0 {
+		t.Fatal("chaos injected nothing on the dial run; the test is vacuous")
+	}
+	wantChaos := DigestHex(dialChaos)
+
+	for _, tc := range []struct {
+		name     string
+		portable bool
+	}{
+		{"os", false},
+		{"portable", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			batch := batchOver(t, override, tc.portable)
+			batchClean := scanTuned(t, batch, w.Roots, domains, 1, 1, true, e2eDeadline, 1)
+			if got := DigestHex(batchClean); got != wantClean {
+				t.Errorf("clean batch scan digest = %s, want dial's %s", got, wantClean)
+				for i, r := range batchClean {
+					t.Logf("  batch %s: class=%s err=%q | dial err=%q",
+						r.Domain, r.Classify(), r.Err, dialClean[i].Err)
+				}
+			}
+
+			batchChaosTr := chaos.Wrap(batchOver(t, override, tc.portable), batchChaosSeed, rules...)
+			batchChaos := scanTuned(t, batchChaosTr, w.Roots, domains, 1, 1, true, e2eDeadline, 1)
+			if batchChaosTr.Stats().Total() == 0 {
+				t.Fatal("chaos injected nothing on the batch run; the test is vacuous")
+			}
+			if got := DigestHex(batchChaos); got != wantChaos {
+				t.Errorf("chaos batch scan digest = %s, want dial's %s", got, wantChaos)
+				for i, r := range batchChaos {
+					t.Logf("  batch %s: class=%s err=%q faults=%+v | dial class=%s err=%q",
+						r.Domain, r.Classify(), r.Err, r.Faults,
+						dialChaos[i].Classify(), dialChaos[i].Err)
+				}
+			}
+		})
+	}
+}
+
+// batchStreamScanner is streamScanner at the e2e deadline: fresh client
+// and iterator per run (no resolver cache leaks across the kill),
+// adaptive ordering off, serial schedule.
+func batchStreamScanner(tr resolver.Transport, roots []netip.Addr) *Scanner {
+	client := resolver.NewClient(tr)
+	client.Timeout = e2eDeadline
+	client.Retries = 0
+	it := resolver.NewIterator(client, roots)
+	it.AdaptiveOrder = false
+	s := NewScanner(it)
+	s.Concurrency = 1
+	s.PerDomainParallelism = 1
+	return s
+}
+
+// TestScanStreamKillResumeBatchUDP closes the differential triangle:
+// the batched transport under the PR 8 checkpoint pipeline. A streamed
+// scan over real sockets is killed mid-flight and resumed from its
+// checkpoint, and the merged archive must be bit-identical to the
+// uninterrupted batched run — clean and under the content-keyed chaos
+// profile (fresh deterministic chaos wrap per scanner, shared batch
+// transport and servers underneath).
+func TestScanStreamKillResumeBatchUDP(t *testing.T) {
+	w := miniworld.Build()
+	domains := miniworld.Domains()
+	override := serveWorldOverride(t, w)
+	batch := batchOver(t, override, false)
+
+	t.Run("clean", func(t *testing.T) {
+		ref := scanTuned(t, batch, w.Roots, domains, 1, 1, false, e2eDeadline, 0)
+		killResumeRoundTrip(t, domains,
+			func() *Scanner { return batchStreamScanner(batch, w.Roots) },
+			3, canonicalJSONL(t, ref), DigestHex(ref))
+	})
+
+	t.Run("chaos", func(t *testing.T) {
+		rules := w.ChaosRules(batchChaosProfile())
+		refTr := chaos.Wrap(batch, batchChaosSeed, rules...)
+		ref := scanTuned(t, refTr, w.Roots, domains, 1, 1, false, e2eDeadline, 0)
+		if refTr.Stats().Total() == 0 {
+			t.Fatal("chaos injected nothing on the reference run; the test is vacuous")
+		}
+		killResumeRoundTrip(t, domains,
+			func() *Scanner {
+				return batchStreamScanner(chaos.Wrap(batch, batchChaosSeed, rules...), w.Roots)
+			},
+			3, canonicalJSONL(t, ref), DigestHex(ref))
+	})
+}

@@ -44,10 +44,10 @@ func (n *normalizedUDP) Exchange(ctx context.Context, server netip.Addr, query [
 	return resp, nil
 }
 
-// serveWorldUDP stands every miniworld server up on a loopback UDP
-// socket and returns the normalized transport addressing them by their
-// simulated-topology IPs.
-func serveWorldUDP(t *testing.T, w *miniworld.World) *normalizedUDP {
+// serveWorldOverride stands every miniworld server up on a loopback
+// UDP socket and returns the simulated-IP → bound-socket override map
+// both real transports (dial and batch) address servers through.
+func serveWorldOverride(t *testing.T, w *miniworld.World) map[netip.Addr]netip.AddrPort {
 	t.Helper()
 	override := make(map[netip.Addr]netip.AddrPort)
 	for _, ep := range w.ServerEndpoints() {
@@ -65,7 +65,14 @@ func serveWorldUDP(t *testing.T, w *miniworld.World) *normalizedUDP {
 		}
 		override[ep.Addr] = ap
 	}
-	return &normalizedUDP{inner: &authserver.UDPTransport{AddrOverride: override}}
+	return override
+}
+
+// serveWorldUDP is serveWorldOverride behind the dial-per-exchange
+// reference transport.
+func serveWorldUDP(t *testing.T, w *miniworld.World) *normalizedUDP {
+	t.Helper()
+	return &normalizedUDP{inner: &authserver.UDPTransport{AddrOverride: serveWorldOverride(t, w)}}
 }
 
 // e2eDeadline leaves loopback exchanges far from scheduling noise while

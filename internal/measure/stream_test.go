@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"govdns/internal/chaos"
+	"govdns/internal/dnsname"
 	"govdns/internal/obs"
 	"govdns/internal/resolver"
 	"govdns/internal/worldgen"
@@ -194,7 +195,7 @@ func TestStreamWriterRejectsMisuse(t *testing.T) {
 // output bytes and digest to be bit-identical to the uninterrupted
 // run's. newScanner must return a *fresh* scanner (and, under chaos, a
 // fresh deterministic transport) on every call.
-func killResumeRoundTrip(t *testing.T, active *worldgen.Active, newScanner func() *Scanner, killAt int, wantBytes []byte, wantDigest string) {
+func killResumeRoundTrip(t *testing.T, domains []dnsname.Name, newScanner func() *Scanner, killAt int, wantBytes []byte, wantDigest string) {
 	t.Helper()
 	dir := t.TempDir()
 	outPath := filepath.Join(dir, "scan.jsonl")
@@ -217,7 +218,7 @@ func killResumeRoundTrip(t *testing.T, active *worldgen.Active, newScanner func(
 		t.Fatal(err)
 	}
 	sw := NewStreamWriter(f, killCfg)
-	err = newScanner().ScanStream(ctx, SliceSource(active.QueryList), sw)
+	err = newScanner().ScanStream(ctx, SliceSource(domains), sw)
 	if closeErr := f.Close(); closeErr != nil {
 		t.Fatal(closeErr)
 	}
@@ -225,9 +226,9 @@ func killResumeRoundTrip(t *testing.T, active *worldgen.Active, newScanner func(
 		t.Fatal("interrupted scan returned no error")
 	}
 	emitted := sw.Emitted()
-	if emitted < killAt || emitted >= len(active.QueryList) {
+	if emitted < killAt || emitted >= len(domains) {
 		t.Fatalf("kill landed at %d emitted of %d total (killAt=%d): not a mid-scan interruption",
-			emitted, len(active.QueryList), killAt)
+			emitted, len(domains), killAt)
 	}
 
 	// Resumed run: fresh writer from the checkpoint, fresh scanner.
@@ -239,11 +240,11 @@ func killResumeRoundTrip(t *testing.T, active *worldgen.Active, newScanner func(
 	if info.Emitted != emitted {
 		t.Fatalf("resume found %d emitted, writer reported %d", info.Emitted, emitted)
 	}
-	if err := newScanner().ScanStream(context.Background(), SliceSource(active.QueryList), sw2); err != nil {
+	if err := newScanner().ScanStream(context.Background(), SliceSource(domains), sw2); err != nil {
 		t.Fatalf("resumed ScanStream: %v", err)
 	}
-	if sw2.Emitted() != len(active.QueryList) {
-		t.Fatalf("resumed scan emitted %d of %d", sw2.Emitted(), len(active.QueryList))
+	if sw2.Emitted() != len(domains) {
+		t.Fatalf("resumed scan emitted %d of %d", sw2.Emitted(), len(domains))
 	}
 
 	got, err := os.ReadFile(outPath)
@@ -261,8 +262,8 @@ func killResumeRoundTrip(t *testing.T, active *worldgen.Active, newScanner func(
 	if err != nil {
 		t.Fatalf("final checkpoint: %v", err)
 	}
-	if ck.Emitted != uint64(len(active.QueryList)) {
-		t.Errorf("final checkpoint emitted = %d, want %d", ck.Emitted, len(active.QueryList))
+	if ck.Emitted != uint64(len(domains)) {
+		t.Errorf("final checkpoint emitted = %d, want %d", ck.Emitted, len(domains))
 	}
 }
 
@@ -278,7 +279,7 @@ func TestScanStreamKillAtNResumeClean(t *testing.T) {
 
 	for _, killAt := range []int{3, 10} { // off and on checkpoint-boundary-ish
 		t.Run(fmt.Sprintf("killAt%d", killAt), func(t *testing.T) {
-			killResumeRoundTrip(t, active,
+			killResumeRoundTrip(t, active.QueryList,
 				func() *Scanner { return streamScanner(active.Net, active.Roots, 8, 2) },
 				killAt, wantBytes, wantDigest)
 		})
@@ -310,7 +311,7 @@ func TestScanStreamKillAtNResumeChaos(t *testing.T) {
 	wantBytes := canonicalJSONL(t, slice)
 	wantDigest := DigestHex(slice)
 
-	killResumeRoundTrip(t, active,
+	killResumeRoundTrip(t, active.QueryList,
 		func() *Scanner {
 			tr := chaos.Wrap(active.Net, 7, rules...)
 			return streamScanner(tr, active.Roots, 1, 1)

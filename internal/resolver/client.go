@@ -21,10 +21,25 @@ import (
 )
 
 // Transport carries wire-format DNS messages to a server address. It is
-// implemented by simnet.Network (in-memory) and authserver.UDPTransport
-// (real sockets).
+// implemented by simnet.Network (in-memory), authserver.UDPTransport
+// (dial-per-exchange real sockets — the slow, portable reference path),
+// and udpx.BatchTransport (the shared-socket batched path real-network
+// scans default to). The returned response buffer is owned by the
+// caller unless the transport also implements ResponseReleaser, in
+// which case the caller returns it once decoded.
 type Transport interface {
 	Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error)
+}
+
+// ResponseReleaser is optionally implemented by transports that pool
+// their response buffers (udpx.BatchTransport, authserver.UDPTransport).
+// The client calls ReleaseResponse exactly once per successful Exchange,
+// right after decoding the wire image — Arena.Decode copies every byte
+// the decoded message retains, so the buffer is dead the moment decode
+// returns. Wrapping transports (chaos, rate limiting) forward the call
+// to the transport that produced the buffer.
+type ResponseReleaser interface {
+	ReleaseResponse(buf []byte)
 }
 
 // Client errors.
@@ -82,6 +97,12 @@ type Client struct {
 	WirePool *dnswire.Pool
 
 	nextID atomic.Uint32
+
+	// releaser caches the Transport's ResponseReleaser assertion so the
+	// hot path pays a nil check, not an interface assertion, per
+	// exchange.
+	releaserOnce sync.Once
+	releaser     ResponseReleaser
 
 	// Load accounting (§ III-D: the paper tracked and limited the load
 	// its measurements placed on operators) lives on an obs registry —
@@ -373,6 +394,7 @@ func (c *Client) attempt(ctx context.Context, a *dnswire.Arena, server netip.Add
 			xspan = rec.StartSpan(parent, trace.KindExchange, server.String())
 			exCtx = trace.ContextWith(attemptCtx, rec, xspan)
 		}
+		c.releaserOnce.Do(func() { c.releaser, _ = c.Transport.(ResponseReleaser) })
 		respWire, err := c.Transport.Exchange(exCtx, server, wire)
 		m.observeRTT(sentAt)
 		if rec != nil {
@@ -388,6 +410,12 @@ func (c *Client) attempt(ctx context.Context, a *dnswire.Arena, server netip.Add
 			return nil, err
 		}
 		resp, reject := c.classify(a, query, server, respWire, tr)
+		// The decode inside classify copied everything it kept (names
+		// onto the arena, addresses into values), so a pooled response
+		// buffer goes home immediately — win or reject.
+		if c.releaser != nil {
+			c.releaser.ReleaseResponse(respWire)
+		}
 		rec.EndSpan(xspan, reject)
 		if reject == nil {
 			m.received.Inc()

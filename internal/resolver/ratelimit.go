@@ -19,19 +19,22 @@ func RateLimit(t Transport, qps float64, burst int) Transport {
 	if burst < 1 {
 		burst = 1
 	}
-	return &rateLimited{
+	rl := &rateLimited{
 		inner:    t,
 		interval: time.Duration(float64(time.Second) / qps),
 		tokens:   float64(burst),
 		burst:    float64(burst),
 		last:     time.Now(),
 	}
+	rl.releaser, _ = t.(ResponseReleaser)
+	return rl
 }
 
 // rateLimited is a token bucket: tokens refill at 1/interval and each
 // exchange spends one, waiting when the bucket is empty.
 type rateLimited struct {
 	inner    Transport
+	releaser ResponseReleaser
 	interval time.Duration
 
 	mu     sync.Mutex
@@ -90,4 +93,16 @@ func (r *rateLimited) wait(ctx context.Context) error {
 	}
 }
 
+// ReleaseResponse forwards pooled buffers to the transport that
+// produced them; on a non-pooling inner transport it is absent from
+// the limiter too (the client checks the cached assertion, but a
+// forwarder that silently dropped buffers would mask a wiring bug, so
+// forward only when inner pools).
+func (r *rateLimited) ReleaseResponse(buf []byte) {
+	if r.releaser != nil {
+		r.releaser.ReleaseResponse(buf)
+	}
+}
+
 var _ Transport = (*rateLimited)(nil)
+var _ ResponseReleaser = (*rateLimited)(nil)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package udpx
+
+// raceEnabled mirrors the build's -race flag so allocation gates can
+// skip themselves: the race runtime instruments allocations and makes
+// testing.AllocsPerRun meaningless.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package udpx
+
+// raceEnabled mirrors the build's -race flag; see alloc_norace_test.go.
+const raceEnabled = true

@@ -1,0 +1,237 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched UDP syscalls via sendmmsg(2)/recvmmsg(2). The module has no
+// dependencies, so this speaks raw syscall numbers through the stdlib
+// syscall package instead of x/sys/unix; the numbers and the mmsghdr
+// layout are per-arch (mmsg_linux_amd64.go / mmsg_linux_arm64.go carry
+// the syscall numbers; Msghdr.Iovlen is uint64 on both, which the build
+// tag guarantees). The RawConn Read/Write callbacks integrate with the
+// runtime netpoller: the syscalls run MSG_DONTWAIT and return false on
+// EAGAIN, parking the goroutine until the socket is ready instead of
+// spinning.
+package udpx
+
+import (
+	"encoding/binary"
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+const osBatchSupported = true
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// datagram length. Go pads the struct to 64 bytes on amd64/arm64,
+// matching the C layout.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+// osSock is the per-socket batched-syscall state: preallocated header,
+// iovec, and sockaddr arrays sized to cfg.Batch, so arming a batch
+// writes fields but never allocates. rbufs holds the receive buffers
+// currently lent to the kernel; delivery transfers them out and the
+// next cycle replenishes from the packet pool.
+type osSock struct {
+	rc syscall.RawConn
+
+	rhdrs  []mmsghdr
+	riovs  []syscall.Iovec
+	rnames []syscall.RawSockaddrInet6
+	rbufs  [][]byte
+
+	shdrs  []mmsghdr
+	siovs  []syscall.Iovec
+	snames []syscall.RawSockaddrInet6
+
+	// The RawConn callbacks are built once here and communicate through
+	// the fields below — a fresh closure per batch would put one heap
+	// allocation on the steady-state hot path. recvFn/got are owned by
+	// the recvLoop goroutine, sendFn/sendOff/sendN/sn by the sendLoop
+	// goroutine.
+	recvFn             func(fd uintptr) bool
+	got, rwant         int
+	sendFn             func(fd uintptr) bool
+	sendOff, sendN, sn int
+}
+
+func initOS(s *sock) error {
+	return initOSState(&s.os, s.conn, cap(s.batch))
+}
+
+// initOSState builds the batched-syscall state over conn for any owner
+// of an osSock — the transport's per-socket loops and the serving-side
+// PacketConn share it.
+func initOSState(os *osSock, conn *net.UDPConn, batch int) error {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	*os = osSock{
+		rc:     rc,
+		rhdrs:  make([]mmsghdr, batch),
+		riovs:  make([]syscall.Iovec, batch),
+		rnames: make([]syscall.RawSockaddrInet6, batch),
+		rbufs:  make([][]byte, batch),
+		shdrs:  make([]mmsghdr, batch),
+		siovs:  make([]syscall.Iovec, batch),
+		snames: make([]syscall.RawSockaddrInet6, batch),
+		rwant:  batch,
+	}
+	os.recvFn = func(fd uintptr) bool {
+		for {
+			r1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&os.rhdrs[0])), uintptr(os.rwant),
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch errno {
+			case 0:
+				os.got = int(r1)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false
+			default:
+				os.got = -1
+				return true
+			}
+		}
+	}
+	os.sendFn = func(fd uintptr) bool {
+		for {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&os.shdrs[os.sendOff])), uintptr(os.sendN-os.sendOff),
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch errno {
+			case 0:
+				os.sn = int(r1)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false
+			default:
+				os.sn = -1
+				return true
+			}
+		}
+	}
+	return nil
+}
+
+// putSockaddr encodes dest into the raw sockaddr slot (the Inet6
+// storage is large enough for both families) and returns the length
+// the kernel expects. Port is big-endian in raw sockaddrs.
+func putSockaddr(sa *syscall.RawSockaddrInet6, dest netip.AddrPort) uint32 {
+	if a := dest.Addr(); a.Is4() {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		*sa4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Addr: a.As4()}
+		binary.BigEndian.PutUint16((*[2]byte)(unsafe.Pointer(&sa4.Port))[:], dest.Port())
+		return syscall.SizeofSockaddrInet4
+	}
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Addr: dest.Addr().As16()}
+	binary.BigEndian.PutUint16((*[2]byte)(unsafe.Pointer(&sa.Port))[:], dest.Port())
+	return syscall.SizeofSockaddrInet6
+}
+
+// getSockaddr decodes a kernel-filled raw sockaddr into a netip
+// address (deliver unmaps v4-in-v6 for consistent demux keys).
+func getSockaddr(sa *syscall.RawSockaddrInet6) (netip.AddrPort, bool) {
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		port := binary.BigEndian.Uint16((*[2]byte)(unsafe.Pointer(&sa4.Port))[:])
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), port), true
+	case syscall.AF_INET6:
+		port := binary.BigEndian.Uint16((*[2]byte)(unsafe.Pointer(&sa.Port))[:])
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr), port), true
+	}
+	return netip.AddrPort{}, false
+}
+
+// sendBatchOS pushes reqs out with as few sendmmsg calls as the kernel
+// allows and returns the syscall count. A persistent error drops the
+// unsent tail — indistinguishable from network loss, which the wheel
+// and the resolver's retries already handle.
+func (s *sock) sendBatchOS(reqs []*sendReq) int {
+	os := &s.os
+	n := len(reqs)
+	for i, r := range reqs {
+		os.siovs[i].Base = &r.b[0]
+		os.siovs[i].Len = uint64(r.n)
+		nameLen := putSockaddr(&os.snames[i], r.dest)
+		h := &os.shdrs[i]
+		h.hdr = syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&os.snames[i])),
+			Namelen: nameLen,
+			Iov:     &os.siovs[i],
+			Iovlen:  1,
+		}
+		h.n = 0
+	}
+	os.sendN = n
+	os.sendOff = 0
+	syscalls := 0
+	for os.sendOff < n {
+		err := os.rc.Write(os.sendFn)
+		syscalls++
+		if err != nil || os.sn <= 0 {
+			break
+		}
+		os.sendOff += os.sn
+	}
+	return syscalls
+}
+
+// recvBatchOS drains up to one batch of datagrams in a single recvmmsg
+// and delivers each. Returns false when the socket is closed (the
+// recvLoop's exit signal), true otherwise.
+func (s *sock) recvBatchOS() bool {
+	os := &s.os
+	b := len(os.rhdrs)
+	for i := 0; i < b; i++ {
+		if os.rbufs[i] == nil {
+			os.rbufs[i] = getBuf()
+		}
+		os.riovs[i].Base = &os.rbufs[i][0]
+		os.riovs[i].Len = bufSize
+		h := &os.rhdrs[i]
+		h.hdr = syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&os.rnames[i])),
+			Namelen: syscall.SizeofSockaddrInet6,
+			Iov:     &os.riovs[i],
+			Iovlen:  1,
+		}
+		h.n = 0
+	}
+	err := os.rc.Read(os.recvFn)
+	if err != nil {
+		return false
+	}
+	got := os.got
+	if got <= 0 {
+		// A transient syscall error: if it was the socket dying, the
+		// next RawConn.Read returns the closed error and we exit then.
+		return !s.t.closed.Load()
+	}
+	m := s.t.metrics()
+	m.recvBatch.Inc()
+	if got > 1 {
+		m.sysSaved.Add(uint64(got - 1))
+	}
+	for i := 0; i < got; i++ {
+		n := int(os.rhdrs[i].n)
+		buf := os.rbufs[i]
+		os.rbufs[i] = nil
+		src, ok := getSockaddr(&os.rnames[i])
+		if !ok || n > bufSize {
+			putBuf(buf)
+			m.malformed.Inc()
+			continue
+		}
+		s.t.deliver(buf[:n], src)
+	}
+	return true
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udpx
+
+// The stdlib syscall number table for linux/amd64 was frozen before
+// sendmmsg(2) landed (recvmmsg made the cut, sendmmsg did not), so
+// both numbers are spelled out here.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,0 +1,17 @@
+//go:build !linux || (!amd64 && !arm64)
+
+// Fallback for platforms without the batched-syscall path: the
+// transport still batches logically (ring drain, per-socket loops,
+// shared sockets, timer wheel) but moves one datagram per syscall via
+// the AddrPort read/write APIs. See DESIGN.md § 15 for the matrix.
+package udpx
+
+const osBatchSupported = false
+
+type osSock struct{}
+
+func initOS(*sock) error { return nil }
+
+func (s *sock) sendBatchOS(reqs []*sendReq) int { return len(reqs) }
+
+func (s *sock) recvBatchOS() bool { return false }

@@ -1,0 +1,21 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udpx
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+)
+
+// initOSState has no batched-syscall path to build here; PacketConn
+// callers fall through to the portable one-datagram-per-call paths.
+func initOSState(*osSock, *net.UDPConn, int) error {
+	return errors.New("udpx: batched syscalls unsupported on this platform")
+}
+
+func (pc *PacketConn) readBatchOS([][]byte, []int, []netip.AddrPort) (int, error) {
+	return 0, nil
+}
+
+func (pc *PacketConn) writeBatchOS([][]byte, []netip.AddrPort) {}

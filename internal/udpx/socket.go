@@ -1,0 +1,136 @@
+package udpx
+
+import (
+	"errors"
+	"net"
+	"runtime"
+)
+
+// sock is one pooled socket: the connection, its bounded send ring, its
+// batch scratch, and the platform batched-I/O state. Each sock owns two
+// goroutines — sendLoop drains the ring, recvLoop drains the wire — for
+// the transport's lifetime.
+type sock struct {
+	t    *BatchTransport
+	conn *net.UDPConn
+	ring chan *sendReq
+	v6   bool
+
+	// batch is sendLoop's drain scratch, capacity cfg.Batch.
+	batch []*sendReq
+
+	// os holds the platform batched-syscall state (mmsg_linux.go);
+	// empty on platforms without it (mmsg_stub.go).
+	os osSock
+
+	// useOS gates the batched-syscall path: platform support minus the
+	// Portable override, resolved once at construction.
+	useOS bool
+}
+
+func newSock(t *BatchTransport, conn *net.UDPConn, v6 bool) (*sock, error) {
+	// A shared socket absorbs whole batches of responses between
+	// scheduler slots; a deep kernel buffer is what keeps burst loss
+	// out of the loopback differential. Best-effort (capped by
+	// net.core.rmem_max unless privileged).
+	_ = conn.SetReadBuffer(1 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
+	s := &sock{
+		t:     t,
+		conn:  conn,
+		ring:  make(chan *sendReq, t.cfg.Ring),
+		v6:    v6,
+		batch: make([]*sendReq, 0, t.cfg.Batch),
+	}
+	s.useOS = osBatchSupported && !t.cfg.Portable
+	if s.useOS {
+		if err := initOS(s); err != nil {
+			// Raw-conn access failed; run portable rather than refuse.
+			s.useOS = false
+		}
+	}
+	return s, nil
+}
+
+// sendLoop drains the ring: block for the first request, opportunistic
+// drain up to the batch bound, one sendmmsg (or a WriteToUDPAddrPort
+// loop) for the lot. Send errors are swallowed — an unreachable
+// destination's query times out on the wheel exactly as a datagram
+// lost in the network would, which is the semantics the resolver's
+// retry loop is built for.
+func (s *sock) sendLoop() {
+	m := s.t.metrics()
+	for {
+		var first *sendReq
+		select {
+		case <-s.t.done:
+			return
+		case first = <-s.ring:
+		}
+		s.batch = append(s.batch[:0], first)
+		// One yield between the blocking receive and the drain: on a
+		// loaded scheduler the enqueuing workers run and the ring fills,
+		// so the drain below collects a real batch instead of the lone
+		// request that woke us (the hot sendLoop otherwise wins the race
+		// to the ring every time and degrades to one datagram per
+		// syscall). Under light load the yield is a no-op returning
+		// immediately, and latency is unaffected.
+		runtime.Gosched()
+	fill:
+		for len(s.batch) < cap(s.batch) {
+			select {
+			case r := <-s.ring:
+				s.batch = append(s.batch, r)
+			default:
+				break fill
+			}
+		}
+		n := len(s.batch)
+		syscalls := n
+		if s.useOS && n > 1 {
+			syscalls = s.sendBatchOS(s.batch)
+		} else {
+			for _, r := range s.batch {
+				_, _ = s.conn.WriteToUDPAddrPort(r.b[:r.n], r.dest)
+			}
+		}
+		for i, r := range s.batch {
+			putSendReq(r)
+			s.batch[i] = nil
+		}
+		m.sendBatch.Inc()
+		m.sendDgrams.Add(uint64(n))
+		if n > syscalls {
+			m.sysSaved.Add(uint64(n - syscalls))
+		}
+	}
+}
+
+// recvLoop drains the socket until it is closed: recvmmsg batches on
+// the OS path, one ReadFromUDPAddrPort per datagram on the portable
+// path, each datagram demuxed through deliver in a pooled buffer.
+func (s *sock) recvLoop() {
+	m := s.t.metrics()
+	for {
+		if s.useOS {
+			if !s.recvBatchOS() {
+				return
+			}
+			continue
+		}
+		buf := getBuf()
+		n, src, err := s.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			putBuf(buf)
+			if s.t.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient (e.g. a connected-socket ICMP bounce cannot
+			// happen on an unconnected socket, but be safe): keep
+			// reading.
+			continue
+		}
+		m.recvBatch.Inc()
+		s.t.deliver(buf[:n], src)
+	}
+}

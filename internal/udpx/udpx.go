@@ -1,0 +1,754 @@
+// Package udpx is the high-throughput batched UDP transport for the
+// real-network scan path — the socket half of ROADMAP item 2 (the
+// streaming half shipped with measure.ScanStream). It is the way ZDNS
+// and massdns reach ~100k+ QPS on commodity hardware: instead of the
+// dial-per-exchange pattern of authserver.UDPTransport (a fresh
+// connected socket, a connect/send/recv/close syscall quartet, and a
+// 4 KiB buffer allocation per query), a BatchTransport multiplexes
+// every in-flight query over a small fixed pool of long-lived,
+// unconnected sockets:
+//
+//   - Callers enqueue (server, query) onto a bounded per-socket send
+//     ring; one sender goroutine per socket drains the ring in batches —
+//     a single sendmmsg(2) per batch on Linux, a WriteToUDPAddrPort
+//     loop everywhere else (socket.go, mmsg_linux.go).
+//   - One receiver goroutine per socket drains datagrams in batches
+//     (recvmmsg(2) / ReadFromUDPAddrPort) into pooled fixed-size
+//     buffers and demuxes each to its waiting exchange through a
+//     sharded table keyed (server address, transaction ID).
+//   - Transaction IDs on the wire are the transport's, not the
+//     caller's: each exchange draws a per-destination ID from a
+//     collision-avoiding allocator (the demux table itself is the
+//     occupancy oracle), so concurrent queries to one server never
+//     share an ID no matter what IDs the callers chose. The response's
+//     ID is patched back to the caller's before delivery, so the
+//     resolver's validation, duplicate accounting, and discard
+//     machinery see exactly what the dial transport would show them.
+//   - Per-query deadlines ride a coarse timer wheel (wheel.go) instead
+//     of per-socket read deadlines, so one blackholed server burns only
+//     its own queries and never stalls a shared socket.
+//   - Response buffers are pooled (buffers.go) under the same
+//     borrow/own discipline as the dnswire.Pool codec arenas: the
+//     resolver decodes a response onto its arena — which copies every
+//     retained byte — and then returns the wire buffer through
+//     ReleaseResponse (resolver.ResponseReleaser), keeping the
+//     steady-state exchange hot path allocation-free.
+//
+// Late, duplicate, and stray datagrams whose (address, ID) key no
+// longer has a waiter are counted (udpx_demux_misses_total) and
+// dropped, which is precisely what the dial transport's closed sockets
+// did to them; datagrams that do reach a waiter but fail validation are
+// the resolver's business and flow through its existing classify /
+// accepted-ring / discard-budget machinery unchanged. See DESIGN.md
+// § 15 for the full lifecycle and the fallback matrix.
+package udpx
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"govdns/internal/obs"
+)
+
+// Transport errors.
+var (
+	// ErrTimeout indicates the per-query deadline fired from the timer
+	// wheel before a response was demuxed to the exchange.
+	ErrTimeout = errors.New("udpx: query timed out")
+	// ErrQIDExhausted indicates more than 65536 concurrent in-flight
+	// queries to a single server address: the 16-bit transaction ID
+	// space has no free ID to allocate. This fails loudly — silently
+	// reusing a live ID would misdeliver answers.
+	ErrQIDExhausted = errors.New("udpx: transaction ID space exhausted (65536 queries in flight to one server)")
+	// ErrClosed indicates an Exchange on a transport whose Close has
+	// begun; in-flight exchanges are failed with it too.
+	ErrClosed = errors.New("udpx: transport closed")
+	// ErrNoSocket indicates no socket of the destination's address
+	// family could be bound at construction time.
+	ErrNoSocket = errors.New("udpx: no socket for address family")
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultSockets caps the shared socket pool size per address
+	// family; the default is min(DefaultSockets, max(2, NumCPU)).
+	// Receive-side fan-in is the scaling limit, not fd count; a few
+	// sockets spread kernel buffer pressure without fragmenting
+	// batches, and sockets beyond the core count only add scheduling
+	// churn.
+	DefaultSockets = 4
+	// DefaultRing bounds queued sends per socket; enqueue blocks (with
+	// the caller's context and deadline still armed) when full.
+	DefaultRing = 1024
+	// DefaultBatch is the maximum datagrams moved per sendmmsg/recvmmsg
+	// call (and the drain bound of the portable loops).
+	DefaultBatch = 32
+	// DefaultTimeout is the transport's own per-query deadline when the
+	// caller's context carries none. The resolver's per-attempt context
+	// deadline is normally far tighter; this is the wheel's backstop.
+	DefaultTimeout = 2 * time.Second
+	// DefaultWheelTick is the timer wheel granularity: a deadline fires
+	// within one tick past its nominal instant.
+	DefaultWheelTick = 5 * time.Millisecond
+	// defaultWheelSlots is the wheel circumference (power of two);
+	// deadlines beyond tick*slots simply survive extra passes.
+	defaultWheelSlots = 512
+	// maxInflightPerDest is the 16-bit transaction ID space: the hard
+	// bound on concurrent queries to one server address.
+	maxInflightPerDest = 1 << 16
+)
+
+// Config parameterizes a BatchTransport. The zero value gives the
+// defaults above, port 53, and the Linux batched-syscall path when
+// available.
+type Config struct {
+	// Sockets is the pool size per address family (default
+	// DefaultSockets).
+	Sockets int
+	// Ring is the bounded send-ring depth per socket (default
+	// DefaultRing).
+	Ring int
+	// Batch is the max datagrams per batched syscall (default
+	// DefaultBatch).
+	Batch int
+	// Timeout is the per-query deadline enforced by the timer wheel
+	// when the context has none (default DefaultTimeout). A context
+	// deadline tighter than Timeout wins.
+	Timeout time.Duration
+	// WheelTick is the timer wheel granularity (default
+	// DefaultWheelTick).
+	WheelTick time.Duration
+	// WheelSlots is the wheel circumference, rounded up to a power of
+	// two (default 512). Steady-state arming is allocation-free once
+	// every slot's entry array has grown to the workload's high-water
+	// mark, which takes one full revolution (WheelTick × WheelSlots);
+	// tests shrink the wheel to reach steady state quickly.
+	WheelSlots int
+	// Portable forces the portable per-datagram send/receive loops even
+	// where batched syscalls are available, for differential testing of
+	// the two I/O paths.
+	Portable bool
+
+	// Port is the destination UDP port when no override applies
+	// (default 53).
+	Port int
+	// PortOverride maps a server IP to the UDP port serving it
+	// (same semantics as authserver.UDPTransport).
+	PortOverride map[netip.Addr]int
+	// AddrOverride maps a server IP to the socket actually serving it,
+	// taking precedence over PortOverride.
+	AddrOverride map[netip.Addr]netip.AddrPort
+}
+
+// tableShards is the demux table shard count; (dest, id) keys spread
+// across shards so 128-way scanners do not serialize on one lock.
+const tableShards = 64
+
+// wref is a demux table value: the waiter plus the generation it was
+// registered under, so a stale pointer to a recycled waiter can never
+// complete the wrong exchange.
+type wref struct {
+	w   *waiter
+	gen uint32
+}
+
+type tableKey struct {
+	dest netip.AddrPort
+	id   uint16
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[tableKey]wref
+}
+
+// destState is the per-destination transaction ID allocator: a probe
+// cursor plus the in-flight count that makes exhaustion loud. The demux
+// table itself is the occupancy check — an ID is free exactly when
+// (dest, id) has no table entry — so the allocator needs no 8 KiB
+// bitmap per destination.
+type destState struct {
+	mu       sync.Mutex
+	cursor   uint16
+	inflight int
+}
+
+// metrics is the udpx_* instrument set on the shared registry.
+type metrics struct {
+	exchanges  *obs.Counter // udpx_exchanges_total
+	sendDgrams *obs.Counter // udpx_send_datagrams_total
+	sendBatch  *obs.Counter // udpx_send_batches_total
+	recvDgrams *obs.Counter // udpx_recv_datagrams_total
+	recvBatch  *obs.Counter // udpx_recv_batches_total
+	sysSaved   *obs.Counter // udpx_syscalls_saved_total
+	misses     *obs.Counter // udpx_demux_misses_total
+	malformed  *obs.Counter // udpx_malformed_total
+	timeouts   *obs.Counter // udpx_wheel_timeouts_total
+	cancels    *obs.Counter // udpx_cancels_total
+	exhausted  *obs.Counter // udpx_qid_exhausted_total
+	rtt        *obs.Histogram
+
+	inflight     *obs.Gauge // udpx_qid_inflight
+	inflightHigh *obs.Gauge // udpx_qid_inflight_highwater
+	ringHigh     *obs.Gauge // udpx_ring_highwater
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		exchanges:    r.Counter("udpx_exchanges_total"),
+		sendDgrams:   r.Counter("udpx_send_datagrams_total"),
+		sendBatch:    r.Counter("udpx_send_batches_total"),
+		recvDgrams:   r.Counter("udpx_recv_datagrams_total"),
+		recvBatch:    r.Counter("udpx_recv_batches_total"),
+		sysSaved:     r.Counter("udpx_syscalls_saved_total"),
+		misses:       r.Counter("udpx_demux_misses_total"),
+		malformed:    r.Counter("udpx_malformed_total"),
+		timeouts:     r.Counter("udpx_wheel_timeouts_total"),
+		cancels:      r.Counter("udpx_cancels_total"),
+		exhausted:    r.Counter("udpx_qid_exhausted_total"),
+		rtt:          r.Histogram("udpx_exchange_rtt"),
+		inflight:     r.Gauge("udpx_qid_inflight"),
+		inflightHigh: r.Gauge("udpx_qid_inflight_highwater"),
+		ringHigh:     r.Gauge("udpx_ring_highwater"),
+	}
+}
+
+// BatchTransport is the shared-socket batched UDP transport. It
+// implements resolver.Transport (and resolver.ResponseReleaser); one
+// instance serves any number of concurrent exchanges until Close.
+type BatchTransport struct {
+	cfg    Config
+	socks  []*sock // ipv4 pool
+	socks6 []*sock // ipv6 pool (may be empty where v6 cannot bind)
+
+	table [tableShards]shard
+
+	destMu sync.RWMutex
+	dests  map[netip.AddrPort]*destState
+
+	wheel *wheel
+	wpool sync.Pool // *waiter
+
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	// rttTick drives the 1-in-16 RTT sampling in Exchange/deliver.
+	rttTick atomic.Uint64
+
+	metricsOnce sync.Once
+	m           *metrics
+}
+
+// New builds and starts a BatchTransport: binds the socket pool, and
+// launches the per-socket sender/receiver goroutines and the timer
+// wheel. Callers must Close it to release the sockets.
+func New(cfg Config) (*BatchTransport, error) {
+	if cfg.Sockets <= 0 {
+		// The pool exists to spread receive fan-in across cores and
+		// kernel buffers; sockets beyond the core count only add loop
+		// goroutines to schedule and fragment send batches.
+		cfg.Sockets = runtime.NumCPU()
+		if cfg.Sockets < 2 {
+			cfg.Sockets = 2
+		}
+		if cfg.Sockets > DefaultSockets {
+			cfg.Sockets = DefaultSockets
+		}
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = DefaultRing
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatch
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.WheelTick <= 0 {
+		cfg.WheelTick = DefaultWheelTick
+	}
+	if cfg.WheelSlots <= 0 {
+		cfg.WheelSlots = defaultWheelSlots
+	}
+	for cfg.WheelSlots&(cfg.WheelSlots-1) != 0 {
+		cfg.WheelSlots++
+	}
+	if cfg.Port <= 0 {
+		cfg.Port = 53
+	}
+	t := &BatchTransport{
+		cfg:   cfg,
+		dests: make(map[netip.AddrPort]*destState),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < tableShards; i++ {
+		t.table[i].m = make(map[tableKey]wref)
+	}
+	t.wheel = newWheel(cfg.WheelTick, cfg.WheelSlots, t)
+	for i := 0; i < cfg.Sockets; i++ {
+		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4zero})
+		if err != nil {
+			t.closeSocks()
+			return nil, fmt.Errorf("udpx: bind udp4 socket %d: %w", i, err)
+		}
+		s, err := newSock(t, c, false)
+		if err != nil {
+			_ = c.Close()
+			t.closeSocks()
+			return nil, err
+		}
+		t.socks = append(t.socks, s)
+	}
+	// IPv6 sockets are best-effort: a v4-only host still gets a working
+	// transport, and v6 destinations then fail with ErrNoSocket.
+	for i := 0; i < cfg.Sockets; i++ {
+		c, err := net.ListenUDP("udp6", &net.UDPAddr{IP: net.IPv6zero})
+		if err != nil {
+			break
+		}
+		s, err := newSock(t, c, true)
+		if err != nil {
+			_ = c.Close()
+			break
+		}
+		t.socks6 = append(t.socks6, s)
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.wheel.run(t.done)
+	}()
+	for _, s := range append(append([]*sock(nil), t.socks...), t.socks6...) {
+		t.wg.Add(2)
+		go func(s *sock) { defer t.wg.Done(); s.sendLoop() }(s)
+		go func(s *sock) { defer t.wg.Done(); s.recvLoop() }(s)
+	}
+	return t, nil
+}
+
+func (t *BatchTransport) closeSocks() {
+	for _, s := range t.socks {
+		_ = s.conn.Close()
+	}
+	for _, s := range t.socks6 {
+		_ = s.conn.Close()
+	}
+}
+
+// AttachRegistry binds the transport's udpx_* instruments onto r. Call
+// it before the first Exchange; afterwards a private registry has
+// already won and the call is a no-op (the first-wins contract shared
+// with chaos.Transport and dnswire.Pool).
+func (t *BatchTransport) AttachRegistry(r *obs.Registry) {
+	t.metricsOnce.Do(func() { t.m = newMetrics(r) })
+}
+
+func (t *BatchTransport) metrics() *metrics {
+	t.metricsOnce.Do(func() { t.m = newMetrics(obs.NewRegistry()) })
+	return t.m
+}
+
+// target resolves the socket address actually serving server, per the
+// override maps (tests and benches serve simulated-topology IPs from
+// loopback high ports, exactly like authserver.UDPTransport).
+func (t *BatchTransport) target(server netip.Addr) netip.AddrPort {
+	if ap, ok := t.cfg.AddrOverride[server]; ok {
+		return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	}
+	port := t.cfg.Port
+	if p, ok := t.cfg.PortOverride[server]; ok {
+		port = p
+	}
+	return netip.AddrPortFrom(server.Unmap(), uint16(port))
+}
+
+// sockFor picks the pool socket for dest: family first, then a
+// destination hash, so every exchange with one server rides one socket
+// and its responses demux on the socket that sent them.
+func (t *BatchTransport) sockFor(dest netip.AddrPort) *sock {
+	pool := t.socks
+	if dest.Addr().Is6() {
+		pool = t.socks6
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	return pool[destHash(dest)%uint32(len(pool))]
+}
+
+// destHash is an FNV-1a over the destination address and port.
+func destHash(dest netip.AddrPort) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	a16 := dest.Addr().As16()
+	for _, b := range a16 {
+		h = (h ^ uint32(b)) * prime32
+	}
+	p := dest.Port()
+	h = (h ^ uint32(p&0xff)) * prime32
+	h = (h ^ uint32(p>>8)) * prime32
+	return h
+}
+
+func (t *BatchTransport) shardOf(dest netip.AddrPort, id uint16) *shard {
+	h := destHash(dest) ^ (uint32(id) * 0x9e3779b1)
+	return &t.table[h%tableShards]
+}
+
+// dest returns the per-destination allocator state, creating it on
+// first contact (the only allocation a destination ever costs).
+func (t *BatchTransport) dest(dest netip.AddrPort) *destState {
+	t.destMu.RLock()
+	ds := t.dests[dest]
+	t.destMu.RUnlock()
+	if ds != nil {
+		return ds
+	}
+	t.destMu.Lock()
+	defer t.destMu.Unlock()
+	if ds := t.dests[dest]; ds != nil {
+		return ds
+	}
+	ds = &destState{}
+	t.dests[dest] = ds
+	return ds
+}
+
+// reserve allocates a wire transaction ID for dest and registers w in
+// the demux table under it. The table is the collision oracle: an ID is
+// free exactly when its key has no entry, so two concurrent queries to
+// one server can never share an ID. Fails loudly with ErrQIDExhausted
+// at 65536 in flight.
+func (t *BatchTransport) reserve(dest netip.AddrPort, w *waiter, gen uint32) (uint16, error) {
+	m := t.metrics()
+	ds := t.dest(dest)
+	ds.mu.Lock()
+	if ds.inflight >= maxInflightPerDest {
+		ds.mu.Unlock()
+		m.exhausted.Inc()
+		return 0, fmt.Errorf("%w: %s", ErrQIDExhausted, dest)
+	}
+	for tries := 0; tries < maxInflightPerDest; tries++ {
+		id := ds.cursor
+		ds.cursor++
+		sh := t.shardOf(dest, id)
+		k := tableKey{dest: dest, id: id}
+		sh.mu.Lock()
+		if _, busy := sh.m[k]; !busy {
+			w.dest = dest
+			w.wireID = id
+			sh.m[k] = wref{w: w, gen: gen}
+			sh.mu.Unlock()
+			ds.inflight++
+			n := ds.inflight
+			ds.mu.Unlock()
+			t.noteInflight(n)
+			return id, nil
+		}
+		sh.mu.Unlock()
+	}
+	// Unreachable while inflight < 65536, but never loop forever on a
+	// bookkeeping bug.
+	ds.mu.Unlock()
+	m.exhausted.Inc()
+	return 0, fmt.Errorf("%w: %s", ErrQIDExhausted, dest)
+}
+
+// noteInflight maintains the occupancy gauge and its high-water mark.
+// The high-water update is load-then-set and may lose a race to a
+// concurrent peak; it is a telemetry watermark, not an invariant.
+func (t *BatchTransport) noteInflight(n int) {
+	m := t.metrics()
+	m.inflight.Add(1)
+	if v := m.inflight.Load(); v > m.inflightHigh.Load() {
+		m.inflightHigh.Set(v)
+	}
+	_ = n
+}
+
+// unregister removes w's table entry and returns its ID to the
+// per-destination space. Called exactly once per exchange, by whichever
+// completer won the state CAS.
+func (t *BatchTransport) unregister(w *waiter, gen uint32) {
+	k := tableKey{dest: w.dest, id: w.wireID}
+	sh := t.shardOf(w.dest, w.wireID)
+	sh.mu.Lock()
+	if ref, ok := sh.m[k]; ok && ref.w == w && ref.gen == gen {
+		delete(sh.m, k)
+	}
+	sh.mu.Unlock()
+	ds := t.dest(w.dest)
+	ds.mu.Lock()
+	ds.inflight--
+	ds.mu.Unlock()
+	t.metrics().inflight.Add(-1)
+}
+
+// pending reports the number of registered waiters across the demux
+// table — zero when no exchange is in flight. Tests assert it returns
+// to zero after churn; production code never needs it.
+func (t *BatchTransport) pending() int {
+	n := 0
+	for i := range t.table {
+		sh := &t.table[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// getWaiter checks a waiter out of the pool under a fresh generation.
+func (t *BatchTransport) getWaiter() (*waiter, uint32) {
+	w, _ := t.wpool.Get().(*waiter)
+	if w == nil {
+		w = &waiter{ch: make(chan wresult, 1)}
+	}
+	gen := w.nextGen()
+	return w, gen
+}
+
+func (t *BatchTransport) putWaiter(w *waiter) { t.wpool.Put(w) }
+
+// Exchange implements resolver.Transport: enqueue the query toward its
+// socket, wait for the demuxed response (or the wheel deadline, or the
+// context). The returned buffer is pooled; callers release it through
+// ReleaseResponse once decoded (the resolver's arena decode copies
+// every retained byte first).
+func (t *BatchTransport) Exchange(ctx context.Context, server netip.Addr, query []byte) ([]byte, error) {
+	if len(query) < 12 {
+		return nil, fmt.Errorf("udpx: query shorter than a DNS header (%d bytes)", len(query))
+	}
+	if len(query) > bufSize {
+		return nil, fmt.Errorf("udpx: query of %d bytes exceeds %d", len(query), bufSize)
+	}
+	if t.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := t.metrics()
+	dest := t.target(server)
+	s := t.sockFor(dest)
+	if s == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSocket, dest)
+	}
+
+	w, gen := t.getWaiter()
+	w.origID = binary.BigEndian.Uint16(query)
+	if _, err := t.reserve(dest, w, gen); err != nil {
+		t.putWaiter(w)
+		return nil, err
+	}
+	// The registration is live from here on: exactly one completer —
+	// receiver, wheel, cancel, or close sweep — wins the state CAS and
+	// unregisters. If the transport raced into Close after the
+	// registration, the sweep is guaranteed to see the entry (shard
+	// mutexes order the sweep against the insert), so the wait below
+	// always terminates.
+	if t.closed.Load() {
+		return nil, t.cancelWait(w, gen, ErrClosed)
+	}
+
+	req := getSendReq()
+	req.dest = dest
+	req.n = copy(req.b[:], query)
+	binary.BigEndian.PutUint16(req.b[:], w.wireID)
+
+	w.sentAt = time.Now()
+	// RTT observation is sampled: the histogram needs thousands of
+	// points per scan, not one per exchange, and the unsampled fast
+	// path skips a clock read and the bucket update in deliver.
+	w.rttSample = t.rttTick.Add(1)&15 == 0
+	deadline := w.sentAt.Add(t.cfg.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	t.wheel.add(w, gen, deadline, w.sentAt)
+
+	select {
+	case s.ring <- req:
+		// Common case: ring has room, no selectgo round.
+	default:
+		select {
+		case s.ring <- req:
+		case res := <-w.ch:
+			// The wheel (or close sweep) fired while the ring was full;
+			// the datagram never went out.
+			putSendReq(req)
+			t.putWaiter(w)
+			return nil, res.err
+		case <-ctx.Done():
+			putSendReq(req)
+			return nil, t.cancelWait(w, gen, ctx.Err())
+		}
+	}
+	if n := int64(len(s.ring)); n > m.ringHigh.Load() {
+		m.ringHigh.Set(n)
+	}
+	m.exchanges.Inc()
+
+	select {
+	case res := <-w.ch:
+		t.putWaiter(w)
+		return res.buf, res.err
+	case <-ctx.Done():
+		return nil, t.cancelWait(w, gen, ctx.Err())
+	}
+}
+
+// cancelWait resolves an exchange whose context fired (or that lost the
+// race with Close): win the CAS and clean up, or — if a completer beat
+// us — drain its result and discard it, exactly as the dial transport
+// discards a datagram that lands after the deadline.
+func (t *BatchTransport) cancelWait(w *waiter, gen uint32, cause error) error {
+	if w.complete(gen, stCancelled) {
+		t.unregister(w, gen)
+		t.metrics().cancels.Inc()
+		t.putWaiter(w)
+		return cause
+	}
+	res := <-w.ch
+	if res.buf != nil {
+		putBuf(res.buf)
+	}
+	t.putWaiter(w)
+	return cause
+}
+
+// deliver routes one received datagram to its waiter. Misses — late
+// duplicates of completed exchanges, stray or spoofed datagrams, chaos
+// debris — are counted and dropped, the batched equivalent of a closed
+// per-exchange socket swallowing them.
+func (t *BatchTransport) deliver(buf []byte, src netip.AddrPort) {
+	m := t.metrics()
+	m.recvDgrams.Inc()
+	if len(buf) < 12 {
+		m.malformed.Inc()
+		putBuf(buf)
+		return
+	}
+	src = netip.AddrPortFrom(src.Addr().Unmap(), src.Port())
+	id := binary.BigEndian.Uint16(buf)
+	k := tableKey{dest: src, id: id}
+	sh := t.shardOf(src, id)
+	sh.mu.Lock()
+	ref, ok := sh.m[k]
+	sh.mu.Unlock()
+	if !ok || !ref.w.complete(ref.gen, stDelivered) {
+		m.misses.Inc()
+		putBuf(buf)
+		return
+	}
+	t.unregister(ref.w, ref.gen)
+	if ref.w.rttSample {
+		m.rtt.ObserveSince(ref.w.sentAt)
+	}
+	// Patch the caller's transaction ID back in before the resolver
+	// sees the wire; the rewrite is invisible end to end.
+	binary.BigEndian.PutUint16(buf, ref.w.origID)
+	ref.w.ch <- wresult{buf: buf}
+}
+
+// expire is the wheel's completion path: fail the exchange with
+// ErrTimeout. Runs on the wheel goroutine; the CAS has already been won
+// by the caller.
+func (t *BatchTransport) expire(w *waiter, gen uint32) {
+	t.unregister(w, gen)
+	t.metrics().timeouts.Inc()
+	w.ch <- wresult{err: ErrTimeout}
+}
+
+// ReleaseResponse returns a buffer handed out by Exchange to the packet
+// pool (the resolver calls it right after its arena decode, which
+// copies everything it keeps). Implements resolver.ResponseReleaser.
+// Foreign buffers — a chaos duplicate's replay copy, a caller's own
+// slice — are recognized by capacity and simply left to the GC.
+func (t *BatchTransport) ReleaseResponse(buf []byte) { putBuf(buf) }
+
+// Close shuts the transport down: stops the senders and the wheel,
+// closes every socket (unblocking the receivers), and fails every
+// still-pending exchange with ErrClosed. Idempotent.
+func (t *BatchTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.done)
+	t.closeSocks()
+	t.wg.Wait()
+	// Sweep the demux table: every remaining waiter gets ErrClosed.
+	// Registrations racing Close either saw closed first (and
+	// self-cancelled) or inserted before this sweep's shard lock — the
+	// mutex makes one of the two orders definite.
+	for i := range t.table {
+		sh := &t.table[i]
+		sh.mu.Lock()
+		refs := make([]wref, 0, len(sh.m))
+		for _, ref := range sh.m {
+			refs = append(refs, ref)
+		}
+		sh.mu.Unlock()
+		for _, ref := range refs {
+			if ref.w.complete(ref.gen, stClosed) {
+				t.unregister(ref.w, ref.gen)
+				ref.w.ch <- wresult{err: ErrClosed}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats is a snapshot of transport counters, read from the registry
+// instruments (shared or private).
+type Stats struct {
+	// Exchanges counts queries put on the ring; SendBatches and
+	// SendDatagrams (resp. Recv*) describe the syscall batching:
+	// Datagrams/Batches is the mean batch size, and SyscallsSaved is
+	// the datagrams that shared a syscall with a predecessor.
+	Exchanges, SendBatches, SendDatagrams, RecvBatches, RecvDatagrams, SyscallsSaved uint64
+	// DemuxMisses counts datagrams with no waiting exchange (late,
+	// duplicate, stray); Malformed counts sub-header runts.
+	DemuxMisses, Malformed uint64
+	// WheelTimeouts counts deadlines fired from the timer wheel;
+	// Cancels counts context cancellations; QIDExhausted counts
+	// reservations refused at 65536 in flight.
+	WheelTimeouts, Cancels, QIDExhausted uint64
+	// Inflight is the current registered-waiter count;
+	// InflightHighwater its observed peak; RingHighwater the deepest
+	// observed send-ring backlog.
+	Inflight, InflightHighwater, RingHighwater int64
+}
+
+// Stats returns the current counter snapshot.
+func (t *BatchTransport) Stats() Stats {
+	m := t.metrics()
+	return Stats{
+		Exchanges:         m.exchanges.Load(),
+		SendBatches:       m.sendBatch.Load(),
+		SendDatagrams:     m.sendDgrams.Load(),
+		RecvBatches:       m.recvBatch.Load(),
+		RecvDatagrams:     m.recvDgrams.Load(),
+		SyscallsSaved:     m.sysSaved.Load(),
+		DemuxMisses:       m.misses.Load(),
+		Malformed:         m.malformed.Load(),
+		WheelTimeouts:     m.timeouts.Load(),
+		Cancels:           m.cancels.Load(),
+		QIDExhausted:      m.exhausted.Load(),
+		Inflight:          m.inflight.Load(),
+		InflightHighwater: m.inflightHigh.Load(),
+		RingHighwater:     m.ringHigh.Load(),
+	}
+}

@@ -1,0 +1,430 @@
+package udpx
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// srvIP is the nominal (simulated-topology) server address tests query;
+// AddrOverride routes it to whatever loopback socket a test stands up,
+// the same pattern the e2e serving suite uses.
+var srvIP = netip.MustParseAddr("192.0.2.10")
+
+// startUDP binds a loopback UDP socket, runs handler over it until the
+// socket closes, and returns the bound address.
+func startUDP(t testing.TB, handler func(*net.UDPConn)) netip.AddrPort {
+	t.Helper()
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("bind responder: %v", err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	go handler(conn)
+	return conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// echoLoop answers every datagram with its own bytes — transaction ID
+// preserved, which is all the demux layer needs from a peer. The loop
+// is deliberately allocation-free so the zero-alloc gate can run it in
+// the background.
+func echoLoop(conn *net.UDPConn) {
+	var buf [bufSize]byte
+	for {
+		n, src, err := conn.ReadFromUDPAddrPort(buf[:])
+		if err != nil {
+			return
+		}
+		_, _ = conn.WriteToUDPAddrPort(buf[:n], src)
+	}
+}
+
+// blackholeLoop consumes datagrams and never answers.
+func blackholeLoop(conn *net.UDPConn) {
+	var buf [bufSize]byte
+	for {
+		if _, _, err := conn.ReadFromUDPAddrPort(buf[:]); err != nil {
+			return
+		}
+	}
+}
+
+func newTest(t testing.TB, cfg Config) *BatchTransport {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	return tr
+}
+
+// testQuery builds a minimal 16-byte datagram: caller transaction ID in
+// the header slot, nonce in the payload so responses can be matched to
+// the exchange that sent them.
+func testQuery(id uint16, nonce uint32) []byte {
+	q := make([]byte, 16)
+	binary.BigEndian.PutUint16(q, id)
+	binary.BigEndian.PutUint32(q[12:], nonce)
+	return q
+}
+
+// TestBatchExchangeEcho runs a concurrent exchange storm against an
+// echo server on both I/O paths and checks every response comes back on
+// the exchange that sent its query, with the caller's transaction ID
+// restored — the demux table, QID rewriting, and buffer pooling all in
+// one pass.
+func TestBatchExchangeEcho(t *testing.T) {
+	for _, portable := range []bool{false, true} {
+		name := "os"
+		if portable {
+			name = "portable"
+		}
+		t.Run(name, func(t *testing.T) {
+			echo := startUDP(t, echoLoop)
+			tr := newTest(t, Config{
+				AddrOverride: map[netip.Addr]netip.AddrPort{srvIP: echo},
+				Portable:     portable,
+			})
+			const workers, perWorker = 32, 50
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						// Deliberately colliding caller IDs: every worker
+						// uses the same ones, so only the transport's own
+						// per-destination allocation keeps the wire sane.
+						id := uint16(i)
+						nonce := uint32(g)<<16 | uint32(i)
+						q := testQuery(id, nonce)
+						resp, err := tr.Exchange(context.Background(), srvIP, q)
+						if err != nil {
+							errs <- fmt.Errorf("worker %d query %d: %v", g, i, err)
+							return
+						}
+						if got := binary.BigEndian.Uint16(resp); got != id {
+							errs <- fmt.Errorf("worker %d query %d: transaction ID %d, want %d", g, i, got, id)
+							return
+						}
+						if got := binary.BigEndian.Uint32(resp[12:]); got != nonce {
+							errs <- fmt.Errorf("worker %d query %d: nonce %#x, want %#x (cross-delivered response)", g, i, got, nonce)
+							return
+						}
+						tr.ReleaseResponse(resp)
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			if n := tr.pending(); n != 0 {
+				t.Errorf("demux table holds %d entries after all exchanges returned", n)
+			}
+			st := tr.Stats()
+			if st.Exchanges != workers*perWorker {
+				t.Errorf("Exchanges = %d, want %d", st.Exchanges, workers*perWorker)
+			}
+			if !portable && osBatchSupported && st.SyscallsSaved == 0 {
+				t.Errorf("OS batch path saved no syscalls across %d concurrent exchanges", workers*perWorker)
+			}
+		})
+	}
+}
+
+// TestQIDExhaustion pins the loud-failure contract: the 65537th
+// concurrent reservation against one server must fail with
+// ErrQIDExhausted, not silently reuse a live ID.
+func TestQIDExhaustion(t *testing.T) {
+	tr := newTest(t, Config{Sockets: 1})
+	dest := netip.MustParseAddrPort("192.0.2.1:53")
+	for i := 0; i < maxInflightPerDest; i++ {
+		w, gen := tr.getWaiter()
+		if _, err := tr.reserve(dest, w, gen); err != nil {
+			t.Fatalf("reservation %d failed early: %v", i, err)
+		}
+	}
+	w, gen := tr.getWaiter()
+	if _, err := tr.reserve(dest, w, gen); !errors.Is(err, ErrQIDExhausted) {
+		t.Fatalf("reservation %d: err = %v, want ErrQIDExhausted", maxInflightPerDest, err)
+	}
+	if n := tr.pending(); n != maxInflightPerDest {
+		t.Fatalf("table holds %d entries, want %d", n, maxInflightPerDest)
+	}
+	// A second destination still has a free ID space.
+	w2, gen2 := tr.getWaiter()
+	if _, err := tr.reserve(netip.MustParseAddrPort("192.0.2.2:53"), w2, gen2); err != nil {
+		t.Fatalf("other destination refused: %v", err)
+	}
+}
+
+// TestCancelChurnNoLeak cancels a storm of exchanges against a server
+// that never answers and asserts the demux table drains to empty — a
+// leaked entry would pin its transaction ID forever.
+func TestCancelChurnNoLeak(t *testing.T) {
+	hole := startUDP(t, blackholeLoop)
+	tr := newTest(t, Config{
+		AddrOverride: map[netip.Addr]netip.AddrPort{srvIP: hole},
+		Timeout:      time.Minute, // the wheel must not be the one cleaning up
+	})
+	const workers, perWorker = 16, 25
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i%5)*time.Millisecond)
+				_, err := tr.Exchange(ctx, srvIP, testQuery(uint16(i), uint32(g)))
+				cancel()
+				if err == nil {
+					t.Errorf("worker %d query %d: blackholed exchange succeeded", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := tr.pending(); n != 0 {
+		t.Fatalf("demux table holds %d entries after cancel churn, want 0", n)
+	}
+	if st := tr.Stats(); st.Cancels == 0 {
+		t.Fatalf("no cancellations recorded across %d cancelled exchanges", workers*perWorker)
+	}
+	if st := tr.Stats(); st.Inflight != 0 {
+		t.Fatalf("inflight gauge = %d after churn, want 0", st.Inflight)
+	}
+}
+
+// stormLoop is a hostile responder: echoes each query a seeded-random
+// 1–3 times and sprays stray datagrams with random transaction IDs at
+// the client between answers. The duplicates and strays must all land
+// as demux misses, never as cross-delivered responses; run under -race
+// this doubles as the deliver/cancel race exercise.
+func stormLoop(seed int64) func(*net.UDPConn) {
+	return func(conn *net.UDPConn) {
+		rng := rand.New(rand.NewSource(seed))
+		var buf [bufSize]byte
+		var stray [12]byte
+		for {
+			n, src, err := conn.ReadFromUDPAddrPort(buf[:])
+			if err != nil {
+				return
+			}
+			copies := 1 + rng.Intn(3)
+			for c := 0; c < copies; c++ {
+				_, _ = conn.WriteToUDPAddrPort(buf[:n], src)
+			}
+			for s := rng.Intn(3); s > 0; s-- {
+				binary.BigEndian.PutUint16(stray[:], uint16(rng.Intn(1<<16)))
+				_, _ = conn.WriteToUDPAddrPort(stray[:], src)
+			}
+		}
+	}
+}
+
+// TestStrayDuplicateStorm drives exchanges through the hostile
+// responder above: every exchange must still get exactly its own
+// answer, the debris must show up in the miss counter, and the table
+// must drain.
+func TestStrayDuplicateStorm(t *testing.T) {
+	storm := startUDP(t, stormLoop(42))
+	tr := newTest(t, Config{
+		AddrOverride: map[netip.Addr]netip.AddrPort{srvIP: storm},
+	})
+	const workers, perWorker = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				nonce := uint32(g)<<16 | uint32(i)
+				resp, err := tr.Exchange(context.Background(), srvIP, testQuery(uint16(i), nonce))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d query %d: %v", g, i, err)
+					return
+				}
+				if got := binary.BigEndian.Uint32(resp[12:]); got != nonce {
+					errs <- fmt.Errorf("worker %d query %d: nonce %#x, want %#x (storm cross-delivery)", g, i, got, nonce)
+					return
+				}
+				tr.ReleaseResponse(resp)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Give the last round of duplicates a moment to land as misses.
+	time.Sleep(50 * time.Millisecond)
+	if n := tr.pending(); n != 0 {
+		t.Errorf("demux table holds %d entries after storm", n)
+	}
+	if st := tr.Stats(); st.DemuxMisses == 0 {
+		t.Errorf("storm produced no demux misses; responder not hostile enough or misses misrouted")
+	}
+}
+
+// TestWheelTimeoutSemantics is the batch-path port of
+// TestUDPTransportTimeout: with a context carrying no deadline, the
+// transport's own timeout must fire from the timer wheel — never early,
+// and within roughly one wheel tick of the deadline.
+func TestWheelTimeoutSemantics(t *testing.T) {
+	hole := startUDP(t, blackholeLoop)
+	const (
+		timeout = 100 * time.Millisecond
+		tick    = 25 * time.Millisecond
+	)
+	tr := newTest(t, Config{
+		AddrOverride: map[netip.Addr]netip.AddrPort{srvIP: hole},
+		Timeout:      timeout,
+		WheelTick:    tick,
+		WheelSlots:   64,
+	})
+	start := time.Now()
+	_, err := tr.Exchange(context.Background(), srvIP, testQuery(1, 1))
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed < timeout-time.Millisecond {
+		t.Fatalf("timeout fired after %v, before the %v deadline", elapsed, timeout)
+	}
+	// Deadline rounds up to a tick boundary (≤ 1 tick) and the sweep
+	// runs on the next ticker firing (≤ 1 tick); anything beyond
+	// timeout + 2 ticks plus scheduler slack is a wheel bug.
+	if limit := timeout + 2*tick + 50*time.Millisecond; elapsed > limit {
+		t.Fatalf("timeout fired after %v, want within %v", elapsed, limit)
+	}
+	if st := tr.Stats(); st.WheelTimeouts != 1 {
+		t.Fatalf("WheelTimeouts = %d, want 1", st.WheelTimeouts)
+	}
+}
+
+// TestBlackholeIsolation pins the reason the wheel exists: one dead
+// server's queries time out on their own schedule while a live server
+// sharing the transport (and possibly the socket) answers at full
+// speed throughout.
+func TestBlackholeIsolation(t *testing.T) {
+	echo := startUDP(t, echoLoop)
+	hole := startUDP(t, blackholeLoop)
+	deadIP := netip.MustParseAddr("192.0.2.66")
+	const timeout = 500 * time.Millisecond
+	tr := newTest(t, Config{
+		AddrOverride: map[netip.Addr]netip.AddrPort{srvIP: echo, deadIP: hole},
+		Timeout:      timeout,
+		WheelTick:    10 * time.Millisecond,
+		Sockets:      1, // force both servers onto one socket
+	})
+	const n = 20
+	var wg sync.WaitGroup
+	liveDur := make([]time.Duration, n)
+	liveErr := make([]error, n)
+	deadErr := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := tr.Exchange(context.Background(), srvIP, testQuery(uint16(i), uint32(i)))
+			liveDur[i] = time.Since(start)
+			liveErr[i] = err
+			if err == nil {
+				tr.ReleaseResponse(resp)
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			_, err := tr.Exchange(context.Background(), deadIP, testQuery(uint16(i), uint32(i)))
+			deadErr[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if liveErr[i] != nil {
+			t.Errorf("live query %d failed: %v", i, liveErr[i])
+		} else if liveDur[i] > timeout/2 {
+			t.Errorf("live query %d took %v — stalled behind the blackholed server", i, liveDur[i])
+		}
+		if !errors.Is(deadErr[i], ErrTimeout) {
+			t.Errorf("blackholed query %d: err = %v, want ErrTimeout", i, deadErr[i])
+		}
+	}
+}
+
+// TestCloseFailsPending verifies Close resolves every in-flight
+// exchange with ErrClosed and leaves the table empty, and that the
+// transport refuses new exchanges afterwards.
+func TestCloseFailsPending(t *testing.T) {
+	hole := startUDP(t, blackholeLoop)
+	tr := newTest(t, Config{
+		AddrOverride: map[netip.Addr]netip.AddrPort{srvIP: hole},
+		Timeout:      time.Minute,
+	})
+	const n = 8
+	var wg sync.WaitGroup
+	errsArr := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errsArr[i] = tr.Exchange(context.Background(), srvIP, testQuery(uint16(i), uint32(i)))
+		}(i)
+	}
+	// Let the exchanges register before closing.
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.pending() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errsArr {
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("exchange %d: err = %v, want ErrClosed", i, err)
+		}
+	}
+	if n := tr.pending(); n != 0 {
+		t.Errorf("table holds %d entries after Close", n)
+	}
+	if _, err := tr.Exchange(context.Background(), srvIP, testQuery(0, 0)); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close Exchange: err = %v, want ErrClosed", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestWaiterGenerationReuse pins the packed gen+state CAS: a stale
+// completion attempt from a waiter's previous life must lose against
+// the recycled waiter's new generation.
+func TestWaiterGenerationReuse(t *testing.T) {
+	w := &waiter{ch: make(chan wresult, 1)}
+	gen1 := w.nextGen()
+	if !w.complete(gen1, stDelivered) {
+		t.Fatal("fresh generation failed to complete")
+	}
+	gen2 := w.nextGen()
+	if w.complete(gen1, stTimedOut) {
+		t.Fatal("stale generation completed a recycled waiter")
+	}
+	if !w.complete(gen2, stTimedOut) {
+		t.Fatal("current generation blocked by stale attempt")
+	}
+}
